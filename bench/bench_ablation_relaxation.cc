@@ -1,0 +1,62 @@
+// Ablation: the argmax relaxation. Compares the Straight-Through Estimator
+// (paper Eqns. 5-7) against the pure softmax relaxation, across softmax
+// temperatures — the training-stability design decision at the heart of the
+// quantization step.
+//
+//   ./bench_ablation_relaxation [--seed=7]
+
+#include <cstdio>
+
+#include "src/baselines/deep_quant.h"
+#include "src/data/presets.h"
+#include "src/util/cli.h"
+#include "src/util/table_printer.h"
+#include "src/util/threadpool.h"
+
+using namespace lightlt;
+
+namespace {
+
+double RunOne(const data::RetrievalBenchmark& bench, bool ste, float temp) {
+  auto spec = baselines::MakeLightLtSpec(bench, data::PresetId::kCifar100ish,
+                                         false, 1);
+  spec.arch.dsq.straight_through = ste;
+  spec.arch.dsq.temperature = temp;
+  baselines::DeepQuantMethod method(std::move(spec));
+  auto report =
+      baselines::EvaluateMethod(&method, bench, &GlobalThreadPool());
+  return report.ok() ? report.value().map : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const uint64_t seed = cli.GetInt("seed", 7);
+
+  std::printf("== Ablation: STE vs soft relaxation x temperature ==\n");
+  std::printf("(Cifar100ish IF=50, no ensemble)\n\n");
+
+  const auto bench =
+      data::GeneratePreset(data::PresetId::kCifar100ish, 50.0, false, seed);
+
+  TablePrinter table({"temperature", "MAP (soft relaxation)", "MAP (STE)"});
+  for (float temp : {0.5f, 1.0f, 2.0f, 4.0f, 8.0f}) {
+    std::printf("running t=%.1f...\n", temp);
+    std::fflush(stdout);
+    const double soft = RunOne(bench, false, temp);
+    const double ste = RunOne(bench, true, temp);
+    table.AddRow({TablePrinter::FormatMetric(temp, 1),
+                  TablePrinter::FormatMetric(soft),
+                  TablePrinter::FormatMetric(ste)});
+  }
+
+  std::printf("\nRelaxation ablation:\n");
+  table.Print();
+  std::printf(
+      "\n(The STE trains the true hard-assignment forward pass; the soft "
+      "relaxation suffers a train/inference mismatch that grows with "
+      "temperature. Very low temperatures starve the codebook gradients — "
+      "the vanishing-softmax-gradient effect of paper §III-C2.)\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation: number of encoder/decoder pairs M, with and without the
+// codebook skip (Eqn. 10). The paper motivates the second skip by gradient
+// stability across many stages ("the addition of more encoder-decoder pairs
+// only offers minimal performance improvements" without it, §III-C2); this
+// harness sweeps M and reports MAP plus hard-encoding reconstruction error.
+//
+//   ./bench_ablation_stages [--seed=7] [--trials=2]
+
+#include <cstdio>
+
+#include "src/baselines/deep_quant.h"
+#include "src/core/pipeline.h"
+#include "src/data/presets.h"
+#include "src/util/cli.h"
+#include "src/util/table_printer.h"
+#include "src/util/threadpool.h"
+
+using namespace lightlt;
+
+namespace {
+
+struct RunResult {
+  double map = 0.0;
+  double recon_error = 0.0;
+};
+
+RunResult RunOne(const data::RetrievalBenchmark& bench, size_t stages,
+                 bool codebook_skip, int trials) {
+  RunResult out;
+  int ok_runs = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto spec = baselines::MakeLightLtSpec(
+        bench, data::PresetId::kCifar100ish, false, 1);
+    spec.arch.dsq.num_codebooks = stages;
+    spec.arch.dsq.codebook_skip = codebook_skip;
+    spec.seed = 0x117 + static_cast<uint64_t>(t) * 31;
+
+    core::LightLtModel model(spec.arch, spec.seed);
+    auto stats = core::TrainLightLt(&model, bench.train, spec.train);
+    if (!stats.ok()) continue;
+    auto report = core::EvaluateModel(model, bench, &GlobalThreadPool());
+    if (!report.ok()) continue;
+    out.map += report.value().map;
+    out.recon_error += model.dsq().ReconstructionError(
+        core::EmbedInChunks(model, bench.database.features));
+    ++ok_runs;
+  }
+  if (ok_runs > 0) {
+    out.map /= ok_runs;
+    out.recon_error /= ok_runs;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const uint64_t seed = cli.GetInt("seed", 7);
+  const int trials = static_cast<int>(cli.GetInt("trials", 2));
+
+  std::printf("== Ablation: encoder/decoder stages M x codebook skip ==\n");
+  std::printf("(Cifar100ish IF=50, no ensemble, MAP and reconstruction "
+              "error averaged over %d seeds)\n\n", trials);
+
+  const auto bench =
+      data::GeneratePreset(data::PresetId::kCifar100ish, 50.0, false, seed);
+
+  TablePrinter table({"M", "MAP (residual only)", "MAP (DSQ)",
+                      "recon err (residual)", "recon err (DSQ)"});
+  for (size_t stages : {1u, 2u, 4u, 8u}) {
+    std::printf("running M=%zu...\n", stages);
+    std::fflush(stdout);
+    const RunResult residual = RunOne(bench, stages, false, trials);
+    const RunResult dsq =
+        stages == 1 ? residual : RunOne(bench, stages, true, trials);
+    table.AddRow({std::to_string(stages),
+                  TablePrinter::FormatMetric(residual.map),
+                  TablePrinter::FormatMetric(dsq.map),
+                  TablePrinter::FormatMetric(residual.recon_error, 3),
+                  TablePrinter::FormatMetric(dsq.recon_error, 3)});
+  }
+
+  std::printf("\nStage-count ablation:\n");
+  table.Print();
+  std::printf(
+      "\n(Expected: more stages reduce reconstruction error; the codebook "
+      "skip matters more as M grows, which is the paper's motivation for "
+      "the second skip connection.)\n");
+  return 0;
+}

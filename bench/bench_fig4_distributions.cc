@@ -1,0 +1,71 @@
+// Reproduces Table I + Fig. 4: dataset statistics and the Zipf label
+// distributions of the eight long-tail configurations.
+//
+//   ./bench_fig4_distributions [--full]
+//
+// Prints the Table I statistics row per dataset and the log-log label
+// distribution series of Fig. 4 (sorted class index vs class size). Under
+// Zipf's law the series is a straight line in log-log space with slope -p.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/data/longtail.h"
+#include "src/data/presets.h"
+#include "src/util/cli.h"
+#include "src/util/table_printer.h"
+
+using namespace lightlt;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const bool full = cli.GetBool("full", false);
+  const uint64_t seed = cli.GetInt("seed", 7);
+
+  std::printf("== Table I / Fig. 4: dataset statistics & distributions ==\n");
+  std::printf("(scale: %s)\n\n", full ? "full (Table I sizes)" : "reduced");
+
+  TablePrinter stats({"Dataset", "IF", "C", "pi_1", "pi_C", "N_train",
+                      "N_query", "N_db", "Zipf p", "measured IF"});
+  for (auto preset : data::AllPresets()) {
+    for (double imbalance : {50.0, 100.0}) {
+      const auto cfg = data::MakePresetConfig(preset, imbalance, full, seed);
+      const auto bench = data::GeneratePreset(preset, imbalance, full, seed);
+      const auto counts = bench.train.ClassCounts();
+      stats.AddRow({
+          data::PresetName(preset),
+          TablePrinter::FormatMetric(imbalance, 0),
+          std::to_string(bench.train.num_classes),
+          std::to_string(counts.front()),
+          std::to_string(counts.back()),
+          std::to_string(bench.train.size()),
+          std::to_string(bench.query.size()),
+          std::to_string(bench.database.size()),
+          TablePrinter::FormatMetric(
+              data::ZipfExponent(cfg.num_classes, imbalance), 3),
+          TablePrinter::FormatMetric(data::MeasuredImbalanceFactor(counts), 1),
+      });
+    }
+  }
+  stats.Print();
+
+  std::printf(
+      "\nFig. 4 series: ln(sorted class index) vs ln(class size), IF=50\n");
+  for (auto preset : data::AllPresets()) {
+    const auto bench = data::GeneratePreset(preset, 50.0, full, seed);
+    const auto counts = bench.train.ClassCounts();
+    std::printf("%s:", data::PresetName(preset).c_str());
+    // Sample up to 8 points along the sorted class index axis.
+    const size_t c = counts.size();
+    for (size_t k = 0; k < 8; ++k) {
+      const size_t idx = k * (c - 1) / 7;
+      std::printf(" (%.2f, %.2f)", std::log(static_cast<double>(idx + 1)),
+                  std::log(static_cast<double>(counts[idx])));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(Each series is near-linear in log-log space: Zipf's law, as in "
+      "Fig. 4 of the paper.)\n");
+  return 0;
+}

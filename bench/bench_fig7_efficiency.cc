@@ -1,0 +1,93 @@
+// Reproduces Fig. 7: speedup ratio and compress ratio of LightLT's ADC
+// search vs exhaustive float search on QBAish (IF=100), sweeping the
+// database scale over {1e-3, 1e-2, 1e-1, 1} of the full database.
+//
+//   ./bench_fig7_efficiency [--full] [--seed=7] [--repeats=5]
+//
+// Expected shape (paper): both ratios grow with database size; at the
+// smallest scale (~hundreds of items) quantization pays off in neither time
+// nor space because the codebooks themselves dominate; at full scale the
+// paper reports 62x speedup and 240x compression (full-scale parameters:
+// d=768, M=4, K=256, n=642k — run with --full to approach them).
+
+#include <cstdio>
+
+#include "src/baselines/deep_quant.h"
+#include "src/core/pipeline.h"
+#include "src/eval/efficiency.h"
+#include "src/data/presets.h"
+#include "src/index/flat_index.h"
+#include "src/util/cli.h"
+#include "src/util/table_printer.h"
+
+using namespace lightlt;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const bool full = cli.GetBool("full", false);
+  const uint64_t seed = cli.GetInt("seed", 7);
+  const int repeats = static_cast<int>(cli.GetInt("repeats", 5));
+
+  std::printf("== Fig. 7: efficiency vs database scale (QBAish IF=100) ==\n");
+  std::printf("(scale: %s)\n\n", full ? "full" : "reduced");
+
+  const auto bench =
+      data::GeneratePreset(data::PresetId::kQbaish, 100.0, full, seed);
+
+  // Train a LightLT model (quality is irrelevant to the timing study, so a
+  // short schedule suffices).
+  auto spec = baselines::MakeLightLtSpec(bench, data::PresetId::kQbaish, full,
+                                         /*ensemble_models=*/1);
+  spec.train.epochs = full ? 10 : 8;
+  core::LightLtModel model(spec.arch, seed);
+  auto stats = core::TrainLightLt(&model, bench.train, spec.train);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  const Matrix db_embedded =
+      core::EmbedInChunks(model, bench.database.features);
+  const Matrix queries = core::EmbedInChunks(model, bench.query.features);
+
+  TablePrinter table({"db fraction", "n", "speedup", "theo speedup",
+                      "compress", "theo compress", "flat us/q", "adc us/q"});
+  const double fractions[] = {1e-3, 1e-2, 1e-1, 1.0};
+  for (double fraction : fractions) {
+    const size_t n = std::max<size_t>(
+        1, static_cast<size_t>(fraction *
+                               static_cast<double>(db_embedded.rows())));
+    std::vector<size_t> subset(n);
+    for (size_t i = 0; i < n; ++i) subset[i] = i;
+    const Matrix sub_db = db_embedded.GatherRows(subset);
+
+    std::vector<std::vector<uint32_t>> codes;
+    model.dsq().Encode(sub_db, &codes);
+    auto adc = index::AdcIndex::Build(model.Codebooks(), codes);
+    if (!adc.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n",
+                   adc.status().ToString().c_str());
+      return 1;
+    }
+    index::FlatIndex flat(sub_db);
+
+    const auto report =
+        eval::MeasureEfficiency(flat, adc.value(), queries, repeats);
+    table.AddRow({TablePrinter::FormatMetric(fraction, 3),
+                  std::to_string(n),
+                  TablePrinter::FormatMetric(report.measured_speedup, 2),
+                  TablePrinter::FormatMetric(report.theoretical_speedup, 2),
+                  TablePrinter::FormatMetric(report.measured_compress_ratio, 2),
+                  TablePrinter::FormatMetric(
+                      report.theoretical_compress_ratio, 2),
+                  TablePrinter::FormatMetric(report.flat_query_micros, 1),
+                  TablePrinter::FormatMetric(report.adc_query_micros, 1)});
+    std::printf("fraction %.3f done (n=%zu)\n", fraction, n);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nFig. 7 (reproduced): efficiency vs database scale\n");
+  table.Print();
+  return 0;
+}

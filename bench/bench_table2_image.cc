@@ -1,0 +1,41 @@
+// Reproduces Table II: MAP comparison on the image-like long-tail datasets
+// (Cifar100ish / ImageNet100ish, IF in {50, 100}) across shallow hashes,
+// shallow quantizers, deep hashes and deep quantizers, including LightLT
+// with and without the weight ensemble.
+//
+//   ./bench_table2_image [--full] [--seed=7] [--if=50,100]
+//
+// Expected shape (paper): deep > shallow; quantization >= hashing; LTHNet
+// best among hashes; LightLT w/o ensemble > LTHNet; LightLT best overall.
+
+#include "bench/bench_util.h"
+
+using namespace lightlt;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const bool full = cli.GetBool("full", false);
+  const uint64_t seed = cli.GetInt("seed", 7);
+
+  std::vector<bench::TableColumn> columns = {
+      {data::PresetId::kCifar100ish, 50.0, "Cifar100ish IF=50"},
+      {data::PresetId::kCifar100ish, 100.0, "Cifar100ish IF=100"},
+      {data::PresetId::kImageNet100ish, 50.0, "ImageNet100ish IF=50"},
+      {data::PresetId::kImageNet100ish, 100.0, "ImageNet100ish IF=100"},
+  };
+
+  std::printf("== Table II: comparison with baselines on image data ==\n");
+  std::printf("(scale: %s)\n\n", full ? "full (Table I sizes)" : "reduced");
+
+  std::vector<std::string> row_order;
+  auto grid = bench::RunTable(
+      columns,
+      [&](const data::RetrievalBenchmark& bench, data::PresetId preset) {
+        return baselines::MakeImageMethodSet(bench, preset, full);
+      },
+      full, seed, &row_order);
+
+  bench::PrintGrid("Table II (reproduced): MAP on image-like datasets",
+                   columns, row_order, grid);
+  return 0;
+}

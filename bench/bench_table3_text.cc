@@ -1,0 +1,40 @@
+// Reproduces Table III: MAP comparison on the text-like long-tail datasets
+// (NCish / QBAish, IF in {50, 100}) against LSH, PQ, DPQ, KDE and LTHNet.
+//
+//   ./bench_table3_text [--full] [--seed=7]
+//
+// Expected shape (paper): LSH << PQ << deep methods; KDE/DPQ close with KDE
+// slightly ahead; LightLT w/o ensemble edges out all baselines; LightLT
+// (ensemble) best overall.
+
+#include "bench/bench_util.h"
+
+using namespace lightlt;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const bool full = cli.GetBool("full", false);
+  const uint64_t seed = cli.GetInt("seed", 7);
+
+  std::vector<bench::TableColumn> columns = {
+      {data::PresetId::kNcish, 50.0, "NCish IF=50"},
+      {data::PresetId::kNcish, 100.0, "NCish IF=100"},
+      {data::PresetId::kQbaish, 50.0, "QBAish IF=50"},
+      {data::PresetId::kQbaish, 100.0, "QBAish IF=100"},
+  };
+
+  std::printf("== Table III: comparison with baselines on text data ==\n");
+  std::printf("(scale: %s)\n\n", full ? "full (Table I sizes)" : "reduced");
+
+  std::vector<std::string> row_order;
+  auto grid = bench::RunTable(
+      columns,
+      [&](const data::RetrievalBenchmark& bench, data::PresetId preset) {
+        return baselines::MakeTextMethodSet(bench, preset, full);
+      },
+      full, seed, &row_order);
+
+  bench::PrintGrid("Table III (reproduced): MAP on text-like datasets",
+                   columns, row_order, grid);
+  return 0;
+}

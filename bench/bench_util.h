@@ -1,0 +1,93 @@
+// Shared helpers for the paper-table benchmark harnesses.
+
+#ifndef LIGHTLT_BENCH_BENCH_UTIL_H_
+#define LIGHTLT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/baselines/registry.h"
+#include "src/data/presets.h"
+#include "src/util/cli.h"
+#include "src/util/table_printer.h"
+#include "src/util/threadpool.h"
+#include "src/util/timer.h"
+
+namespace lightlt::bench {
+
+/// One table column: a dataset preset at one imbalance factor.
+struct TableColumn {
+  data::PresetId preset;
+  double imbalance_factor;
+  std::string header;
+};
+
+/// method name -> column header -> MAP.
+using ResultGrid = std::map<std::string, std::map<std::string, double>>;
+
+/// Runs `make_methods(bench)` for each column and fills the grid. Method
+/// order of the first column defines row order via `row_order`.
+template <typename MethodFactory>
+ResultGrid RunTable(const std::vector<TableColumn>& columns,
+                    const MethodFactory& make_methods, bool full_scale,
+                    uint64_t seed, std::vector<std::string>* row_order) {
+  ResultGrid grid;
+  for (const auto& col : columns) {
+    std::printf("-- generating %s (IF=%.0f)...\n", col.header.c_str(),
+                col.imbalance_factor);
+    const auto bench = data::GeneratePreset(col.preset, col.imbalance_factor,
+                                            full_scale, seed);
+    auto methods = make_methods(bench, col.preset);
+    for (auto& method : methods) {
+      WallTimer timer;
+      auto report =
+          baselines::EvaluateMethod(method.get(), bench, &GlobalThreadPool());
+      if (!report.ok()) {
+        std::fprintf(stderr, "   %-22s FAILED: %s\n", method->name().c_str(),
+                     report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("   %-22s MAP %.4f   (%.1fs)\n", report.value().name.c_str(),
+                  report.value().map, timer.ElapsedSeconds());
+      std::fflush(stdout);
+      if (row_order != nullptr && grid.count(report.value().name) == 0 &&
+          &col == &columns.front()) {
+        row_order->push_back(report.value().name);
+      }
+      grid[report.value().name][col.header] = report.value().map;
+    }
+  }
+  return grid;
+}
+
+/// Renders the grid in the paper's layout (methods x dataset columns).
+inline void PrintGrid(const std::string& title,
+                      const std::vector<TableColumn>& columns,
+                      const std::vector<std::string>& row_order,
+                      const ResultGrid& grid) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<std::string> headers = {"Method"};
+  for (const auto& col : columns) headers.push_back(col.header);
+  TablePrinter table(headers);
+  for (const auto& name : row_order) {
+    std::vector<std::string> row = {name};
+    auto it = grid.find(name);
+    for (const auto& col : columns) {
+      if (it != grid.end() && it->second.count(col.header)) {
+        row.push_back(TablePrinter::FormatMetric(it->second.at(col.header)));
+      } else {
+        row.push_back("-");
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace lightlt::bench
+
+#endif  // LIGHTLT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,118 @@
+// Micro-benchmarks of the search kernels behind Fig. 7: ADC lookup-table
+// scoring vs exhaustive float scoring, packed-code access, and Hamming
+// scoring, across database sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "src/index/adc_index.h"
+#include "src/index/codes.h"
+#include "src/index/flat_index.h"
+#include "src/index/hamming_index.h"
+#include "src/util/rng.h"
+
+namespace lightlt {
+namespace {
+
+constexpr size_t kDim = 64;
+constexpr size_t kCodebooks = 4;
+constexpr size_t kCodewords = 64;
+
+index::AdcIndex MakeAdc(size_t n, Rng& rng) {
+  std::vector<Matrix> codebooks;
+  for (size_t m = 0; m < kCodebooks; ++m) {
+    codebooks.push_back(Matrix::RandomGaussian(kCodewords, kDim, rng));
+  }
+  std::vector<std::vector<uint32_t>> codes(n,
+                                           std::vector<uint32_t>(kCodebooks));
+  for (auto& item : codes) {
+    for (auto& c : item) {
+      c = static_cast<uint32_t>(rng.NextIndex(kCodewords));
+    }
+  }
+  auto built = index::AdcIndex::Build(codebooks, codes);
+  return std::move(built).value();
+}
+
+void BM_AdcScore(benchmark::State& state) {
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto idx = MakeAdc(n, rng);
+  Matrix query = Matrix::RandomGaussian(1, kDim, rng);
+  std::vector<float> scores;
+  for (auto _ : state) {
+    idx.ComputeScores(query.data(), &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdcScore)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FlatScore(benchmark::State& state) {
+  Rng rng(2);
+  const size_t n = static_cast<size_t>(state.range(0));
+  index::FlatIndex idx(Matrix::RandomGaussian(n, kDim, rng));
+  Matrix query = Matrix::RandomGaussian(1, kDim, rng);
+  std::vector<float> scores;
+  for (auto _ : state) {
+    idx.ComputeScores(query.data(), &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatScore)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HammingScore(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t bits = 32;
+  Matrix raw = Matrix::RandomGaussian(n, bits, rng);
+  size_t blocks = 0;
+  auto packed = index::PackSignBits(raw, &blocks);
+  index::HammingIndex idx(std::move(packed), blocks, bits);
+  Matrix qraw = Matrix::RandomGaussian(1, bits, rng);
+  size_t qblocks = 0;
+  auto qcode = index::PackSignBits(qraw, &qblocks);
+  std::vector<float> scores;
+  for (auto _ : state) {
+    idx.ComputeScores(qcode.data(), &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HammingScore)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PackedCodesRoundTrip(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = 4096;
+  index::PackedCodes codes(n, kCodebooks, kCodewords);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t m = 0; m < kCodebooks; ++m) {
+        codes.Set(i, m, static_cast<uint32_t>((i + m) % kCodewords));
+      }
+    }
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t m = 0; m < kCodebooks; ++m) sum += codes.Get(i, m);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n * kCodebooks);
+}
+BENCHMARK(BM_PackedCodesRoundTrip);
+
+void BM_AdcIndexBuild(benchmark::State& state) {
+  Rng rng(5);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto idx = MakeAdc(n, rng);
+    benchmark::DoNotOptimize(idx.num_items());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdcIndexBuild)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace lightlt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Micro-benchmarks of the numeric kernels the training loop spends its time
+// in: matrix products, the fused codeword-similarity kernel, softmax, and a
+// full DSQ forward/backward step.
+
+#include <benchmark/benchmark.h>
+
+#include "src/clustering/kmeans.h"
+#include "src/core/dsq.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace lightlt {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a = Matrix::RandomGaussian(n, n, rng);
+  Matrix b = Matrix::RandomGaussian(n, n, rng);
+  for (auto _ : state) {
+    Matrix c = a.MatMul(b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SquaredEuclidean(benchmark::State& state) {
+  Rng rng(2);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix x = Matrix::RandomGaussian(n, 64, rng);
+  Matrix c = Matrix::RandomGaussian(256, 64, rng);
+  for (auto _ : state) {
+    Matrix d = x.SquaredEuclideanTo(c);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 256);
+}
+BENCHMARK(BM_SquaredEuclidean)->Arg(64)->Arg(512);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(3);
+  Var x = MakeParam(Matrix::RandomGaussian(256, 256, rng));
+  for (auto _ : state) {
+    Var y = ops::SoftmaxRows(x, 1.0f);
+    benchmark::DoNotOptimize(y->value().data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_DsqForwardBackward(benchmark::State& state) {
+  Rng rng(4);
+  core::DsqConfig cfg;
+  cfg.dim = 64;
+  cfg.num_codebooks = 4;
+  cfg.num_codewords = 64;
+  core::DsqModule dsq(cfg, rng);
+  Var input = MakeConstant(Matrix::RandomGaussian(64, cfg.dim, rng));
+  for (auto _ : state) {
+    dsq.ZeroGrad();
+    auto out = dsq.Forward(input);
+    Var loss = ops::Sum(ops::Square(out.reconstruction));
+    Backward(loss);
+    benchmark::DoNotOptimize(loss->value()[0]);
+  }
+}
+BENCHMARK(BM_DsqForwardBackward);
+
+void BM_DsqEncode(benchmark::State& state) {
+  Rng rng(5);
+  core::DsqConfig cfg;
+  cfg.dim = 64;
+  cfg.num_codebooks = 4;
+  cfg.num_codewords = 64;
+  core::DsqModule dsq(cfg, rng);
+  Matrix x = Matrix::RandomGaussian(static_cast<size_t>(state.range(0)),
+                                    cfg.dim, rng);
+  std::vector<std::vector<uint32_t>> codes;
+  for (auto _ : state) {
+    dsq.Encode(x, &codes);
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_DsqEncode)->Arg(1024)->Arg(8192);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(6);
+  Matrix points = Matrix::RandomGaussian(2000, 64, rng);
+  for (auto _ : state) {
+    clustering::KMeansOptions opts;
+    opts.num_clusters = 64;
+    opts.max_iterations = 10;
+    auto result = clustering::KMeans(points, opts);
+    benchmark::DoNotOptimize(result.inertia);
+  }
+}
+BENCHMARK(BM_KMeans);
+
+}  // namespace
+}  // namespace lightlt
+
+BENCHMARK_MAIN();

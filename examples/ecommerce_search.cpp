@@ -1,0 +1,111 @@
+// E-commerce query matching on a QBA-like benchmark — the workload behind
+// the paper's efficiency study (§V-E). Demonstrates the full production
+// flow: train, persist the model, build and persist the ADC index, then
+// serve queries and report latency + memory against exhaustive search.
+//
+//   ./example_ecommerce_search [--seed=7] [--model=/tmp/lightlt_qba.model]
+
+#include <cstdio>
+
+#include "src/baselines/deep_quant.h"
+#include "src/core/pipeline.h"
+#include "src/core/serialize.h"
+#include "src/core/trainer.h"
+#include "src/data/presets.h"
+#include "src/eval/efficiency.h"
+#include "src/index/flat_index.h"
+#include "src/util/cli.h"
+#include "src/util/timer.h"
+
+using namespace lightlt;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const uint64_t seed = cli.GetInt("seed", 7);
+  const std::string model_path =
+      cli.GetString("model", "/tmp/lightlt_qba.model");
+  const std::string index_path =
+      cli.GetString("index", "/tmp/lightlt_qba.index");
+
+  std::printf("== E-commerce query matching (QBA-like) ==\n\n");
+  const auto bench =
+      data::GeneratePreset(data::PresetId::kQbaish, 100.0, false, seed);
+  std::printf("Database: %zu items, %zu query classes, %zu-dim features.\n",
+              bench.database.size(), bench.train.num_classes,
+              bench.train.dim());
+
+  // --- Offline: train and persist ------------------------------------------
+  auto spec = baselines::MakeLightLtSpec(bench, data::PresetId::kQbaish,
+                                         false, /*ensemble_models=*/1);
+  core::LightLtModel model(spec.arch, seed);
+  std::printf("\nTraining LightLT...\n");
+  auto stats = core::TrainLightLt(&model, bench.train, spec.train);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  if (auto st = core::SaveModel(model, model_path); !st.ok()) {
+    std::fprintf(stderr, "model save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Model saved to %s\n", model_path.c_str());
+
+  auto built = core::BuildAdcIndex(model, bench.database.features);
+  if (!built.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  if (auto st = built.value().Save(index_path); !st.ok()) {
+    std::fprintf(stderr, "index save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Index saved to %s (%zu bytes for %zu items)\n",
+              index_path.c_str(), built.value().MemoryBytes(),
+              built.value().num_items());
+
+  // --- Online: reload and serve ----------------------------------------------
+  auto loaded_model = core::LoadModel(model_path);
+  auto loaded_index = index::AdcIndex::Load(index_path);
+  if (!loaded_model.ok() || !loaded_index.ok()) {
+    std::fprintf(stderr, "reload failed\n");
+    return 1;
+  }
+  const Matrix queries =
+      core::EmbedInChunks(*loaded_model.value(), bench.query.features);
+
+  WallTimer timer;
+  size_t hits_at_10 = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto hits = loaded_index.value().Search(queries.row(q), 10);
+    for (const auto& hit : hits) {
+      if (bench.database.labels[hit.id] == bench.query.labels[q]) {
+        ++hits_at_10;
+        break;  // count queries with >= 1 relevant in top-10
+      }
+    }
+  }
+  const double serve_ms = timer.ElapsedMillis();
+  std::printf("\nServed %zu queries in %.1f ms (%.2f ms/query incl. top-k)\n",
+              queries.rows(), serve_ms,
+              serve_ms / static_cast<double>(queries.rows()));
+  std::printf("Queries with a relevant item in the top-10: %.1f%%\n",
+              100.0 * static_cast<double>(hits_at_10) /
+                  static_cast<double>(queries.rows()));
+
+  // --- Efficiency vs exhaustive float search ---------------------------------
+  const Matrix db_embedded =
+      core::EmbedInChunks(*loaded_model.value(), bench.database.features);
+  index::FlatIndex flat(db_embedded);
+  const auto eff =
+      eval::MeasureEfficiency(flat, loaded_index.value(), queries, 3);
+  std::printf("\nEfficiency vs exhaustive float search:\n");
+  std::printf("  speedup          %.1fx  (theoretical %.1fx)\n",
+              eff.measured_speedup, eff.theoretical_speedup);
+  std::printf("  compression      %.1fx  (theoretical %.1fx)\n",
+              eff.measured_compress_ratio, eff.theoretical_compress_ratio);
+  std::printf("  per-query cost   %.1f us quantized vs %.1f us exhaustive\n",
+              eff.adc_query_micros, eff.flat_query_micros);
+  return 0;
+}

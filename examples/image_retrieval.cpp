@@ -1,0 +1,90 @@
+// Image-retrieval walkthrough on a Cifar100-like long-tail benchmark: the
+// workload the paper's Table II evaluates. Trains LightLT with the full
+// pipeline (class-weighted loss + DSQ + ensemble), compares it against a
+// classical unsupervised product quantizer at the same bit budget, and
+// breaks MAP down into head and tail classes.
+//
+//   ./example_image_retrieval [--if=50] [--ensemble=2] [--seed=7]
+
+#include <cstdio>
+
+#include "src/baselines/deep_quant.h"
+#include "src/baselines/shallow_quant.h"
+#include "src/core/defaults.h"
+#include "src/core/pipeline.h"
+#include "src/data/presets.h"
+#include "src/util/cli.h"
+#include "src/util/table_printer.h"
+#include "src/util/threadpool.h"
+
+using namespace lightlt;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const double imbalance = cli.GetDouble("if", 50.0);
+  const int ensemble = static_cast<int>(cli.GetInt("ensemble", 2));
+  const uint64_t seed = cli.GetInt("seed", 7);
+
+  std::printf("== Long-tail image retrieval (Cifar100-like) ==\n\n");
+  const auto bench = data::GeneratePreset(data::PresetId::kCifar100ish,
+                                          imbalance, false, seed);
+  const auto counts = bench.train.ClassCounts();
+  std::printf(
+      "Training set: %zu items across %zu classes; largest class has %zu "
+      "items, smallest %zu (IF=%.0f).\n",
+      bench.train.size(), bench.train.num_classes, counts.front(),
+      counts.back(), imbalance);
+
+  // Unsupervised baseline: classical product quantization at the same code
+  // budget (M=4 codebooks).
+  std::printf("\n[1/2] Fitting PQ (unsupervised, k-means codebooks)...\n");
+  const auto arch = core::DefaultModelConfig(bench);
+  baselines::PqQuantizer pq(arch.dsq.num_codebooks, arch.dsq.num_codewords);
+  auto pq_report =
+      baselines::EvaluateMethod(&pq, bench, &GlobalThreadPool());
+  if (!pq_report.ok()) {
+    std::fprintf(stderr, "PQ failed: %s\n",
+                 pq_report.status().ToString().c_str());
+    return 1;
+  }
+
+  // LightLT with the ensemble pipeline.
+  std::printf("[2/2] Training LightLT (%d-model ensemble)...\n", ensemble);
+  auto spec = baselines::MakeLightLtSpec(bench, data::PresetId::kCifar100ish,
+                                         false, ensemble);
+  baselines::DeepQuantMethod lightlt(spec);
+  auto ll_method_report =
+      baselines::EvaluateMethod(&lightlt, bench, &GlobalThreadPool());
+  if (!ll_method_report.ok()) {
+    std::fprintf(stderr, "LightLT failed: %s\n",
+                 ll_method_report.status().ToString().c_str());
+    return 1;
+  }
+  // Head/tail breakdown through the pipeline evaluator.
+  auto detail = core::EvaluateModel(*lightlt.model(), bench,
+                                    &GlobalThreadPool());
+  if (!detail.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 detail.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nResults (same 24-bit/item code budget):\n");
+  TablePrinter table({"Method", "MAP", "index bytes"});
+  table.AddRow({"PQ (unsupervised)",
+                TablePrinter::FormatMetric(pq_report.value().map),
+                std::to_string(pq_report.value().index_bytes)});
+  table.AddRow({"LightLT",
+                TablePrinter::FormatMetric(ll_method_report.value().map),
+                std::to_string(ll_method_report.value().index_bytes)});
+  table.Print();
+
+  std::printf("\nLightLT head/tail breakdown:\n");
+  std::printf("  head classes (large)  MAP %.4f\n", detail.value().head_map);
+  std::printf("  tail classes (small)  MAP %.4f\n", detail.value().tail_map);
+  std::printf(
+      "\nSupervised long-tail quantization recovers class structure the\n"
+      "unsupervised quantizer cannot see, and the class-weighted loss keeps\n"
+      "tail classes retrievable.\n");
+  return 0;
+}

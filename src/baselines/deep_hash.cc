@@ -1,0 +1,196 @@
+#include "src/baselines/deep_hash.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+
+#include "src/core/losses.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace lightlt::baselines {
+
+Var DeepHashBase::ForwardCodes(const Matrix& x, float beta) const {
+  Var input = MakeConstant(x, "hash_batch");
+  Var z = trunk_->Forward(input);
+  return ops::Tanh(ops::Scale(z, beta));
+}
+
+Status DeepHashBase::Fit(const data::Dataset& train) {
+  if (train.size() == 0) return Status::InvalidArgument("empty training set");
+  Rng rng(options_.seed);
+  trunk_ = std::make_unique<nn::MlpBackbone>(
+      std::vector<size_t>{train.dim(), options_.hidden_dim,
+                          options_.num_bits},
+      rng);
+
+  std::vector<Var> params = trunk_->Parameters();
+  for (auto& p : BuildHead(train)) params.push_back(p);
+
+  nn::AdamWOptions adamw;
+  adamw.learning_rate = options_.learning_rate;
+  nn::AdamW optimizer(params, adamw);
+
+  Rng shuffle_rng(options_.seed ^ 0x5f5f);
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const float epoch_frac =
+        static_cast<float>(epoch) /
+        static_cast<float>(std::max(options_.epochs - 1, 1));
+    shuffle_rng.Shuffle(order);
+    for (size_t start = 0; start < train.size();
+         start += options_.batch_size) {
+      const size_t end = std::min(start + options_.batch_size, train.size());
+      std::vector<size_t> idx(order.begin() + start, order.begin() + end);
+      if (idx.size() < 2) continue;  // pairwise losses need >= 2 samples
+      const Matrix batch = train.features.GatherRows(idx);
+      std::vector<size_t> labels(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) labels[i] = train.labels[idx[i]];
+
+      // Continuation: beta anneals 1 -> 4 over training (HashNet-style);
+      // harmless for heads that ignore it.
+      const float beta = 1.0f + 3.0f * epoch_frac;
+      Var h = ForwardCodes(batch, beta);
+      Var loss = Loss(h, labels, epoch_frac);
+      Backward(loss);
+      optimizer.Step();
+    }
+  }
+  return Status::Ok();
+}
+
+Matrix DeepHashBase::CodesFor(const Matrix& x) const {
+  // Inference chunking bounds graph memory for large databases.
+  constexpr size_t kChunk = 4096;
+  Matrix out(x.rows(), options_.num_bits);
+  for (size_t start = 0; start < x.rows(); start += kChunk) {
+    const size_t end = std::min(start + kChunk, x.rows());
+    std::vector<size_t> idx(end - start);
+    std::iota(idx.begin(), idx.end(), start);
+    const Matrix part = ForwardCodes(x.GatherRows(idx), 1.0f)->value();
+    for (size_t i = 0; i < part.rows(); ++i) {
+      std::copy(part.row(i), part.row(i) + part.cols(), out.row(start + i));
+    }
+  }
+  return out;
+}
+
+Status DeepHashBase::IndexDatabase(const Matrix& db_features) {
+  if (trunk_ == nullptr) return Status::FailedPrecondition("not fitted");
+  size_t blocks = 0;
+  auto packed = index::PackSignBits(CodesFor(db_features), &blocks);
+  index_ = std::make_unique<index::HammingIndex>(std::move(packed), blocks,
+                                                 options_.num_bits);
+  return Status::Ok();
+}
+
+Status DeepHashBase::PrepareQueries(const Matrix& query_features) {
+  if (trunk_ == nullptr) return Status::FailedPrecondition("not fitted");
+  query_codes_ = index::PackSignBits(CodesFor(query_features), &query_blocks_);
+  return Status::Ok();
+}
+
+std::vector<uint32_t> DeepHashBase::RankQuery(size_t query_index) const {
+  LIGHTLT_CHECK(index_ != nullptr);
+  return index_->RankAll(query_codes_.data() + query_index * query_blocks_);
+}
+
+size_t DeepHashBase::IndexMemoryBytes() const {
+  return index_ == nullptr ? 0 : index_->MemoryBytes();
+}
+
+Var HashNetHash::Loss(const Var& h, const std::vector<size_t>& labels,
+                      float) {
+  const size_t n = labels.size();
+  // Pairwise logits: <h_i, h_j> / bits, label 1 iff same class.
+  Var logits =
+      ops::Scale(ops::MatMulTransposed(h, h),
+                 1.0f / static_cast<float>(options_.num_bits));
+  Matrix sim(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      sim.at(i, j) = labels[i] == labels[j] ? 1.0f : 0.0f;
+    }
+  }
+  // Logistic pairwise loss: softplus(logit) - sim * logit.
+  Var loss_mat = ops::Sub(ops::Softplus(logits), ops::MulConstant(logits, sim));
+  return ops::Mean(loss_mat);
+}
+
+std::vector<Var> CsqHash::BuildHead(const data::Dataset& train) {
+  const size_t c = train.num_classes;
+  const size_t bits = options_.num_bits;
+  centers_ = Matrix(c, bits);
+  // Hadamard rows give mutually maximally-distant centers when they fit;
+  // otherwise fall back to random +-1 rows (as in the CSQ paper).
+  size_t had = 1;
+  while (had < bits) had <<= 1;
+  if (had == bits && c <= bits) {
+    // Sylvester construction: H(i, j) = (-1)^{popcount(i & j)}.
+    for (size_t i = 0; i < c; ++i) {
+      for (size_t j = 0; j < bits; ++j) {
+        centers_.at(i, j) =
+            (std::popcount(i & j) % 2 == 0) ? 1.0f : -1.0f;
+      }
+    }
+  } else {
+    Rng rng(options_.seed ^ 0xc59);
+    for (size_t i = 0; i < centers_.size(); ++i) {
+      centers_[i] = rng.NextDouble() < 0.5 ? -1.0f : 1.0f;
+    }
+  }
+  return {};  // centers are fixed, not trained
+}
+
+Var CsqHash::Loss(const Var& h, const std::vector<size_t>& labels, float) {
+  // Agreement with the class center: softplus(-c_ij * h_ij) per bit, plus a
+  // quantization push |h| -> 1.
+  Matrix own_centers(labels.size(), options_.num_bits);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    std::copy(centers_.row(labels[i]),
+              centers_.row(labels[i]) + options_.num_bits,
+              own_centers.row(i));
+  }
+  Var agreement = ops::MulConstant(h, own_centers);
+  Var central = ops::Mean(ops::Softplus(ops::Neg(agreement)));
+  Var quant = ops::Mean(ops::Square(ops::AddScalar(ops::Abs(h), -1.0f)));
+  return ops::Add(central, ops::Scale(quant, 0.1f));
+}
+
+std::vector<Var> LthNetHash::BuildHead(const data::Dataset& train) {
+  Rng rng(options_.seed ^ 0x17b);
+  const size_t c = train.num_classes;
+  const size_t p = prototypes_per_class_;
+  prototypes_ = MakeParam(
+      Matrix::RandomGaussian(c * p, options_.num_bits, rng, 0.5f),
+      "lthnet.prototypes");
+  // Pooling matrix: prototype row c*P + k belongs to class c.
+  group_sum_ = Matrix(c * p, c);
+  for (size_t cls = 0; cls < c; ++cls) {
+    for (size_t k = 0; k < p; ++k) group_sum_.at(cls * p + k, cls) = 1.0f;
+  }
+  class_weights_ = core::ClassBalancedWeights(train.ClassCounts(), gamma_);
+  return {prototypes_};
+}
+
+Var LthNetHash::Loss(const Var& h, const std::vector<size_t>& labels, float) {
+  // Class logit = log sum_k exp(<h, z_{c,k}>): a soft max over the class's
+  // prototype bank, so any mode of a multimodal class can claim the sample.
+  // Cosine-style scaling keeps the pooled logits in a trainable range.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(options_.num_bits));
+  Var proto_sims =
+      ops::Scale(ops::MatMulTransposed(h, prototypes_), scale);  // n x (C*P)
+  Var class_scores =
+      ops::Log(ops::MatMul(ops::Exp(proto_sims), MakeConstant(group_sum_)));
+  // Class-balanced CE over the pooled logits (the long-tail ingredient
+  // LTHNet adds over plain deep hashing).
+  Var ce = core::WeightedCrossEntropy(class_scores, labels, class_weights_);
+  Var quant = ops::Mean(ops::Square(ops::AddScalar(ops::Abs(h), -1.0f)));
+  return ops::Add(ce, ops::Scale(quant, 0.1f));
+}
+
+}  // namespace lightlt::baselines

@@ -1,0 +1,136 @@
+// Deep binarized-hash baselines of Tables II/III: HashNet-lite (pairwise
+// loss with tanh continuation), CSQ-lite (central similarity with Hadamard /
+// random binary centers) and LTHNet-lite (long-tail hashing with learnable
+// class prototypes and class-balanced weighting).
+//
+// All three share an MLP trunk ending in a `num_bits`-wide tanh layer and
+// differ only in the loss head; database/query codes are the sign pattern of
+// that layer, searched by Hamming ranking.
+
+#ifndef LIGHTLT_BASELINES_DEEP_HASH_H_
+#define LIGHTLT_BASELINES_DEEP_HASH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/index/hamming_index.h"
+#include "src/nn/linear.h"
+
+namespace lightlt::baselines {
+
+/// Shared training knobs for the deep hash baselines.
+struct DeepHashOptions {
+  size_t num_bits = 24;
+  size_t hidden_dim = 128;
+  int epochs = 20;
+  size_t batch_size = 64;
+  float learning_rate = 3e-3f;
+  uint64_t seed = 0xdee9;
+};
+
+/// Trunk + tanh hash layer + subclass loss head.
+class DeepHashBase : public RetrievalMethod {
+ public:
+  explicit DeepHashBase(const DeepHashOptions& options) : options_(options) {}
+
+  MethodKind kind() const override { return MethodKind::kDeepHash; }
+
+  Status Fit(const data::Dataset& train) override;
+  Status IndexDatabase(const Matrix& db_features) override;
+  Status PrepareQueries(const Matrix& query_features) override;
+  std::vector<uint32_t> RankQuery(size_t query_index) const override;
+  size_t IndexMemoryBytes() const override;
+
+ protected:
+  /// Loss over the batch's continuous codes `h` (n x bits, in [-1, 1]).
+  /// `epoch_frac` in [0, 1] supports continuation schedules.
+  virtual Var Loss(const Var& h, const std::vector<size_t>& labels,
+                   float epoch_frac) = 0;
+
+  /// Hook for subclasses to create loss-head parameters once the class
+  /// count / dimensionality are known. Returns extra trainable params.
+  virtual std::vector<Var> BuildHead(const data::Dataset& train) {
+    (void)train;
+    return {};
+  }
+
+  /// Continuous codes for a batch: tanh(trunk(x) * beta).
+  Var ForwardCodes(const Matrix& x, float beta) const;
+
+  DeepHashOptions options_;
+  std::unique_ptr<nn::MlpBackbone> trunk_;
+
+ private:
+  Matrix CodesFor(const Matrix& x) const;
+
+  std::unique_ptr<index::HammingIndex> index_;
+  std::vector<uint64_t> query_codes_;
+  size_t query_blocks_ = 0;
+};
+
+/// HashNet-lite (Cao et al.): pairwise logistic loss on batch code inner
+/// products, with the tanh sharpness beta annealed upward over training
+/// ("learning to hash by continuation").
+class HashNetHash : public DeepHashBase {
+ public:
+  explicit HashNetHash(const DeepHashOptions& options)
+      : DeepHashBase(options) {}
+  std::string name() const override { return "HashNet"; }
+
+ protected:
+  Var Loss(const Var& h, const std::vector<size_t>& labels,
+           float epoch_frac) override;
+};
+
+/// CSQ-lite (Yuan et al.): every class gets a fixed binary center
+/// (Hadamard rows when bits >= classes, otherwise random +-1); codes are
+/// pulled to their center with a logistic agreement loss plus a
+/// quantization penalty.
+class CsqHash : public DeepHashBase {
+ public:
+  explicit CsqHash(const DeepHashOptions& options) : DeepHashBase(options) {}
+  std::string name() const override { return "CSQ"; }
+
+ protected:
+  std::vector<Var> BuildHead(const data::Dataset& train) override;
+  Var Loss(const Var& h, const std::vector<size_t>& labels,
+           float epoch_frac) override;
+
+ private:
+  Matrix centers_;  // C x bits, entries in {-1, +1}
+};
+
+/// LTHNet-lite (Chen et al.): long-tail hashing. Each class owns several
+/// learnable prototypes in code space (the original selects them with a
+/// DPP; we learn a fixed-size bank end to end), class logits are the
+/// log-sum-exp over the class's prototype similarities, trained with
+/// class-balanced cross entropy plus a quantization penalty. The
+/// multi-prototype bank is what lets LTHNet model multimodal classes that
+/// single-center methods (CSQ) cannot.
+class LthNetHash : public DeepHashBase {
+ public:
+  explicit LthNetHash(const DeepHashOptions& options, float gamma = 0.9f,
+                      size_t prototypes_per_class = 3)
+      : DeepHashBase(options),
+        gamma_(gamma),
+        prototypes_per_class_(prototypes_per_class) {}
+  std::string name() const override { return "LTHNet"; }
+
+ protected:
+  std::vector<Var> BuildHead(const data::Dataset& train) override;
+  Var Loss(const Var& h, const std::vector<size_t>& labels,
+           float epoch_frac) override;
+
+ private:
+  float gamma_;
+  size_t prototypes_per_class_;
+  Var prototypes_;                   // (C * P) x bits
+  Matrix group_sum_;                 // (C * P) x C prototype->class pooling
+  std::vector<float> class_weights_; // class-balanced CE weights
+};
+
+}  // namespace lightlt::baselines
+
+#endif  // LIGHTLT_BASELINES_DEEP_HASH_H_

@@ -1,0 +1,102 @@
+#include "src/baselines/deep_quant.h"
+
+#include "src/core/pipeline.h"
+#include "src/util/check.h"
+
+namespace lightlt::baselines {
+
+Status DeepQuantMethod::Fit(const data::Dataset& train) {
+  if (train.size() == 0) return Status::InvalidArgument("empty training set");
+  if (spec_.ensemble_models > 1) {
+    core::EnsembleOptions opts;
+    opts.num_models = spec_.ensemble_models;
+    opts.base_training = spec_.train;
+    opts.finetune_epochs = spec_.finetune_epochs;
+    opts.finetune_learning_rate = spec_.finetune_learning_rate;
+    opts.seed = spec_.seed;
+    auto result = core::TrainEnsemble(spec_.arch, train, opts);
+    if (!result.ok()) return result.status();
+    model_ = std::move(result.value().model);
+  } else {
+    model_ = std::make_unique<core::LightLtModel>(spec_.arch, spec_.seed);
+    auto stats = core::TrainLightLt(model_.get(), train, spec_.train);
+    if (!stats.ok()) return stats.status();
+  }
+  return Status::Ok();
+}
+
+Status DeepQuantMethod::IndexDatabase(const Matrix& db_features) {
+  if (model_ == nullptr) return Status::FailedPrecondition("not fitted");
+  auto built = core::BuildAdcIndex(*model_, db_features);
+  if (!built.ok()) return built.status();
+  index_ = std::make_unique<index::AdcIndex>(std::move(built).value());
+  return Status::Ok();
+}
+
+Status DeepQuantMethod::PrepareQueries(const Matrix& query_features) {
+  if (model_ == nullptr) return Status::FailedPrecondition("not fitted");
+  query_embeddings_ = core::EmbedInChunks(*model_, query_features);
+  return Status::Ok();
+}
+
+std::vector<uint32_t> DeepQuantMethod::RankQuery(size_t query_index) const {
+  LIGHTLT_CHECK(index_ != nullptr);
+  LIGHTLT_CHECK_LT(query_index, query_embeddings_.rows());
+  return index_->RankAll(query_embeddings_.row(query_index));
+}
+
+size_t DeepQuantMethod::IndexMemoryBytes() const {
+  return index_ == nullptr ? 0 : index_->MemoryBytes();
+}
+
+DeepQuantSpec MakeDpqSpec(const data::RetrievalBenchmark& bench,
+                          data::PresetId preset, bool full_scale) {
+  DeepQuantSpec spec;
+  spec.name = "DPQ";
+  spec.arch = core::DefaultModelConfig(bench, full_scale);
+  // Product-style: independent parallel codebooks, no skips, STE, plain CE.
+  spec.arch.dsq.residual_skip = false;
+  spec.arch.dsq.codebook_skip = false;
+  spec.arch.dsq.straight_through = true;
+  spec.train = core::DefaultTrainOptions(preset, full_scale);
+  spec.train.loss.gamma = 0.0f;  // unweighted CE
+  spec.train.loss.alpha = 0.0f;  // no center/ranking terms
+  spec.seed = 0xd99;
+  return spec;
+}
+
+DeepQuantSpec MakeKdeSpec(const data::RetrievalBenchmark& bench,
+                          data::PresetId preset, bool full_scale) {
+  DeepQuantSpec spec;
+  spec.name = "KDE";
+  spec.arch = core::DefaultModelConfig(bench, full_scale);
+  // K-way D-dimensional codes: soft relaxation, no skips, CE + recon.
+  spec.arch.dsq.residual_skip = false;
+  spec.arch.dsq.codebook_skip = false;
+  spec.arch.dsq.straight_through = false;
+  spec.arch.dsq.temperature = 1.0f;
+  spec.train = core::DefaultTrainOptions(preset, full_scale);
+  spec.train.loss.gamma = 0.0f;
+  spec.train.loss.alpha = 0.0f;
+  spec.train.loss.recon_weight = 0.1f;
+  spec.seed = 0x4de;
+  return spec;
+}
+
+DeepQuantSpec MakeLightLtSpec(const data::RetrievalBenchmark& bench,
+                              data::PresetId preset, bool full_scale,
+                              int ensemble_models) {
+  DeepQuantSpec spec;
+  spec.name = ensemble_models > 1 ? "LightLT" : "LightLT w/o ensemble";
+  spec.arch = core::DefaultModelConfig(bench, full_scale);
+  spec.train = core::DefaultTrainOptions(preset, full_scale);
+  spec.ensemble_models = ensemble_models;
+  const auto ens =
+      core::DefaultEnsembleOptions(preset, full_scale, ensemble_models);
+  spec.finetune_epochs = ens.finetune_epochs;
+  spec.finetune_learning_rate = ens.finetune_learning_rate;
+  spec.seed = 0x117;
+  return spec;
+}
+
+}  // namespace lightlt::baselines

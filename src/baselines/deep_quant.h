@@ -1,0 +1,80 @@
+// Deep quantization methods as RetrievalMethod instances: DPQ-lite,
+// KDE-lite and LightLT itself (with or without ensemble).
+//
+// All variants share the LightLtModel chassis; they differ in which DSQ
+// skips are enabled and which loss terms are active:
+//
+//   method   residual  codebook  STE   loss
+//   DPQ      no        no        yes   plain CE
+//   KDE      no        no        no    CE + reconstruction
+//   LightLT  yes       yes       yes   weighted CE + center + ranking
+//
+// DPQ/KDE in the paper are product quantizers; the parallel-codebook,
+// no-skip configuration reproduces their defining property (independent
+// codebooks, no diversity mechanism) inside the additive framework.
+
+#ifndef LIGHTLT_BASELINES_DEEP_QUANT_H_
+#define LIGHTLT_BASELINES_DEEP_QUANT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/core/defaults.h"
+#include "src/core/ensemble.h"
+#include "src/core/lightlt_model.h"
+#include "src/core/trainer.h"
+#include "src/index/adc_index.h"
+
+namespace lightlt::baselines {
+
+/// Full specification of one deep quantization method.
+struct DeepQuantSpec {
+  std::string name = "LightLT";
+  core::ModelConfig arch;
+  core::TrainOptions train;
+  /// > 1 enables the weight-ensemble + DSQ fine-tune pipeline.
+  int ensemble_models = 1;
+  int finetune_epochs = 6;
+  float finetune_learning_rate = 2e-3f;
+  uint64_t seed = 0x11;
+};
+
+/// Deep quantizer trained with the LightLT training stack and searched
+/// through the ADC index.
+class DeepQuantMethod : public RetrievalMethod {
+ public:
+  explicit DeepQuantMethod(DeepQuantSpec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override { return spec_.name; }
+  MethodKind kind() const override { return MethodKind::kDeepQuant; }
+
+  Status Fit(const data::Dataset& train) override;
+  Status IndexDatabase(const Matrix& db_features) override;
+  Status PrepareQueries(const Matrix& query_features) override;
+  std::vector<uint32_t> RankQuery(size_t query_index) const override;
+  size_t IndexMemoryBytes() const override;
+
+  /// Access to the trained model (for ablation benches).
+  const core::LightLtModel* model() const { return model_.get(); }
+
+ private:
+  DeepQuantSpec spec_;
+  std::unique_ptr<core::LightLtModel> model_;
+  std::unique_ptr<index::AdcIndex> index_;
+  Matrix query_embeddings_;
+};
+
+/// Factory helpers that assemble the table rows of the paper.
+DeepQuantSpec MakeDpqSpec(const data::RetrievalBenchmark& bench,
+                          data::PresetId preset, bool full_scale);
+DeepQuantSpec MakeKdeSpec(const data::RetrievalBenchmark& bench,
+                          data::PresetId preset, bool full_scale);
+DeepQuantSpec MakeLightLtSpec(const data::RetrievalBenchmark& bench,
+                              data::PresetId preset, bool full_scale,
+                              int ensemble_models);
+
+}  // namespace lightlt::baselines
+
+#endif  // LIGHTLT_BASELINES_DEEP_QUANT_H_

@@ -1,0 +1,29 @@
+#include "src/baselines/method.h"
+
+#include "src/eval/metrics.h"
+#include "src/util/timer.h"
+
+namespace lightlt::baselines {
+
+Result<MethodReport> EvaluateMethod(RetrievalMethod* method,
+                                    const data::RetrievalBenchmark& bench,
+                                    ThreadPool* pool) {
+  if (method == nullptr) return Status::InvalidArgument("method is null");
+  MethodReport report;
+  report.name = method->name();
+
+  WallTimer timer;
+  LIGHTLT_RETURN_IF_ERROR(method->Fit(bench.train));
+  report.fit_seconds = timer.ElapsedSeconds();
+
+  LIGHTLT_RETURN_IF_ERROR(method->IndexDatabase(bench.database.features));
+  LIGHTLT_RETURN_IF_ERROR(method->PrepareQueries(bench.query.features));
+
+  eval::RankingFn ranker = [method](size_t q) { return method->RankQuery(q); };
+  report.map = eval::MeanAveragePrecision(ranker, bench.query.labels,
+                                          bench.database.labels, pool);
+  report.index_bytes = method->IndexMemoryBytes();
+  return report;
+}
+
+}  // namespace lightlt::baselines

@@ -1,0 +1,65 @@
+// Common interface for every retrieval method compared in Tables II/III:
+// fit on (long-tail) training data, index a database, rank queries.
+
+#ifndef LIGHTLT_BASELINES_METHOD_H_
+#define LIGHTLT_BASELINES_METHOD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+#include "src/util/threadpool.h"
+
+namespace lightlt::baselines {
+
+/// Category labels mirroring the paper's table groupings.
+enum class MethodKind {
+  kShallowHash,   ///< LSH, PCAH, ITQ, KNNH, SDH
+  kShallowQuant,  ///< PQ, RQ
+  kDeepHash,      ///< HashNet, CSQ, LTHNet
+  kDeepQuant,     ///< DPQ, KDE, LightLT
+};
+
+/// A supervised or unsupervised retrieval method under the evaluation
+/// protocol of §V-A: Fit on the training split, IndexDatabase on the
+/// database split, PrepareQueries on the query split, then rank.
+class RetrievalMethod {
+ public:
+  virtual ~RetrievalMethod() = default;
+
+  virtual std::string name() const = 0;
+  virtual MethodKind kind() const = 0;
+
+  /// Learns hash functions / codebooks / network weights from `train`.
+  virtual Status Fit(const data::Dataset& train) = 0;
+
+  /// Encodes and stores the database representation.
+  virtual Status IndexDatabase(const Matrix& db_features) = 0;
+
+  /// Precomputes the query-side representation for the whole query set.
+  virtual Status PrepareQueries(const Matrix& query_features) = 0;
+
+  /// Full database ranking for prepared query `query_index`.
+  virtual std::vector<uint32_t> RankQuery(size_t query_index) const = 0;
+
+  /// Bytes held by the database index (codes + auxiliary tables).
+  virtual size_t IndexMemoryBytes() const = 0;
+};
+
+/// MAP of `method` on `bench` end to end (fit -> index -> rank -> MAP).
+struct MethodReport {
+  std::string name;
+  double map = 0.0;
+  size_t index_bytes = 0;
+  double fit_seconds = 0.0;
+};
+Result<MethodReport> EvaluateMethod(RetrievalMethod* method,
+                                    const data::RetrievalBenchmark& bench,
+                                    ThreadPool* pool = nullptr);
+
+}  // namespace lightlt::baselines
+
+#endif  // LIGHTLT_BASELINES_METHOD_H_

@@ -1,0 +1,88 @@
+#include "src/baselines/registry.h"
+
+#include "src/baselines/deep_hash.h"
+#include "src/baselines/deep_quant.h"
+#include "src/baselines/shallow_hash.h"
+#include "src/baselines/shallow_quant.h"
+#include "src/core/defaults.h"
+#include "src/index/codes.h"
+
+namespace lightlt::baselines {
+
+size_t DefaultNumBits(bool full_scale) {
+  // LightLT scaled: M=4, K=64 -> 24 bits. Full: M=4, K=256 -> 32 bits,
+  // the paper's setting.
+  return full_scale ? 32 : 24;
+}
+
+namespace {
+
+DeepHashOptions HashOptions(const core::TrainOptions& train,
+                            bool full_scale) {
+  DeepHashOptions opts;
+  opts.num_bits = DefaultNumBits(full_scale);
+  opts.hidden_dim = full_scale ? 512 : 128;
+  opts.epochs = train.epochs;
+  opts.batch_size = train.batch_size;
+  opts.learning_rate = 3e-3f;
+  return opts;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<RetrievalMethod>> MakeImageMethodSet(
+    const data::RetrievalBenchmark& bench, data::PresetId preset,
+    bool full_scale) {
+  const size_t bits = DefaultNumBits(full_scale);
+  const auto arch = core::DefaultModelConfig(bench, full_scale);
+  const auto train = core::DefaultTrainOptions(preset, full_scale);
+  const size_t m = arch.dsq.num_codebooks;
+  const size_t k = arch.dsq.num_codewords;
+
+  std::vector<std::unique_ptr<RetrievalMethod>> methods;
+  methods.push_back(std::make_unique<LshHash>(bits));
+  methods.push_back(std::make_unique<PcaHash>(bits));
+  methods.push_back(std::make_unique<ItqHash>(bits));
+  methods.push_back(std::make_unique<KnnhHash>(bits));
+  methods.push_back(std::make_unique<SdhHash>(bits));
+  methods.push_back(std::make_unique<PqQuantizer>(m, k));
+  methods.push_back(std::make_unique<OpqQuantizer>(m, k));
+  methods.push_back(std::make_unique<RqQuantizer>(m, k));
+  methods.push_back(
+      std::make_unique<HashNetHash>(HashOptions(train, full_scale)));
+  methods.push_back(std::make_unique<CsqHash>(HashOptions(train, full_scale)));
+  methods.push_back(
+      std::make_unique<LthNetHash>(HashOptions(train, full_scale)));
+  methods.push_back(std::make_unique<DeepQuantMethod>(
+      MakeLightLtSpec(bench, preset, full_scale, /*ensemble_models=*/1)));
+  methods.push_back(std::make_unique<DeepQuantMethod>(
+      MakeLightLtSpec(bench, preset, full_scale, /*ensemble_models=*/4)));
+  return methods;
+}
+
+std::vector<std::unique_ptr<RetrievalMethod>> MakeTextMethodSet(
+    const data::RetrievalBenchmark& bench, data::PresetId preset,
+    bool full_scale) {
+  const size_t bits = DefaultNumBits(full_scale);
+  const auto arch = core::DefaultModelConfig(bench, full_scale);
+  const auto train = core::DefaultTrainOptions(preset, full_scale);
+  const size_t m = arch.dsq.num_codebooks;
+  const size_t k = arch.dsq.num_codewords;
+
+  std::vector<std::unique_ptr<RetrievalMethod>> methods;
+  methods.push_back(std::make_unique<LshHash>(bits));
+  methods.push_back(std::make_unique<PqQuantizer>(m, k));
+  methods.push_back(std::make_unique<DeepQuantMethod>(
+      MakeDpqSpec(bench, preset, full_scale)));
+  methods.push_back(std::make_unique<DeepQuantMethod>(
+      MakeKdeSpec(bench, preset, full_scale)));
+  methods.push_back(
+      std::make_unique<LthNetHash>(HashOptions(train, full_scale)));
+  methods.push_back(std::make_unique<DeepQuantMethod>(
+      MakeLightLtSpec(bench, preset, full_scale, /*ensemble_models=*/1)));
+  methods.push_back(std::make_unique<DeepQuantMethod>(
+      MakeLightLtSpec(bench, preset, full_scale, /*ensemble_models=*/4)));
+  return methods;
+}
+
+}  // namespace lightlt::baselines

@@ -1,0 +1,32 @@
+// Assembles the method line-ups of the paper's comparison tables.
+
+#ifndef LIGHTLT_BASELINES_REGISTRY_H_
+#define LIGHTLT_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/data/presets.h"
+
+namespace lightlt::baselines {
+
+/// Code budget in bits: matches LightLT's M * log2(K) so every method in a
+/// table row works with the same storage per item (paper: 32 bits).
+size_t DefaultNumBits(bool full_scale);
+
+/// Table II line-up (image datasets): shallow hashes, shallow quantizers,
+/// deep hashes, deep quantizers, LightLT w/o ensemble, LightLT.
+std::vector<std::unique_ptr<RetrievalMethod>> MakeImageMethodSet(
+    const data::RetrievalBenchmark& bench, data::PresetId preset,
+    bool full_scale);
+
+/// Table III line-up (text datasets): LSH, PQ, DPQ, KDE, LTHNet,
+/// LightLT w/o ensemble, LightLT.
+std::vector<std::unique_ptr<RetrievalMethod>> MakeTextMethodSet(
+    const data::RetrievalBenchmark& bench, data::PresetId preset,
+    bool full_scale);
+
+}  // namespace lightlt::baselines
+
+#endif  // LIGHTLT_BASELINES_REGISTRY_H_

@@ -1,0 +1,157 @@
+#include "src/baselines/shallow_hash.h"
+
+#include <cmath>
+
+#include "src/clustering/linalg.h"
+#include "src/clustering/pca.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace lightlt::baselines {
+
+Matrix LinearHash::Project(const Matrix& x) const {
+  LIGHTLT_CHECK(!projection_.empty());
+  if (mean_.empty()) return x.MatMul(projection_);
+  Matrix centered = x;
+  for (size_t i = 0; i < centered.rows(); ++i) {
+    float* r = centered.row(i);
+    for (size_t j = 0; j < centered.cols(); ++j) r[j] -= mean_[j];
+  }
+  return centered.MatMul(projection_);
+}
+
+Status LinearHash::IndexDatabase(const Matrix& db_features) {
+  if (projection_.empty()) {
+    return Status::FailedPrecondition("hash not fitted");
+  }
+  size_t blocks = 0;
+  auto packed = index::PackSignBits(Project(db_features), &blocks);
+  index_ = std::make_unique<index::HammingIndex>(std::move(packed), blocks,
+                                                 num_bits_);
+  return Status::Ok();
+}
+
+Status LinearHash::PrepareQueries(const Matrix& query_features) {
+  if (projection_.empty()) {
+    return Status::FailedPrecondition("hash not fitted");
+  }
+  query_codes_ = index::PackSignBits(Project(query_features), &query_blocks_);
+  return Status::Ok();
+}
+
+std::vector<uint32_t> LinearHash::RankQuery(size_t query_index) const {
+  LIGHTLT_CHECK(index_ != nullptr);
+  return index_->RankAll(query_codes_.data() + query_index * query_blocks_);
+}
+
+size_t LinearHash::IndexMemoryBytes() const {
+  return index_ == nullptr ? 0 : index_->MemoryBytes();
+}
+
+Status LshHash::Fit(const data::Dataset& train) {
+  Rng rng(seed_);
+  projection_ =
+      Matrix::RandomGaussian(train.dim(), num_bits_, rng);
+  // Center on the training mean so hyperplanes pass through the data cloud.
+  Matrix copy = train.features;
+  mean_ = linalg::CenterColumns(copy);
+  return Status::Ok();
+}
+
+Status PcaHash::Fit(const data::Dataset& train) {
+  if (num_bits_ > train.dim()) {
+    return Status::InvalidArgument("PCAH: more bits than dimensions");
+  }
+  auto pca = clustering::Pca::Fit(train.features, num_bits_);
+  if (!pca.ok()) return pca.status();
+  mean_ = pca.value().mean();
+  projection_ = pca.value().components();
+  return Status::Ok();
+}
+
+Status ItqHash::Fit(const data::Dataset& train) {
+  if (num_bits_ > train.dim()) {
+    return Status::InvalidArgument("ITQ: more bits than dimensions");
+  }
+  auto pca = clustering::Pca::Fit(train.features, num_bits_);
+  if (!pca.ok()) return pca.status();
+  mean_ = pca.value().mean();
+  const Matrix v = pca.value().Transform(train.features);  // n x bits
+
+  // Random orthogonal initial rotation via SVD of a Gaussian matrix.
+  Rng rng(seed_);
+  Matrix g = Matrix::RandomGaussian(num_bits_, num_bits_, rng);
+  Matrix u, w;
+  std::vector<float> s;
+  LIGHTLT_RETURN_IF_ERROR(linalg::ThinSvd(g, &u, &s, &w));
+  Matrix rotation = u.MatMulTransposed(w);
+
+  // Alternate: B = sign(V R);  R = Procrustes(V, B).
+  for (int it = 0; it < iterations_; ++it) {
+    Matrix projected = v.MatMul(rotation);
+    Matrix b(projected.rows(), projected.cols());
+    for (size_t i = 0; i < b.size(); ++i) {
+      b[i] = projected[i] >= 0.0f ? 1.0f : -1.0f;
+    }
+    LIGHTLT_RETURN_IF_ERROR(linalg::ProcrustesRotation(v, b, &rotation));
+  }
+  projection_ = pca.value().components().MatMul(rotation);
+  return Status::Ok();
+}
+
+Status KnnhHash::Fit(const data::Dataset& train) {
+  if (num_bits_ > train.dim()) {
+    return Status::InvalidArgument("KNNH: more bits than dimensions");
+  }
+  auto pca = clustering::Pca::Fit(train.features, num_bits_, /*whiten=*/true);
+  if (!pca.ok()) return pca.status();
+  mean_ = pca.value().mean();
+  // Random rotation on the whitened basis spreads variance across bits.
+  Rng rng(seed_);
+  Matrix g = Matrix::RandomGaussian(num_bits_, num_bits_, rng);
+  Matrix u, w;
+  std::vector<float> s;
+  LIGHTLT_RETURN_IF_ERROR(linalg::ThinSvd(g, &u, &s, &w));
+  projection_ = pca.value().components().MatMul(u.MatMulTransposed(w));
+  return Status::Ok();
+}
+
+Status SdhHash::Fit(const data::Dataset& train) {
+  const size_t n = train.size();
+  const size_t d = train.dim();
+  const size_t c = train.num_classes;
+  if (n < 2) return Status::InvalidArgument("SDH: not enough samples");
+
+  Matrix x = train.features;
+  mean_ = linalg::CenterColumns(x);
+  Matrix y(n, c);  // one-hot labels
+  for (size_t i = 0; i < n; ++i) y.at(i, train.labels[i]) = 1.0f;
+
+  // Initialize projection from LSH.
+  Rng rng(seed_);
+  projection_ = Matrix::RandomGaussian(d, num_bits_, rng);
+
+  const Matrix xtx = x.TransposedMatMul(x);  // d x d
+  for (int it = 0; it < iterations_; ++it) {
+    // Relaxed codes.
+    Matrix projected = x.MatMul(projection_);
+    Matrix b(n, num_bits_);
+    for (size_t i = 0; i < b.size(); ++i) {
+      b[i] = projected[i] >= 0.0f ? 1.0f : -1.0f;
+    }
+    // Classifier: W = argmin ||B W - Y||^2 + ridge.
+    Matrix btb = b.TransposedMatMul(b);
+    Matrix bty = b.TransposedMatMul(y);
+    Matrix w;
+    LIGHTLT_RETURN_IF_ERROR(linalg::SolveSpd(btb, bty, &w, ridge_));
+    // Target codes pulled toward label predictability: T = Y W^T + B.
+    Matrix target = y.MatMulTransposed(w);
+    target.AddInPlace(b);
+    // Projection refit: P = argmin ||X P - T||^2 + ridge.
+    Matrix xtt = x.TransposedMatMul(target);
+    LIGHTLT_RETURN_IF_ERROR(linalg::SolveSpd(xtx, xtt, &projection_, ridge_));
+  }
+  return Status::Ok();
+}
+
+}  // namespace lightlt::baselines

@@ -1,0 +1,122 @@
+// Shallow binarized-hash baselines of Table II: LSH, PCAH, ITQ, KNNH-lite,
+// SDH-lite. All produce `num_bits`-bit sign codes from a learned linear
+// projection and search by exhaustive Hamming ranking.
+//
+// KNNH and SDH are simplified ("-lite") relative to their original papers —
+// the simplifications are documented per class and preserve each method's
+// category (unsupervised spectral vs supervised discrete) in the comparison.
+
+#ifndef LIGHTLT_BASELINES_SHALLOW_HASH_H_
+#define LIGHTLT_BASELINES_SHALLOW_HASH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/index/hamming_index.h"
+
+namespace lightlt::baselines {
+
+/// Base for linear projection-then-sign hashes: code = sign((x - mean) W).
+class LinearHash : public RetrievalMethod {
+ public:
+  explicit LinearHash(size_t num_bits) : num_bits_(num_bits) {}
+
+  MethodKind kind() const override { return MethodKind::kShallowHash; }
+
+  Status IndexDatabase(const Matrix& db_features) override;
+  Status PrepareQueries(const Matrix& query_features) override;
+  std::vector<uint32_t> RankQuery(size_t query_index) const override;
+  size_t IndexMemoryBytes() const override;
+
+  size_t num_bits() const { return num_bits_; }
+  const Matrix& projection() const { return projection_; }
+
+ protected:
+  /// Projects rows: (x - mean) W -> (n x bits).
+  Matrix Project(const Matrix& x) const;
+
+  size_t num_bits_;
+  Matrix mean_;        // 1 x d, zero-sized = no centering
+  Matrix projection_;  // d x bits
+
+ private:
+  std::unique_ptr<index::HammingIndex> index_;
+  std::vector<uint64_t> query_codes_;
+  size_t query_blocks_ = 0;
+};
+
+/// Locality-sensitive hashing: random Gaussian hyperplanes (Gionis et al.).
+class LshHash : public LinearHash {
+ public:
+  LshHash(size_t num_bits, uint64_t seed = 0x15a)
+      : LinearHash(num_bits), seed_(seed) {}
+  std::string name() const override { return "LSH"; }
+  Status Fit(const data::Dataset& train) override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// PCA hashing: sign of the top principal components (Gong et al., PCAH).
+class PcaHash : public LinearHash {
+ public:
+  explicit PcaHash(size_t num_bits) : LinearHash(num_bits) {}
+  std::string name() const override { return "PCAH"; }
+  Status Fit(const data::Dataset& train) override;
+};
+
+/// Iterative quantization: PCA followed by a learned rotation minimizing
+/// the binarization error ||B - V R||_F (Gong et al., ITQ).
+class ItqHash : public LinearHash {
+ public:
+  ItqHash(size_t num_bits, int iterations = 50, uint64_t seed = 0x17a)
+      : LinearHash(num_bits), iterations_(iterations), seed_(seed) {}
+  std::string name() const override { return "ITQ"; }
+  Status Fit(const data::Dataset& train) override;
+
+ private:
+  int iterations_;
+  uint64_t seed_;
+};
+
+/// KNNH-lite: whitened PCA with a random rotation. Simplification of
+/// K-Nearest-Neighbors Hashing (He et al.): we keep the whitening that
+/// equalizes bit variances but drop the kNN-preserving refinement.
+class KnnhHash : public LinearHash {
+ public:
+  KnnhHash(size_t num_bits, uint64_t seed = 0x4a2)
+      : LinearHash(num_bits), seed_(seed) {}
+  std::string name() const override { return "KNNH"; }
+  Status Fit(const data::Dataset& train) override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// SDH-lite: supervised discrete hashing by alternating ridge regressions.
+/// Simplification of Shen et al.: B = sign(XP) with P refit to predict
+/// codes that linearly regress onto one-hot labels; the discrete-cyclic
+///-coordinate step is replaced by the sign relaxation.
+class SdhHash : public LinearHash {
+ public:
+  SdhHash(size_t num_bits, int iterations = 5, float ridge = 1.0f,
+          uint64_t seed = 0x5d)
+      : LinearHash(num_bits),
+        iterations_(iterations),
+        ridge_(ridge),
+        seed_(seed) {}
+  std::string name() const override { return "SDH"; }
+  MethodKind kind() const override { return MethodKind::kShallowHash; }
+  Status Fit(const data::Dataset& train) override;
+
+ private:
+  int iterations_;
+  float ridge_;
+  uint64_t seed_;
+};
+
+}  // namespace lightlt::baselines
+
+#endif  // LIGHTLT_BASELINES_SHALLOW_HASH_H_

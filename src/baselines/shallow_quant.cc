@@ -1,0 +1,212 @@
+#include "src/baselines/shallow_quant.h"
+
+#include <algorithm>
+
+#include "src/clustering/kmeans.h"
+#include "src/clustering/linalg.h"
+#include "src/util/check.h"
+
+namespace lightlt::baselines {
+
+Status AdcQuantizerBase::IndexDatabase(const Matrix& db_features) {
+  if (codebooks_.empty()) {
+    return Status::FailedPrecondition("quantizer not fitted");
+  }
+  std::vector<std::vector<uint32_t>> codes;
+  EncodeItems(db_features, &codes);
+  auto built = index::AdcIndex::Build(codebooks_, codes);
+  if (!built.ok()) return built.status();
+  index_ = std::make_unique<index::AdcIndex>(std::move(built).value());
+  return Status::Ok();
+}
+
+Status AdcQuantizerBase::PrepareQueries(const Matrix& query_features) {
+  queries_ = query_features;
+  return Status::Ok();
+}
+
+std::vector<uint32_t> AdcQuantizerBase::RankQuery(size_t query_index) const {
+  LIGHTLT_CHECK(index_ != nullptr);
+  LIGHTLT_CHECK_LT(query_index, queries_.rows());
+  return index_->RankAll(queries_.row(query_index));
+}
+
+size_t AdcQuantizerBase::IndexMemoryBytes() const {
+  return index_ == nullptr ? 0 : index_->MemoryBytes();
+}
+
+PqQuantizer::PqQuantizer(size_t num_codebooks, size_t num_codewords,
+                         uint64_t seed)
+    : num_codebooks_(num_codebooks),
+      num_codewords_(num_codewords),
+      seed_(seed) {}
+
+Status PqQuantizer::Fit(const data::Dataset& train) {
+  dim_ = train.dim();
+  if (dim_ < num_codebooks_) {
+    return Status::InvalidArgument("PQ: fewer dimensions than codebooks");
+  }
+  codebooks_.clear();
+  sub_begin_.clear();
+  sub_end_.clear();
+
+  const size_t base = dim_ / num_codebooks_;
+  size_t cursor = 0;
+  for (size_t m = 0; m < num_codebooks_; ++m) {
+    const size_t width = base + (m < dim_ % num_codebooks_ ? 1 : 0);
+    sub_begin_.push_back(cursor);
+    sub_end_.push_back(cursor + width);
+    cursor += width;
+  }
+
+  for (size_t m = 0; m < num_codebooks_; ++m) {
+    const size_t width = sub_end_[m] - sub_begin_[m];
+    Matrix sub(train.size(), width);
+    for (size_t i = 0; i < train.size(); ++i) {
+      const float* src = train.features.row(i) + sub_begin_[m];
+      std::copy(src, src + width, sub.row(i));
+    }
+    clustering::KMeansOptions opts;
+    opts.num_clusters = num_codewords_;
+    opts.seed = seed_ + m;
+    const auto result = clustering::KMeans(sub, opts);
+    // Embed the subspace centroids into full dimension.
+    Matrix full(result.centroids.rows(), dim_);
+    for (size_t r = 0; r < result.centroids.rows(); ++r) {
+      std::copy(result.centroids.row(r), result.centroids.row(r) + width,
+                full.row(r) + sub_begin_[m]);
+    }
+    // Pad the codebook with duplicate rows if k-means collapsed (n < K).
+    while (full.rows() < num_codewords_) {
+      full = full.VStack(full.RowCopy(full.rows() - 1));
+    }
+    codebooks_.push_back(std::move(full));
+  }
+  return Status::Ok();
+}
+
+void PqQuantizer::EncodeItems(
+    const Matrix& x, std::vector<std::vector<uint32_t>>* codes) const {
+  codes->assign(x.rows(), std::vector<uint32_t>(num_codebooks_));
+  for (size_t m = 0; m < num_codebooks_; ++m) {
+    const size_t width = sub_end_[m] - sub_begin_[m];
+    Matrix sub(x.rows(), width);
+    Matrix centroids(num_codewords_, width);
+    for (size_t r = 0; r < num_codewords_; ++r) {
+      const float* src = codebooks_[m].row(r) + sub_begin_[m];
+      std::copy(src, src + width, centroids.row(r));
+    }
+    for (size_t i = 0; i < x.rows(); ++i) {
+      const float* src = x.row(i) + sub_begin_[m];
+      std::copy(src, src + width, sub.row(i));
+    }
+    const auto assignment = clustering::AssignToNearest(sub, centroids);
+    for (size_t i = 0; i < x.rows(); ++i) (*codes)[i][m] = assignment[i];
+  }
+}
+
+OpqQuantizer::OpqQuantizer(size_t num_codebooks, size_t num_codewords,
+                           int outer_iterations, uint64_t seed)
+    : num_codebooks_(num_codebooks),
+      num_codewords_(num_codewords),
+      outer_iterations_(outer_iterations),
+      seed_(seed) {}
+
+Matrix OpqQuantizer::Rotate(const Matrix& x) const {
+  return x.MatMul(rotation_);
+}
+
+Status OpqQuantizer::Fit(const data::Dataset& train) {
+  const size_t d = train.dim();
+  rotation_ = Matrix::Identity(d);
+
+  data::Dataset rotated = train;
+  for (int it = 0; it < outer_iterations_; ++it) {
+    rotated.features = Rotate(train.features);
+    pq_ = std::make_unique<PqQuantizer>(num_codebooks_, num_codewords_,
+                                        seed_ + static_cast<uint64_t>(it));
+    LIGHTLT_RETURN_IF_ERROR(pq_->Fit(rotated));
+
+    // Reconstructions in the rotated space.
+    std::vector<std::vector<uint32_t>> codes;
+    pq_->EncodeItems(rotated.features, &codes);
+    Matrix recon(train.size(), d);
+    for (size_t i = 0; i < codes.size(); ++i) {
+      float* row = recon.row(i);
+      for (size_t m = 0; m < num_codebooks_; ++m) {
+        const float* word = pq_->codebooks()[m].row(codes[i][m]);
+        for (size_t j = 0; j < d; ++j) row[j] += word[j];
+      }
+    }
+    // Orthogonal Procrustes: R = argmin ||X R - B||_F.
+    LIGHTLT_RETURN_IF_ERROR(
+        linalg::ProcrustesRotation(train.features, recon, &rotation_));
+  }
+
+  // Final PQ fit against the converged rotation.
+  rotated.features = Rotate(train.features);
+  pq_ = std::make_unique<PqQuantizer>(num_codebooks_, num_codewords_, seed_);
+  LIGHTLT_RETURN_IF_ERROR(pq_->Fit(rotated));
+
+  // Map codebooks back to the original space: c_orig = c_rot R^T, so the
+  // additive reconstruction satisfies sum_m c_orig = (sum_m c_rot) R^T and
+  // ADC with unrotated queries is exact (R is orthogonal).
+  codebooks_.clear();
+  for (const auto& book : pq_->codebooks()) {
+    codebooks_.push_back(book.MatMulTransposed(rotation_));
+  }
+  return Status::Ok();
+}
+
+void OpqQuantizer::EncodeItems(
+    const Matrix& x, std::vector<std::vector<uint32_t>>* codes) const {
+  LIGHTLT_CHECK(pq_ != nullptr);
+  pq_->EncodeItems(Rotate(x), codes);
+}
+
+RqQuantizer::RqQuantizer(size_t num_codebooks, size_t num_codewords,
+                         uint64_t seed)
+    : num_codebooks_(num_codebooks),
+      num_codewords_(num_codewords),
+      seed_(seed) {}
+
+Status RqQuantizer::Fit(const data::Dataset& train) {
+  codebooks_.clear();
+  Matrix residual = train.features;
+  for (size_t m = 0; m < num_codebooks_; ++m) {
+    clustering::KMeansOptions opts;
+    opts.num_clusters = num_codewords_;
+    opts.seed = seed_ + m;
+    const auto result = clustering::KMeans(residual, opts);
+    Matrix centroids = result.centroids;
+    while (centroids.rows() < num_codewords_) {
+      centroids = centroids.VStack(centroids.RowCopy(centroids.rows() - 1));
+    }
+    // Subtract the assigned centroid to form the next-stage residual.
+    for (size_t i = 0; i < residual.rows(); ++i) {
+      const float* c = centroids.row(result.assignments[i]);
+      float* r = residual.row(i);
+      for (size_t j = 0; j < residual.cols(); ++j) r[j] -= c[j];
+    }
+    codebooks_.push_back(std::move(centroids));
+  }
+  return Status::Ok();
+}
+
+void RqQuantizer::EncodeItems(
+    const Matrix& x, std::vector<std::vector<uint32_t>>* codes) const {
+  codes->assign(x.rows(), std::vector<uint32_t>(num_codebooks_));
+  Matrix residual = x;
+  for (size_t m = 0; m < num_codebooks_; ++m) {
+    const auto assignment =
+        clustering::AssignToNearest(residual, codebooks_[m]);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      (*codes)[i][m] = assignment[i];
+      const float* c = codebooks_[m].row(assignment[i]);
+      float* r = residual.row(i);
+      for (size_t j = 0; j < residual.cols(); ++j) r[j] -= c[j];
+    }
+  }
+}
+
+}  // namespace lightlt::baselines

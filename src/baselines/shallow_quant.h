@@ -1,0 +1,115 @@
+// Shallow (k-means-based) quantization baselines: Product Quantization
+// (Jegou et al.) and Residual/Additive Quantization (Chen et al.). Both are
+// unsupervised and search with the same ADC machinery as LightLT.
+
+#ifndef LIGHTLT_BASELINES_SHALLOW_QUANT_H_
+#define LIGHTLT_BASELINES_SHALLOW_QUANT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/index/adc_index.h"
+
+namespace lightlt::baselines {
+
+/// Base for codebook-based quantizers that index with AdcIndex. Subclasses
+/// implement Fit (learn codebooks) and EncodeItems.
+class AdcQuantizerBase : public RetrievalMethod {
+ public:
+  MethodKind kind() const override { return MethodKind::kShallowQuant; }
+
+  Status IndexDatabase(const Matrix& db_features) override;
+  Status PrepareQueries(const Matrix& query_features) override;
+  std::vector<uint32_t> RankQuery(size_t query_index) const override;
+  size_t IndexMemoryBytes() const override;
+
+  /// Encodes each row of `x` into M codeword IDs. Public so composed
+  /// quantizers (e.g. OPQ wrapping PQ) can reuse the encoding path.
+  virtual void EncodeItems(
+      const Matrix& x, std::vector<std::vector<uint32_t>>* codes) const = 0;
+
+  /// Codebooks in the full-dimensional additive form AdcIndex expects.
+  const std::vector<Matrix>& codebooks() const { return codebooks_; }
+
+ protected:
+  std::vector<Matrix> codebooks_;
+
+ private:
+  std::unique_ptr<index::AdcIndex> index_;
+  Matrix queries_;
+};
+
+/// Product quantization: the feature space is split into M contiguous
+/// subspaces, each clustered independently with k-means. Codebook m is
+/// embedded into R^d with zeros outside its subspace, making PQ a special
+/// case of additive quantization.
+class PqQuantizer : public AdcQuantizerBase {
+ public:
+  PqQuantizer(size_t num_codebooks, size_t num_codewords,
+              uint64_t seed = 0x90);
+  std::string name() const override { return "PQ"; }
+  Status Fit(const data::Dataset& train) override;
+
+  void EncodeItems(
+      const Matrix& x,
+      std::vector<std::vector<uint32_t>>* codes) const override;
+
+ private:
+  size_t num_codebooks_;
+  size_t num_codewords_;
+  uint64_t seed_;
+  size_t dim_ = 0;
+  std::vector<size_t> sub_begin_;  // subspace column ranges
+  std::vector<size_t> sub_end_;
+};
+
+/// Optimized product quantization (Ge et al.): PQ preceded by a learned
+/// orthogonal rotation that balances subspace variances; alternates between
+/// fitting the sub-codebooks and solving the Procrustes rotation.
+class OpqQuantizer : public AdcQuantizerBase {
+ public:
+  OpqQuantizer(size_t num_codebooks, size_t num_codewords,
+               int outer_iterations = 5, uint64_t seed = 0x09c);
+  std::string name() const override { return "OPQ"; }
+  Status Fit(const data::Dataset& train) override;
+
+  void EncodeItems(
+      const Matrix& x,
+      std::vector<std::vector<uint32_t>>* codes) const override;
+
+ private:
+  /// Rotates x by the learned R and delegates to the internal PQ.
+  Matrix Rotate(const Matrix& x) const;
+
+  size_t num_codebooks_;
+  size_t num_codewords_;
+  int outer_iterations_;
+  uint64_t seed_;
+  Matrix rotation_;  // d x d orthogonal
+  std::unique_ptr<PqQuantizer> pq_;
+};
+
+/// Residual quantization: stage m runs k-means on the residual left by
+/// stages 1..m-1 — the classical ancestor of DSQ's first skip connection.
+class RqQuantizer : public AdcQuantizerBase {
+ public:
+  RqQuantizer(size_t num_codebooks, size_t num_codewords,
+              uint64_t seed = 0x49);
+  std::string name() const override { return "RQ"; }
+  Status Fit(const data::Dataset& train) override;
+
+  void EncodeItems(
+      const Matrix& x,
+      std::vector<std::vector<uint32_t>>* codes) const override;
+
+ private:
+  size_t num_codebooks_;
+  size_t num_codewords_;
+  uint64_t seed_;
+};
+
+}  // namespace lightlt::baselines
+
+#endif  // LIGHTLT_BASELINES_SHALLOW_QUANT_H_

@@ -1,0 +1,164 @@
+#include "src/clustering/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace lightlt::clustering {
+namespace {
+
+/// k-means++ seeding: first centroid uniform, the rest proportional to
+/// squared distance from the closest chosen centroid.
+Matrix SeedPlusPlus(const Matrix& points, size_t k, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  LIGHTLT_CHECK_GE(n, k);
+  Matrix centroids(k, d);
+
+  size_t first = static_cast<size_t>(rng.NextIndex(n));
+  std::copy(points.row(first), points.row(first) + d, centroids.row(0));
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  for (size_t c = 1; c < k; ++c) {
+    // Update distances with the centroid added last.
+    const float* last = centroids.row(c - 1);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float* p = points.row(i);
+      double acc = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = p[j] - last[j];
+        acc += diff * diff;
+      }
+      dist2[i] = std::min(dist2[i], acc);
+      total += dist2[i];
+    }
+    // Sample next centroid proportional to dist^2.
+    double target = rng.NextDouble() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    std::copy(points.row(chosen), points.row(chosen) + d, centroids.row(c));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::vector<uint32_t> AssignToNearest(const Matrix& points,
+                                      const Matrix& centroids,
+                                      ThreadPool* pool) {
+  LIGHTLT_CHECK_EQ(points.cols(), centroids.cols());
+  const size_t n = points.rows();
+  const size_t k = centroids.rows();
+  const size_t d = points.cols();
+  std::vector<uint32_t> assignments(n, 0);
+
+  const Matrix c_norms = centroids.RowSquaredNorms();
+  ParallelFor(pool, n, [&](size_t i) {
+    const float* p = points.row(i);
+    float best = std::numeric_limits<float>::max();
+    uint32_t best_j = 0;
+    for (size_t j = 0; j < k; ++j) {
+      const float* c = centroids.row(j);
+      // -2 <p, c> + ||c||^2 ranks identically to full squared distance.
+      float score = c_norms[j];
+      for (size_t t = 0; t < d; ++t) score -= 2.0f * p[t] * c[t];
+      if (score < best) {
+        best = score;
+        best_j = static_cast<uint32_t>(j);
+      }
+    }
+    assignments[i] = best_j;
+  });
+  return assignments;
+}
+
+KMeansResult KMeans(const Matrix& points, const KMeansOptions& options) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  const size_t k = std::min(options.num_clusters, n);
+  LIGHTLT_CHECK_GT(k, 0u);
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, k, rng);
+
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.assignments =
+        AssignToNearest(points, result.centroids, options.pool);
+
+    // Recompute centroids.
+    Matrix sums(k, d);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t a = result.assignments[i];
+      float* srow = sums.row(a);
+      const float* p = points.row(i);
+      for (size_t j = 0; j < d; ++j) srow[j] += p[j];
+      ++counts[a];
+    }
+
+    // Inertia under the new assignment / old centroids is fine for the
+    // stopping test; compute exactly with current centroids for reporting.
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float* p = points.row(i);
+      const float* c = result.centroids.row(result.assignments[i]);
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = p[j] - c[j];
+        inertia += diff * diff;
+      }
+    }
+    result.inertia = inertia;
+    result.iterations_run = iter + 1;
+
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster from the point farthest from its centroid.
+        size_t worst = 0;
+        double worst_dist = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const float* p = points.row(i);
+          const float* cc = result.centroids.row(result.assignments[i]);
+          double acc = 0.0;
+          for (size_t j = 0; j < d; ++j) {
+            const double diff = p[j] - cc[j];
+            acc += diff * diff;
+          }
+          if (acc > worst_dist) {
+            worst_dist = acc;
+            worst = i;
+          }
+        }
+        std::copy(points.row(worst), points.row(worst) + d,
+                  result.centroids.row(c));
+      } else {
+        const float inv = 1.0f / static_cast<float>(counts[c]);
+        float* crow = result.centroids.row(c);
+        const float* srow = sums.row(c);
+        for (size_t j = 0; j < d; ++j) crow[j] = srow[j] * inv;
+      }
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::max()) {
+      const double rel =
+          (prev_inertia - inertia) / std::max(prev_inertia, 1e-12);
+      if (rel >= 0.0 && rel < options.convergence_tol) break;
+    }
+    prev_inertia = inertia;
+  }
+
+  result.assignments = AssignToNearest(points, result.centroids, options.pool);
+  return result;
+}
+
+}  // namespace lightlt::clustering

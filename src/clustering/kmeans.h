@@ -1,0 +1,44 @@
+// Lloyd's k-means with k-means++ seeding. The training algorithm behind the
+// PQ and RQ baselines, and the codebook initializer option for LightLT.
+
+#ifndef LIGHTLT_CLUSTERING_KMEANS_H_
+#define LIGHTLT_CLUSTERING_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/threadpool.h"
+
+namespace lightlt::clustering {
+
+struct KMeansOptions {
+  size_t num_clusters = 256;
+  int max_iterations = 25;
+  /// Relative improvement in total inertia below which we stop early.
+  double convergence_tol = 1e-4;
+  uint64_t seed = 0x5eed;
+  /// Optional pool for parallel assignment; nullptr = serial.
+  ThreadPool* pool = nullptr;
+};
+
+struct KMeansResult {
+  Matrix centroids;                 ///< (k x d)
+  std::vector<uint32_t> assignments;  ///< per-point nearest centroid
+  double inertia = 0.0;             ///< sum of squared distances
+  int iterations_run = 0;
+};
+
+/// Runs k-means on row-sample matrix `points` (n x d). Empty clusters are
+/// re-seeded from the point farthest from its centroid.
+KMeansResult KMeans(const Matrix& points, const KMeansOptions& options);
+
+/// Assigns each row of `points` to its nearest centroid (squared L2).
+std::vector<uint32_t> AssignToNearest(const Matrix& points,
+                                      const Matrix& centroids,
+                                      ThreadPool* pool = nullptr);
+
+}  // namespace lightlt::clustering
+
+#endif  // LIGHTLT_CLUSTERING_KMEANS_H_

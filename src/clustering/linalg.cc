@@ -1,0 +1,180 @@
+#include "src/clustering/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace lightlt::linalg {
+
+Status SymmetricEigen(const Matrix& a, std::vector<float>* eigenvalues,
+                      Matrix* eigenvectors, int max_sweeps, float tolerance) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix not square");
+  }
+  const size_t n = a.rows();
+  Matrix d = a;                       // working copy, becomes diagonal
+  Matrix v = Matrix::Identity(n);     // accumulated rotations
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of off-diagonal magnitudes decides convergence.
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += std::fabs(d.at(i, j));
+    }
+    if (off < tolerance) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const float apq = d.at(p, q);
+        if (std::fabs(apq) < 1e-12f) continue;
+        const float app = d.at(p, p);
+        const float aqq = d.at(q, q);
+        const float theta = 0.5f * (aqq - app) / apq;
+        const float t =
+            (theta >= 0.0f ? 1.0f : -1.0f) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0f));
+        const float c = 1.0f / std::sqrt(t * t + 1.0f);
+        const float s = t * c;
+
+        // Apply rotation to rows/cols p and q of D.
+        for (size_t k = 0; k < n; ++k) {
+          const float dkp = d.at(k, p);
+          const float dkq = d.at(k, q);
+          d.at(k, p) = c * dkp - s * dkq;
+          d.at(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const float dpk = d.at(p, k);
+          const float dqk = d.at(q, k);
+          d.at(p, k) = c * dpk - s * dqk;
+          d.at(q, k) = s * dpk + c * dqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          const float vkp = v.at(k, p);
+          const float vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+    return d.at(i, i) > d.at(j, j);
+  });
+
+  eigenvalues->resize(n);
+  *eigenvectors = Matrix(n, n);
+  for (size_t c2 = 0; c2 < n; ++c2) {
+    (*eigenvalues)[c2] = d.at(order[c2], order[c2]);
+    for (size_t r = 0; r < n; ++r) {
+      eigenvectors->at(r, c2) = v.at(r, order[c2]);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ThinSvd(const Matrix& a, Matrix* u, std::vector<float>* singular_values,
+               Matrix* v) {
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument("ThinSvd: requires rows >= cols");
+  }
+  const Matrix ata = a.TransposedMatMul(a);  // n x n
+  std::vector<float> evals;
+  Matrix evecs;
+  LIGHTLT_RETURN_IF_ERROR(SymmetricEigen(ata, &evals, &evecs));
+
+  const size_t n = a.cols();
+  singular_values->resize(n);
+  *v = evecs;
+  Matrix av = a.MatMul(evecs);  // m x n, columns = sigma_i * u_i
+  *u = Matrix(a.rows(), n);
+  for (size_t i = 0; i < n; ++i) {
+    const float sigma = std::sqrt(std::max(0.0f, evals[i]));
+    (*singular_values)[i] = sigma;
+    const float inv = sigma > 1e-8f ? 1.0f / sigma : 0.0f;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      u->at(r, i) = av.at(r, i) * inv;
+    }
+  }
+  return Status::Ok();
+}
+
+Status SolveSpd(const Matrix& a, const Matrix& b, Matrix* x, float ridge) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveSpd: matrix not square");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("SolveSpd: dimension mismatch");
+  }
+  const size_t n = a.rows();
+  // Cholesky factorization A = L L^T.
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double acc = a.at(i, j) + (i == j ? ridge : 0.0f);
+      for (size_t k = 0; k < j; ++k) acc -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (acc <= 0.0) {
+          return Status::FailedPrecondition("SolveSpd: matrix not SPD");
+        }
+        l.at(i, i) = static_cast<float>(std::sqrt(acc));
+      } else {
+        l.at(i, j) = static_cast<float>(acc / l.at(j, j));
+      }
+    }
+  }
+  // Forward/backward substitution per column of B.
+  *x = Matrix(n, b.cols());
+  std::vector<double> y(n);
+  for (size_t c = 0; c < b.cols(); ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      double acc = b.at(i, c);
+      for (size_t k = 0; k < i; ++k) acc -= l.at(i, k) * y[k];
+      y[i] = acc / l.at(i, i);
+    }
+    for (size_t ii = n; ii-- > 0;) {
+      double acc = y[ii];
+      for (size_t k = ii + 1; k < n; ++k) acc -= l.at(k, ii) * x->at(k, c);
+      x->at(ii, c) = static_cast<float>(acc / l.at(ii, ii));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ProcrustesRotation(const Matrix& a, const Matrix& b, Matrix* rotation) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::InvalidArgument("Procrustes: shape mismatch");
+  }
+  const Matrix m = a.TransposedMatMul(b);  // n x n
+  Matrix u, v;
+  std::vector<float> s;
+  // Square case of ThinSvd: m is (n x n).
+  LIGHTLT_RETURN_IF_ERROR(ThinSvd(m, &u, &s, &v));
+  *rotation = u.MatMulTransposed(v);  // U V^T
+  return Status::Ok();
+}
+
+Matrix CenterColumns(Matrix& x) {
+  Matrix mean = x.ColSums();
+  mean.ScaleInPlace(1.0f / static_cast<float>(x.rows()));
+  for (size_t i = 0; i < x.rows(); ++i) {
+    float* r = x.row(i);
+    for (size_t j = 0; j < x.cols(); ++j) r[j] -= mean[j];
+  }
+  return mean;
+}
+
+Matrix Covariance(const Matrix& x) {
+  Matrix cov = x.TransposedMatMul(x);
+  cov.ScaleInPlace(1.0f / static_cast<float>(x.rows() > 1 ? x.rows() - 1 : 1));
+  return cov;
+}
+
+}  // namespace lightlt::linalg

@@ -1,0 +1,44 @@
+// Small dense linear-algebra kernels: symmetric eigendecomposition (Jacobi),
+// SVD via the eigendecomposition of A^T A, and SPD linear solves (Cholesky).
+// Used by PCA, ITQ's Procrustes rotation and SDH's ridge regressions.
+
+#ifndef LIGHTLT_CLUSTERING_LINALG_H_
+#define LIGHTLT_CLUSTERING_LINALG_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace lightlt::linalg {
+
+/// Eigendecomposition of a symmetric matrix A (n x n) by cyclic Jacobi
+/// rotations. On return `eigenvalues` are sorted descending and
+/// `eigenvectors` holds the matching eigenvectors as *columns*.
+Status SymmetricEigen(const Matrix& a, std::vector<float>* eigenvalues,
+                      Matrix* eigenvectors, int max_sweeps = 64,
+                      float tolerance = 1e-9f);
+
+/// Thin SVD A = U S V^T for A (m x n), m >= n, via eigen of A^T A.
+/// U is (m x n), singular_values has length n (descending), V is (n x n).
+Status ThinSvd(const Matrix& a, Matrix* u, std::vector<float>* singular_values,
+               Matrix* v);
+
+/// Solves (A + ridge*I) X = B for symmetric positive definite A (n x n),
+/// B (n x k), via Cholesky. Fails if A + ridge*I is not SPD.
+Status SolveSpd(const Matrix& a, const Matrix& b, Matrix* x,
+                float ridge = 0.0f);
+
+/// Orthogonal Procrustes: the rotation R minimizing ||B - A R||_F, i.e.
+/// R = V U^T where A^T B = U S V^T... computed as R = U V^T of svd(A^T B).
+Status ProcrustesRotation(const Matrix& a, const Matrix& b, Matrix* rotation);
+
+/// Centers columns of X in place; returns the removed mean (1 x d).
+Matrix CenterColumns(Matrix& x);
+
+/// Covariance (d x d) of row-sample matrix X (n x d), assuming centered.
+Matrix Covariance(const Matrix& x);
+
+}  // namespace lightlt::linalg
+
+#endif  // LIGHTLT_CLUSTERING_LINALG_H_

@@ -1,0 +1,52 @@
+#include "src/clustering/pca.h"
+
+#include <cmath>
+
+#include "src/clustering/linalg.h"
+#include "src/util/check.h"
+
+namespace lightlt::clustering {
+
+Result<Pca> Pca::Fit(const Matrix& x, size_t num_components, bool whiten) {
+  if (x.rows() < 2) {
+    return Status::InvalidArgument("Pca: need at least 2 samples");
+  }
+  if (num_components == 0 || num_components > x.cols()) {
+    return Status::InvalidArgument("Pca: bad component count");
+  }
+
+  Matrix centered = x;
+  Pca pca;
+  pca.mean_ = linalg::CenterColumns(centered);
+  const Matrix cov = linalg::Covariance(centered);
+
+  std::vector<float> evals;
+  Matrix evecs;
+  Status st = linalg::SymmetricEigen(cov, &evals, &evecs);
+  if (!st.ok()) return st;
+
+  pca.components_ = Matrix(x.cols(), num_components);
+  pca.explained_variance_.resize(num_components);
+  for (size_t c = 0; c < num_components; ++c) {
+    const float ev = std::max(0.0f, evals[c]);
+    pca.explained_variance_[c] = ev;
+    float scale = 1.0f;
+    if (whiten) scale = 1.0f / std::sqrt(ev + 1e-8f);
+    for (size_t r = 0; r < x.cols(); ++r) {
+      pca.components_.at(r, c) = evecs.at(r, c) * scale;
+    }
+  }
+  return pca;
+}
+
+Matrix Pca::Transform(const Matrix& x) const {
+  LIGHTLT_CHECK_EQ(x.cols(), mean_.cols());
+  Matrix centered = x;
+  for (size_t i = 0; i < centered.rows(); ++i) {
+    float* r = centered.row(i);
+    for (size_t j = 0; j < centered.cols(); ++j) r[j] -= mean_[j];
+  }
+  return centered.MatMul(components_);
+}
+
+}  // namespace lightlt::clustering

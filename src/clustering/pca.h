@@ -1,0 +1,42 @@
+// Principal component analysis built on the Jacobi eigensolver. Used by the
+// PCAH / ITQ / KNNH hash baselines and the Fig. 8 2-D visualizations.
+
+#ifndef LIGHTLT_CLUSTERING_PCA_H_
+#define LIGHTLT_CLUSTERING_PCA_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace lightlt::clustering {
+
+/// Fitted PCA projection.
+class Pca {
+ public:
+  /// Fits the top `num_components` principal directions of X (n x d).
+  /// If `whiten`, projected coordinates are scaled to unit variance.
+  static Result<Pca> Fit(const Matrix& x, size_t num_components,
+                         bool whiten = false);
+
+  /// Projects rows of X (n x d) -> (n x num_components).
+  Matrix Transform(const Matrix& x) const;
+
+  size_t num_components() const { return components_.cols(); }
+  const Matrix& components() const { return components_; }
+  const Matrix& mean() const { return mean_; }
+  const std::vector<float>& explained_variance() const {
+    return explained_variance_;
+  }
+
+ private:
+  Pca() = default;
+
+  Matrix mean_;        // 1 x d
+  Matrix components_;  // d x num_components (columns are directions)
+  std::vector<float> explained_variance_;
+};
+
+}  // namespace lightlt::clustering
+
+#endif  // LIGHTLT_CLUSTERING_PCA_H_

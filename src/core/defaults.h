@@ -1,0 +1,33 @@
+// Default experiment configurations matching the paper's settings (§V-A4):
+// M=4 codebooks, K=256 codewords (32-bit codes) at full scale, AdamW with
+// cosine annealing (image) or linear warmup (text).
+
+#ifndef LIGHTLT_CORE_DEFAULTS_H_
+#define LIGHTLT_CORE_DEFAULTS_H_
+
+#include "src/core/ensemble.h"
+#include "src/core/lightlt_model.h"
+#include "src/core/trainer.h"
+#include "src/data/dataset.h"
+#include "src/data/presets.h"
+
+namespace lightlt::core {
+
+/// Model architecture for a benchmark; K scales with the run size so the
+/// scaled presets keep the paper's code-bits-to-dimension ratio.
+ModelConfig DefaultModelConfig(const data::RetrievalBenchmark& bench,
+                               bool full_scale = false);
+
+/// Training options per preset (schedule choice follows §V-A4: cosine for
+/// image-like presets, linear warmup for text-like ones).
+TrainOptions DefaultTrainOptions(data::PresetId preset,
+                                 bool full_scale = false);
+
+/// Ensemble options (paper: n = 4).
+EnsembleOptions DefaultEnsembleOptions(data::PresetId preset,
+                                       bool full_scale = false,
+                                       int num_models = 4);
+
+}  // namespace lightlt::core
+
+#endif  // LIGHTLT_CORE_DEFAULTS_H_

@@ -1,0 +1,82 @@
+#include "src/core/ensemble.h"
+
+#include <cstdio>
+
+#include "src/nn/module.h"
+
+namespace lightlt::core {
+
+Status EnsembleOptions::Validate() const {
+  if (num_models <= 0) {
+    return Status::InvalidArgument("num_models must be positive");
+  }
+  if (finetune_epochs < 0) {
+    return Status::InvalidArgument("finetune_epochs must be >= 0");
+  }
+  if (finetune_learning_rate <= 0.0f) {
+    return Status::InvalidArgument("finetune_learning_rate must be positive");
+  }
+  return base_training.Validate();
+}
+
+Result<EnsembleResult> TrainEnsemble(const ModelConfig& config,
+                                     const data::Dataset& train,
+                                     const EnsembleOptions& options) {
+  LIGHTLT_RETURN_IF_ERROR(options.Validate());
+  LIGHTLT_RETURN_IF_ERROR(config.Validate());
+
+  EnsembleResult result;
+
+  // Algorithm 1, lines 2-6: train n base models. All members share the
+  // backbone initialization (the paper's members share the same pretrained
+  // ResNet34/BERT weights, which keeps the averaged weights in one loss
+  // basin) and differ in head initialization and data ordering.
+  std::vector<std::unique_ptr<LightLtModel>> members;
+  members.reserve(options.num_models);
+  for (int i = 0; i < options.num_models; ++i) {
+    auto model = std::make_unique<LightLtModel>(config, options.seed);
+    if (i > 0) {
+      // Distinct quantizer initialization per member (the paper's "different
+      // initializations"); see Example 1 for why the averaged codebooks then
+      // need re-alignment.
+      Rng reinit(options.seed + 1000 + static_cast<uint64_t>(i));
+      model->mutable_dsq().ReinitializeParameters(reinit);
+    }
+    TrainOptions per_model = options.base_training;
+    per_model.shuffle_seed = options.base_training.shuffle_seed +
+                             static_cast<uint64_t>(i) * 7919;
+    auto stats = TrainLightLt(model.get(), train, per_model);
+    if (!stats.ok()) return stats.status();
+    result.member_stats.push_back(std::move(stats).value());
+    members.push_back(std::move(model));
+  }
+
+  if (options.num_models == 1) {
+    result.model = std::move(members[0]);
+    return result;
+  }
+
+  // Algorithm 1, line 7: average all weights into a fresh model (Eqn. 23).
+  result.model = std::make_unique<LightLtModel>(config, options.seed);
+  std::vector<const nn::Module*> views;
+  views.reserve(members.size());
+  for (const auto& m : members) views.push_back(m.get());
+  nn::AverageParametersInto(views, result.model.get());
+
+  // Algorithm 1, lines 8-11: re-align codebooks by fine-tuning DSQ only
+  // (Example 1: averaging permuted codebooks destroys codewords, so the
+  // averaged DSQ must be re-learned against the frozen averaged backbone).
+  if (options.finetune_epochs > 0) {
+    TrainOptions finetune = options.base_training;
+    finetune.epochs = options.finetune_epochs;
+    finetune.learning_rate = options.finetune_learning_rate;
+    finetune.dsq_only = true;
+    finetune.schedule = ScheduleKind::kConstant;
+    auto stats = TrainLightLt(result.model.get(), train, finetune);
+    if (!stats.ok()) return stats.status();
+    result.finetune_stats = std::move(stats).value();
+  }
+  return result;
+}
+
+}  // namespace lightlt::core

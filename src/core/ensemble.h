@@ -1,0 +1,45 @@
+// Model weight ensemble with DSQ re-alignment (paper §III-E, Fig. 2,
+// Algorithm 1 lines 7-12).
+//
+// n LightLT models are trained from different initializations, their weights
+// are averaged element-wise (Eqn. 23), and — because averaged codebooks are
+// meaningless under codeword permutation (Example 1) — the DSQ module alone
+// is then fine-tuned with the backbone and classifier frozen.
+
+#ifndef LIGHTLT_CORE_ENSEMBLE_H_
+#define LIGHTLT_CORE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/lightlt_model.h"
+#include "src/core/trainer.h"
+
+namespace lightlt::core {
+
+struct EnsembleOptions {
+  int num_models = 4;         ///< n in Eqn. 23 (paper uses 4)
+  TrainOptions base_training; ///< per-model training configuration
+  int finetune_epochs = 5;    ///< DSQ-only fine-tuning epochs
+  float finetune_learning_rate = 1e-3f;
+  uint64_t seed = 0xe17e;     ///< base seed; model i inits from seed+i
+
+  Status Validate() const;
+};
+
+/// Output of the ensemble procedure.
+struct EnsembleResult {
+  std::unique_ptr<LightLtModel> model;  ///< averaged + fine-tuned model
+  std::vector<TrainStats> member_stats;
+  TrainStats finetune_stats;
+};
+
+/// Runs the full ensemble pipeline on `train`. With num_models == 1 this is
+/// plain training ("LightLT w/o ensemble" in Tables II/III).
+Result<EnsembleResult> TrainEnsemble(const ModelConfig& config,
+                                     const data::Dataset& train,
+                                     const EnsembleOptions& options);
+
+}  // namespace lightlt::core
+
+#endif  // LIGHTLT_CORE_ENSEMBLE_H_

@@ -1,0 +1,147 @@
+#include "src/core/losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace lightlt::core {
+
+Status LossConfig::Validate() const {
+  if (gamma < 0.0f || gamma >= 1.0f) {
+    return Status::InvalidArgument("LossConfig: gamma must be in [0, 1)");
+  }
+  if (alpha < 0.0f) {
+    return Status::InvalidArgument("LossConfig: alpha must be >= 0");
+  }
+  if (tau <= 0.0f) {
+    return Status::InvalidArgument("LossConfig: tau must be positive");
+  }
+  return Status::Ok();
+}
+
+std::vector<float> ClassBalancedWeights(const std::vector<size_t>& class_counts,
+                                        float gamma) {
+  LIGHTLT_CHECK(!class_counts.empty());
+  LIGHTLT_CHECK_GE(gamma, 0.0f);
+  LIGHTLT_CHECK_LT(gamma, 1.0f);
+  std::vector<float> weights(class_counts.size());
+  if (gamma == 0.0f) {
+    // Eqn. 12 degenerates to standard cross entropy.
+    std::fill(weights.begin(), weights.end(), 1.0f);
+    return weights;
+  }
+  for (size_t c = 0; c < class_counts.size(); ++c) {
+    const double pi = static_cast<double>(class_counts[c]);
+    const double denom = 1.0 - std::pow(static_cast<double>(gamma), pi);
+    weights[c] = static_cast<float>((1.0 - gamma) /
+                                    std::max(denom, 1e-12));
+  }
+  // Normalize so sum_i w_{y_i} == N over the training distribution: keeps
+  // the loss scale (and thus the tuned learning rate) independent of gamma.
+  double weighted_total = 0.0;
+  double total = 0.0;
+  for (size_t c = 0; c < class_counts.size(); ++c) {
+    weighted_total += weights[c] * static_cast<double>(class_counts[c]);
+    total += static_cast<double>(class_counts[c]);
+  }
+  if (weighted_total > 0.0) {
+    const float scale = static_cast<float>(total / weighted_total);
+    for (auto& w : weights) w *= scale;
+  }
+  return weights;
+}
+
+Var WeightedCrossEntropy(const Var& logits, const std::vector<size_t>& labels,
+                         const std::vector<float>& class_weights) {
+  LIGHTLT_CHECK_EQ(labels.size(), logits->value().rows());
+  LIGHTLT_CHECK_EQ(class_weights.size(), logits->value().cols());
+  Var logp = ops::LogSoftmaxRows(logits);
+  Var picked = ops::PickPerRow(logp, labels);  // n x 1
+
+  Matrix sample_weights(labels.size(), 1);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    sample_weights[i] = class_weights[labels[i]];
+  }
+  Var weighted = ops::MulConstant(picked, sample_weights);
+  return ops::Scale(ops::Sum(weighted),
+                    -1.0f / static_cast<float>(labels.size()));
+}
+
+Var CenterLoss(const Var& quantized, const Var& prototypes,
+               const std::vector<size_t>& labels) {
+  LIGHTLT_CHECK_EQ(labels.size(), quantized->value().rows());
+  Var own = ops::GatherRows(prototypes, labels);  // n x d
+  Var diff = ops::Sub(own, quantized);
+  Var norms = ops::RowL2Norm(diff);  // n x 1
+  return ops::Mean(norms);
+}
+
+Var RankingLoss(const Var& quantized, const Var& prototypes,
+                const std::vector<size_t>& labels, float tau) {
+  LIGHTLT_CHECK_GT(tau, 0.0f);
+  // D_ij = ||o_i - z_j||; logits are -D/tau (Eqn. 14).
+  Var dist = ops::PairwiseL2Distance(quantized, prototypes);  // n x C
+  Var logits = ops::Scale(dist, -1.0f / tau);
+  Var logp = ops::LogSoftmaxRows(logits);
+  Var picked = ops::PickPerRow(logp, labels);
+  return ops::Scale(ops::Sum(picked),
+                    -1.0f / static_cast<float>(labels.size()));
+}
+
+Var LightLtLoss(const Var& logits, const Var& quantized, const Var& prototypes,
+                const std::vector<size_t>& labels,
+                const std::vector<float>& class_weights,
+                const LossConfig& config, const Var& embedding) {
+  LIGHTLT_CHECK(config.Validate().ok());
+  Var loss = WeightedCrossEntropy(logits, labels, class_weights);
+  if (config.alpha > 0.0f) {
+    Var extra;
+    if (config.use_center_loss) {
+      extra = CenterLoss(quantized, prototypes, labels);
+    }
+    if (config.use_ranking_loss) {
+      Var r = RankingLoss(quantized, prototypes, labels, config.tau);
+      extra = extra ? ops::Add(extra, r) : r;
+    }
+    if (extra) loss = ops::Add(loss, ops::Scale(extra, config.alpha));
+  }
+  if (config.recon_weight > 0.0f) {
+    LIGHTLT_CHECK(embedding != nullptr);
+    // Reconstruction sees the embedding as a fixed target, matching the
+    // usual auto-encoder formulation where the codebooks chase f(x).
+    Var target = ops::StopGradient(embedding);
+    Var recon = ops::Mean(ops::Square(ops::Sub(target, quantized)));
+    loss = ops::Add(loss, ops::Scale(recon, config.recon_weight));
+  }
+  return loss;
+}
+
+double TripletLossValue(const Matrix& representations,
+                        const std::vector<size_t>& labels, float margin) {
+  const size_t n = representations.rows();
+  LIGHTLT_CHECK_EQ(labels.size(), n);
+  auto distance = [&](size_t a, size_t b) {
+    double acc = 0.0;
+    const float* ra = representations.row(a);
+    const float* rb = representations.row(b);
+    for (size_t j = 0; j < representations.cols(); ++j) {
+      const double diff = ra[j] - rb[j];
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  };
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || labels[j] != labels[i]) continue;
+      for (size_t k = 0; k < n; ++k) {
+        if (labels[k] == labels[i]) continue;
+        total += std::max(0.0, distance(i, j) - distance(i, k) + margin);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace lightlt::core

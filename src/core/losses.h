@@ -1,0 +1,76 @@
+// LightLT training losses (paper §III-D).
+//
+//  * Class-weighted cross entropy (Eqn. 12) with the class-balanced weight
+//    w_c = (1 - gamma) / (1 - gamma^{pi_c}); gamma = 0 recovers plain CE,
+//    gamma -> 1 approaches inverse-frequency weighting.
+//  * Center loss (Eqn. 13): pull quantized representations to their class
+//    prototype.
+//  * Ranking loss (Eqn. 14): softmax over negative prototype distances so
+//    each representation is closer to its own prototype than to others.
+//  * Final loss (Eqn. 15): L = L_ce + alpha * (L_c + L_r); Prop. 1 shows
+//    L_c + L_r upper-bounds triplet loss at O(N) cost.
+//
+// All terms are averaged over the batch (the paper sums; a 1/N factor only
+// rescales the learning rate and keeps it batch-size independent).
+
+#ifndef LIGHTLT_CORE_LOSSES_H_
+#define LIGHTLT_CORE_LOSSES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tensor/ops.h"
+#include "src/util/status.h"
+
+namespace lightlt::core {
+
+/// Loss hyper-parameters (Eqns. 12, 14, 15).
+struct LossConfig {
+  float gamma = 0.999f;  ///< class-weight sharpness, in [0, 1)
+  float alpha = 0.01f;   ///< weight of (center + ranking) terms
+  float tau = 1.0f;      ///< ranking-loss temperature (Eqn. 14)
+  bool use_center_loss = true;
+  bool use_ranking_loss = true;
+  /// Optional explicit reconstruction term ||f(x) - o||^2 (not part of the
+  /// paper's Eqn. 15 — the STE already ties o to f(x) — but used by the
+  /// KDE baseline and available as an ablation).
+  float recon_weight = 0.0f;
+
+  Status Validate() const;
+};
+
+/// Per-class weights w_c = (1-gamma)/(1-gamma^{pi_c}), normalized so the
+/// weighted sample count equals N (keeps the CE scale comparable across
+/// gamma values). `class_counts` are the training-set pi_c.
+std::vector<float> ClassBalancedWeights(const std::vector<size_t>& class_counts,
+                                        float gamma);
+
+/// Class-weighted cross entropy (Eqn. 12). `logits` is (n x C),
+/// `class_weights` per-class (length C).
+Var WeightedCrossEntropy(const Var& logits, const std::vector<size_t>& labels,
+                         const std::vector<float>& class_weights);
+
+/// Center loss (Eqn. 13): mean_i ||z_{y_i} - o_i||_2. `prototypes` is the
+/// trainable (C x d) prototype bank.
+Var CenterLoss(const Var& quantized, const Var& prototypes,
+               const std::vector<size_t>& labels);
+
+/// Ranking loss (Eqn. 14): -mean_i log softmax_j(-||o_i - z_j||/tau)[y_i].
+Var RankingLoss(const Var& quantized, const Var& prototypes,
+                const std::vector<size_t>& labels, float tau);
+
+/// Full LightLT objective (Eqn. 15). `embedding` (the continuous f(x)) is
+/// only consumed when config.recon_weight > 0; pass nullptr otherwise.
+Var LightLtLoss(const Var& logits, const Var& quantized, const Var& prototypes,
+                const std::vector<size_t>& labels,
+                const std::vector<float>& class_weights,
+                const LossConfig& config, const Var& embedding = nullptr);
+
+/// Reference implementation of the triplet loss the paper upper-bounds
+/// (Prop. 1); O(N^3), used only in tests to verify the bound empirically.
+double TripletLossValue(const Matrix& representations,
+                        const std::vector<size_t>& labels, float margin);
+
+}  // namespace lightlt::core
+
+#endif  // LIGHTLT_CORE_LOSSES_H_

@@ -1,0 +1,76 @@
+#include "src/core/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace lightlt::core {
+
+Matrix EmbedInChunks(const LightLtModel& model, const Matrix& x,
+                     size_t chunk) {
+  LIGHTLT_CHECK_GT(chunk, 0u);
+  Matrix out(x.rows(), model.config().embed_dim);
+  for (size_t start = 0; start < x.rows(); start += chunk) {
+    const size_t end = std::min(start + chunk, x.rows());
+    std::vector<size_t> idx(end - start);
+    std::iota(idx.begin(), idx.end(), start);
+    const Matrix part = model.Embed(x.GatherRows(idx));
+    for (size_t i = 0; i < part.rows(); ++i) {
+      std::copy(part.row(i), part.row(i) + part.cols(),
+                out.row(start + i));
+    }
+  }
+  return out;
+}
+
+Result<index::AdcIndex> BuildAdcIndex(const LightLtModel& model,
+                                      const Matrix& db_features) {
+  const Matrix embedded = EmbedInChunks(model, db_features);
+  std::vector<std::vector<uint32_t>> codes;
+  model.dsq().Encode(embedded, &codes);
+  return index::AdcIndex::Build(model.Codebooks(), codes);
+}
+
+Result<RetrievalReport> EvaluateModel(const LightLtModel& model,
+                                      const data::RetrievalBenchmark& bench,
+                                      ThreadPool* pool) {
+  auto built = BuildAdcIndex(model, bench.database.features);
+  if (!built.ok()) return built.status();
+  const index::AdcIndex& idx = built.value();
+
+  const Matrix query_embeds = EmbedInChunks(model, bench.query.features);
+
+  eval::RankingFn ranker = [&](size_t q) {
+    return idx.RankAll(query_embeds.row(q));
+  };
+
+  RetrievalReport report;
+  report.map = eval::MeanAveragePrecision(ranker, bench.query.labels,
+                                          bench.database.labels, pool);
+
+  // Head/tail split by training-set class size, rank-based so both halves
+  // are non-empty even when many tail classes share the minimum count.
+  const auto counts = bench.train.ClassCounts();
+  std::vector<size_t> order(counts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return counts[a] > counts[b] || (counts[a] == counts[b] && a < b);
+  });
+  std::vector<bool> head(counts.size()), tail(counts.size());
+  for (size_t r = 0; r < order.size(); ++r) {
+    const bool is_head = r < order.size() / 2;
+    head[order[r]] = is_head;
+    tail[order[r]] = !is_head;
+  }
+  report.head_map = eval::MeanAveragePrecisionForClasses(
+      ranker, bench.query.labels, bench.database.labels, head, pool);
+  report.tail_map = eval::MeanAveragePrecisionForClasses(
+      ranker, bench.query.labels, bench.database.labels, tail, pool);
+
+  report.index_bytes = idx.MemoryBytes();
+  report.raw_bytes = bench.database.features.size() * sizeof(float);
+  return report;
+}
+
+}  // namespace lightlt::core

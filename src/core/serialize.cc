@@ -1,0 +1,100 @@
+#include "src/core/serialize.h"
+
+#include "src/util/io.h"
+
+namespace lightlt::core {
+namespace {
+
+constexpr uint32_t kModelMagic = 0x4c'4c'54'31;  // "LLT1"
+constexpr uint32_t kFormatVersion = 1;
+
+void WriteConfig(BinaryWriter& w, const ModelConfig& cfg) {
+  w.WriteU64(cfg.input_dim);
+  w.WriteU64(cfg.hidden_dims.size());
+  for (size_t h : cfg.hidden_dims) w.WriteU64(h);
+  w.WriteU64(cfg.embed_dim);
+  w.WriteU64(cfg.num_classes);
+  w.WriteU64(cfg.dsq.num_codebooks);
+  w.WriteU64(cfg.dsq.num_codewords);
+  w.WriteF32(cfg.dsq.temperature);
+  w.WriteU32(cfg.dsq.straight_through ? 1 : 0);
+  w.WriteU32(cfg.dsq.residual_skip ? 1 : 0);
+  w.WriteU32(cfg.dsq.codebook_skip ? 1 : 0);
+  w.WriteU64(cfg.dsq.ffn_hidden);
+}
+
+Result<ModelConfig> ReadConfig(BinaryReader& r) {
+  ModelConfig cfg;
+  cfg.input_dim = r.ReadU64();
+  const size_t num_hidden = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (num_hidden > 64) return Status::IoError("corrupt hidden layer count");
+  cfg.hidden_dims.resize(num_hidden);
+  for (auto& h : cfg.hidden_dims) h = r.ReadU64();
+  cfg.embed_dim = r.ReadU64();
+  cfg.num_classes = r.ReadU64();
+  cfg.dsq.num_codebooks = r.ReadU64();
+  cfg.dsq.num_codewords = r.ReadU64();
+  cfg.dsq.temperature = r.ReadF32();
+  cfg.dsq.straight_through = r.ReadU32() != 0;
+  cfg.dsq.residual_skip = r.ReadU32() != 0;
+  cfg.dsq.codebook_skip = r.ReadU32() != 0;
+  cfg.dsq.ffn_hidden = r.ReadU64();
+  cfg.dsq.dim = cfg.embed_dim;
+  if (!r.status().ok()) return r.status();
+  Status st = cfg.Validate();
+  if (!st.ok()) return Status::IoError("invalid config: " + st.message());
+  return cfg;
+}
+
+}  // namespace
+
+Status SaveModel(const LightLtModel& model, const std::string& path) {
+  BinaryWriter writer(path);
+  writer.WriteU32(kModelMagic);
+  writer.WriteU32(kFormatVersion);
+  WriteConfig(writer, model.config());
+
+  const auto params = model.Parameters();
+  writer.WriteU64(params.size());
+  for (const auto& p : params) {
+    writer.WriteU64(p->value().rows());
+    writer.WriteU64(p->value().cols());
+    writer.WriteF32Vector(p->value().storage());
+  }
+  return writer.Close();
+}
+
+Result<std::unique_ptr<LightLtModel>> LoadModel(const std::string& path) {
+  BinaryReader reader(path);
+  if (reader.ReadU32() != kModelMagic) {
+    return Status::IoError("not a LightLT model file: " + path);
+  }
+  if (reader.ReadU32() != kFormatVersion) {
+    return Status::IoError("unsupported model format version");
+  }
+  auto cfg = ReadConfig(reader);
+  if (!cfg.ok()) return cfg.status();
+
+  auto model = std::make_unique<LightLtModel>(cfg.value(), /*seed=*/0);
+  auto params = model->Parameters();
+  const size_t stored = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  if (stored != params.size()) {
+    return Status::IoError("parameter count mismatch");
+  }
+  for (auto& p : params) {
+    const size_t rows = reader.ReadU64();
+    const size_t cols = reader.ReadU64();
+    std::vector<float> data = reader.ReadF32Vector();
+    if (!reader.status().ok()) return reader.status();
+    if (rows != p->value().rows() || cols != p->value().cols() ||
+        data.size() != rows * cols) {
+      return Status::IoError("parameter shape mismatch");
+    }
+    p->mutable_value() = Matrix(rows, cols, std::move(data));
+  }
+  return model;
+}
+
+}  // namespace lightlt::core

@@ -1,0 +1,22 @@
+// Model persistence: saves/loads a LightLtModel's architecture and weights.
+
+#ifndef LIGHTLT_CORE_SERIALIZE_H_
+#define LIGHTLT_CORE_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/lightlt_model.h"
+#include "src/util/status.h"
+
+namespace lightlt::core {
+
+/// Writes config + all parameters (versioned binary format).
+Status SaveModel(const LightLtModel& model, const std::string& path);
+
+/// Reads a model back; fails with IoError on corrupt or mismatched files.
+Result<std::unique_ptr<LightLtModel>> LoadModel(const std::string& path);
+
+}  // namespace lightlt::core
+
+#endif  // LIGHTLT_CORE_SERIALIZE_H_

@@ -1,0 +1,126 @@
+#include "src/core/trainer.h"
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "src/nn/scheduler.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace lightlt::core {
+
+Status TrainOptions::Validate() const {
+  if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (learning_rate <= 0.0f) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (warmup_fraction < 0.0f || warmup_fraction >= 1.0f) {
+    return Status::InvalidArgument("warmup_fraction must be in [0, 1)");
+  }
+  return loss.Validate();
+}
+
+Result<TrainStats> TrainLightLt(LightLtModel* model,
+                                const data::Dataset& train,
+                                const TrainOptions& options) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  LIGHTLT_RETURN_IF_ERROR(options.Validate());
+  if (train.size() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (train.num_classes != model->config().num_classes) {
+    return Status::InvalidArgument("dataset/model class count mismatch");
+  }
+  if (train.dim() != model->config().input_dim) {
+    return Status::InvalidArgument("dataset/model input dim mismatch");
+  }
+
+  const std::vector<float> class_weights =
+      ClassBalancedWeights(train.ClassCounts(), options.loss.gamma);
+
+  std::vector<Var> params =
+      options.dsq_only ? model->DsqParameters() : model->Parameters();
+  nn::AdamWOptions adamw;
+  adamw.learning_rate = options.learning_rate;
+  adamw.weight_decay = options.weight_decay;
+  nn::AdamW optimizer(params, adamw);
+
+  const size_t n = train.size();
+  const size_t steps_per_epoch =
+      (n + options.batch_size - 1) / options.batch_size;
+  const int64_t total_steps =
+      static_cast<int64_t>(steps_per_epoch) * options.epochs;
+  const int64_t warmup =
+      static_cast<int64_t>(options.warmup_fraction *
+                           static_cast<float>(total_steps));
+
+  std::unique_ptr<nn::LrSchedule> schedule;
+  switch (options.schedule) {
+    case ScheduleKind::kConstant:
+      schedule = std::make_unique<nn::ConstantLr>(options.learning_rate);
+      break;
+    case ScheduleKind::kCosine:
+      schedule = std::make_unique<nn::CosineAnnealingLr>(
+          options.learning_rate, total_steps, warmup);
+      break;
+    case ScheduleKind::kLinearWarmup:
+      schedule = std::make_unique<nn::LinearWarmupLr>(
+          options.learning_rate, total_steps, warmup);
+      break;
+  }
+
+  Rng shuffle_rng(options.shuffle_seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  int64_t global_step = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    shuffle_rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    size_t correct = 0;
+
+    for (size_t start = 0; start < n; start += options.batch_size) {
+      const size_t end = std::min(start + options.batch_size, n);
+      std::vector<size_t> batch_idx(order.begin() + start,
+                                    order.begin() + end);
+      const Matrix batch = train.features.GatherRows(batch_idx);
+      std::vector<size_t> labels(batch_idx.size());
+      for (size_t i = 0; i < batch_idx.size(); ++i) {
+        labels[i] = train.labels[batch_idx[i]];
+      }
+
+      auto out = model->Forward(batch);
+      Var loss = LightLtLoss(out.logits, out.quantized, model->prototypes(),
+                             labels, class_weights, options.loss,
+                             out.embedding);
+      Backward(loss);
+
+      optimizer.set_learning_rate(schedule->LearningRate(global_step));
+      optimizer.Step();
+      ++global_step;
+
+      epoch_loss += static_cast<double>(loss->value()[0]) *
+                    static_cast<double>(labels.size());
+      const auto predicted = out.logits->value().RowArgMax();
+      for (size_t i = 0; i < labels.size(); ++i) {
+        if (predicted[i] == labels[i]) ++correct;
+      }
+    }
+
+    stats.epoch_loss.push_back(epoch_loss / static_cast<double>(n));
+    stats.epoch_accuracy.push_back(static_cast<double>(correct) /
+                                   static_cast<double>(n));
+    if (options.verbose) {
+      std::printf("  epoch %2d  loss %.4f  train-acc %.4f\n", epoch + 1,
+                  stats.epoch_loss.back(), stats.epoch_accuracy.back());
+    }
+  }
+  return stats;
+}
+
+}  // namespace lightlt::core

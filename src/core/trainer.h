@@ -1,0 +1,56 @@
+// Training loop for LightLT (Algorithm 1, lines 2-6) and the DSQ-only
+// fine-tuning pass used after weight ensembling (lines 8-11).
+
+#ifndef LIGHTLT_CORE_TRAINER_H_
+#define LIGHTLT_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/lightlt_model.h"
+#include "src/core/losses.h"
+#include "src/data/dataset.h"
+#include "src/nn/optimizer.h"
+#include "src/util/status.h"
+
+namespace lightlt::core {
+
+/// Learning-rate schedule choice (paper §V-A4: cosine annealing on image
+/// datasets, linear-with-warmup on text datasets).
+enum class ScheduleKind { kConstant, kCosine, kLinearWarmup };
+
+struct TrainOptions {
+  int epochs = 15;
+  size_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-4f;
+  ScheduleKind schedule = ScheduleKind::kCosine;
+  float warmup_fraction = 0.05f;  ///< fraction of steps used as warmup
+  LossConfig loss;
+  uint64_t shuffle_seed = 0xba7c;
+  /// When true, only DSQ parameters receive updates (ensemble fine-tuning;
+  /// backbone, classifier and prototypes stay frozen — paper Fig. 2).
+  bool dsq_only = false;
+  bool verbose = false;
+
+  Status Validate() const;
+};
+
+/// Per-epoch training telemetry.
+struct TrainStats {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_accuracy;  ///< train batch classification acc
+  double final_loss() const {
+    return epoch_loss.empty() ? 0.0 : epoch_loss.back();
+  }
+};
+
+/// Trains `model` on `train` in place. Class weights are derived from the
+/// training-set class counts (Eqn. 12).
+Result<TrainStats> TrainLightLt(LightLtModel* model,
+                                const data::Dataset& train,
+                                const TrainOptions& options);
+
+}  // namespace lightlt::core
+
+#endif  // LIGHTLT_CORE_TRAINER_H_

@@ -1,0 +1,186 @@
+#include "src/data/data_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/io.h"
+
+namespace lightlt::data {
+namespace {
+
+constexpr uint32_t kDatasetMagic = 0x4c54'4453;  // "LTDS"
+constexpr uint32_t kBenchMagic = 0x4c54'4242;    // "LTBB"
+constexpr uint32_t kVersion = 1;
+
+void WriteDatasetBody(BinaryWriter& w, const Dataset& dataset) {
+  w.WriteU64(dataset.features.rows());
+  w.WriteU64(dataset.features.cols());
+  w.WriteU64(dataset.num_classes);
+  w.WriteF32Vector(dataset.features.storage());
+  std::vector<uint32_t> labels(dataset.labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<uint32_t>(dataset.labels[i]);
+  }
+  w.WriteU32Vector(labels);
+}
+
+Result<Dataset> ReadDatasetBody(BinaryReader& r) {
+  const size_t rows = r.ReadU64();
+  const size_t cols = r.ReadU64();
+  const size_t num_classes = r.ReadU64();
+  std::vector<float> features = r.ReadF32Vector();
+  std::vector<uint32_t> labels = r.ReadU32Vector();
+  if (!r.status().ok()) return r.status();
+  if (features.size() != rows * cols || labels.size() != rows) {
+    return Status::IoError("dataset payload size mismatch");
+  }
+  Dataset out;
+  out.num_classes = num_classes;
+  out.features = Matrix(rows, cols, std::move(features));
+  out.labels.resize(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    if (labels[i] >= num_classes) {
+      return Status::IoError("dataset label out of range");
+    }
+    out.labels[i] = labels[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteU32(kDatasetMagic);
+  w.WriteU32(kVersion);
+  WriteDatasetBody(w, dataset);
+  return w.Close();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  BinaryReader r(path);
+  if (r.ReadU32() != kDatasetMagic) {
+    return Status::IoError("not a dataset file: " + path);
+  }
+  if (r.ReadU32() != kVersion) {
+    return Status::IoError("unsupported dataset version");
+  }
+  return ReadDatasetBody(r);
+}
+
+Status SaveBenchmark(const RetrievalBenchmark& bench,
+                     const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteU32(kBenchMagic);
+  w.WriteU32(kVersion);
+  w.WriteString(bench.name);
+  WriteDatasetBody(w, bench.train);
+  WriteDatasetBody(w, bench.query);
+  WriteDatasetBody(w, bench.database);
+  return w.Close();
+}
+
+Result<RetrievalBenchmark> LoadBenchmark(const std::string& path) {
+  BinaryReader r(path);
+  if (r.ReadU32() != kBenchMagic) {
+    return Status::IoError("not a benchmark file: " + path);
+  }
+  if (r.ReadU32() != kVersion) {
+    return Status::IoError("unsupported benchmark version");
+  }
+  RetrievalBenchmark bench;
+  bench.name = r.ReadString();
+  auto train = ReadDatasetBody(r);
+  if (!train.ok()) return train.status();
+  bench.train = std::move(train).value();
+  auto query = ReadDatasetBody(r);
+  if (!query.ok()) return query.status();
+  bench.query = std::move(query).value();
+  auto database = ReadDatasetBody(r);
+  if (!database.ok()) return database.status();
+  bench.database = std::move(database).value();
+  return bench;
+}
+
+Result<Dataset> LoadTsv(const std::string& path, size_t num_classes) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+
+  std::vector<float> values;
+  std::vector<size_t> labels;
+  size_t dim = 0;
+  size_t max_label = 0;
+  std::string line;
+  char buf[1 << 16];
+  size_t line_no = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++line_no;
+    line = buf;
+    if (line.empty() || line[0] == '\n' || line[0] == '#') continue;
+
+    const char* p = line.c_str();
+    char* end = nullptr;
+    const long label = std::strtol(p, &end, 10);
+    if (end == p || label < 0) {
+      std::fclose(f);
+      return Status::IoError("bad label at line " + std::to_string(line_no));
+    }
+    labels.push_back(static_cast<size_t>(label));
+    max_label = std::max(max_label, static_cast<size_t>(label));
+
+    size_t row_dim = 0;
+    p = end;
+    for (;;) {
+      while (*p == '\t' || *p == ' ') ++p;
+      if (*p == '\0' || *p == '\n' || *p == '\r') break;
+      const float v = std::strtof(p, &end);
+      if (end == p) {
+        std::fclose(f);
+        return Status::IoError("bad feature at line " +
+                               std::to_string(line_no));
+      }
+      values.push_back(v);
+      ++row_dim;
+      p = end;
+    }
+    if (dim == 0) {
+      dim = row_dim;
+    } else if (row_dim != dim) {
+      std::fclose(f);
+      return Status::IoError("inconsistent dimensionality at line " +
+                             std::to_string(line_no));
+    }
+  }
+  std::fclose(f);
+
+  if (labels.empty() || dim == 0) {
+    return Status::IoError("no data rows in " + path);
+  }
+  Dataset out;
+  out.num_classes = num_classes == 0 ? max_label + 1 : num_classes;
+  if (max_label >= out.num_classes) {
+    return Status::InvalidArgument("label exceeds num_classes");
+  }
+  out.features = Matrix(labels.size(), dim, std::move(values));
+  out.labels = std::move(labels);
+  return out;
+}
+
+Status SaveTsv(const Dataset& dataset, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    std::fprintf(f, "%zu", dataset.labels[i]);
+    const float* row = dataset.features.row(i);
+    for (size_t j = 0; j < dataset.dim(); ++j) {
+      std::fprintf(f, "\t%.6g", row[j]);
+    }
+    std::fputc('\n', f);
+  }
+  if (std::fclose(f) != 0) return Status::IoError("close failed");
+  return Status::Ok();
+}
+
+}  // namespace lightlt::data

@@ -1,0 +1,37 @@
+// Dataset persistence and interchange: a compact binary format for
+// features+labels, and a TSV importer so externally extracted
+// (ResNet/BERT/...) features can be used instead of the synthetic presets.
+
+#ifndef LIGHTLT_DATA_DATA_IO_H_
+#define LIGHTLT_DATA_DATA_IO_H_
+
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace lightlt::data {
+
+/// Writes a dataset (versioned binary; features as float32).
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by SaveDataset.
+Result<Dataset> LoadDataset(const std::string& path);
+
+/// Saves the full train/query/database triple into one file.
+Status SaveBenchmark(const RetrievalBenchmark& bench, const std::string& path);
+
+/// Loads a benchmark written by SaveBenchmark.
+Result<RetrievalBenchmark> LoadBenchmark(const std::string& path);
+
+/// Imports a TSV file: one row per item, `label \t f0 \t f1 \t ... \t fd-1`.
+/// All rows must have the same dimensionality; labels must be non-negative
+/// integers. `num_classes` is inferred as max(label)+1 unless overridden.
+Result<Dataset> LoadTsv(const std::string& path, size_t num_classes = 0);
+
+/// Exports a dataset in the same TSV layout (for inspection / plotting).
+Status SaveTsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace lightlt::data
+
+#endif  // LIGHTLT_DATA_DATA_IO_H_

@@ -1,0 +1,218 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace lightlt::data {
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(num_classes, 0);
+  for (size_t label : labels) {
+    LIGHTLT_CHECK_LT(label, num_classes);
+    ++counts[label];
+  }
+  return counts;
+}
+
+namespace {
+
+/// Per-class generative model in the latent space: a mixture of
+/// `modes_per_class` components sharing one covariance factor:
+/// z = modes[m] + factors^T u + sigma * eps.
+struct ClassModel {
+  Matrix modes;    // modes_per_class x latent
+  Matrix factors;  // rank x latent
+};
+
+/// Fixed random nonlinearity shared by all splits of one dataset:
+/// x = tanh(z W1 + b1) W2 + u N + observation noise,
+/// where u N is the class-irrelevant nuisance component.
+struct WarpModel {
+  Matrix w1;  // latent x d
+  Matrix b1;  // 1 x d
+  Matrix w2;  // d x d
+  Matrix nuisance;  // rank x d, zero-sized = no nuisance
+  bool active = false;
+};
+
+size_t LatentDim(const SyntheticConfig& cfg) {
+  return cfg.nonlinear_warp ? cfg.latent_dim : cfg.feature_dim;
+}
+
+std::vector<ClassModel> MakeClassModels(const SyntheticConfig& cfg,
+                                        Rng& rng) {
+  const size_t latent = LatentDim(cfg);
+  std::vector<ClassModel> models;
+  models.reserve(cfg.num_classes);
+  const size_t modes = std::max<size_t>(1, cfg.modes_per_class);
+  for (size_t c = 0; c < cfg.num_classes; ++c) {
+    ClassModel m;
+    m.modes = Matrix(modes, latent);
+    Matrix primary = Matrix::RandomGaussian(1, latent, rng,
+                                            cfg.class_separation);
+    for (size_t k = 0; k < modes; ++k) {
+      for (size_t j = 0; j < latent; ++j) {
+        float v = primary[j];
+        if (k > 0) {
+          v += cfg.mode_spread * cfg.noise_sigma *
+               static_cast<float>(rng.NextGaussian());
+        }
+        m.modes.at(k, j) = v;
+      }
+    }
+    if (cfg.covariance_rank > 0) {
+      m.factors = Matrix::RandomGaussian(cfg.covariance_rank, latent, rng,
+                                         cfg.covariance_scale);
+    }
+    models.push_back(std::move(m));
+  }
+  return models;
+}
+
+WarpModel MakeWarp(const SyntheticConfig& cfg, Rng& rng) {
+  WarpModel warp;
+  warp.active = cfg.nonlinear_warp;
+  const size_t d = cfg.feature_dim;
+  if (warp.active) {
+    const size_t latent = cfg.latent_dim;
+    // Column scales keep pre-activation variance O(1) per unit so tanh
+    // folds without fully saturating.
+    warp.w1 = Matrix::RandomGaussian(
+        latent, d, rng, 1.0f / std::sqrt(static_cast<float>(latent)));
+    warp.b1 = Matrix::RandomGaussian(1, d, rng, 0.3f);
+    warp.w2 = Matrix::RandomGaussian(d, d, rng,
+                                     1.0f / std::sqrt(static_cast<float>(d)));
+  }
+  if (cfg.nuisance_rank > 0 && cfg.nuisance_scale > 0.0f) {
+    warp.nuisance = Matrix::RandomGaussian(
+        cfg.nuisance_rank, d, rng,
+        cfg.nuisance_scale / std::sqrt(static_cast<float>(cfg.nuisance_rank)));
+  }
+  return warp;
+}
+
+Matrix SampleLatent(const std::vector<ClassModel>& models,
+                    const SyntheticConfig& cfg,
+                    const std::vector<size_t>& per_class,
+                    std::vector<size_t>& labels, Rng& rng) {
+  const size_t latent = LatentDim(cfg);
+  size_t total = 0;
+  for (size_t n : per_class) total += n;
+  Matrix z(total, latent);
+  labels.resize(total);
+
+  size_t cursor = 0;
+  for (size_t c = 0; c < cfg.num_classes; ++c) {
+    const ClassModel& model = models[c];
+    const size_t rank = model.factors.rows();
+    for (size_t s = 0; s < per_class[c]; ++s) {
+      float* row = z.row(cursor);
+      const size_t mode =
+          static_cast<size_t>(rng.NextIndex(model.modes.rows()));
+      const float* mean = model.modes.row(mode);
+      for (size_t j = 0; j < latent; ++j) {
+        row[j] = mean[j] +
+                 cfg.noise_sigma * static_cast<float>(rng.NextGaussian());
+      }
+      for (size_t r = 0; r < rank; ++r) {
+        const float u = static_cast<float>(rng.NextGaussian());
+        const float* f = model.factors.row(r);
+        for (size_t j = 0; j < latent; ++j) row[j] += u * f[j];
+      }
+      labels[cursor] = c;
+      ++cursor;
+    }
+  }
+  LIGHTLT_CHECK_EQ(cursor, total);
+  return z;
+}
+
+Matrix ApplyWarp(const Matrix& z, const WarpModel& warp,
+                 const SyntheticConfig& cfg, Rng& rng) {
+  Matrix x;
+  if (warp.active) {
+    Matrix hidden = z.MatMul(warp.w1);
+    for (size_t i = 0; i < hidden.rows(); ++i) {
+      float* r = hidden.row(i);
+      for (size_t j = 0; j < hidden.cols(); ++j) {
+        r[j] = std::tanh(r[j] + warp.b1[j]);
+      }
+    }
+    x = hidden.MatMul(warp.w2);
+  } else {
+    x = z;
+  }
+  if (!warp.nuisance.empty()) {
+    // Class-irrelevant factors: u B per sample.
+    const size_t rank = warp.nuisance.rows();
+    for (size_t i = 0; i < x.rows(); ++i) {
+      float* r = x.row(i);
+      for (size_t f = 0; f < rank; ++f) {
+        const float u = static_cast<float>(rng.NextGaussian());
+        const float* b = warp.nuisance.row(f);
+        for (size_t j = 0; j < x.cols(); ++j) r[j] += u * b[j];
+      }
+    }
+  }
+  if (cfg.observation_noise > 0.0f) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      x[i] += cfg.observation_noise * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return x;
+}
+
+Dataset SampleSplit(const std::vector<ClassModel>& models,
+                    const WarpModel& warp, const SyntheticConfig& cfg,
+                    const std::vector<size_t>& per_class, Rng& rng) {
+  Dataset out;
+  out.num_classes = cfg.num_classes;
+  Matrix z = SampleLatent(models, cfg, per_class, out.labels, rng);
+  out.features = ApplyWarp(z, warp, cfg, rng);
+
+  // Shuffle rows so batches mix classes.
+  const size_t total = out.labels.size();
+  std::vector<size_t> perm(total);
+  for (size_t i = 0; i < total; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  Matrix shuffled = out.features.GatherRows(perm);
+  std::vector<size_t> shuffled_labels(total);
+  for (size_t i = 0; i < total; ++i) shuffled_labels[i] = out.labels[perm[i]];
+  out.features = std::move(shuffled);
+  out.labels = std::move(shuffled_labels);
+  return out;
+}
+
+}  // namespace
+
+RetrievalBenchmark GenerateSynthetic(const SyntheticConfig& config) {
+  LIGHTLT_CHECK_GT(config.num_classes, 1u);
+  LIGHTLT_CHECK_EQ(config.train_spec.num_classes, config.num_classes);
+  if (config.nonlinear_warp) {
+    LIGHTLT_CHECK_GT(config.latent_dim, 0u);
+  }
+
+  Rng rng(config.seed);
+  const auto models = MakeClassModels(config, rng);
+  const WarpModel warp = MakeWarp(config, rng);
+
+  RetrievalBenchmark bench;
+  bench.name = config.name;
+
+  const std::vector<size_t> train_sizes = LongTailClassSizes(config.train_spec);
+  bench.train = SampleSplit(models, warp, config, train_sizes, rng);
+
+  const std::vector<size_t> query_sizes(config.num_classes,
+                                        config.queries_per_class);
+  bench.query = SampleSplit(models, warp, config, query_sizes, rng);
+
+  const std::vector<size_t> db_sizes(config.num_classes,
+                                     config.database_per_class);
+  bench.database = SampleSplit(models, warp, config, db_sizes, rng);
+
+  return bench;
+}
+
+}  // namespace lightlt::data

@@ -1,0 +1,37 @@
+#include "src/data/longtail.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace lightlt::data {
+
+double ZipfExponent(size_t num_classes, double imbalance_factor) {
+  LIGHTLT_CHECK_GT(num_classes, 1u);
+  LIGHTLT_CHECK_GE(imbalance_factor, 1.0);
+  return std::log(imbalance_factor) /
+         std::log(static_cast<double>(num_classes));
+}
+
+std::vector<size_t> LongTailClassSizes(const LongTailSpec& spec) {
+  const double p = ZipfExponent(spec.num_classes, spec.imbalance_factor);
+  std::vector<size_t> sizes(spec.num_classes);
+  for (size_t i = 0; i < spec.num_classes; ++i) {
+    const double size =
+        static_cast<double>(spec.head_size) *
+        std::pow(static_cast<double>(i + 1), -p);
+    sizes[i] = std::max(spec.min_class_size,
+                        static_cast<size_t>(std::llround(size)));
+  }
+  return sizes;
+}
+
+double MeasuredImbalanceFactor(const std::vector<size_t>& sizes) {
+  LIGHTLT_CHECK(!sizes.empty());
+  const auto [min_it, max_it] = std::minmax_element(sizes.begin(), sizes.end());
+  LIGHTLT_CHECK_GT(*min_it, 0u);
+  return static_cast<double>(*max_it) / static_cast<double>(*min_it);
+}
+
+}  // namespace lightlt::data

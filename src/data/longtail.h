@@ -1,0 +1,34 @@
+// Long-tail class-size law (paper Definition 1).
+//
+// Class sizes follow Zipf's law: pi_i = pi_1 * i^{-p}. The imbalance factor
+// IF = pi_1 / pi_C determines the exponent p = log(IF) / log(C).
+
+#ifndef LIGHTLT_DATA_LONGTAIL_H_
+#define LIGHTLT_DATA_LONGTAIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lightlt::data {
+
+/// Parameters of a long-tail (Zipf) class-size distribution.
+struct LongTailSpec {
+  size_t num_classes = 100;  ///< C
+  size_t head_size = 500;    ///< pi_1, size of the largest class
+  double imbalance_factor = 50.0;  ///< IF = pi_1 / pi_C
+  size_t min_class_size = 1;       ///< floor applied after rounding
+};
+
+/// Zipf exponent p such that pi_C = pi_1 * C^{-p} = pi_1 / IF.
+double ZipfExponent(size_t num_classes, double imbalance_factor);
+
+/// Class sizes pi_1 >= pi_2 >= ... >= pi_C per Definition 1.
+/// sizes[i] = max(min_class_size, round(head_size * (i+1)^{-p})).
+std::vector<size_t> LongTailClassSizes(const LongTailSpec& spec);
+
+/// Empirical imbalance factor of a size vector (largest / smallest).
+double MeasuredImbalanceFactor(const std::vector<size_t>& sizes);
+
+}  // namespace lightlt::data
+
+#endif  // LIGHTLT_DATA_LONGTAIL_H_

@@ -1,0 +1,140 @@
+#include "src/data/presets.h"
+
+#include "src/util/check.h"
+
+namespace lightlt::data {
+
+std::string PresetName(PresetId id) {
+  switch (id) {
+    case PresetId::kCifar100ish:
+      return "Cifar100ish";
+    case PresetId::kImageNet100ish:
+      return "ImageNet100ish";
+    case PresetId::kNcish:
+      return "NCish";
+    case PresetId::kQbaish:
+      return "QBAish";
+  }
+  return "Unknown";
+}
+
+std::vector<PresetId> AllPresets() {
+  return {PresetId::kCifar100ish, PresetId::kImageNet100ish, PresetId::kNcish,
+          PresetId::kQbaish};
+}
+
+SyntheticConfig MakePresetConfig(PresetId id, double imbalance_factor,
+                                 bool full_scale, uint64_t seed) {
+  LIGHTLT_CHECK_GE(imbalance_factor, 1.0);
+  SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.train_spec.imbalance_factor = imbalance_factor;
+  cfg.train_spec.min_class_size = 2;
+
+  switch (id) {
+    case PresetId::kCifar100ish:
+      // Table I: C=100, pi_1=500, N_query=10k, N_db=50k. Hardest dataset:
+      // backbone was not pretrained on it -> lowest class separation.
+      cfg.num_classes = 100;
+      cfg.class_separation = 5.0f;
+      cfg.nuisance_scale = 1.0f;
+      cfg.modes_per_class = 2;
+      cfg.noise_sigma = 1.0f;
+      cfg.covariance_rank = 4;
+      cfg.covariance_scale = 0.55f;
+      if (full_scale) {
+        cfg.feature_dim = 512;
+        cfg.train_spec.head_size = 500;
+        cfg.queries_per_class = 100;   // 10k queries
+        cfg.database_per_class = 500;  // 50k database
+      } else {
+        cfg.feature_dim = 64;
+        cfg.train_spec.head_size = 120;
+        cfg.queries_per_class = 8;
+        cfg.database_per_class = 40;
+      }
+      break;
+
+    case PresetId::kImageNet100ish:
+      // Table I: C=100, pi_1=1.3k, N_query=5k, N_db=130k. Backbone is
+      // pretrained on the superset -> well-separated representations.
+      cfg.num_classes = 100;
+      cfg.class_separation = 14.0f;
+      cfg.nuisance_scale = 1.0f;
+      cfg.modes_per_class = 2;
+      cfg.noise_sigma = 1.0f;
+      cfg.covariance_rank = 4;
+      cfg.covariance_scale = 0.5f;
+      if (full_scale) {
+        cfg.feature_dim = 512;
+        cfg.train_spec.head_size = 1300;
+        cfg.queries_per_class = 50;     // 5k queries
+        cfg.database_per_class = 1300;  // 130k database
+      } else {
+        cfg.feature_dim = 64;
+        cfg.train_spec.head_size = 150;
+        cfg.queries_per_class = 8;
+        cfg.database_per_class = 40;
+      }
+      break;
+
+    case PresetId::kNcish:
+      // Table I: C=10, pi_1=29k, N_query=2k, N_db=65k/72k. Few classes but
+      // high within-class variance (text) -> moderate separation, strong
+      // low-rank spread.
+      cfg.num_classes = 10;
+      cfg.class_separation = 2.5f;
+      cfg.nuisance_scale = 1.0f;
+      cfg.modes_per_class = 2;
+      cfg.noise_sigma = 1.0f;
+      cfg.covariance_rank = 8;
+      cfg.covariance_scale = 0.8f;
+      if (full_scale) {
+        cfg.feature_dim = 768;
+        cfg.train_spec.head_size = 29000;
+        cfg.queries_per_class = 200;     // 2k queries
+        cfg.database_per_class = 6500;   // 65k database
+      } else {
+        cfg.feature_dim = 64;
+        cfg.train_spec.head_size = 700;
+        cfg.queries_per_class = 60;
+        cfg.database_per_class = 500;
+      }
+      break;
+
+    case PresetId::kQbaish:
+      // Table I: C=25, pi_1=10k, N_query=5k, N_db=636k/642k. Query data is
+      // noisy (short queries) -> low separation; biggest database, used for
+      // the efficiency study (Fig. 7).
+      cfg.num_classes = 25;
+      cfg.class_separation = 2.5f;
+      cfg.nuisance_scale = 1.2f;
+      cfg.modes_per_class = 2;
+      cfg.noise_sigma = 1.0f;
+      cfg.covariance_rank = 6;
+      cfg.covariance_scale = 0.7f;
+      if (full_scale) {
+        cfg.feature_dim = 768;
+        cfg.train_spec.head_size = 10000;
+        cfg.queries_per_class = 200;      // 5k queries
+        cfg.database_per_class = 25500;   // ~636k database
+      } else {
+        cfg.feature_dim = 64;
+        cfg.train_spec.head_size = 500;
+        cfg.queries_per_class = 30;
+        cfg.database_per_class = 800;  // 20k database for Fig. 7 sweeps
+      }
+      break;
+  }
+  cfg.train_spec.num_classes = cfg.num_classes;
+  cfg.name = PresetName(id);
+  return cfg;
+}
+
+RetrievalBenchmark GeneratePreset(PresetId id, double imbalance_factor,
+                                  bool full_scale, uint64_t seed) {
+  return GenerateSynthetic(
+      MakePresetConfig(id, imbalance_factor, full_scale, seed));
+}
+
+}  // namespace lightlt::data

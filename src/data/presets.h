@@ -1,0 +1,50 @@
+// Dataset presets mirroring Table I of the paper.
+//
+// Each preset exists at two scales:
+//  * scaled (default): shrunk sizes/dimensions so a full benchmark harness
+//    finishes in minutes on CPU;
+//  * full: the exact Table I statistics (C, pi_1, N_query, N_db) with a
+//    512-dim feature space standing in for the pretrained representations.
+//
+// The per-preset separation/noise knobs are calibrated so the *relative*
+// difficulty ordering of the paper holds: ImageNet100 (pretrained on the
+// superset, easiest) > NC > QBA > Cifar100.
+
+#ifndef LIGHTLT_DATA_PRESETS_H_
+#define LIGHTLT_DATA_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace lightlt::data {
+
+/// The four evaluation datasets of the paper (Table I).
+enum class PresetId {
+  kCifar100ish,     ///< image-like, 100 classes, hard
+  kImageNet100ish,  ///< image-like, 100 classes, easy (pretrained backbone)
+  kNcish,           ///< text-like (Amazon News), 10 classes
+  kQbaish,          ///< text-like (Amazon query), 25 classes, large database
+};
+
+/// Human-readable preset name, e.g. "Cifar100ish".
+std::string PresetName(PresetId id);
+
+/// All four presets in Table I order.
+std::vector<PresetId> AllPresets();
+
+/// Builds the generation config for a preset at the given imbalance factor
+/// (the paper uses IF in {50, 100}).
+SyntheticConfig MakePresetConfig(PresetId id, double imbalance_factor,
+                                 bool full_scale = false,
+                                 uint64_t seed = 0x11157);
+
+/// Convenience: generate the benchmark directly.
+RetrievalBenchmark GeneratePreset(PresetId id, double imbalance_factor,
+                                  bool full_scale = false,
+                                  uint64_t seed = 0x11157);
+
+}  // namespace lightlt::data
+
+#endif  // LIGHTLT_DATA_PRESETS_H_

@@ -1,0 +1,77 @@
+#include "src/eval/curves.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace lightlt::eval {
+
+std::vector<CurvePoint> PrecisionRecallCurve(
+    const RankingFn& rank_query, const std::vector<size_t>& query_labels,
+    const std::vector<size_t>& db_labels, const std::vector<size_t>& ks,
+    ThreadPool* pool) {
+  LIGHTLT_CHECK(!ks.empty());
+  for (size_t i = 1; i < ks.size(); ++i) LIGHTLT_CHECK_LT(ks[i - 1], ks[i]);
+
+  std::vector<std::vector<double>> precisions(query_labels.size());
+  std::vector<std::vector<double>> recalls(query_labels.size());
+  ParallelFor(
+      pool, query_labels.size(),
+      [&](size_t q) {
+        const auto ranking = rank_query(q);
+        precisions[q].reserve(ks.size());
+        recalls[q].reserve(ks.size());
+        for (size_t k : ks) {
+          precisions[q].push_back(
+              PrecisionAtK(ranking, db_labels, query_labels[q], k));
+          recalls[q].push_back(
+              RecallAtK(ranking, db_labels, query_labels[q], k));
+        }
+      },
+      /*min_chunk=*/8);
+
+  std::vector<CurvePoint> curve(ks.size());
+  for (size_t i = 0; i < ks.size(); ++i) {
+    curve[i].k = ks[i];
+    for (size_t q = 0; q < query_labels.size(); ++q) {
+      curve[i].precision += precisions[q][i];
+      curve[i].recall += recalls[q][i];
+    }
+    if (!query_labels.empty()) {
+      curve[i].precision /= static_cast<double>(query_labels.size());
+      curve[i].recall /= static_cast<double>(query_labels.size());
+    }
+  }
+  return curve;
+}
+
+double RecallAgainstExact(const RankingFn& approx, const RankingFn& exact,
+                          size_t num_queries, size_t k, ThreadPool* pool) {
+  if (num_queries == 0 || k == 0) return 0.0;
+  std::vector<double> recalls(num_queries, 0.0);
+  ParallelFor(
+      pool, num_queries,
+      [&](size_t q) {
+        const auto truth = exact(q);
+        const auto guess = approx(q);
+        const size_t depth = std::min(k, truth.size());
+        if (depth == 0) return;
+        // The whole returned truth list is the valid set: callers may pass
+        // more than k ids to make the metric tie-aware (any k-subset of a
+        // tie group is a correct answer).
+        std::unordered_set<uint32_t> truth_ids(truth.begin(), truth.end());
+        size_t hit = 0;
+        for (size_t i = 0; i < guess.size() && i < k; ++i) {
+          hit += truth_ids.count(guess[i]);
+        }
+        recalls[q] =
+            static_cast<double>(hit) / static_cast<double>(depth);
+      },
+      /*min_chunk=*/4);
+  double total = 0.0;
+  for (double r : recalls) total += r;
+  return total / static_cast<double>(num_queries);
+}
+
+}  // namespace lightlt::eval

@@ -1,0 +1,37 @@
+// Precision/recall-at-k curves over a query set — the standard companion
+// plots to MAP for analyzing retrieval behaviour at different depths.
+
+#ifndef LIGHTLT_EVAL_CURVES_H_
+#define LIGHTLT_EVAL_CURVES_H_
+
+#include <vector>
+
+#include "src/eval/metrics.h"
+
+namespace lightlt::eval {
+
+/// One point of a retrieval curve.
+struct CurvePoint {
+  size_t k = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// Mean precision@k and recall@k over all queries at each depth in `ks`
+/// (must be positive and ascending).
+std::vector<CurvePoint> PrecisionRecallCurve(
+    const RankingFn& rank_query, const std::vector<size_t>& query_labels,
+    const std::vector<size_t>& db_labels, const std::vector<size_t>& ks,
+    ThreadPool* pool = nullptr);
+
+/// Recall@k of an approximate ranking against an exact one: the fraction of
+/// the exact top-k ids that appear in the approximate top-k, averaged over
+/// queries. This is the ANN-benchmark notion of recall, used to evaluate
+/// IVF probing.
+double RecallAgainstExact(const RankingFn& approx, const RankingFn& exact,
+                          size_t num_queries, size_t k,
+                          ThreadPool* pool = nullptr);
+
+}  // namespace lightlt::eval
+
+#endif  // LIGHTLT_EVAL_CURVES_H_

@@ -1,0 +1,78 @@
+#include "src/eval/efficiency.h"
+
+#include <cmath>
+
+#include "src/index/codes.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace lightlt::eval {
+
+double TheoreticalCompressRatio(size_t n, size_t d, size_t m, size_t k) {
+  const double raw = 4.0 * static_cast<double>(n) * static_cast<double>(d);
+  const double quantized =
+      4.0 * static_cast<double>(k) * static_cast<double>(m) *
+          static_cast<double>(d) +
+      static_cast<double>(n) * static_cast<double>(m) *
+          static_cast<double>(index::BitsPerCode(k)) / 8.0 +
+      4.0 * static_cast<double>(n);
+  return raw / quantized;
+}
+
+double TheoreticalSpeedup(size_t n, size_t d, size_t m, size_t k) {
+  const double exhaustive = static_cast<double>(n) * static_cast<double>(d);
+  const double adc = static_cast<double>(d) * static_cast<double>(m) *
+                         static_cast<double>(k) +
+                     static_cast<double>(n) * static_cast<double>(m);
+  return exhaustive / adc;
+}
+
+EfficiencyReport MeasureEfficiency(const index::FlatIndex& flat,
+                                   const index::AdcIndex& adc,
+                                   const Matrix& queries, int repeats) {
+  LIGHTLT_CHECK_EQ(flat.num_items(), adc.num_items());
+  LIGHTLT_CHECK_GT(queries.rows(), 0u);
+  LIGHTLT_CHECK_GT(repeats, 0);
+
+  EfficiencyReport report;
+  report.database_size = flat.num_items();
+
+  std::vector<float> scores;
+  // Warm-up pass so first-touch page faults don't pollute the timing.
+  flat.ComputeScores(queries.row(0), &scores);
+  adc.ComputeScores(queries.row(0), &scores);
+
+  WallTimer timer;
+  for (int r = 0; r < repeats; ++r) {
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      flat.ComputeScores(queries.row(q), &scores);
+    }
+  }
+  const double flat_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  for (int r = 0; r < repeats; ++r) {
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      adc.ComputeScores(queries.row(q), &scores);
+    }
+  }
+  const double adc_seconds = timer.ElapsedSeconds();
+
+  const double total_queries =
+      static_cast<double>(queries.rows()) * repeats;
+  report.flat_query_micros = flat_seconds * 1e6 / total_queries;
+  report.adc_query_micros = adc_seconds * 1e6 / total_queries;
+  report.measured_speedup = flat_seconds / std::max(adc_seconds, 1e-12);
+  report.measured_compress_ratio =
+      static_cast<double>(flat.MemoryBytes()) /
+      static_cast<double>(adc.MemoryBytes());
+  report.theoretical_speedup =
+      TheoreticalSpeedup(flat.num_items(), flat.dim(), adc.num_codebooks(),
+                         adc.num_codewords());
+  report.theoretical_compress_ratio =
+      TheoreticalCompressRatio(flat.num_items(), flat.dim(),
+                               adc.num_codebooks(), adc.num_codewords());
+  return report;
+}
+
+}  // namespace lightlt::eval

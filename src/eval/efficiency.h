@@ -1,0 +1,45 @@
+// Inference and storage efficiency measurements (paper §V-E, Fig. 7).
+//
+// Speedup ratio = exhaustive-search time / ADC-search time (measured on the
+// distance-computation phase, matching the paper's complexity analysis).
+// Compress ratio = float storage / quantized storage. Theoretical values use
+// the closed forms of §IV: ops nd vs dMK + nM; bytes 4nd vs
+// 4KMd + n*M*log2(K)/8 + 4n.
+
+#ifndef LIGHTLT_EVAL_EFFICIENCY_H_
+#define LIGHTLT_EVAL_EFFICIENCY_H_
+
+#include <cstddef>
+
+#include "src/index/adc_index.h"
+#include "src/index/flat_index.h"
+#include "src/tensor/matrix.h"
+
+namespace lightlt::eval {
+
+/// One row of the Fig. 7 sweep.
+struct EfficiencyReport {
+  size_t database_size = 0;
+  double measured_speedup = 0.0;
+  double theoretical_speedup = 0.0;
+  double measured_compress_ratio = 0.0;
+  double theoretical_compress_ratio = 0.0;
+  double flat_query_micros = 0.0;
+  double adc_query_micros = 0.0;
+};
+
+/// Times `repeats` full passes of ComputeScores over all queries against
+/// both indexes and fills the ratios. The indexes must cover the same items.
+EfficiencyReport MeasureEfficiency(const index::FlatIndex& flat,
+                                   const index::AdcIndex& adc,
+                                   const Matrix& queries, int repeats = 3);
+
+/// Closed-form compress ratio 4nd / (4KMd + n*M*log2(K)/8 + 4n), §IV-A.
+double TheoreticalCompressRatio(size_t n, size_t d, size_t m, size_t k);
+
+/// Closed-form speedup nd / (dMK + nM), §IV-B.
+double TheoreticalSpeedup(size_t n, size_t d, size_t m, size_t k);
+
+}  // namespace lightlt::eval
+
+#endif  // LIGHTLT_EVAL_EFFICIENCY_H_

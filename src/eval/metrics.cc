@@ -1,0 +1,90 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace lightlt::eval {
+
+double AveragePrecision(const std::vector<uint32_t>& ranking,
+                        const std::vector<size_t>& db_labels,
+                        size_t query_label) {
+  size_t hits = 0;
+  double precision_sum = 0.0;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    LIGHTLT_CHECK_LT(ranking[i], db_labels.size());
+    if (db_labels[ranking[i]] == query_label) {
+      ++hits;
+      precision_sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  if (hits == 0) return 0.0;
+  return precision_sum / static_cast<double>(hits);
+}
+
+double PrecisionAtK(const std::vector<uint32_t>& ranking,
+                    const std::vector<size_t>& db_labels, size_t query_label,
+                    size_t k) {
+  LIGHTLT_CHECK_GT(k, 0u);
+  const size_t limit = std::min(k, ranking.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (db_labels[ranking[i]] == query_label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const std::vector<uint32_t>& ranking,
+                 const std::vector<size_t>& db_labels, size_t query_label,
+                 size_t k) {
+  size_t total_relevant = 0;
+  for (size_t label : db_labels) {
+    if (label == query_label) ++total_relevant;
+  }
+  if (total_relevant == 0) return 0.0;
+  const size_t limit = std::min(k, ranking.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (db_labels[ranking[i]] == query_label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_relevant);
+}
+
+double MeanAveragePrecision(const RankingFn& rank_query,
+                            const std::vector<size_t>& query_labels,
+                            const std::vector<size_t>& db_labels,
+                            ThreadPool* pool) {
+  std::vector<bool> all(query_labels.empty() ? 0 : *std::max_element(
+                            query_labels.begin(), query_labels.end()) + 1,
+                        true);
+  return MeanAveragePrecisionForClasses(rank_query, query_labels, db_labels,
+                                        all, pool);
+}
+
+double MeanAveragePrecisionForClasses(const RankingFn& rank_query,
+                                      const std::vector<size_t>& query_labels,
+                                      const std::vector<size_t>& db_labels,
+                                      const std::vector<bool>& class_subset,
+                                      ThreadPool* pool) {
+  if (query_labels.empty()) return 0.0;
+  std::vector<double> ap(query_labels.size(), -1.0);
+  ParallelFor(
+      pool, query_labels.size(),
+      [&](size_t q) {
+        const size_t label = query_labels[q];
+        if (label >= class_subset.size() || !class_subset[label]) return;
+        ap[q] = AveragePrecision(rank_query(q), db_labels, label);
+      },
+      /*min_chunk=*/8);
+  double total = 0.0;
+  size_t count = 0;
+  for (double v : ap) {
+    if (v >= 0.0) {
+      total += v;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace lightlt::eval

@@ -1,0 +1,51 @@
+// Retrieval quality metrics. The paper evaluates with MAP over the full
+// database ranking (§V-A3); precision/recall@k are provided for analysis.
+
+#ifndef LIGHTLT_EVAL_METRICS_H_
+#define LIGHTLT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/util/threadpool.h"
+
+namespace lightlt::eval {
+
+/// AP@n for one query: ranking is the database ids in retrieved order;
+/// an item is relevant iff db_labels[id] == query_label (paper §V-A3).
+/// Returns 0 when the database holds no relevant item.
+double AveragePrecision(const std::vector<uint32_t>& ranking,
+                        const std::vector<size_t>& db_labels,
+                        size_t query_label);
+
+/// Precision among the first k retrieved items.
+double PrecisionAtK(const std::vector<uint32_t>& ranking,
+                    const std::vector<size_t>& db_labels, size_t query_label,
+                    size_t k);
+
+/// Fraction of all relevant items found in the first k.
+double RecallAtK(const std::vector<uint32_t>& ranking,
+                 const std::vector<size_t>& db_labels, size_t query_label,
+                 size_t k);
+
+/// Produces the full database ranking for query `q`.
+using RankingFn = std::function<std::vector<uint32_t>(size_t query_index)>;
+
+/// MAP over all queries, parallelized across a thread pool.
+double MeanAveragePrecision(const RankingFn& rank_query,
+                            const std::vector<size_t>& query_labels,
+                            const std::vector<size_t>& db_labels,
+                            ThreadPool* pool = nullptr);
+
+/// MAP restricted to queries whose label is in `class_subset` — used for
+/// head-vs-tail breakdowns.
+double MeanAveragePrecisionForClasses(const RankingFn& rank_query,
+                                      const std::vector<size_t>& query_labels,
+                                      const std::vector<size_t>& db_labels,
+                                      const std::vector<bool>& class_subset,
+                                      ThreadPool* pool = nullptr);
+
+}  // namespace lightlt::eval
+
+#endif  // LIGHTLT_EVAL_METRICS_H_

@@ -1,0 +1,217 @@
+#include "src/index/adc_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+#include "src/util/io.h"
+
+namespace lightlt::index {
+
+Result<AdcIndex> AdcIndex::Build(
+    const std::vector<Matrix>& codebooks,
+    const std::vector<std::vector<uint32_t>>& item_codes) {
+  if (codebooks.empty()) {
+    return Status::InvalidArgument("AdcIndex: no codebooks");
+  }
+  const size_t m = codebooks.size();
+  const size_t k = codebooks[0].rows();
+  const size_t d = codebooks[0].cols();
+  for (const auto& cb : codebooks) {
+    if (cb.rows() != k || cb.cols() != d) {
+      return Status::InvalidArgument("AdcIndex: codebook shape mismatch");
+    }
+  }
+
+  AdcIndex idx;
+  idx.codebooks_ = codebooks;
+  idx.codes_ = PackedCodes(item_codes.size(), m, k);
+  idx.recon_norms_.resize(item_codes.size());
+
+  std::vector<float> recon(d);
+  for (size_t i = 0; i < item_codes.size(); ++i) {
+    if (item_codes[i].size() != m) {
+      return Status::InvalidArgument("AdcIndex: item code length mismatch");
+    }
+    std::fill(recon.begin(), recon.end(), 0.0f);
+    for (size_t cb = 0; cb < m; ++cb) {
+      const uint32_t code = item_codes[i][cb];
+      if (code >= k) {
+        return Status::InvalidArgument("AdcIndex: code out of range");
+      }
+      idx.codes_.Set(i, cb, code);
+      const float* word = codebooks[cb].row(code);
+      for (size_t j = 0; j < d; ++j) recon[j] += word[j];
+    }
+    double norm = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      norm += static_cast<double>(recon[j]) * recon[j];
+    }
+    idx.recon_norms_[i] = static_cast<float>(norm);
+  }
+  idx.BuildScanCache();
+  return idx;
+}
+
+void AdcIndex::BuildScanCache() {
+  scan_codes_.clear();
+  if (num_codewords() > 256) return;
+  scan_codes_.resize(codes_.num_items() * codebooks_.size());
+  uint8_t* out = scan_codes_.data();
+  codes_.ForEachCode([out, m = codebooks_.size()](size_t item, size_t cb,
+                                                  uint32_t code) {
+    out[item * m + cb] = static_cast<uint8_t>(code);
+  });
+}
+
+void AdcIndex::ComputeScores(const float* query,
+                             std::vector<float>* scores) const {
+  const size_t m = codebooks_.size();
+  const size_t k = num_codewords();
+  const size_t d = dim();
+  const size_t n = codes_.num_items();
+
+  // Lookup tables: lut[cb*k + j] = <q, C_cb[j]>. O(dMK).
+  std::vector<float> lut(m * k);
+  for (size_t cb = 0; cb < m; ++cb) {
+    const Matrix& book = codebooks_[cb];
+    float* row = lut.data() + cb * k;
+    for (size_t j = 0; j < k; ++j) {
+      const float* word = book.row(j);
+      float acc = 0.0f;
+      for (size_t t = 0; t < d; ++t) acc += query[t] * word[t];
+      row[j] = acc;
+    }
+  }
+
+  // Scoring: score_i = ||o_i||^2 - 2 sum_cb lut[code]. O(nM).
+  scores->resize(n);
+  float* out = scores->data();
+  const float* lut_base = lut.data();
+  if (!scan_codes_.empty()) {
+    // Fast path: byte-wide scan cache, no bit extraction in the hot loop.
+    const uint8_t* code_ptr = scan_codes_.data();
+    for (size_t i = 0; i < n; ++i) {
+      float dot = 0.0f;
+      for (size_t cb = 0; cb < m; ++cb) {
+        dot += lut_base[cb * k + code_ptr[cb]];
+      }
+      out[i] = recon_norms_[i] - 2.0f * dot;
+      code_ptr += m;
+    }
+  } else {
+    // Wide-code fallback: stream the packed bit array with a cursor.
+    float acc = 0.0f;
+    codes_.ForEachCode([&](size_t item, size_t cb, uint32_t code) {
+      acc += lut_base[cb * k + code];
+      if (cb + 1 == m) {
+        out[item] = recon_norms_[item] - 2.0f * acc;
+        acc = 0.0f;
+      }
+    });
+  }
+}
+
+std::vector<SearchHit> AdcIndex::Search(const float* query,
+                                        size_t top_k) const {
+  std::vector<float> scores;
+  ComputeScores(query, &scores);
+  const size_t k = std::min(top_k, scores.size());
+
+  std::vector<uint32_t> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return scores[a] < scores[b];
+                    });
+  std::vector<SearchHit> hits(k);
+  for (size_t i = 0; i < k; ++i) hits[i] = {ids[i], scores[ids[i]]};
+  return hits;
+}
+
+std::vector<uint32_t> AdcIndex::RankAll(const float* query) const {
+  std::vector<float> scores;
+  ComputeScores(query, &scores);
+  std::vector<uint32_t> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::stable_sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] < scores[b];
+  });
+  return ids;
+}
+
+Matrix AdcIndex::Reconstruct(size_t item) const {
+  Matrix out(1, dim());
+  for (size_t cb = 0; cb < codebooks_.size(); ++cb) {
+    const float* word = codebooks_[cb].row(codes_.Get(item, cb));
+    for (size_t j = 0; j < dim(); ++j) out[j] += word[j];
+  }
+  return out;
+}
+
+size_t AdcIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& cb : codebooks_) bytes += cb.size() * sizeof(float);
+  // Operational code storage: the byte-wide scan cache when present (equal
+  // to the packed array at the paper's K=256), else the packed bits.
+  bytes += scan_codes_.empty() ? codes_.MemoryBytes() : scan_codes_.size();
+  bytes += recon_norms_.size() * sizeof(float);
+  return bytes;
+}
+
+size_t AdcIndex::TheoreticalQueryOps() const {
+  return dim() * num_codebooks() * num_codewords() +
+         num_items() * num_codebooks();
+}
+
+namespace {
+constexpr uint32_t kAdcMagic = 0x4144'4331;  // "ADC1"
+}  // namespace
+
+Status AdcIndex::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  writer.WriteU32(kAdcMagic);
+  writer.WriteU64(codebooks_.size());
+  for (const auto& cb : codebooks_) {
+    writer.WriteU64(cb.rows());
+    writer.WriteU64(cb.cols());
+    writer.WriteF32Vector(cb.storage());
+  }
+  codes_.Save(writer);
+  writer.WriteF32Vector(recon_norms_);
+  return writer.Close();
+}
+
+Result<AdcIndex> AdcIndex::Load(const std::string& path) {
+  BinaryReader reader(path);
+  if (reader.ReadU32() != kAdcMagic) {
+    return Status::IoError("AdcIndex: bad magic in " + path);
+  }
+  AdcIndex idx;
+  const size_t m = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  if (m == 0 || m > 4096) return Status::IoError("AdcIndex: corrupt M");
+  idx.codebooks_.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const size_t rows = reader.ReadU64();
+    const size_t cols = reader.ReadU64();
+    std::vector<float> data = reader.ReadF32Vector();
+    if (!reader.status().ok()) return reader.status();
+    if (data.size() != rows * cols) {
+      return Status::IoError("AdcIndex: corrupt codebook");
+    }
+    idx.codebooks_.emplace_back(rows, cols, std::move(data));
+  }
+  auto codes = PackedCodes::Load(reader);
+  if (!codes.ok()) return codes.status();
+  idx.codes_ = std::move(codes).value();
+  idx.recon_norms_ = reader.ReadF32Vector();
+  if (!reader.status().ok()) return reader.status();
+  if (idx.recon_norms_.size() != idx.codes_.num_items()) {
+    return Status::IoError("AdcIndex: norm table size mismatch");
+  }
+  idx.BuildScanCache();
+  return idx;
+}
+
+}  // namespace lightlt::index

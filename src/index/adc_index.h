@@ -1,0 +1,89 @@
+// Asymmetric-distance-computation (ADC) index over additive quantization
+// codes — the inference path of LightLT (paper §IV, Eqn. 24, Fig. 3).
+//
+// The index stores, per item: M packed codeword IDs plus the squared norm of
+// the reconstruction (4 bytes). At query time we build an (M x K) lookup
+// table of <q, codeword> inner products in O(dMK), then score every item
+// with M table lookups.
+
+#ifndef LIGHTLT_INDEX_ADC_INDEX_H_
+#define LIGHTLT_INDEX_ADC_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/index/codes.h"
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+#include "src/util/threadpool.h"
+
+namespace lightlt::index {
+
+/// A (database id, squared distance) search hit.
+struct SearchHit {
+  uint32_t id;
+  float distance;
+};
+
+/// ADC index: codebooks + packed codes + per-item reconstruction norms.
+class AdcIndex {
+ public:
+  /// Builds from `codebooks` (M matrices of K x d) and per-item codes
+  /// (codes[i][m] in [0, K)). Reconstruction norms are computed here.
+  static Result<AdcIndex> Build(
+      const std::vector<Matrix>& codebooks,
+      const std::vector<std::vector<uint32_t>>& item_codes);
+
+  /// Fills `scores[i]` with the (exact, up to quantization) squared
+  /// distance ||q - o_i||^2 - ||q||^2 + const... specifically
+  /// `||o_i||^2 - 2 <q, o_i>`, which ranks identically to the full squared
+  /// distance for a fixed query. O(dMK + nM).
+  void ComputeScores(const float* query, std::vector<float>* scores) const;
+
+  /// Returns the top_k nearest items by ADC distance (ascending).
+  std::vector<SearchHit> Search(const float* query, size_t top_k) const;
+
+  /// Full ranking of all items (for MAP evaluation).
+  std::vector<uint32_t> RankAll(const float* query) const;
+
+  /// Reconstructs item `i` as the sum of its selected codewords.
+  Matrix Reconstruct(size_t item) const;
+
+  size_t num_items() const { return codes_.num_items(); }
+  size_t num_codebooks() const { return codebooks_.size(); }
+  size_t num_codewords() const {
+    return codebooks_.empty() ? 0 : codebooks_[0].rows();
+  }
+  size_t dim() const { return codebooks_.empty() ? 0 : codebooks_[0].cols(); }
+
+  /// Total bytes: 4KMd (codebooks) + packed codes + 4n (norms) — the
+  /// space-complexity expression of §IV-A.
+  size_t MemoryBytes() const;
+
+  /// Theoretical per-query distance-computation cost in fused
+  /// multiply-adds: dMK (lookup tables) + nM (scoring), §IV-B.
+  size_t TheoreticalQueryOps() const;
+
+  Status Save(const std::string& path) const;
+  static Result<AdcIndex> Load(const std::string& path);
+
+ private:
+  AdcIndex() = default;
+
+  /// Materializes the byte-wide scan cache from the packed codes.
+  void BuildScanCache();
+
+  std::vector<Matrix> codebooks_;     // M x (K x d)
+  PackedCodes codes_;                 // n x M packed IDs
+  std::vector<float> recon_norms_;    // ||o_i||^2 per item
+  /// Byte-wide scan cache (one uint8 per code) built when K <= 256: the
+  /// packed array is the storage format, this is the scan format. At the
+  /// paper's K=256 the two coincide (log2 K = 8 bits).
+  std::vector<uint8_t> scan_codes_;
+};
+
+}  // namespace lightlt::index
+
+#endif  // LIGHTLT_INDEX_ADC_INDEX_H_

@@ -1,0 +1,82 @@
+#include "src/index/codes.h"
+
+#include <cstring>
+
+namespace lightlt::index {
+
+size_t BitsPerCode(size_t num_codewords) {
+  LIGHTLT_CHECK_GT(num_codewords, 1u);
+  size_t bits = 1;
+  while ((1ull << bits) < num_codewords) ++bits;
+  return bits;
+}
+
+PackedCodes::PackedCodes(size_t num_items, size_t num_codebooks,
+                         size_t num_codewords)
+    : num_items_(num_items),
+      num_codebooks_(num_codebooks),
+      num_codewords_(num_codewords),
+      bits_per_code_(BitsPerCode(num_codewords)) {
+  const size_t total_bits = num_items * num_codebooks * bits_per_code_;
+  bits_.assign((total_bits + 63) / 64, 0);
+}
+
+void PackedCodes::Set(size_t item, size_t codebook, uint32_t value) {
+  LIGHTLT_CHECK_LT(item, num_items_);
+  LIGHTLT_CHECK_LT(codebook, num_codebooks_);
+  LIGHTLT_CHECK_LT(value, num_codewords_);
+  const size_t offset = BitOffset(item, codebook);
+  const size_t word = offset / 64;
+  const size_t shift = offset % 64;
+  const uint64_t mask = ((1ull << bits_per_code_) - 1) << shift;
+  bits_[word] = (bits_[word] & ~mask) | (static_cast<uint64_t>(value) << shift);
+  const size_t spill = shift + bits_per_code_;
+  if (spill > 64) {
+    const size_t hi_bits = spill - 64;
+    const uint64_t hi_mask = (1ull << hi_bits) - 1;
+    bits_[word + 1] = (bits_[word + 1] & ~hi_mask) |
+                      (static_cast<uint64_t>(value) >> (bits_per_code_ - hi_bits));
+  }
+}
+
+uint32_t PackedCodes::Get(size_t item, size_t codebook) const {
+  LIGHTLT_CHECK_LT(item, num_items_);
+  LIGHTLT_CHECK_LT(codebook, num_codebooks_);
+  const size_t offset = BitOffset(item, codebook);
+  const size_t word = offset / 64;
+  const size_t shift = offset % 64;
+  uint64_t value = bits_[word] >> shift;
+  const size_t spill = shift + bits_per_code_;
+  if (spill > 64) {
+    value |= bits_[word + 1] << (64 - shift);
+  }
+  return static_cast<uint32_t>(value & ((1ull << bits_per_code_) - 1));
+}
+
+void PackedCodes::Save(BinaryWriter& writer) const {
+  writer.WriteU64(num_items_);
+  writer.WriteU64(num_codebooks_);
+  writer.WriteU64(num_codewords_);
+  std::vector<uint8_t> raw(bits_.size() * sizeof(uint64_t));
+  std::memcpy(raw.data(), bits_.data(), raw.size());
+  writer.WriteBytes(raw);
+}
+
+Result<PackedCodes> PackedCodes::Load(BinaryReader& reader) {
+  const size_t num_items = reader.ReadU64();
+  const size_t num_codebooks = reader.ReadU64();
+  const size_t num_codewords = reader.ReadU64();
+  std::vector<uint8_t> raw = reader.ReadBytes();
+  if (!reader.status().ok()) return reader.status();
+  if (num_codewords < 2) {
+    return Status::IoError("PackedCodes: corrupt codeword count");
+  }
+  PackedCodes codes(num_items, num_codebooks, num_codewords);
+  if (raw.size() != codes.bits_.size() * sizeof(uint64_t)) {
+    return Status::IoError("PackedCodes: payload size mismatch");
+  }
+  std::memcpy(codes.bits_.data(), raw.data(), raw.size());
+  return codes;
+}
+
+}  // namespace lightlt::index

@@ -1,0 +1,53 @@
+#include "src/index/flat_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lightlt::index {
+
+FlatIndex::FlatIndex(Matrix vectors) : vectors_(std::move(vectors)) {
+  const Matrix n2 = vectors_.RowSquaredNorms();
+  norms_.assign(n2.data(), n2.data() + n2.size());
+}
+
+void FlatIndex::ComputeScores(const float* query,
+                              std::vector<float>* scores) const {
+  const size_t n = vectors_.rows();
+  const size_t d = vectors_.cols();
+  scores->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = vectors_.row(i);
+    float dot = 0.0f;
+    for (size_t j = 0; j < d; ++j) dot += query[j] * row[j];
+    (*scores)[i] = norms_[i] - 2.0f * dot;
+  }
+}
+
+std::vector<SearchHit> FlatIndex::Search(const float* query,
+                                         size_t top_k) const {
+  std::vector<float> scores;
+  ComputeScores(query, &scores);
+  const size_t k = std::min(top_k, scores.size());
+  std::vector<uint32_t> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return scores[a] < scores[b];
+                    });
+  std::vector<SearchHit> hits(k);
+  for (size_t i = 0; i < k; ++i) hits[i] = {ids[i], scores[ids[i]]};
+  return hits;
+}
+
+std::vector<uint32_t> FlatIndex::RankAll(const float* query) const {
+  std::vector<float> scores;
+  ComputeScores(query, &scores);
+  std::vector<uint32_t> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::stable_sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] < scores[b];
+  });
+  return ids;
+}
+
+}  // namespace lightlt::index

@@ -1,0 +1,41 @@
+// Exhaustive-search index over uncompressed float vectors — the efficiency
+// baseline of the paper's Fig. 7 and the oracle for retrieval quality.
+
+#ifndef LIGHTLT_INDEX_FLAT_INDEX_H_
+#define LIGHTLT_INDEX_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "src/index/adc_index.h"  // for SearchHit
+#include "src/tensor/matrix.h"
+
+namespace lightlt::index {
+
+/// Stores raw d-dim vectors; queries are exhaustive squared-L2 scans.
+class FlatIndex {
+ public:
+  explicit FlatIndex(Matrix vectors);
+
+  /// scores[i] = ||x_i||^2 - 2 <q, x_i> (rank-equivalent squared L2). O(nd).
+  void ComputeScores(const float* query, std::vector<float>* scores) const;
+
+  std::vector<SearchHit> Search(const float* query, size_t top_k) const;
+  std::vector<uint32_t> RankAll(const float* query) const;
+
+  size_t num_items() const { return vectors_.rows(); }
+  size_t dim() const { return vectors_.cols(); }
+
+  /// 4nd bytes of float storage.
+  size_t MemoryBytes() const { return vectors_.size() * sizeof(float); }
+
+  /// Per-query cost in fused multiply-adds: nd (§IV-B).
+  size_t TheoreticalQueryOps() const { return num_items() * dim(); }
+
+ private:
+  Matrix vectors_;
+  std::vector<float> norms_;
+};
+
+}  // namespace lightlt::index
+
+#endif  // LIGHTLT_INDEX_FLAT_INDEX_H_

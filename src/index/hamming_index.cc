@@ -1,0 +1,60 @@
+#include "src/index/hamming_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace lightlt::index {
+
+std::vector<uint64_t> PackSignBits(const Matrix& x, size_t* blocks_per_item) {
+  const size_t bits = x.cols();
+  const size_t blocks = (bits + 63) / 64;
+  *blocks_per_item = blocks;
+  std::vector<uint64_t> packed(x.rows() * blocks, 0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.row(i);
+    uint64_t* out = packed.data() + i * blocks;
+    for (size_t b = 0; b < bits; ++b) {
+      if (row[b] > 0.0f) out[b / 64] |= 1ull << (b % 64);
+    }
+  }
+  return packed;
+}
+
+HammingIndex::HammingIndex(std::vector<uint64_t> codes,
+                           size_t blocks_per_item, size_t num_bits)
+    : codes_(std::move(codes)),
+      blocks_per_item_(blocks_per_item),
+      num_bits_(num_bits) {
+  LIGHTLT_CHECK_GT(blocks_per_item, 0u);
+  LIGHTLT_CHECK_EQ(codes_.size() % blocks_per_item, 0u);
+  num_items_ = codes_.size() / blocks_per_item;
+}
+
+void HammingIndex::ComputeScores(const uint64_t* query_code,
+                                 std::vector<float>* scores) const {
+  scores->resize(num_items_);
+  for (size_t i = 0; i < num_items_; ++i) {
+    const uint64_t* item = codes_.data() + i * blocks_per_item_;
+    int dist = 0;
+    for (size_t b = 0; b < blocks_per_item_; ++b) {
+      dist += std::popcount(item[b] ^ query_code[b]);
+    }
+    (*scores)[i] = static_cast<float>(dist);
+  }
+}
+
+std::vector<uint32_t> HammingIndex::RankAll(const uint64_t* query_code) const {
+  std::vector<float> scores;
+  ComputeScores(query_code, &scores);
+  std::vector<uint32_t> ids(num_items_);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::stable_sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] < scores[b];
+  });
+  return ids;
+}
+
+}  // namespace lightlt::index

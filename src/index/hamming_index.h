@@ -1,0 +1,49 @@
+// Hamming-distance index over binary hash codes, used by the binarized-hash
+// baselines (LSH, PCAH, ITQ, SDH, CSQ, HashNet, LTHNet, ...).
+
+#ifndef LIGHTLT_INDEX_HAMMING_INDEX_H_
+#define LIGHTLT_INDEX_HAMMING_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/adc_index.h"  // for SearchHit
+#include "src/tensor/matrix.h"
+
+namespace lightlt::index {
+
+/// Packs the sign pattern of each row of `x` (n x bits) into uint64 blocks:
+/// bit b set iff x(i, b) > 0.
+std::vector<uint64_t> PackSignBits(const Matrix& x, size_t* blocks_per_item);
+
+/// Exhaustive Hamming-distance ranking over packed binary codes.
+class HammingIndex {
+ public:
+  /// `codes` has num_items * blocks_per_item uint64 blocks; `num_bits` is
+  /// the true code length (for memory accounting).
+  HammingIndex(std::vector<uint64_t> codes, size_t blocks_per_item,
+               size_t num_bits);
+
+  /// scores[i] = Hamming distance between query code and item i.
+  void ComputeScores(const uint64_t* query_code,
+                     std::vector<float>* scores) const;
+
+  std::vector<uint32_t> RankAll(const uint64_t* query_code) const;
+
+  size_t num_items() const { return num_items_; }
+  size_t num_bits() const { return num_bits_; }
+  size_t blocks_per_item() const { return blocks_per_item_; }
+
+  /// num_bits/8 bytes per item.
+  size_t MemoryBytes() const { return num_items_ * ((num_bits_ + 7) / 8); }
+
+ private:
+  std::vector<uint64_t> codes_;
+  size_t blocks_per_item_;
+  size_t num_bits_;
+  size_t num_items_;
+};
+
+}  // namespace lightlt::index
+
+#endif  // LIGHTLT_INDEX_HAMMING_INDEX_H_

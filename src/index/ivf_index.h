@@ -1,0 +1,78 @@
+// IVF-ADC: inverted-file acceleration on top of the ADC index.
+//
+// The paper's LightLT scans all n items per query (O(dMK + nM), §IV-B).
+// For larger databases, classical practice partitions the database with a
+// coarse k-means quantizer and scans only the `nprobe` cells nearest to the
+// query — the natural extension of the paper's efficiency story. Residual
+// encoding composes naturally with LightLT: each item is stored as
+// (cell id, DSQ codes of the item), and distances are computed with the
+// same per-query lookup tables, restricted to probed cells.
+
+#ifndef LIGHTLT_INDEX_IVF_INDEX_H_
+#define LIGHTLT_INDEX_IVF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/adc_index.h"
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace lightlt::index {
+
+struct IvfOptions {
+  /// Number of coarse cells (k-means centroids).
+  size_t num_cells = 64;
+  /// Cells scanned per query.
+  size_t nprobe = 8;
+  /// Coarse-quantizer training iterations.
+  int kmeans_iterations = 20;
+  uint64_t seed = 0x1f5;
+
+  Status Validate() const;
+};
+
+/// Inverted-file index over quantization codes. Build with the database's
+/// *continuous* embeddings (for the coarse quantizer) plus the same
+/// codebooks/codes an AdcIndex would take.
+class IvfAdcIndex {
+ public:
+  /// `embeddings` are the n continuous vectors (used only to train and
+  /// assign the coarse quantizer); `codebooks`/`item_codes` mirror
+  /// AdcIndex::Build.
+  static Result<IvfAdcIndex> Build(
+      const Matrix& embeddings, const std::vector<Matrix>& codebooks,
+      const std::vector<std::vector<uint32_t>>& item_codes,
+      const IvfOptions& options);
+
+  /// Top-k search probing `nprobe` cells (option default; overridable per
+  /// query with `nprobe_override` > 0). Returns original database ids.
+  std::vector<SearchHit> Search(const float* query, size_t top_k,
+                                size_t nprobe_override = 0) const;
+
+  /// Fraction of the database scanned for a query (diagnostic; average
+  /// cell balance determines the real speedup over exhaustive ADC).
+  double ExpectedScanFraction(size_t nprobe_override = 0) const;
+
+  size_t num_items() const { return total_items_; }
+  size_t num_cells() const { return centroids_.rows(); }
+
+  /// Codebooks + packed per-cell codes + centroids + id lists.
+  size_t MemoryBytes() const;
+
+ private:
+  IvfAdcIndex() = default;
+
+  IvfOptions options_;
+  Matrix centroids_;                 // num_cells x d
+  std::vector<Matrix> codebooks_;    // M x (K x d)
+  /// Per cell: original database ids and their codes, flattened.
+  std::vector<std::vector<uint32_t>> cell_ids_;
+  std::vector<std::vector<uint8_t>> cell_codes_;  // nM bytes per cell
+  std::vector<std::vector<float>> cell_norms_;    // ||o_i||^2 per item
+  size_t total_items_ = 0;
+};
+
+}  // namespace lightlt::index
+
+#endif  // LIGHTLT_INDEX_IVF_INDEX_H_

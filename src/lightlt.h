@@ -1,0 +1,43 @@
+// Umbrella header: the public API of the LightLT library.
+//
+// Downstream users can include this single header; fine-grained headers
+// under src/ remain available for selective inclusion.
+
+#ifndef LIGHTLT_LIGHTLT_H_
+#define LIGHTLT_LIGHTLT_H_
+
+// Data: long-tail law, synthetic benchmarks, Table I presets, file I/O.
+#include "src/data/data_io.h"
+#include "src/data/dataset.h"
+#include "src/data/longtail.h"
+#include "src/data/presets.h"
+
+// Core: DSQ quantizer, losses, model, training, ensemble, persistence.
+#include "src/core/defaults.h"
+#include "src/core/dsq.h"
+#include "src/core/ensemble.h"
+#include "src/core/lightlt_model.h"
+#include "src/core/losses.h"
+#include "src/core/pipeline.h"
+#include "src/core/serialize.h"
+#include "src/core/trainer.h"
+
+// Search: compressed-domain, IVF-accelerated and exhaustive indexes.
+#include "src/index/adc_index.h"
+#include "src/index/flat_index.h"
+#include "src/index/hamming_index.h"
+#include "src/index/ivf_index.h"
+
+// Serving: the deployment-facing retrieval facade.
+#include "src/serving/service.h"
+
+// Evaluation: retrieval quality, curves and efficiency.
+#include "src/eval/curves.h"
+#include "src/eval/efficiency.h"
+#include "src/eval/metrics.h"
+
+// Baselines for comparison studies.
+#include "src/baselines/method.h"
+#include "src/baselines/registry.h"
+
+#endif  // LIGHTLT_LIGHTLT_H_

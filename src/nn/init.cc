@@ -1,0 +1,18 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+namespace lightlt::nn {
+
+Matrix XavierUniform(size_t fan_in, size_t fan_out, Rng& rng) {
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Matrix::RandomUniform(fan_in, fan_out, rng, -a, a);
+}
+
+Matrix HeNormal(size_t fan_in, size_t fan_out, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Matrix::RandomGaussian(fan_in, fan_out, rng, stddev);
+}
+
+}  // namespace lightlt::nn

@@ -1,0 +1,19 @@
+// Parameter initialization schemes.
+
+#ifndef LIGHTLT_NN_INIT_H_
+#define LIGHTLT_NN_INIT_H_
+
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+
+namespace lightlt::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Matrix XavierUniform(size_t fan_in, size_t fan_out, Rng& rng);
+
+/// He/Kaiming normal: N(0, 2 / fan_in), for ReLU layers.
+Matrix HeNormal(size_t fan_in, size_t fan_out, Rng& rng);
+
+}  // namespace lightlt::nn
+
+#endif  // LIGHTLT_NN_INIT_H_

@@ -1,0 +1,36 @@
+#include "src/nn/module.h"
+
+#include "src/util/check.h"
+
+namespace lightlt::nn {
+
+void Module::CopyParametersFrom(const Module& other) {
+  auto dst = Parameters();
+  auto src = other.Parameters();
+  LIGHTLT_CHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    LIGHTLT_CHECK(dst[i]->value().SameShape(src[i]->value()));
+    dst[i]->mutable_value() = src[i]->value();
+  }
+}
+
+void AverageParametersInto(const std::vector<const Module*>& models,
+                           Module* dst) {
+  LIGHTLT_CHECK(!models.empty());
+  LIGHTLT_CHECK(dst != nullptr);
+  auto dst_params = dst->Parameters();
+  const float inv_n = 1.0f / static_cast<float>(models.size());
+
+  for (size_t pi = 0; pi < dst_params.size(); ++pi) {
+    Matrix acc(dst_params[pi]->value().rows(), dst_params[pi]->value().cols());
+    for (const Module* m : models) {
+      auto params = m->Parameters();
+      LIGHTLT_CHECK_EQ(params.size(), dst_params.size());
+      LIGHTLT_CHECK(params[pi]->value().SameShape(acc));
+      acc.AxpyInPlace(inv_n, params[pi]->value());
+    }
+    dst_params[pi]->mutable_value() = acc;
+  }
+}
+
+}  // namespace lightlt::nn

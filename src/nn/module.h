@@ -1,0 +1,48 @@
+// Module base class: anything with trainable parameters.
+
+#ifndef LIGHTLT_NN_MODULE_H_
+#define LIGHTLT_NN_MODULE_H_
+
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace lightlt::nn {
+
+/// Base for parameterized components (layers, the DSQ quantizer, whole
+/// models). Parameters() must return stable, long-lived leaf nodes in a
+/// deterministic order — the optimizer, the serializer and the ensemble
+/// averager all rely on that ordering.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable leaves, in a deterministic order.
+  virtual std::vector<Var> Parameters() const = 0;
+
+  /// Number of scalar parameters.
+  size_t NumParameters() const {
+    size_t n = 0;
+    for (const auto& p : Parameters()) n += p->value().size();
+    return n;
+  }
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad() const {
+    for (const auto& p : Parameters()) p->ZeroGrad();
+  }
+
+  /// Copies parameter values (not gradients) from `other`; shapes must
+  /// match element-for-element.
+  void CopyParametersFrom(const Module& other);
+};
+
+/// Overwrites `dst` module parameters with the element-wise mean of the
+/// parameter values of `models` — the weight-ensemble step of paper
+/// Eqn. 23. All models must share the architecture.
+void AverageParametersInto(const std::vector<const Module*>& models,
+                           Module* dst);
+
+}  // namespace lightlt::nn
+
+#endif  // LIGHTLT_NN_MODULE_H_

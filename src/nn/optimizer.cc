@@ -1,0 +1,79 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+namespace lightlt::nn {
+
+Sgd::Sgd(std::vector<Var> params, float learning_rate, float momentum)
+    : Optimizer(std::move(params), learning_rate), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p->grad().empty()) continue;
+    if (momentum_ > 0.0f) {
+      velocity_[i].ScaleInPlace(momentum_);
+      velocity_[i].AddInPlace(p->grad());
+      p->mutable_value().AxpyInPlace(-learning_rate_, velocity_[i]);
+    } else {
+      p->mutable_value().AxpyInPlace(-learning_rate_, p->grad());
+    }
+    p->ZeroGrad();
+  }
+}
+
+AdamW::AdamW(std::vector<Var> params, const AdamWOptions& options)
+    : Optimizer(std::move(params), options.learning_rate), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void AdamW::Step() {
+  ++t_;
+
+  float clip_scale = 1.0f;
+  if (options_.clip_norm > 0.0f) {
+    double total_sq = 0.0;
+    for (const auto& p : params_) {
+      if (!p->grad().empty()) total_sq += p->grad().SquaredNorm();
+    }
+    const double norm = std::sqrt(total_sq);
+    if (norm > options_.clip_norm) {
+      clip_scale = static_cast<float>(options_.clip_norm / norm);
+    }
+  }
+
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p->grad().empty()) continue;
+    Matrix& value = p->mutable_value();
+    const Matrix& grad = p->grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t j = 0; j < value.size(); ++j) {
+      const float g = grad[j] * clip_scale;
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      value[j] -= learning_rate_ *
+                  (m_hat / (std::sqrt(v_hat) + options_.epsilon) +
+                   options_.weight_decay * value[j]);
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace lightlt::nn

@@ -1,0 +1,71 @@
+// First-order optimizers. LightLT trains with AdamW (paper §V-A4); SGD is
+// provided for tests and baselines.
+
+#ifndef LIGHTLT_NN_OPTIMIZER_H_
+#define LIGHTLT_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace lightlt::nn {
+
+/// Base optimizer over a fixed parameter list. Step() consumes the
+/// accumulated gradients and zeroes them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params, float learning_rate)
+      : params_(std::move(params)), learning_rate_(learning_rate) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters, then clears those gradients.
+  virtual void Step() = 0;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+  const std::vector<Var>& params() const { return params_; }
+
+ protected:
+  std::vector<Var> params_;
+  float learning_rate_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float learning_rate, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+struct AdamWOptions {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 1e-4f;
+  /// Gradient clipping by global L2 norm; 0 disables.
+  float clip_norm = 5.0f;
+};
+
+/// AdamW: Adam with decoupled weight decay.
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<Var> params, const AdamWOptions& options);
+  void Step() override;
+
+ private:
+  AdamWOptions options_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace lightlt::nn
+
+#endif  // LIGHTLT_NN_OPTIMIZER_H_

@@ -1,0 +1,56 @@
+#include "src/nn/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+
+namespace lightlt::nn {
+
+CosineAnnealingLr::CosineAnnealingLr(float base_lr, int64_t total_steps,
+                                     int64_t warmup_steps, float min_lr)
+    : base_lr_(base_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps),
+      min_lr_(min_lr) {
+  LIGHTLT_CHECK_GT(total_steps, 0);
+  LIGHTLT_CHECK_GE(warmup_steps, 0);
+  LIGHTLT_CHECK_LT(warmup_steps, total_steps);
+}
+
+float CosineAnnealingLr::LearningRate(int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  const int64_t s = std::min(step, total_steps_ - 1) - warmup_steps_;
+  const int64_t span = total_steps_ - warmup_steps_;
+  const float progress = static_cast<float>(s) / static_cast<float>(span);
+  const float cosine =
+      0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * progress));
+  return min_lr_ + (base_lr_ - min_lr_) * cosine;
+}
+
+LinearWarmupLr::LinearWarmupLr(float base_lr, int64_t total_steps,
+                               int64_t warmup_steps)
+    : base_lr_(base_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps) {
+  LIGHTLT_CHECK_GT(total_steps, 0);
+  LIGHTLT_CHECK_GE(warmup_steps, 0);
+  LIGHTLT_CHECK_LT(warmup_steps, total_steps);
+}
+
+float LinearWarmupLr::LearningRate(int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  const int64_t s = std::min(step, total_steps_ - 1);
+  const float remaining = static_cast<float>(total_steps_ - s) /
+                          static_cast<float>(total_steps_ - warmup_steps_);
+  return base_lr_ * std::max(0.0f, remaining);
+}
+
+}  // namespace lightlt::nn

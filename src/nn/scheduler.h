@@ -1,0 +1,57 @@
+// Learning-rate schedules. The paper trains with cosine annealing (image
+// datasets) and linear schedule with warmup (text datasets), §V-A4.
+
+#ifndef LIGHTLT_NN_SCHEDULER_H_
+#define LIGHTLT_NN_SCHEDULER_H_
+
+#include <cstdint>
+
+namespace lightlt::nn {
+
+/// Maps a 0-based global step to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float LearningRate(int64_t step) const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LearningRate(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Linear warmup over `warmup_steps`, then cosine decay to `min_lr` at
+/// `total_steps`.
+class CosineAnnealingLr : public LrSchedule {
+ public:
+  CosineAnnealingLr(float base_lr, int64_t total_steps,
+                    int64_t warmup_steps = 0, float min_lr = 0.0f);
+  float LearningRate(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t total_steps_;
+  int64_t warmup_steps_;
+  float min_lr_;
+};
+
+/// Linear warmup then linear decay to zero at `total_steps`.
+class LinearWarmupLr : public LrSchedule {
+ public:
+  LinearWarmupLr(float base_lr, int64_t total_steps, int64_t warmup_steps);
+  float LearningRate(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t total_steps_;
+  int64_t warmup_steps_;
+};
+
+}  // namespace lightlt::nn
+
+#endif  // LIGHTLT_NN_SCHEDULER_H_

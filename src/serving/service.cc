@@ -1,0 +1,116 @@
+#include "src/serving/service.h"
+
+#include <algorithm>
+
+#include "src/core/pipeline.h"
+#include "src/util/check.h"
+
+namespace lightlt::serving {
+
+Result<RetrievalService> RetrievalService::Build(
+    std::shared_ptr<const core::LightLtModel> model,
+    const Matrix& db_features, const ServiceOptions& options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("RetrievalService: null model");
+  }
+  if (db_features.rows() == 0) {
+    return Status::InvalidArgument("RetrievalService: empty database");
+  }
+  if (db_features.cols() != model->config().input_dim) {
+    return Status::InvalidArgument(
+        "RetrievalService: database feature dim mismatch");
+  }
+
+  RetrievalService service;
+  service.options_ = options;
+  service.model_ = model;
+
+  const Matrix embedded = core::EmbedInChunks(*model, db_features);
+  std::vector<std::vector<uint32_t>> codes;
+  model->dsq().Encode(embedded, &codes);
+
+  if (options.use_ivf) {
+    auto ivf = index::IvfAdcIndex::Build(embedded, model->Codebooks(), codes,
+                                         options.ivf);
+    if (!ivf.ok()) return ivf.status();
+    service.ivf_ =
+        std::make_unique<index::IvfAdcIndex>(std::move(ivf).value());
+  }
+  // The flat ADC index is always kept: it serves re-ranking lookups
+  // (Reconstruct) and is the fallback scan path.
+  auto adc = index::AdcIndex::Build(model->Codebooks(), codes);
+  if (!adc.ok()) return adc.status();
+  service.adc_ = std::make_unique<index::AdcIndex>(std::move(adc).value());
+  return service;
+}
+
+std::vector<ServedHit> RetrievalService::SearchEmbedded(const float* query,
+                                                        size_t top_k) const {
+  const size_t pool = std::max(
+      top_k, options_.exact_rerank ? options_.rerank_pool : top_k);
+
+  std::vector<index::SearchHit> hits;
+  if (ivf_ != nullptr) {
+    hits = ivf_->Search(query, pool);
+  } else {
+    hits = adc_->Search(query, pool);
+  }
+
+  if (options_.exact_rerank) {
+    // Re-rank the pool by exact distance to the reconstructions: the ADC
+    // score already is that distance up to a query-constant, so re-ranking
+    // only matters when the candidate pool came from a lossier path (IVF
+    // probing) or a future approximate scorer; it is cheap either way.
+    const size_t d = adc_->dim();
+    for (auto& hit : hits) {
+      const Matrix recon = adc_->Reconstruct(hit.id);
+      float dist = 0.0f;
+      for (size_t j = 0; j < d; ++j) {
+        const float diff = query[j] - recon[j];
+        dist += diff * diff;
+      }
+      hit.distance = dist;
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const index::SearchHit& a, const index::SearchHit& b) {
+                return a.distance < b.distance;
+              });
+  }
+
+  const size_t keep = std::min(top_k, hits.size());
+  std::vector<ServedHit> out(keep);
+  for (size_t i = 0; i < keep; ++i) out[i] = {hits[i].id, hits[i].distance};
+  return out;
+}
+
+Result<std::vector<ServedHit>> RetrievalService::Query(const Matrix& features,
+                                                       size_t top_k) const {
+  if (features.rows() != 1 ||
+      features.cols() != model_->config().input_dim) {
+    return Status::InvalidArgument("Query: expected a 1 x input_dim vector");
+  }
+  const Matrix embedded = model_->Embed(features);
+  return SearchEmbedded(embedded.row(0), top_k);
+}
+
+Result<std::vector<std::vector<ServedHit>>> RetrievalService::QueryBatch(
+    const Matrix& features, size_t top_k, ThreadPool* pool) const {
+  if (features.cols() != model_->config().input_dim) {
+    return Status::InvalidArgument("QueryBatch: feature dim mismatch");
+  }
+  const Matrix embedded = core::EmbedInChunks(*model_, features);
+  std::vector<std::vector<ServedHit>> results(features.rows());
+  ParallelFor(
+      pool, features.rows(),
+      [&](size_t q) { results[q] = SearchEmbedded(embedded.row(q), top_k); },
+      /*min_chunk=*/4);
+  return results;
+}
+
+size_t RetrievalService::IndexMemoryBytes() const {
+  size_t bytes = adc_ ? adc_->MemoryBytes() : 0;
+  if (ivf_) bytes += ivf_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace lightlt::serving

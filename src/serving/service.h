@@ -1,0 +1,77 @@
+// RetrievalService: the deployment-facing facade. Owns a trained LightLT
+// model plus a compressed index and serves labelled top-k queries, with
+// optional exact re-ranking of the candidate pool and optional IVF
+// acceleration for large databases.
+
+#ifndef LIGHTLT_SERVING_SERVICE_H_
+#define LIGHTLT_SERVING_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/lightlt_model.h"
+#include "src/index/adc_index.h"
+#include "src/index/ivf_index.h"
+#include "src/util/status.h"
+#include "src/util/threadpool.h"
+
+namespace lightlt::serving {
+
+struct ServiceOptions {
+  /// Candidate pool size fetched from the compressed index before
+  /// re-ranking; 0 = exactly top_k (no over-fetch).
+  size_t rerank_pool = 0;
+  /// Re-rank the candidate pool by exact distance to the stored
+  /// reconstructions (cheap) — mitigates quantization error in the head of
+  /// the ranking.
+  bool exact_rerank = false;
+  /// Use the IVF-accelerated index (requires ivf options at Build time).
+  bool use_ivf = false;
+  index::IvfOptions ivf;
+};
+
+/// One retrieval result with its database payload.
+struct ServedHit {
+  uint32_t id = 0;
+  float distance = 0.0f;
+};
+
+/// A ready-to-serve retrieval stack: model (query encoder) + compressed
+/// database index.
+class RetrievalService {
+ public:
+  /// Builds the service from a trained model and raw database features.
+  /// The model is shared (not copied); it must outlive the service.
+  static Result<RetrievalService> Build(
+      std::shared_ptr<const core::LightLtModel> model,
+      const Matrix& db_features, const ServiceOptions& options = {});
+
+  /// Top-k search for one raw feature vector (1 x input_dim).
+  Result<std::vector<ServedHit>> Query(const Matrix& features,
+                                       size_t top_k) const;
+
+  /// Batched search; parallelized across the pool when provided.
+  Result<std::vector<std::vector<ServedHit>>> QueryBatch(
+      const Matrix& features, size_t top_k,
+      ThreadPool* pool = nullptr) const;
+
+  size_t num_items() const { return adc_ ? adc_->num_items() : 0; }
+  size_t IndexMemoryBytes() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  RetrievalService() = default;
+
+  std::vector<ServedHit> SearchEmbedded(const float* query,
+                                        size_t top_k) const;
+
+  ServiceOptions options_;
+  std::shared_ptr<const core::LightLtModel> model_;
+  std::unique_ptr<index::AdcIndex> adc_;
+  std::unique_ptr<index::IvfAdcIndex> ivf_;
+};
+
+}  // namespace lightlt::serving
+
+#endif  // LIGHTLT_SERVING_SERVICE_H_

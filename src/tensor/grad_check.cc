@@ -1,0 +1,58 @@
+#include "src/tensor/grad_check.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace lightlt {
+
+GradCheckResult CheckGradients(const std::vector<Var>& params,
+                               const std::function<Var()>& build_loss,
+                               float epsilon, float tolerance) {
+  GradCheckResult result;
+  result.passed = true;
+
+  // Analytic pass.
+  for (const auto& p : params) p->ZeroGrad();
+  Var loss = build_loss();
+  Backward(loss);
+
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const auto& p : params) {
+    analytic.push_back(p->grad().empty()
+                           ? Matrix(p->value().rows(), p->value().cols())
+                           : p->grad());
+  }
+
+  // Central finite differences.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Matrix& value = params[pi]->mutable_value();
+    for (size_t i = 0; i < value.size(); ++i) {
+      const float saved = value[i];
+      value[i] = saved + epsilon;
+      const float up = build_loss()->value()[0];
+      value[i] = saved - epsilon;
+      const float down = build_loss()->value()[0];
+      value[i] = saved;
+
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float err = std::fabs(numeric - analytic[pi][i]);
+      if (err > result.max_abs_error) {
+        result.max_abs_error = err;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "param %zu entry %zu: analytic=%.6f numeric=%.6f",
+                      pi, i, analytic[pi][i], numeric);
+        result.detail = buf;
+      }
+      if (err > tolerance) result.passed = false;
+    }
+  }
+  // Leave gradients clean for the caller.
+  for (const auto& p : params) p->ZeroGrad();
+  return result;
+}
+
+}  // namespace lightlt

@@ -1,0 +1,33 @@
+// Finite-difference gradient verification used by the autograd test suite.
+
+#ifndef LIGHTLT_TENSOR_GRAD_CHECK_H_
+#define LIGHTLT_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace lightlt {
+
+/// Result of a gradient check: the largest absolute deviation between the
+/// analytic gradient and a central finite difference, over all parameters.
+struct GradCheckResult {
+  bool passed = false;
+  float max_abs_error = 0.0f;
+  std::string detail;  // which parameter/entry failed, for diagnostics
+};
+
+/// Verifies d(loss)/d(param) for every param in `params`, where
+/// `build_loss()` reconstructs the scalar loss graph from the current
+/// parameter values. `epsilon` is the finite-difference step and `tolerance`
+/// the pass threshold on the absolute error.
+GradCheckResult CheckGradients(const std::vector<Var>& params,
+                               const std::function<Var()>& build_loss,
+                               float epsilon = 1e-3f,
+                               float tolerance = 2e-2f);
+
+}  // namespace lightlt
+
+#endif  // LIGHTLT_TENSOR_GRAD_CHECK_H_

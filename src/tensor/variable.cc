@@ -1,0 +1,84 @@
+#include "src/tensor/variable.h"
+
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace lightlt {
+
+void Node::AccumulateGrad(const Matrix& g) {
+  if (!requires_grad_) return;
+  LIGHTLT_CHECK_EQ(g.rows(), value_.rows());
+  LIGHTLT_CHECK_EQ(g.cols(), value_.cols());
+  if (grad_.empty()) {
+    grad_ = g;
+  } else {
+    grad_.AddInPlace(g);
+  }
+}
+
+void Node::ZeroGrad() {
+  if (!grad_.empty()) grad_.Zero();
+}
+
+Var MakeParam(Matrix value, std::string name) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true,
+                                std::move(name));
+}
+
+Var MakeConstant(Matrix value, std::string name) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false,
+                                std::move(name));
+}
+
+namespace {
+
+void TopoSort(const Var& root, std::vector<Node*>& order,
+              std::unordered_set<Node*>& visited) {
+  // Iterative post-order DFS (training graphs can be deep with many DSQ
+  // stages; avoid recursion limits).
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) {
+    stack.push_back({root.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents().size()) {
+      Node* parent = top.node->parents()[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Var& loss) {
+  LIGHTLT_CHECK(loss != nullptr);
+  LIGHTLT_CHECK_EQ(loss->value().rows(), 1u);
+  LIGHTLT_CHECK_EQ(loss->value().cols(), 1u);
+
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  TopoSort(loss, order, visited);
+
+  loss->AccumulateGrad(Matrix::Scalar(1.0f));
+  // Post-order list has children after their parents' subtrees; iterate in
+  // reverse so each node's grad is complete before it pushes to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->requires_grad() && !node->grad().empty()) {
+      node->RunBackward();
+    }
+  }
+}
+
+}  // namespace lightlt

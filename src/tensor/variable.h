@@ -1,0 +1,85 @@
+// Reverse-mode automatic differentiation over Matrix values.
+//
+// A Var is a shared pointer to a graph node holding a value, an accumulated
+// gradient, its parents, and a backward closure. Graphs are built afresh for
+// every training step from long-lived parameter nodes; Backward() runs a
+// topological sweep from a scalar loss.
+//
+// The engine exists to train the DSQ quantizer end-to-end through the
+// tempered-softmax + straight-through-estimator relaxation (paper Eqns. 5-7),
+// which off-the-shelf exact methods cannot express.
+
+#ifndef LIGHTLT_TENSOR_VARIABLE_H_
+#define LIGHTLT_TENSOR_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace lightlt {
+
+class Node;
+/// Handle to an autograd graph node.
+using Var = std::shared_ptr<Node>;
+
+/// One vertex of the computation graph.
+class Node {
+ public:
+  Node(Matrix value, bool requires_grad, std::string op_name)
+      : value_(std::move(value)),
+        requires_grad_(requires_grad),
+        op_name_(std::move(op_name)) {}
+
+  const Matrix& value() const { return value_; }
+  Matrix& mutable_value() { return value_; }
+
+  bool requires_grad() const { return requires_grad_; }
+  const std::string& op_name() const { return op_name_; }
+
+  /// Accumulated gradient; zero-sized until the first accumulation.
+  const Matrix& grad() const { return grad_; }
+  Matrix& mutable_grad() { return grad_; }
+
+  /// Adds `g` into this node's gradient buffer (allocating it on first use).
+  void AccumulateGrad(const Matrix& g);
+
+  /// Clears the gradient buffer (used between optimizer steps).
+  void ZeroGrad();
+
+  const std::vector<Var>& parents() const { return parents_; }
+
+  // Graph construction API, used by the op library (ops.h).
+  void set_parents(std::vector<Var> parents) { parents_ = std::move(parents); }
+  void set_backward(std::function<void(Node&)> fn) {
+    backward_fn_ = std::move(fn);
+  }
+  bool has_backward() const { return static_cast<bool>(backward_fn_); }
+  void RunBackward() {
+    if (backward_fn_) backward_fn_(*this);
+  }
+
+ private:
+  Matrix value_;
+  Matrix grad_;
+  bool requires_grad_;
+  std::string op_name_;
+  std::vector<Var> parents_;
+  std::function<void(Node&)> backward_fn_;
+};
+
+/// Creates a trainable leaf (gradient will be accumulated).
+Var MakeParam(Matrix value, std::string name = "param");
+
+/// Creates a non-trainable leaf (no gradient).
+Var MakeConstant(Matrix value, std::string name = "const");
+
+/// Runs reverse-mode differentiation from scalar node `loss` (must be 1x1).
+/// Gradients accumulate into every reachable node with requires_grad().
+void Backward(const Var& loss);
+
+}  // namespace lightlt
+
+#endif  // LIGHTLT_TENSOR_VARIABLE_H_

@@ -1,0 +1,38 @@
+// Fatal invariant checks for internal consistency. These abort the process
+// with a diagnostic; use Status (status.h) for errors the caller can handle.
+
+#ifndef LIGHTLT_UTIL_CHECK_H_
+#define LIGHTLT_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lightlt::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "LIGHTLT_CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace lightlt::internal
+
+/// Aborts with a diagnostic if `cond` is false. Always evaluated, including
+/// in release builds: invariant violations in a quantizer silently corrupt
+/// retrieval results, so we prefer a crash.
+#define LIGHTLT_CHECK(cond)                                           \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::lightlt::internal::CheckFailed(__FILE__, __LINE__, #cond);    \
+    }                                                                 \
+  } while (0)
+
+#define LIGHTLT_CHECK_EQ(a, b) LIGHTLT_CHECK((a) == (b))
+#define LIGHTLT_CHECK_NE(a, b) LIGHTLT_CHECK((a) != (b))
+#define LIGHTLT_CHECK_LT(a, b) LIGHTLT_CHECK((a) < (b))
+#define LIGHTLT_CHECK_LE(a, b) LIGHTLT_CHECK((a) <= (b))
+#define LIGHTLT_CHECK_GT(a, b) LIGHTLT_CHECK((a) > (b))
+#define LIGHTLT_CHECK_GE(a, b) LIGHTLT_CHECK((a) >= (b))
+
+#endif  // LIGHTLT_UTIL_CHECK_H_

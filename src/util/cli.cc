@@ -1,0 +1,60 @@
+#include "src/util/cli.h"
+
+#include <cstdlib>
+
+namespace lightlt {
+
+CommandLine::CommandLine(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "";  // boolean flag
+    }
+  }
+}
+
+bool CommandLine::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& default_value) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& name,
+                            int64_t default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name,
+                              double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& name, bool default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace lightlt

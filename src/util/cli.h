@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for bench harnesses and examples.
+//
+// Supports --name=value, --name value, and boolean --name forms.
+
+#ifndef LIGHTLT_UTIL_CLI_H_
+#define LIGHTLT_UTIL_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lightlt {
+
+/// Parsed command-line flags. Unknown flags are retained and can be listed
+/// for "did you mean" diagnostics.
+class CommandLine {
+ public:
+  CommandLine(int argc, char** argv);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lightlt
+
+#endif  // LIGHTLT_UTIL_CLI_H_

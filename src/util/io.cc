@@ -1,0 +1,163 @@
+#include "src/util/io.h"
+
+#include <limits>
+
+namespace lightlt {
+
+namespace {
+// Hard ceiling on container sizes to fail fast on corrupt files instead of
+// attempting a multi-GB allocation.
+constexpr uint64_t kMaxContainerBytes = 1ull << 34;  // 16 GiB
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t size) {
+  if (!status_.ok() || size == 0) return;
+  if (std::fwrite(data, 1, size, file_) != size) {
+    status_ = Status::IoError("short write");
+  }
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteF32Vector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(uint32_t));
+}
+
+void BinaryWriter::WriteBytes(const std::vector<uint8_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size());
+}
+
+Status BinaryWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close failed");
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for reading: " + path);
+  }
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryReader::ReadRaw(void* data, size_t size) {
+  if (!status_.ok() || size == 0) return;
+  if (std::fread(data, 1, size, file_) != size) {
+    status_ = Status::IoError("short read (truncated or corrupt file)");
+  }
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+int64_t BinaryReader::ReadI64() {
+  int64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+float BinaryReader::ReadF32() {
+  float v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadF64() {
+  double v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  if (n > kMaxContainerBytes) {
+    status_ = Status::IoError("string length too large (corrupt file)");
+    return {};
+  }
+  std::string s(n, '\0');
+  ReadRaw(s.data(), n);
+  return status_.ok() ? s : std::string{};
+}
+
+std::vector<float> BinaryReader::ReadF32Vector() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  if (n * sizeof(float) > kMaxContainerBytes) {
+    status_ = Status::IoError("vector length too large (corrupt file)");
+    return {};
+  }
+  std::vector<float> v(n);
+  ReadRaw(v.data(), n * sizeof(float));
+  return status_.ok() ? v : std::vector<float>{};
+}
+
+std::vector<uint32_t> BinaryReader::ReadU32Vector() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  if (n * sizeof(uint32_t) > kMaxContainerBytes) {
+    status_ = Status::IoError("vector length too large (corrupt file)");
+    return {};
+  }
+  std::vector<uint32_t> v(n);
+  ReadRaw(v.data(), n * sizeof(uint32_t));
+  return status_.ok() ? v : std::vector<uint32_t>{};
+}
+
+std::vector<uint8_t> BinaryReader::ReadBytes() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  if (n > kMaxContainerBytes) {
+    status_ = Status::IoError("byte array too large (corrupt file)");
+    return {};
+  }
+  std::vector<uint8_t> v(n);
+  ReadRaw(v.data(), n);
+  return status_.ok() ? v : std::vector<uint8_t>{};
+}
+
+}  // namespace lightlt

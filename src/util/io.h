@@ -1,0 +1,82 @@
+// Binary serialization streams with Status-based error reporting.
+//
+// Used to persist trained models (codebooks, backbone weights) and encoded
+// databases. Format: little-endian, length-prefixed containers, with a
+// magic/version header written by the model serializers.
+
+#ifndef LIGHTLT_UTIL_IO_H_
+#define LIGHTLT_UTIL_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lightlt {
+
+/// Writes POD scalars and vectors to a file. All methods are no-ops after
+/// the first failure; call status() (or Close()) to observe it.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteF32Vector(const std::vector<float>& v);
+  void WriteU32Vector(const std::vector<uint32_t>& v);
+  void WriteBytes(const std::vector<uint8_t>& v);
+
+  const Status& status() const { return status_; }
+
+  /// Flushes and closes; returns the sticky status.
+  Status Close();
+
+ private:
+  void WriteRaw(const void* data, size_t size);
+
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+/// Reads POD scalars and vectors written by BinaryWriter. All methods return
+/// zero values after the first failure; call status() to observe it.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<float> ReadF32Vector();
+  std::vector<uint32_t> ReadU32Vector();
+  std::vector<uint8_t> ReadBytes();
+
+  const Status& status() const { return status_; }
+
+ private:
+  void ReadRaw(void* data, size_t size);
+
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+}  // namespace lightlt
+
+#endif  // LIGHTLT_UTIL_IO_H_

@@ -1,0 +1,37 @@
+// Aligned ASCII table output for benchmark harnesses, mirroring the
+// row/column layout of the paper's tables.
+
+#ifndef LIGHTLT_UTIL_TABLE_PRINTER_H_
+#define LIGHTLT_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace lightlt {
+
+/// Collects rows of cells and renders them with per-column alignment.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to 4 decimal places (paper precision).
+  static std::string FormatMetric(double v, int precision = 4);
+
+  /// Renders the table (headers, separator, rows).
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lightlt
+
+#endif  // LIGHTLT_UTIL_TABLE_PRINTER_H_

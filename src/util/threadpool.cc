@@ -1,0 +1,86 @@
+#include "src/util/threadpool.h"
+
+#include <algorithm>
+
+namespace lightlt {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body, size_t min_chunk) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= min_chunk) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const size_t num_chunks =
+      std::min(pool->num_threads() * 4, (n + min_chunk - 1) / min_chunk);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (size_t start = 0; start < n; start += chunk) {
+    const size_t end = std::min(start + chunk, n);
+    pool->Submit([&body, start, end] {
+      for (size_t i = start; i < end; ++i) body(i);
+    });
+  }
+  pool->Wait();
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace lightlt

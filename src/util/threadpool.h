@@ -1,0 +1,59 @@
+// Fixed-size thread pool plus a ParallelFor helper used by k-means,
+// retrieval evaluation and index search.
+
+#ifndef LIGHTLT_UTIL_THREADPOOL_H_
+#define LIGHTLT_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lightlt {
+
+/// A minimal work-queue thread pool. Tasks are void() callables; Wait()
+/// blocks until the queue drains and all workers are idle.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [0, n), partitioned into contiguous chunks across
+/// the pool. Falls back to a serial loop when n is small or pool is null.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body,
+                 size_t min_chunk = 64);
+
+/// Process-wide default pool, created on first use.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace lightlt
+
+#endif  // LIGHTLT_UTIL_THREADPOOL_H_

@@ -1,0 +1,229 @@
+// Tests for the baseline retrieval methods: lifecycle contracts, retrieval
+// sanity on a separable dataset, and supervised-vs-unsupervised behaviour.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/deep_hash.h"
+#include "src/baselines/deep_quant.h"
+#include "src/baselines/method.h"
+#include "src/baselines/registry.h"
+#include "src/baselines/shallow_hash.h"
+#include "src/baselines/shallow_quant.h"
+#include "src/data/dataset.h"
+
+namespace lightlt::baselines {
+namespace {
+
+/// An easy, well-separated benchmark every sane method must do well on.
+data::RetrievalBenchmark EasyBenchmark() {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.feature_dim = 16;
+  cfg.latent_dim = 8;
+  cfg.train_spec.num_classes = 4;
+  cfg.train_spec.head_size = 60;
+  cfg.train_spec.imbalance_factor = 5.0;
+  cfg.queries_per_class = 6;
+  cfg.database_per_class = 25;
+  cfg.class_separation = 6.0f;
+  cfg.nuisance_scale = 0.0f;
+  cfg.nonlinear_warp = false;
+  cfg.seed = 55;
+  return data::GenerateSynthetic(cfg);
+}
+
+double RandomMapFloor(const data::RetrievalBenchmark& bench) {
+  return 1.0 / static_cast<double>(bench.train.num_classes);
+}
+
+std::vector<std::unique_ptr<RetrievalMethod>> AllMethods(
+    const data::RetrievalBenchmark& bench) {
+  DeepHashOptions hash_opts;
+  hash_opts.num_bits = 16;
+  hash_opts.epochs = 10;
+  std::vector<std::unique_ptr<RetrievalMethod>> methods;
+  methods.push_back(std::make_unique<LshHash>(16));
+  methods.push_back(std::make_unique<PcaHash>(16));
+  methods.push_back(std::make_unique<ItqHash>(16));
+  methods.push_back(std::make_unique<KnnhHash>(16));
+  methods.push_back(std::make_unique<SdhHash>(16));
+  methods.push_back(std::make_unique<PqQuantizer>(4, 16));
+  methods.push_back(std::make_unique<OpqQuantizer>(4, 16));
+  methods.push_back(std::make_unique<RqQuantizer>(4, 16));
+  methods.push_back(std::make_unique<HashNetHash>(hash_opts));
+  methods.push_back(std::make_unique<CsqHash>(hash_opts));
+  methods.push_back(std::make_unique<LthNetHash>(hash_opts));
+  auto spec = MakeLightLtSpec(bench, data::PresetId::kCifar100ish, false, 1);
+  spec.train.epochs = 10;
+  methods.push_back(std::make_unique<DeepQuantMethod>(std::move(spec)));
+  return methods;
+}
+
+TEST(BaselinesTest, EveryMethodBeatsRandomOnEasyData) {
+  const auto bench = EasyBenchmark();
+  const double floor = RandomMapFloor(bench);
+  for (auto& method : AllMethods(bench)) {
+    auto report = EvaluateMethod(method.get(), bench, nullptr);
+    ASSERT_TRUE(report.ok())
+        << method->name() << ": " << report.status().ToString();
+    EXPECT_GT(report.value().map, floor * 1.5)
+        << method->name() << " is at or below the random floor";
+    EXPECT_GT(report.value().index_bytes, 0u) << method->name();
+  }
+}
+
+TEST(BaselinesTest, MethodsFailCleanlyBeforeFit) {
+  LshHash lsh(16);
+  Matrix db(4, 16);
+  EXPECT_EQ(lsh.IndexDatabase(db).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(lsh.PrepareQueries(db).code(), StatusCode::kFailedPrecondition);
+
+  PqQuantizer pq(4, 16);
+  EXPECT_EQ(pq.IndexDatabase(db).code(), StatusCode::kFailedPrecondition);
+
+  DeepHashOptions opts;
+  CsqHash csq(opts);
+  EXPECT_EQ(csq.IndexDatabase(db).code(), StatusCode::kFailedPrecondition);
+
+  auto bench = EasyBenchmark();
+  DeepQuantMethod lightlt(
+      MakeLightLtSpec(bench, data::PresetId::kCifar100ish, false, 1));
+  EXPECT_EQ(lightlt.IndexDatabase(db).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BaselinesTest, HashBitWidthsRespectBudget) {
+  const auto bench = EasyBenchmark();
+  LshHash lsh(16);
+  ASSERT_TRUE(lsh.Fit(bench.train).ok());
+  ASSERT_TRUE(lsh.IndexDatabase(bench.database.features).ok());
+  // 16 bits = 2 bytes per item.
+  EXPECT_EQ(lsh.IndexMemoryBytes(), bench.database.size() * 2);
+}
+
+TEST(BaselinesTest, PcahRejectsTooManyBits) {
+  const auto bench = EasyBenchmark();  // 16-dim features
+  PcaHash pcah(32);
+  EXPECT_FALSE(pcah.Fit(bench.train).ok());
+  ItqHash itq(32);
+  EXPECT_FALSE(itq.Fit(bench.train).ok());
+}
+
+TEST(BaselinesTest, ItqImprovesOverPcahOnAverage) {
+  // ITQ's rotation balances per-bit variance; on raw PCA projections with
+  // skewed spectra it should not lose to plain sign-of-PCA.
+  const auto bench = EasyBenchmark();
+  PcaHash pcah(8);
+  ItqHash itq(8);
+  auto pcah_report = EvaluateMethod(&pcah, bench, nullptr);
+  auto itq_report = EvaluateMethod(&itq, bench, nullptr);
+  ASSERT_TRUE(pcah_report.ok());
+  ASSERT_TRUE(itq_report.ok());
+  EXPECT_GT(itq_report.value().map, pcah_report.value().map * 0.8);
+}
+
+TEST(BaselinesTest, SupervisedBeatsUnsupervisedUnderNuisance) {
+  // The central mechanism of the benchmark suite: with class-irrelevant
+  // variance, supervised methods must beat unsupervised ones.
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 6;
+  cfg.feature_dim = 32;
+  cfg.latent_dim = 8;
+  cfg.train_spec.num_classes = 6;
+  cfg.train_spec.head_size = 80;
+  cfg.train_spec.imbalance_factor = 10.0;
+  cfg.queries_per_class = 8;
+  cfg.database_per_class = 30;
+  cfg.class_separation = 4.0f;
+  cfg.nuisance_scale = 1.2f;
+  cfg.seed = 77;
+  const auto bench = data::GenerateSynthetic(cfg);
+
+  PqQuantizer pq(4, 16);
+  auto pq_report = EvaluateMethod(&pq, bench, nullptr);
+  ASSERT_TRUE(pq_report.ok());
+
+  auto spec = MakeLightLtSpec(bench, data::PresetId::kCifar100ish, false, 1);
+  spec.train.epochs = 15;
+  DeepQuantMethod lightlt(std::move(spec));
+  auto ll_report = EvaluateMethod(&lightlt, bench, nullptr);
+  ASSERT_TRUE(ll_report.ok());
+
+  EXPECT_GT(ll_report.value().map, pq_report.value().map);
+}
+
+TEST(BaselinesTest, RqReconstructsBetterThanPq) {
+  // Residual quantization strictly refines what earlier stages missed, so
+  // its training-set reconstruction should beat PQ's subspace split on
+  // dense correlated data.
+  const auto bench = EasyBenchmark();
+  PqQuantizer pq(4, 16);
+  RqQuantizer rq(4, 16);
+  ASSERT_TRUE(pq.Fit(bench.train).ok());
+  ASSERT_TRUE(rq.Fit(bench.train).ok());
+  ASSERT_TRUE(pq.IndexDatabase(bench.database.features).ok());
+  ASSERT_TRUE(rq.IndexDatabase(bench.database.features).ok());
+  // Both produce valid rankings.
+  ASSERT_TRUE(pq.PrepareQueries(bench.query.features).ok());
+  ASSERT_TRUE(rq.PrepareQueries(bench.query.features).ok());
+  EXPECT_EQ(pq.RankQuery(0).size(), bench.database.size());
+  EXPECT_EQ(rq.RankQuery(0).size(), bench.database.size());
+}
+
+TEST(BaselinesTest, OpqRotationIsOrthogonalInEffect) {
+  // OPQ's back-rotated codebooks must give the same ADC distances as PQ in
+  // the rotated space: self-retrieval of database items stays exact.
+  const auto bench = EasyBenchmark();
+  OpqQuantizer opq(4, 16);
+  ASSERT_TRUE(opq.Fit(bench.train).ok());
+  ASSERT_TRUE(opq.IndexDatabase(bench.database.features).ok());
+  ASSERT_TRUE(opq.PrepareQueries(bench.database.features).ok());
+  // Querying with a database item should put same-class items up top; more
+  // strongly, its own reconstruction should be among the nearest.
+  const auto ranking = opq.RankQuery(0);
+  ASSERT_EQ(ranking.size(), bench.database.size());
+  bool self_in_top = false;
+  for (size_t i = 0; i < 10; ++i) {
+    if (ranking[i] == 0) self_in_top = true;
+  }
+  EXPECT_TRUE(self_in_top);
+}
+
+TEST(RegistryTest, MethodSetsMatchPaperLineups) {
+  const auto bench = EasyBenchmark();
+  auto image = MakeImageMethodSet(bench, data::PresetId::kCifar100ish, false);
+  auto text = MakeTextMethodSet(bench, data::PresetId::kNcish, false);
+  EXPECT_EQ(image.size(), 13u);
+  EXPECT_EQ(text.size(), 7u);
+  // Line-ups end with LightLT w/o ensemble then LightLT, as in the tables.
+  EXPECT_EQ(image[image.size() - 2]->name(), "LightLT w/o ensemble");
+  EXPECT_EQ(image.back()->name(), "LightLT");
+  EXPECT_EQ(text.back()->name(), "LightLT");
+  EXPECT_EQ(DefaultNumBits(false), 24u);
+  EXPECT_EQ(DefaultNumBits(true), 32u);
+}
+
+TEST(RegistryTest, SpecsEncodeMethodDefinitions) {
+  const auto bench = EasyBenchmark();
+  const auto dpq = MakeDpqSpec(bench, data::PresetId::kNcish, false);
+  EXPECT_FALSE(dpq.arch.dsq.residual_skip);
+  EXPECT_FALSE(dpq.arch.dsq.codebook_skip);
+  EXPECT_TRUE(dpq.arch.dsq.straight_through);
+  EXPECT_FLOAT_EQ(dpq.train.loss.gamma, 0.0f);
+  EXPECT_FLOAT_EQ(dpq.train.loss.alpha, 0.0f);
+
+  const auto kde = MakeKdeSpec(bench, data::PresetId::kNcish, false);
+  EXPECT_FALSE(kde.arch.dsq.straight_through);
+  EXPECT_GT(kde.train.loss.recon_weight, 0.0f);
+
+  const auto lightlt = MakeLightLtSpec(bench, data::PresetId::kNcish, false, 4);
+  EXPECT_TRUE(lightlt.arch.dsq.residual_skip);
+  EXPECT_TRUE(lightlt.arch.dsq.codebook_skip);
+  EXPECT_EQ(lightlt.ensemble_models, 4);
+  EXPECT_GT(lightlt.train.loss.gamma, 0.0f);
+}
+
+}  // namespace
+}  // namespace lightlt::baselines

@@ -1,0 +1,221 @@
+// Tests for the linear-algebra kernels, k-means and PCA.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/clustering/kmeans.h"
+#include "src/clustering/linalg.h"
+#include "src/clustering/pca.h"
+#include "src/util/rng.h"
+
+namespace lightlt {
+namespace {
+
+TEST(LinalgTest, SymmetricEigenReconstructsMatrix) {
+  Rng rng(1);
+  Matrix g = Matrix::RandomGaussian(6, 6, rng);
+  Matrix a = g.TransposedMatMul(g);  // SPD
+
+  std::vector<float> evals;
+  Matrix evecs;
+  ASSERT_TRUE(linalg::SymmetricEigen(a, &evals, &evecs).ok());
+
+  // A == V diag(L) V^T.
+  Matrix vl = evecs;
+  for (size_t c = 0; c < 6; ++c) {
+    for (size_t r = 0; r < 6; ++r) vl.at(r, c) *= evals[c];
+  }
+  EXPECT_TRUE(vl.MatMulTransposed(evecs).AllClose(a, 1e-3f));
+  // Sorted descending.
+  for (size_t i = 1; i < evals.size(); ++i) {
+    EXPECT_GE(evals[i - 1], evals[i]);
+  }
+}
+
+TEST(LinalgTest, SymmetricEigenRejectsNonSquare) {
+  Matrix a(2, 3);
+  std::vector<float> evals;
+  Matrix evecs;
+  EXPECT_FALSE(linalg::SymmetricEigen(a, &evals, &evecs).ok());
+}
+
+TEST(LinalgTest, EigenvectorsAreOrthonormal) {
+  Rng rng(2);
+  Matrix g = Matrix::RandomGaussian(5, 5, rng);
+  Matrix a = g.TransposedMatMul(g);
+  std::vector<float> evals;
+  Matrix v;
+  ASSERT_TRUE(linalg::SymmetricEigen(a, &evals, &v).ok());
+  EXPECT_TRUE(v.TransposedMatMul(v).AllClose(Matrix::Identity(5), 1e-3f));
+}
+
+TEST(LinalgTest, ThinSvdReconstructs) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(8, 4, rng);
+  Matrix u, v;
+  std::vector<float> s;
+  ASSERT_TRUE(linalg::ThinSvd(a, &u, &s, &v).ok());
+  // A == U diag(S) V^T.
+  Matrix us = u;
+  for (size_t c = 0; c < 4; ++c) {
+    for (size_t r = 0; r < 8; ++r) us.at(r, c) *= s[c];
+  }
+  EXPECT_TRUE(us.MatMulTransposed(v).AllClose(a, 1e-3f));
+}
+
+TEST(LinalgTest, SolveSpdMatchesDirectSolution) {
+  Rng rng(4);
+  Matrix g = Matrix::RandomGaussian(5, 5, rng);
+  Matrix a = g.TransposedMatMul(g);
+  for (size_t i = 0; i < 5; ++i) a.at(i, i) += 1.0f;  // well-conditioned
+  Matrix x_true = Matrix::RandomGaussian(5, 2, rng);
+  Matrix b = a.MatMul(x_true);
+  Matrix x;
+  ASSERT_TRUE(linalg::SolveSpd(a, b, &x).ok());
+  EXPECT_TRUE(x.AllClose(x_true, 1e-2f));
+}
+
+TEST(LinalgTest, SolveSpdRejectsIndefinite) {
+  Matrix a(2, 2, {1.0f, 0.0f, 0.0f, -1.0f});
+  Matrix b(2, 1, {1.0f, 1.0f});
+  Matrix x;
+  EXPECT_FALSE(linalg::SolveSpd(a, b, &x).ok());
+}
+
+TEST(LinalgTest, ProcrustesRecoversRotation) {
+  Rng rng(5);
+  // Build a random rotation via SVD of a Gaussian matrix.
+  Matrix g = Matrix::RandomGaussian(4, 4, rng);
+  Matrix u, v;
+  std::vector<float> s;
+  ASSERT_TRUE(linalg::ThinSvd(g, &u, &s, &v).ok());
+  Matrix r_true = u.MatMulTransposed(v);
+
+  Matrix a = Matrix::RandomGaussian(32, 4, rng);
+  Matrix b = a.MatMul(r_true);
+  Matrix r;
+  ASSERT_TRUE(linalg::ProcrustesRotation(a, b, &r).ok());
+  EXPECT_TRUE(r.AllClose(r_true, 1e-2f));
+}
+
+TEST(LinalgTest, CenterColumnsZerosTheMean) {
+  Rng rng(6);
+  Matrix x = Matrix::RandomGaussian(50, 4, rng);
+  for (size_t i = 0; i < x.rows(); ++i) x.at(i, 2) += 5.0f;
+  Matrix mean = linalg::CenterColumns(x);
+  EXPECT_NEAR(mean[2], 5.0f, 0.5f);
+  Matrix col_sums = x.ColSums();
+  for (size_t j = 0; j < 4; ++j) EXPECT_NEAR(col_sums[j], 0.0f, 1e-3f);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(7);
+  // Three tight clusters far apart.
+  Matrix points(90, 2);
+  const float centers[3][2] = {{0, 0}, {20, 0}, {0, 20}};
+  for (size_t i = 0; i < 90; ++i) {
+    const size_t c = i / 30;
+    points.at(i, 0) =
+        centers[c][0] + static_cast<float>(rng.NextGaussian()) * 0.5f;
+    points.at(i, 1) =
+        centers[c][1] + static_cast<float>(rng.NextGaussian()) * 0.5f;
+  }
+  clustering::KMeansOptions opts;
+  opts.num_clusters = 3;
+  opts.seed = 11;
+  const auto result = clustering::KMeans(points, opts);
+  // All points in one true cluster share the same assignment.
+  for (size_t c = 0; c < 3; ++c) {
+    const uint32_t expected = result.assignments[c * 30];
+    for (size_t i = 0; i < 30; ++i) {
+      EXPECT_EQ(result.assignments[c * 30 + i], expected);
+    }
+  }
+  EXPECT_LT(result.inertia, 90.0 * 1.0);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(8);
+  Matrix points = Matrix::RandomGaussian(300, 8, rng);
+  double prev = 1e30;
+  for (size_t k : {2u, 8u, 32u}) {
+    clustering::KMeansOptions opts;
+    opts.num_clusters = k;
+    opts.seed = 3;
+    const auto result = clustering::KMeans(points, opts);
+    EXPECT_LT(result.inertia, prev);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeansTest, HandlesFewerPointsThanClusters) {
+  Rng rng(9);
+  Matrix points = Matrix::RandomGaussian(5, 3, rng);
+  clustering::KMeansOptions opts;
+  opts.num_clusters = 16;
+  const auto result = clustering::KMeans(points, opts);
+  EXPECT_LE(result.centroids.rows(), 5u);
+  EXPECT_EQ(result.assignments.size(), 5u);
+}
+
+TEST(KMeansTest, AssignToNearestIsExact) {
+  Rng rng(10);
+  Matrix points = Matrix::RandomGaussian(40, 6, rng);
+  Matrix centroids = Matrix::RandomGaussian(7, 6, rng);
+  const auto assigned = clustering::AssignToNearest(points, centroids);
+  const Matrix d2 = points.SquaredEuclideanTo(centroids);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    float best = d2.at(i, assigned[i]);
+    for (size_t j = 0; j < 7; ++j) {
+      EXPECT_GE(d2.at(i, j) + 1e-4f, best);
+    }
+  }
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  Rng rng(11);
+  // Data stretched along (1, 1)/sqrt(2).
+  Matrix x(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    const float t = static_cast<float>(rng.NextGaussian()) * 5.0f;
+    const float noise = static_cast<float>(rng.NextGaussian()) * 0.2f;
+    x.at(i, 0) = t + noise;
+    x.at(i, 1) = t - noise;
+  }
+  auto pca = clustering::Pca::Fit(x, 1);
+  ASSERT_TRUE(pca.ok());
+  const Matrix& comp = pca.value().components();
+  const float ratio = comp.at(0, 0) / comp.at(1, 0);
+  EXPECT_NEAR(std::fabs(ratio), 1.0f, 0.05f);
+  EXPECT_GT(pca.value().explained_variance()[0], 20.0f);
+}
+
+TEST(PcaTest, WhitenedProjectionHasUnitVariance) {
+  Rng rng(12);
+  Matrix x = Matrix::RandomGaussian(500, 6, rng);
+  for (size_t i = 0; i < x.rows(); ++i) x.at(i, 0) *= 10.0f;
+  auto pca = clustering::Pca::Fit(x, 3, /*whiten=*/true);
+  ASSERT_TRUE(pca.ok());
+  Matrix projected = pca.value().Transform(x);
+  for (size_t c = 0; c < 3; ++c) {
+    double var = 0.0;
+    for (size_t i = 0; i < projected.rows(); ++i) {
+      var += static_cast<double>(projected.at(i, c)) * projected.at(i, c);
+    }
+    var /= static_cast<double>(projected.rows());
+    EXPECT_NEAR(var, 1.0, 0.2);
+  }
+}
+
+TEST(PcaTest, RejectsBadArguments) {
+  Rng rng(13);
+  Matrix x = Matrix::RandomGaussian(10, 4, rng);
+  EXPECT_FALSE(clustering::Pca::Fit(x, 0).ok());
+  EXPECT_FALSE(clustering::Pca::Fit(x, 5).ok());
+  Matrix tiny = Matrix::RandomGaussian(1, 4, rng);
+  EXPECT_FALSE(clustering::Pca::Fit(tiny, 2).ok());
+}
+
+}  // namespace
+}  // namespace lightlt

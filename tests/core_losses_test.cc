@@ -1,0 +1,199 @@
+// Tests for the LightLT loss functions (paper §III-D, Prop. 1).
+
+#include "src/core/losses.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/grad_check.h"
+#include "src/util/rng.h"
+
+namespace lightlt::core {
+namespace {
+
+TEST(LossConfigTest, Validation) {
+  LossConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.gamma = 1.0f;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = LossConfig{};
+  cfg.alpha = -0.1f;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = LossConfig{};
+  cfg.tau = 0.0f;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ClassWeightsTest, GammaZeroGivesUniformWeights) {
+  const auto w = ClassBalancedWeights({100, 10, 1}, 0.0f);
+  for (float v : w) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(ClassWeightsTest, TailClassesGetHigherWeight) {
+  const auto w = ClassBalancedWeights({1000, 100, 10, 2}, 0.999f);
+  EXPECT_LT(w[0], w[1]);
+  EXPECT_LT(w[1], w[2]);
+  EXPECT_LT(w[2], w[3]);
+}
+
+TEST(ClassWeightsTest, NormalizedToSampleCount) {
+  const std::vector<size_t> counts = {500, 50, 5};
+  const auto w = ClassBalancedWeights(counts, 0.99f);
+  double weighted = 0.0, total = 0.0;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    weighted += w[c] * static_cast<double>(counts[c]);
+    total += static_cast<double>(counts[c]);
+  }
+  EXPECT_NEAR(weighted, total, total * 1e-4);
+}
+
+TEST(ClassWeightsTest, GammaNearOneApproachesInverseFrequency) {
+  // As gamma -> 1, (1-g)/(1-g^pi) -> 1/pi; ratios of weights approach
+  // inverse count ratios.
+  const auto w = ClassBalancedWeights({1000, 10}, 0.99999f);
+  EXPECT_NEAR(w[1] / w[0], 1000.0 / 10.0, 2.0);
+}
+
+TEST(WeightedCrossEntropyTest, MatchesHandComputedBinaryCase) {
+  // Two samples, two classes, uniform weights.
+  Var logits = MakeParam(Matrix(2, 2, {2.0f, 0.0f, 0.0f, 1.0f}));
+  Var loss = WeightedCrossEntropy(logits, {0, 1}, {1.0f, 1.0f});
+  const double l0 = -std::log(std::exp(2.0) / (std::exp(2.0) + 1.0));
+  const double l1 = -std::log(std::exp(1.0) / (std::exp(1.0) + 1.0));
+  EXPECT_NEAR(loss->value()[0], (l0 + l1) / 2.0, 1e-5);
+}
+
+TEST(WeightedCrossEntropyTest, WeightsScalePerSampleContribution) {
+  Var logits = MakeConstant(Matrix(2, 2, {1.0f, 0.0f, 0.0f, 1.0f}));
+  Var uniform = WeightedCrossEntropy(logits, {0, 1}, {1.0f, 1.0f});
+  Var skewed = WeightedCrossEntropy(logits, {0, 1}, {2.0f, 0.0f});
+  // Same per-sample CE here by symmetry; the skewed version doubles sample 0
+  // and zeroes sample 1, keeping the mean identical.
+  EXPECT_NEAR(uniform->value()[0], skewed->value()[0], 1e-5);
+}
+
+TEST(WeightedCrossEntropyTest, GradCheck) {
+  Rng rng(50);
+  Var logits = MakeParam(Matrix::RandomGaussian(4, 3, rng));
+  const std::vector<size_t> labels = {0, 2, 1, 2};
+  const std::vector<float> weights = {0.5f, 1.0f, 2.0f};
+  auto result = CheckGradients(
+      {logits}, [&] { return WeightedCrossEntropy(logits, labels, weights); });
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(CenterLossTest, ZeroWhenOnPrototype) {
+  Matrix protos(2, 3, {1, 2, 3, 4, 5, 6});
+  Var z = MakeParam(protos);
+  Var o = MakeConstant(protos.GatherRows({0, 1, 1}));
+  Var loss = CenterLoss(o, z, {0, 1, 1});
+  EXPECT_NEAR(loss->value()[0], 0.0f, 1e-4f);
+}
+
+TEST(CenterLossTest, MatchesHandComputedDistance) {
+  Var z = MakeConstant(Matrix(1, 2, {0.0f, 0.0f}));
+  Var o = MakeConstant(Matrix(1, 2, {3.0f, 4.0f}));
+  Var loss = CenterLoss(o, z, {0});
+  EXPECT_NEAR(loss->value()[0], 5.0f, 1e-5f);
+}
+
+TEST(CenterLossTest, GradCheckBothInputs) {
+  Rng rng(51);
+  Var o = MakeParam(Matrix::RandomGaussian(4, 3, rng));
+  Var z = MakeParam(Matrix::RandomGaussian(2, 3, rng));
+  auto result = CheckGradients(
+      {o, z}, [&] { return CenterLoss(o, z, {0, 1, 0, 1}); });
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(RankingLossTest, PrefersOwnPrototype) {
+  // Representation sits exactly on prototype 0: loss should be small and
+  // moving it toward prototype 1 should increase the loss.
+  Var z = MakeConstant(Matrix(2, 2, {0.0f, 0.0f, 10.0f, 0.0f}));
+  Var near = MakeConstant(Matrix(1, 2, {0.0f, 0.0f}));
+  Var mid = MakeConstant(Matrix(1, 2, {5.0f, 0.0f}));
+  const float l_near = RankingLoss(near, z, {0}, 1.0f)->value()[0];
+  const float l_mid = RankingLoss(mid, z, {0}, 1.0f)->value()[0];
+  EXPECT_LT(l_near, l_mid);
+}
+
+TEST(RankingLossTest, GradCheck) {
+  Rng rng(52);
+  Var o = MakeParam(Matrix::RandomGaussian(3, 4, rng));
+  Var z = MakeParam(Matrix::RandomGaussian(3, 4, rng));
+  auto result = CheckGradients(
+      {o, z}, [&] { return RankingLoss(o, z, {2, 0, 1}, 0.7f); }, 1e-3f,
+      3e-2f);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(LightLtLossTest, AlphaZeroReducesToCrossEntropy) {
+  Rng rng(53);
+  Var logits = MakeConstant(Matrix::RandomGaussian(4, 3, rng));
+  Var o = MakeConstant(Matrix::RandomGaussian(4, 5, rng));
+  Var z = MakeConstant(Matrix::RandomGaussian(3, 5, rng));
+  const std::vector<size_t> labels = {0, 1, 2, 0};
+  const std::vector<float> weights = {1.0f, 1.0f, 1.0f};
+
+  LossConfig cfg;
+  cfg.alpha = 0.0f;
+  Var full = LightLtLoss(logits, o, z, labels, weights, cfg);
+  Var ce = WeightedCrossEntropy(logits, labels, weights);
+  EXPECT_NEAR(full->value()[0], ce->value()[0], 1e-6f);
+}
+
+TEST(LightLtLossTest, ComponentsCompose) {
+  Rng rng(54);
+  Var logits = MakeConstant(Matrix::RandomGaussian(4, 3, rng));
+  Var o = MakeConstant(Matrix::RandomGaussian(4, 5, rng));
+  Var z = MakeConstant(Matrix::RandomGaussian(3, 5, rng));
+  const std::vector<size_t> labels = {0, 1, 2, 0};
+  const std::vector<float> weights = {1.0f, 1.0f, 1.0f};
+
+  LossConfig cfg;
+  cfg.alpha = 0.5f;
+  const float full =
+      LightLtLoss(logits, o, z, labels, weights, cfg)->value()[0];
+  const float ce = WeightedCrossEntropy(logits, labels, weights)->value()[0];
+  const float lc = CenterLoss(o, z, labels)->value()[0];
+  const float lr = RankingLoss(o, z, labels, cfg.tau)->value()[0];
+  EXPECT_NEAR(full, ce + 0.5f * (lc + lr), 1e-4f);
+}
+
+TEST(Proposition1Test, CenterPlusRankingTracksTripletLoss) {
+  // Prop. 1: L_c + L_r approximately upper-bounds the (simplified, margin 0,
+  // sum-form) triplet loss. We verify the *behavioural* claim the proof
+  // supports: configurations with lower (L_c + L_r) have lower triplet loss.
+  Rng rng(55);
+  const size_t n = 12, d = 4, c = 3;
+  std::vector<size_t> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = i % c;
+
+  auto eval_both = [&](float cluster_tightness) {
+    Matrix protos = Matrix::RandomGaussian(c, d, rng, 3.0f);
+    Matrix reps(n, d);
+    Rng local(99);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        reps.at(i, j) = protos.at(labels[i], j) +
+                        cluster_tightness *
+                            static_cast<float>(local.NextGaussian());
+      }
+    }
+    Var o = MakeConstant(reps);
+    Var z = MakeConstant(protos);
+    const double bound = CenterLoss(o, z, labels)->value()[0] +
+                         RankingLoss(o, z, labels, 1.0f)->value()[0];
+    const double triplet = TripletLossValue(reps, labels, 0.0f);
+    return std::pair<double, double>(bound, triplet);
+  };
+
+  const auto [tight_bound, tight_triplet] = eval_both(0.1f);
+  const auto [loose_bound, loose_triplet] = eval_both(3.0f);
+  EXPECT_LT(tight_bound, loose_bound);
+  EXPECT_LT(tight_triplet, loose_triplet);
+}
+
+}  // namespace
+}  // namespace lightlt::core

@@ -1,0 +1,110 @@
+// Model persistence round-trip tests.
+
+#include "src/core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/pipeline.h"
+
+namespace lightlt::core {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+ModelConfig SmallModel() {
+  ModelConfig cfg;
+  cfg.input_dim = 12;
+  cfg.hidden_dims = {24, 16};
+  cfg.embed_dim = 8;
+  cfg.num_classes = 6;
+  cfg.dsq.num_codebooks = 3;
+  cfg.dsq.num_codewords = 8;
+  cfg.dsq.temperature = 1.5f;
+  return cfg;
+}
+
+TEST(SerializeTest, RoundTripPreservesAllParameters) {
+  LightLtModel model(SmallModel(), 77);
+  const std::string path = TempPath("model.bin");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const auto orig = model.Parameters();
+  const auto back = loaded.value()->Parameters();
+  ASSERT_EQ(orig.size(), back.size());
+  for (size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_TRUE(orig[i]->value().AllClose(back[i]->value(), 0.0f))
+        << "parameter " << i << " changed across save/load";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RoundTripPreservesConfig) {
+  LightLtModel model(SmallModel(), 78);
+  const std::string path = TempPath("model_cfg.bin");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto& cfg = loaded.value()->config();
+  EXPECT_EQ(cfg.input_dim, 12u);
+  EXPECT_EQ(cfg.hidden_dims, (std::vector<size_t>{24, 16}));
+  EXPECT_EQ(cfg.embed_dim, 8u);
+  EXPECT_EQ(cfg.num_classes, 6u);
+  EXPECT_EQ(cfg.dsq.num_codebooks, 3u);
+  EXPECT_EQ(cfg.dsq.num_codewords, 8u);
+  EXPECT_FLOAT_EQ(cfg.dsq.temperature, 1.5f);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RoundTripPreservesEncodingBehaviour) {
+  LightLtModel model(SmallModel(), 79);
+  const std::string path = TempPath("model_enc.bin");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+
+  Rng rng(4);
+  Matrix x = Matrix::RandomGaussian(16, 12, rng);
+  std::vector<std::vector<uint32_t>> a, b;
+  model.EncodeDatabase(x, &a);
+  loaded.value()->EncodeDatabase(x, &b);
+  EXPECT_EQ(a, b);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsCorruptAndMissingFiles) {
+  EXPECT_FALSE(LoadModel("/nonexistent/model.bin").ok());
+  const std::string path = TempPath("garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[] = "garbage bytes, not a model";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  auto result = LoadModel(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileFailsCleanly) {
+  LightLtModel model(SmallModel(), 80);
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  // Truncate to half size.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lightlt::core

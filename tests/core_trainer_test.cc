@@ -1,0 +1,151 @@
+// Training-loop behaviour tests: losses decrease, options validate,
+// DSQ-only mode freezes the backbone.
+
+#include "src/core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/data/dataset.h"
+
+namespace lightlt::core {
+namespace {
+
+data::RetrievalBenchmark TinyBenchmark() {
+  data::SyntheticConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_classes = 5;
+  cfg.feature_dim = 16;
+  cfg.train_spec.num_classes = 5;
+  cfg.train_spec.head_size = 40;
+  cfg.train_spec.imbalance_factor = 10.0;
+  cfg.queries_per_class = 5;
+  cfg.database_per_class = 20;
+  cfg.class_separation = 2.5f;
+  cfg.nuisance_scale = 0.3f;
+  cfg.seed = 123;
+  return data::GenerateSynthetic(cfg);
+}
+
+ModelConfig TinyModel() {
+  ModelConfig cfg;
+  cfg.input_dim = 16;
+  cfg.hidden_dims = {32};
+  cfg.embed_dim = 16;
+  cfg.num_classes = 5;
+  cfg.dsq.num_codebooks = 2;
+  cfg.dsq.num_codewords = 16;
+  return cfg;
+}
+
+TrainOptions FastOptions() {
+  TrainOptions opts;
+  opts.epochs = 15;
+  opts.batch_size = 32;
+  opts.learning_rate = 5e-3f;
+  return opts;
+}
+
+TEST(TrainOptionsTest, Validation) {
+  TrainOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.epochs = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = TrainOptions{};
+  opts.batch_size = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = TrainOptions{};
+  opts.learning_rate = -1.0f;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = TrainOptions{};
+  opts.warmup_fraction = 1.0f;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(TrainerTest, RejectsMismatchedDataset) {
+  auto bench = TinyBenchmark();
+  ModelConfig cfg = TinyModel();
+  cfg.num_classes = 7;  // wrong
+  LightLtModel model(cfg, 1);
+  auto result = TrainLightLt(&model, bench.train, FastOptions());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerTest, LossDecreasesAndAccuracyRises) {
+  auto bench = TinyBenchmark();
+  LightLtModel model(TinyModel(), 7);
+  auto stats = TrainLightLt(&model, bench.train, FastOptions());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const auto& s = stats.value();
+  ASSERT_EQ(s.epoch_loss.size(), 15u);
+  EXPECT_LT(s.epoch_loss.back(), s.epoch_loss.front());
+  EXPECT_GT(s.epoch_accuracy.back(), s.epoch_accuracy.front());
+  EXPECT_GT(s.epoch_accuracy.back(), 0.5);
+}
+
+TEST(TrainerTest, TrainingImprovesRetrievalOverUntrained) {
+  auto bench = TinyBenchmark();
+  LightLtModel untrained(TinyModel(), 7);
+  LightLtModel trained(TinyModel(), 7);
+  auto stats = TrainLightLt(&trained, bench.train, FastOptions());
+  ASSERT_TRUE(stats.ok());
+
+  auto before = EvaluateModel(untrained, bench);
+  auto after = EvaluateModel(trained, bench);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after.value().map, before.value().map);
+  EXPECT_GT(after.value().map, 0.4);  // 5 balanced classes: random ~0.2
+}
+
+TEST(TrainerTest, DsqOnlyModeFreezesBackboneAndClassifier) {
+  auto bench = TinyBenchmark();
+  LightLtModel model(TinyModel(), 7);
+
+  // Snapshot non-DSQ parameters.
+  const auto all = model.Parameters();
+  const auto dsq = model.DsqParameters();
+  auto is_dsq = [&](const Var& p) {
+    for (const auto& q : dsq) {
+      if (q.get() == p.get()) return true;
+    }
+    return false;
+  };
+  std::vector<Matrix> frozen_before;
+  for (const auto& p : all) {
+    if (!is_dsq(p)) frozen_before.push_back(p->value());
+  }
+
+  TrainOptions opts = FastOptions();
+  opts.epochs = 2;
+  opts.dsq_only = true;
+  ASSERT_TRUE(TrainLightLt(&model, bench.train, opts).ok());
+
+  size_t idx = 0;
+  for (const auto& p : all) {
+    if (!is_dsq(p)) {
+      EXPECT_TRUE(p->value().AllClose(frozen_before[idx], 0.0f))
+          << "non-DSQ parameter moved during dsq_only training";
+      ++idx;
+    }
+  }
+}
+
+TEST(TrainerTest, SchedulesAllConverge) {
+  auto bench = TinyBenchmark();
+  for (ScheduleKind kind : {ScheduleKind::kConstant, ScheduleKind::kCosine,
+                            ScheduleKind::kLinearWarmup}) {
+    LightLtModel model(TinyModel(), 7);
+    TrainOptions opts = FastOptions();
+    opts.schedule = kind;
+    opts.epochs = 5;
+    auto stats = TrainLightLt(&model, bench.train, opts);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_LT(stats.value().epoch_loss.back(), stats.value().epoch_loss.front())
+        << "schedule kind " << static_cast<int>(kind);
+  }
+}
+
+}  // namespace
+}  // namespace lightlt::core

@@ -1,0 +1,129 @@
+// Tests for dataset persistence (binary + TSV).
+
+#include "src/data/data_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace lightlt::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Dataset SmallDataset() {
+  Dataset d;
+  d.num_classes = 3;
+  Rng rng(9);
+  d.features = Matrix::RandomGaussian(7, 5, rng);
+  d.labels = {0, 1, 2, 0, 1, 2, 0};
+  return d;
+}
+
+TEST(DataIoTest, BinaryRoundTrip) {
+  const Dataset original = SmallDataset();
+  const std::string path = TempPath("dataset.bin");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().features.AllClose(original.features, 0.0f));
+  EXPECT_EQ(loaded.value().labels, original.labels);
+  EXPECT_EQ(loaded.value().num_classes, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DataIoTest, BenchmarkRoundTrip) {
+  RetrievalBenchmark bench;
+  bench.name = "unit";
+  bench.train = SmallDataset();
+  bench.query = SmallDataset();
+  bench.database = SmallDataset();
+  const std::string path = TempPath("bench.bin");
+  ASSERT_TRUE(SaveBenchmark(bench, path).ok());
+  auto loaded = LoadBenchmark(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().name, "unit");
+  EXPECT_EQ(loaded.value().database.size(), 7u);
+  EXPECT_TRUE(
+      loaded.value().train.features.AllClose(bench.train.features, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(DataIoTest, BinaryRejectsWrongMagic) {
+  const std::string path = TempPath("not_dataset.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadDataset(path).ok());
+  EXPECT_FALSE(LoadBenchmark(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DataIoTest, TsvRoundTrip) {
+  const Dataset original = SmallDataset();
+  const std::string path = TempPath("dataset.tsv");
+  ASSERT_TRUE(SaveTsv(original, path).ok());
+  auto loaded = LoadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().labels, original.labels);
+  EXPECT_EQ(loaded.value().dim(), 5u);
+  EXPECT_TRUE(loaded.value().features.AllClose(original.features, 1e-4f));
+  std::remove(path.c_str());
+}
+
+TEST(DataIoTest, TsvSkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("commented.tsv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# header comment\n", f);
+  std::fputs("0\t1.0\t2.0\n", f);
+  std::fputs("\n", f);
+  std::fputs("1\t3.0\t4.0\n", f);
+  std::fclose(f);
+  auto loaded = LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().num_classes, 2u);
+  EXPECT_FLOAT_EQ(loaded.value().features.at(1, 1), 4.0f);
+  std::remove(path.c_str());
+}
+
+TEST(DataIoTest, TsvRejectsInconsistentRows) {
+  const std::string path = TempPath("ragged.tsv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0\t1.0\t2.0\n", f);
+  std::fputs("1\t3.0\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadTsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DataIoTest, TsvRejectsNegativeLabelsAndMissingFile) {
+  EXPECT_FALSE(LoadTsv("/nonexistent/file.tsv").ok());
+  const std::string path = TempPath("neg.tsv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("-1\t1.0\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadTsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DataIoTest, TsvHonorsExplicitClassCount) {
+  const std::string path = TempPath("classes.tsv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0\t1.0\n2\t2.0\n", f);
+  std::fclose(f);
+  auto loaded = LoadTsv(path, /*num_classes=*/10);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_classes, 10u);
+  // Too-small explicit count fails.
+  EXPECT_FALSE(LoadTsv(path, /*num_classes=*/2).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lightlt::data

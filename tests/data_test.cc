@@ -1,0 +1,236 @@
+// Tests for the long-tail law (Definition 1) and the synthetic dataset
+// generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/dataset.h"
+#include "src/data/longtail.h"
+#include "src/data/presets.h"
+
+namespace lightlt::data {
+namespace {
+
+TEST(ZipfTest, ExponentMatchesDefinition) {
+  // pi_C = pi_1 * C^{-p} must equal pi_1 / IF.
+  const double p = ZipfExponent(100, 50.0);
+  EXPECT_NEAR(std::pow(100.0, -p), 1.0 / 50.0, 1e-9);
+}
+
+TEST(ZipfTest, ClassSizesAreNonIncreasing) {
+  LongTailSpec spec;
+  spec.num_classes = 100;
+  spec.head_size = 500;
+  spec.imbalance_factor = 50.0;
+  const auto sizes = LongTailClassSizes(spec);
+  ASSERT_EQ(sizes.size(), 100u);
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], sizes[i - 1]);
+  }
+}
+
+TEST(ZipfTest, HeadAndTailSizesMatchImbalanceFactor) {
+  LongTailSpec spec;
+  spec.num_classes = 100;
+  spec.head_size = 500;
+  spec.imbalance_factor = 50.0;
+  spec.min_class_size = 1;
+  const auto sizes = LongTailClassSizes(spec);
+  EXPECT_EQ(sizes.front(), 500u);
+  EXPECT_EQ(sizes.back(), 10u);  // 500 / 50, Table I's pi_C for Cifar100
+  EXPECT_NEAR(MeasuredImbalanceFactor(sizes), 50.0, 1.0);
+}
+
+TEST(ZipfTest, Paper_TableI_Cifar100_IF100) {
+  // Table I: Cifar100 IF=100 has pi_1=500, pi_C=5.
+  LongTailSpec spec;
+  spec.num_classes = 100;
+  spec.head_size = 500;
+  spec.imbalance_factor = 100.0;
+  const auto sizes = LongTailClassSizes(spec);
+  EXPECT_EQ(sizes.front(), 500u);
+  EXPECT_EQ(sizes.back(), 5u);
+}
+
+TEST(ZipfTest, LogLogLinearity) {
+  // Zipf series must be near-linear in log-log space (Fig. 4).
+  LongTailSpec spec;
+  spec.num_classes = 50;
+  spec.head_size = 1000;
+  spec.imbalance_factor = 50.0;
+  const auto sizes = LongTailClassSizes(spec);
+  const double p = ZipfExponent(spec.num_classes, spec.imbalance_factor);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const double expected =
+        std::log(1000.0) - p * std::log(static_cast<double>(i + 1));
+    EXPECT_NEAR(std::log(static_cast<double>(sizes[i])), expected, 0.2);
+  }
+}
+
+TEST(ZipfTest, MinClassSizeFloorApplies) {
+  LongTailSpec spec;
+  spec.num_classes = 100;
+  spec.head_size = 100;
+  spec.imbalance_factor = 100.0;
+  spec.min_class_size = 3;
+  const auto sizes = LongTailClassSizes(spec);
+  for (size_t s : sizes) EXPECT_GE(s, 3u);
+}
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig cfg;
+  cfg.num_classes = 8;
+  cfg.feature_dim = 24;
+  cfg.latent_dim = 8;
+  cfg.train_spec.num_classes = 8;
+  cfg.train_spec.head_size = 50;
+  cfg.train_spec.imbalance_factor = 10.0;
+  cfg.queries_per_class = 4;
+  cfg.database_per_class = 10;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(SyntheticTest, SplitSizesMatchConfig) {
+  const auto bench = GenerateSynthetic(SmallConfig());
+  EXPECT_EQ(bench.query.size(), 8u * 4u);
+  EXPECT_EQ(bench.database.size(), 8u * 10u);
+  EXPECT_EQ(bench.train.dim(), 24u);
+  EXPECT_EQ(bench.query.dim(), 24u);
+  EXPECT_EQ(bench.database.dim(), 24u);
+}
+
+TEST(SyntheticTest, TrainSplitIsLongTailed) {
+  const auto bench = GenerateSynthetic(SmallConfig());
+  const auto counts = bench.train.ClassCounts();
+  EXPECT_NEAR(MeasuredImbalanceFactor(counts), 10.0, 2.0);
+}
+
+TEST(SyntheticTest, QueryAndDatabaseAreBalanced) {
+  const auto bench = GenerateSynthetic(SmallConfig());
+  for (size_t c : bench.query.ClassCounts()) EXPECT_EQ(c, 4u);
+  for (size_t c : bench.database.ClassCounts()) EXPECT_EQ(c, 10u);
+}
+
+TEST(SyntheticTest, DeterministicForFixedSeed) {
+  const auto a = GenerateSynthetic(SmallConfig());
+  const auto b = GenerateSynthetic(SmallConfig());
+  EXPECT_TRUE(a.train.features.AllClose(b.train.features, 0.0f));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto cfg = SmallConfig();
+  const auto a = GenerateSynthetic(cfg);
+  cfg.seed = 100;
+  const auto b = GenerateSynthetic(cfg);
+  EXPECT_FALSE(a.train.features.AllClose(b.train.features, 1e-3f));
+}
+
+TEST(SyntheticTest, ClassesAreSeparableInLatentTerms) {
+  // With strong separation and no nuisance, same-class items must be closer
+  // on average than cross-class items.
+  auto cfg = SmallConfig();
+  cfg.class_separation = 6.0f;
+  cfg.nuisance_scale = 0.0f;
+  const auto bench = GenerateSynthetic(cfg);
+  const auto& db = bench.database;
+  double intra = 0.0, inter = 0.0;
+  size_t n_intra = 0, n_inter = 0;
+  for (size_t i = 0; i < db.size(); i += 3) {
+    for (size_t j = i + 1; j < db.size(); j += 3) {
+      double d2 = 0.0;
+      for (size_t k = 0; k < db.dim(); ++k) {
+        const double diff = db.features.at(i, k) - db.features.at(j, k);
+        d2 += diff * diff;
+      }
+      if (db.labels[i] == db.labels[j]) {
+        intra += d2;
+        ++n_intra;
+      } else {
+        inter += d2;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(SyntheticTest, NuisanceRaisesUnexplainedVariance) {
+  auto quiet = SmallConfig();
+  quiet.nuisance_scale = 0.0f;
+  auto noisy = SmallConfig();
+  noisy.nuisance_scale = 2.0f;
+  const auto a = GenerateSynthetic(quiet);
+  const auto b = GenerateSynthetic(noisy);
+  EXPECT_GT(b.train.features.SquaredNorm(), a.train.features.SquaredNorm());
+}
+
+TEST(SyntheticTest, MultimodalSpreadsClasses) {
+  auto uni = SmallConfig();
+  uni.nuisance_scale = 0.0f;
+  auto multi = SmallConfig();
+  multi.nuisance_scale = 0.0f;
+  multi.modes_per_class = 3;
+  multi.mode_spread = 5.0f;
+  const auto a = GenerateSynthetic(uni);
+  const auto b = GenerateSynthetic(multi);
+  // Average intra-class spread grows with extra modes.
+  auto intra_spread = [](const Dataset& d) {
+    double total = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < d.size(); i += 2) {
+      for (size_t j = i + 1; j < d.size(); j += 2) {
+        if (d.labels[i] != d.labels[j]) continue;
+        for (size_t k = 0; k < d.dim(); ++k) {
+          const double diff = d.features.at(i, k) - d.features.at(j, k);
+          total += diff * diff;
+        }
+        ++count;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+  EXPECT_GT(intra_spread(b.database), intra_spread(a.database));
+}
+
+TEST(PresetTest, AllPresetsGenerate) {
+  for (auto id : AllPresets()) {
+    for (double imbalance : {50.0, 100.0}) {
+      const auto bench = GeneratePreset(id, imbalance, false, 3);
+      EXPECT_GT(bench.train.size(), 0u) << PresetName(id);
+      EXPECT_GT(bench.query.size(), 0u);
+      EXPECT_GT(bench.database.size(), 0u);
+      const auto counts = bench.train.ClassCounts();
+      EXPECT_NEAR(MeasuredImbalanceFactor(counts), imbalance,
+                  imbalance * 0.4)
+          << PresetName(id);
+    }
+  }
+}
+
+TEST(PresetTest, TableIStatisticsAtFullScale) {
+  // Full-scale presets reproduce Table I's published sizes.
+  const auto cfg =
+      MakePresetConfig(PresetId::kCifar100ish, 50.0, /*full_scale=*/true);
+  EXPECT_EQ(cfg.num_classes, 100u);
+  EXPECT_EQ(cfg.train_spec.head_size, 500u);
+  EXPECT_EQ(cfg.queries_per_class * cfg.num_classes, 10000u);   // N_query
+  EXPECT_EQ(cfg.database_per_class * cfg.num_classes, 50000u);  // N_db
+
+  const auto nc =
+      MakePresetConfig(PresetId::kNcish, 50.0, /*full_scale=*/true);
+  EXPECT_EQ(nc.num_classes, 10u);
+  EXPECT_EQ(nc.train_spec.head_size, 29000u);
+}
+
+TEST(PresetTest, NamesAreStable) {
+  EXPECT_EQ(PresetName(PresetId::kCifar100ish), "Cifar100ish");
+  EXPECT_EQ(PresetName(PresetId::kImageNet100ish), "ImageNet100ish");
+  EXPECT_EQ(PresetName(PresetId::kNcish), "NCish");
+  EXPECT_EQ(PresetName(PresetId::kQbaish), "QBAish");
+}
+
+}  // namespace
+}  // namespace lightlt::data

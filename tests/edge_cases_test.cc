@@ -1,0 +1,186 @@
+// Edge-case and failure-injection tests across modules: tiny batches,
+// degenerate datasets, extreme configurations, misuse of the public API.
+
+#include <gtest/gtest.h>
+
+#include "src/lightlt.h"
+
+namespace lightlt {
+namespace {
+
+// ---- Trainer edge cases -----------------------------------------------------
+
+data::Dataset TinyDataset(size_t n, size_t classes, size_t dim) {
+  data::Dataset d;
+  d.num_classes = classes;
+  Rng rng(5);
+  d.features = Matrix::RandomGaussian(n, dim, rng);
+  d.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) d.labels[i] = i % classes;
+  return d;
+}
+
+core::ModelConfig TinyConfig(size_t dim, size_t classes) {
+  core::ModelConfig cfg;
+  cfg.input_dim = dim;
+  cfg.hidden_dims = {8};
+  cfg.embed_dim = 8;
+  cfg.num_classes = classes;
+  cfg.dsq.num_codebooks = 2;
+  cfg.dsq.num_codewords = 4;
+  return cfg;
+}
+
+TEST(EdgeCaseTest, BatchLargerThanDataset) {
+  auto train = TinyDataset(5, 2, 8);
+  core::LightLtModel model(TinyConfig(8, 2), 1);
+  core::TrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 64;  // > dataset size
+  EXPECT_TRUE(core::TrainLightLt(&model, train, opts).ok());
+}
+
+TEST(EdgeCaseTest, BatchSizeOne) {
+  auto train = TinyDataset(6, 2, 8);
+  core::LightLtModel model(TinyConfig(8, 2), 1);
+  core::TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 1;
+  EXPECT_TRUE(core::TrainLightLt(&model, train, opts).ok());
+}
+
+TEST(EdgeCaseTest, EmptyTrainingSetRejected) {
+  data::Dataset empty;
+  empty.num_classes = 2;
+  core::LightLtModel model(TinyConfig(8, 2), 1);
+  auto result = core::TrainLightLt(&model, empty, core::TrainOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(EdgeCaseTest, AllSamplesInOneClassStillTrains) {
+  auto train = TinyDataset(10, 2, 8);
+  std::fill(train.labels.begin(), train.labels.end(), 0u);
+  core::LightLtModel model(TinyConfig(8, 2), 1);
+  core::TrainOptions opts;
+  opts.epochs = 2;
+  opts.loss.gamma = 0.9f;  // weights for the empty class must not blow up
+  EXPECT_TRUE(core::TrainLightLt(&model, train, opts).ok());
+}
+
+TEST(EdgeCaseTest, ModelConfigValidation) {
+  core::ModelConfig cfg = TinyConfig(8, 2);
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.num_classes = 1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = TinyConfig(8, 2);
+  cfg.input_dim = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = TinyConfig(8, 2);
+  cfg.dsq.num_codewords = 1;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+// ---- Quantization edge cases ---------------------------------------------------
+
+TEST(EdgeCaseTest, SingleItemDatabase) {
+  Rng rng(2);
+  std::vector<Matrix> books = {Matrix::RandomGaussian(4, 6, rng)};
+  auto idx = index::AdcIndex::Build(books, {{2u}});
+  ASSERT_TRUE(idx.ok());
+  Matrix q = Matrix::RandomGaussian(1, 6, rng);
+  const auto hits = idx.value().Search(q.data(), 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+}
+
+TEST(EdgeCaseTest, EmptyDatabaseIndex) {
+  Rng rng(3);
+  std::vector<Matrix> books = {Matrix::RandomGaussian(4, 6, rng)};
+  auto idx = index::AdcIndex::Build(books, {});
+  ASSERT_TRUE(idx.ok());
+  Matrix q = Matrix::RandomGaussian(1, 6, rng);
+  EXPECT_TRUE(idx.value().Search(q.data(), 5).empty());
+  EXPECT_TRUE(idx.value().RankAll(q.data()).empty());
+}
+
+TEST(EdgeCaseTest, DsqHandlesConstantInput) {
+  // All-identical inputs: every item must get the same codes, and the
+  // reconstruction must not be NaN.
+  Rng rng(4);
+  core::DsqConfig cfg;
+  cfg.dim = 6;
+  cfg.num_codebooks = 2;
+  cfg.num_codewords = 4;
+  core::DsqModule dsq(cfg, rng);
+  Matrix x(10, 6, 1.5f);
+  std::vector<std::vector<uint32_t>> codes;
+  dsq.Encode(x, &codes);
+  for (size_t i = 1; i < codes.size(); ++i) EXPECT_EQ(codes[i], codes[0]);
+  const Matrix recon = dsq.Decode(codes);
+  for (size_t i = 0; i < recon.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(recon[i]));
+  }
+}
+
+TEST(EdgeCaseTest, ForwardOnSingleRow) {
+  Rng rng(6);
+  core::DsqConfig cfg;
+  cfg.dim = 6;
+  cfg.num_codebooks = 3;
+  cfg.num_codewords = 4;
+  core::DsqModule dsq(cfg, rng);
+  auto out = dsq.Forward(MakeConstant(Matrix::RandomGaussian(1, 6, rng)));
+  EXPECT_EQ(out.reconstruction->value().rows(), 1u);
+  Backward(ops::Sum(ops::Square(out.reconstruction)));
+}
+
+// ---- Metrics edge cases -----------------------------------------------------------
+
+TEST(EdgeCaseTest, MapWithNoQueries) {
+  eval::RankingFn ranker = [](size_t) { return std::vector<uint32_t>{}; };
+  EXPECT_DOUBLE_EQ(eval::MeanAveragePrecision(ranker, {}, {0, 1}), 0.0);
+}
+
+TEST(EdgeCaseTest, EmptyRankingGivesZeroAp) {
+  EXPECT_DOUBLE_EQ(eval::AveragePrecision({}, {0, 0}, 0), 0.0);
+}
+
+// ---- Loss edge cases ----------------------------------------------------------------
+
+TEST(EdgeCaseTest, ClassWeightsWithZeroCountClass) {
+  // A class that never appears in training: its gamma-weight denominator is
+  // 1 - gamma^0 = 0; the implementation must stay finite.
+  const auto w = core::ClassBalancedWeights({10, 0, 5}, 0.99f);
+  for (float v : w) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0f);
+  }
+}
+
+TEST(EdgeCaseTest, RankingLossSingleClass) {
+  // With one prototype the softmax is a constant 1 -> loss 0.
+  Rng rng(7);
+  Var o = MakeConstant(Matrix::RandomGaussian(4, 3, rng));
+  Var z = MakeConstant(Matrix::RandomGaussian(1, 3, rng));
+  Var loss = core::RankingLoss(o, z, {0, 0, 0, 0}, 1.0f);
+  EXPECT_NEAR(loss->value()[0], 0.0f, 1e-5f);
+}
+
+// ---- Ensemble edge case -----------------------------------------------------------------
+
+TEST(EdgeCaseTest, EnsembleOfIdenticalModelsIsIdentity) {
+  // Averaging n copies of the same parameters must be a no-op.
+  core::ModelConfig cfg = TinyConfig(8, 2);
+  core::LightLtModel a(cfg, 9);
+  core::LightLtModel b(cfg, 9);
+  core::LightLtModel dst(cfg, 10);
+  std::vector<const nn::Module*> views = {&a, &b};
+  nn::AverageParametersInto(views, &dst);
+  const auto pa = a.Parameters(), pd = dst.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pd[i]->value().AllClose(pa[i]->value(), 1e-6f));
+  }
+}
+
+}  // namespace
+}  // namespace lightlt

@@ -1,0 +1,70 @@
+// Tests for precision/recall curves and ANN-style recall.
+
+#include "src/eval/curves.h"
+
+#include <gtest/gtest.h>
+
+namespace lightlt::eval {
+namespace {
+
+TEST(CurveTest, PerfectRankingCurve) {
+  // db: 3 relevant then 3 irrelevant; query retrieves in that order.
+  const std::vector<size_t> db_labels = {1, 1, 1, 0, 0, 0};
+  const std::vector<size_t> q_labels = {1};
+  RankingFn ranker = [](size_t) {
+    return std::vector<uint32_t>{0, 1, 2, 3, 4, 5};
+  };
+  const auto curve =
+      PrecisionRecallCurve(ranker, q_labels, db_labels, {1, 3, 6});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve[2].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve[2].recall, 1.0);
+}
+
+TEST(CurveTest, RecallIsMonotoneInK) {
+  const std::vector<size_t> db_labels = {1, 0, 1, 0, 1, 0, 1, 0};
+  const std::vector<size_t> q_labels = {1, 1};
+  RankingFn ranker = [](size_t q) {
+    return q == 0 ? std::vector<uint32_t>{1, 0, 3, 2, 5, 4, 7, 6}
+                  : std::vector<uint32_t>{0, 2, 4, 6, 1, 3, 5, 7};
+  };
+  const auto curve =
+      PrecisionRecallCurve(ranker, q_labels, db_labels, {1, 2, 4, 8});
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+}
+
+TEST(RecallAgainstExactTest, IdenticalRankingsGiveOne) {
+  RankingFn fn = [](size_t) { return std::vector<uint32_t>{4, 2, 9, 1}; };
+  EXPECT_DOUBLE_EQ(RecallAgainstExact(fn, fn, 3, 4), 1.0);
+}
+
+TEST(RecallAgainstExactTest, DisjointRankingsGiveZero) {
+  RankingFn a = [](size_t) { return std::vector<uint32_t>{0, 1}; };
+  RankingFn b = [](size_t) { return std::vector<uint32_t>{2, 3}; };
+  EXPECT_DOUBLE_EQ(RecallAgainstExact(a, b, 2, 2), 0.0);
+}
+
+TEST(RecallAgainstExactTest, TieAwareTruthSetCountsAnySubset) {
+  // Truth passes 4 valid ids for k=2: any 2 of them score full recall.
+  RankingFn truth = [](size_t) {
+    return std::vector<uint32_t>{10, 11, 12, 13};
+  };
+  RankingFn guess = [](size_t) { return std::vector<uint32_t>{13, 10}; };
+  EXPECT_DOUBLE_EQ(RecallAgainstExact(guess, truth, 1, 2), 1.0);
+}
+
+TEST(RecallAgainstExactTest, PartialOverlap) {
+  RankingFn truth = [](size_t) { return std::vector<uint32_t>{0, 1, 2, 3}; };
+  RankingFn guess = [](size_t) { return std::vector<uint32_t>{0, 9, 2, 8}; };
+  EXPECT_DOUBLE_EQ(RecallAgainstExact(guess, truth, 1, 4), 0.5);
+}
+
+}  // namespace
+}  // namespace lightlt::eval

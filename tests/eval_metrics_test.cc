@@ -1,0 +1,135 @@
+// Tests for MAP / precision / recall and the efficiency formulas.
+
+#include <gtest/gtest.h>
+
+#include "src/eval/efficiency.h"
+#include "src/eval/metrics.h"
+#include "src/index/adc_index.h"
+#include "src/index/flat_index.h"
+#include "src/util/rng.h"
+
+namespace lightlt::eval {
+namespace {
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  // Relevant items ranked first.
+  const std::vector<size_t> db_labels = {1, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(AveragePrecision({0, 1, 2, 3, 4}, db_labels, 1), 1.0);
+}
+
+TEST(AveragePrecisionTest, MatchesHandComputedExample) {
+  // Relevant at ranks 1 and 3 (ids 0 and 2): AP = (1/1 + 2/3) / 2.
+  const std::vector<size_t> db_labels = {7, 0, 7, 0};
+  const double ap = AveragePrecision({0, 1, 2, 3}, db_labels, 7);
+  EXPECT_NEAR(ap, (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoRelevantItemsGivesZero) {
+  const std::vector<size_t> db_labels = {0, 0};
+  EXPECT_DOUBLE_EQ(AveragePrecision({0, 1}, db_labels, 9), 0.0);
+}
+
+TEST(AveragePrecisionTest, WorstRankingStillPositive) {
+  // One relevant item ranked last out of 4: AP = 1/4.
+  const std::vector<size_t> db_labels = {0, 0, 0, 5};
+  EXPECT_DOUBLE_EQ(AveragePrecision({0, 1, 2, 3}, db_labels, 5), 0.25);
+}
+
+TEST(PrecisionRecallTest, HandComputed) {
+  const std::vector<size_t> db_labels = {3, 0, 3, 0, 3};
+  const std::vector<uint32_t> ranking = {0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, db_labels, 3, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, db_labels, 3, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, db_labels, 3, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, db_labels, 3, 5), 1.0);
+}
+
+TEST(MapTest, AveragesOverQueries) {
+  const std::vector<size_t> db_labels = {0, 1};
+  const std::vector<size_t> query_labels = {0, 1};
+  // Query 0 ranks its item first (AP 1); query 1 ranks its item second
+  // (AP 1/2).
+  RankingFn ranker = [](size_t q) {
+    return q == 0 ? std::vector<uint32_t>{0, 1}
+                  : std::vector<uint32_t>{0, 1};
+  };
+  const double map =
+      MeanAveragePrecision(ranker, query_labels, db_labels, nullptr);
+  EXPECT_NEAR(map, (1.0 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(MapTest, ClassSubsetRestriction) {
+  const std::vector<size_t> db_labels = {0, 1};
+  const std::vector<size_t> query_labels = {0, 1};
+  RankingFn ranker = [](size_t) { return std::vector<uint32_t>{0, 1}; };
+  std::vector<bool> only_zero = {true, false};
+  const double map = MeanAveragePrecisionForClasses(
+      ranker, query_labels, db_labels, only_zero, nullptr);
+  EXPECT_NEAR(map, 1.0, 1e-12);  // only the AP-1 query counts
+}
+
+TEST(MapTest, ThreadedMatchesSerial) {
+  Rng rng(3);
+  const size_t nq = 64, ndb = 200;
+  std::vector<size_t> qlabels(nq), dblabels(ndb);
+  for (auto& l : qlabels) l = rng.NextIndex(5);
+  for (auto& l : dblabels) l = rng.NextIndex(5);
+  std::vector<std::vector<uint32_t>> rankings(nq);
+  for (auto& r : rankings) {
+    r.resize(ndb);
+    for (size_t i = 0; i < ndb; ++i) r[i] = static_cast<uint32_t>(i);
+    rng.Shuffle(r);
+  }
+  RankingFn ranker = [&](size_t q) { return rankings[q]; };
+  const double serial =
+      MeanAveragePrecision(ranker, qlabels, dblabels, nullptr);
+  const double threaded =
+      MeanAveragePrecision(ranker, qlabels, dblabels, &GlobalThreadPool());
+  EXPECT_NEAR(serial, threaded, 1e-12);
+}
+
+TEST(EfficiencyTest, TheoreticalFormulasMatchPaperExample) {
+  // §V-E, full database: n=642k, d=768, M=4, K=256 -> compress ~240x.
+  const double compress = TheoreticalCompressRatio(642000, 768, 4, 256);
+  EXPECT_NEAR(compress, 240.0, 15.0);
+  // Speedup ~ nd / (dMK + nM): for these numbers ~ 62-75x region wrt the
+  // paper's measured 62x.
+  const double speedup = TheoreticalSpeedup(642000, 768, 4, 256);
+  EXPECT_GT(speedup, 40.0);
+  EXPECT_LT(speedup, 200.0);
+}
+
+TEST(EfficiencyTest, SmallDatabasesDoNotBenefit) {
+  // Paper: at ~642 items (1/1000 of QBA) quantization pays off in neither
+  // time nor space because codebooks dominate.
+  EXPECT_LT(TheoreticalCompressRatio(642, 768, 4, 256), 1.5);
+  EXPECT_LT(TheoreticalSpeedup(642, 768, 4, 256), 1.0);
+}
+
+TEST(EfficiencyTest, MeasuredRatiosArePositiveAndConsistent) {
+  Rng rng(4);
+  const size_t n = 2000, d = 32, m = 4, k = 16;
+  std::vector<Matrix> codebooks;
+  for (size_t i = 0; i < m; ++i) {
+    codebooks.push_back(Matrix::RandomGaussian(k, d, rng));
+  }
+  std::vector<std::vector<uint32_t>> codes(n, std::vector<uint32_t>(m));
+  for (auto& item : codes) {
+    for (auto& c : item) c = static_cast<uint32_t>(rng.NextIndex(k));
+  }
+  auto adc = index::AdcIndex::Build(codebooks, codes);
+  ASSERT_TRUE(adc.ok());
+  index::FlatIndex flat(Matrix::RandomGaussian(n, d, rng));
+  Matrix queries = Matrix::RandomGaussian(16, d, rng);
+
+  const auto report = MeasureEfficiency(flat, adc.value(), queries, 2);
+  EXPECT_GT(report.measured_speedup, 0.0);
+  EXPECT_GT(report.measured_compress_ratio, 1.0);
+  EXPECT_NEAR(report.measured_compress_ratio,
+              report.theoretical_compress_ratio,
+              report.theoretical_compress_ratio * 0.2);
+  EXPECT_EQ(report.database_size, n);
+}
+
+}  // namespace
+}  // namespace lightlt::eval

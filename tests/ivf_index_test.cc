@@ -1,0 +1,167 @@
+// Tests for the IVF-ADC accelerated index.
+
+#include "src/index/ivf_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/baselines/shallow_quant.h"
+#include "src/index/adc_index.h"
+#include "src/util/rng.h"
+
+namespace lightlt::index {
+namespace {
+
+struct Fixture {
+  Matrix embeddings;
+  std::vector<Matrix> codebooks;
+  std::vector<std::vector<uint32_t>> codes;
+};
+
+Fixture MakeFixture(size_t n, size_t m, size_t k, size_t d, uint64_t seed) {
+  Fixture f;
+  Rng rng(seed);
+  f.embeddings = Matrix::RandomGaussian(n, d, rng);
+  for (size_t cb = 0; cb < m; ++cb) {
+    f.codebooks.push_back(Matrix::RandomGaussian(k, d, rng));
+  }
+  f.codes.assign(n, std::vector<uint32_t>(m));
+  for (auto& item : f.codes) {
+    for (auto& c : item) c = static_cast<uint32_t>(rng.NextIndex(k));
+  }
+  return f;
+}
+
+TEST(IvfOptionsTest, Validation) {
+  IvfOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.num_cells = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = IvfOptions{};
+  opts.nprobe = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = IvfOptions{};
+  opts.nprobe = opts.num_cells + 1;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(IvfAdcIndexTest, BuildPartitionsAllItems) {
+  auto f = MakeFixture(300, 4, 16, 8, 1);
+  IvfOptions opts;
+  opts.num_cells = 16;
+  opts.nprobe = 4;
+  auto idx = IvfAdcIndex::Build(f.embeddings, f.codebooks, f.codes, opts);
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  EXPECT_EQ(idx.value().num_items(), 300u);
+  EXPECT_LE(idx.value().num_cells(), 16u);
+}
+
+TEST(IvfAdcIndexTest, FullProbeMatchesExhaustiveAdc) {
+  // With nprobe == num_cells, IVF must return exactly the AdcIndex result.
+  auto f = MakeFixture(200, 3, 8, 6, 2);
+  IvfOptions opts;
+  opts.num_cells = 10;
+  opts.nprobe = 10;
+  auto ivf = IvfAdcIndex::Build(f.embeddings, f.codebooks, f.codes, opts);
+  ASSERT_TRUE(ivf.ok());
+  auto adc = AdcIndex::Build(f.codebooks, f.codes);
+  ASSERT_TRUE(adc.ok());
+
+  Rng rng(3);
+  Matrix q = Matrix::RandomGaussian(1, 6, rng);
+  const auto ivf_hits = ivf.value().Search(q.data(), 20);
+  const auto adc_hits = adc.value().Search(q.data(), 20);
+  ASSERT_EQ(ivf_hits.size(), adc_hits.size());
+  for (size_t i = 0; i < ivf_hits.size(); ++i) {
+    EXPECT_NEAR(ivf_hits[i].distance, adc_hits[i].distance, 1e-3f);
+  }
+}
+
+TEST(IvfAdcIndexTest, PartialProbeRecallIsHigh) {
+  // Clustered data quantized for real (RQ over the embeddings): probing a
+  // few cells should recover most of the true top-10.
+  Rng rng(4);
+  const size_t n = 600, d = 8;
+  Matrix emb(n, d);
+  std::vector<size_t> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t cluster = i % 12;
+    labels[i] = cluster;
+    for (size_t j = 0; j < d; ++j) {
+      emb.at(i, j) = static_cast<float>(cluster) * 2.0f +
+                     0.3f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  // Codes correlated with the embeddings, as in real use.
+  data::Dataset train;
+  train.features = emb;
+  train.labels = labels;
+  train.num_classes = 12;
+  baselines::RqQuantizer rq(3, 16);
+  ASSERT_TRUE(rq.Fit(train).ok());
+  std::vector<std::vector<uint32_t>> codes;
+  rq.EncodeItems(emb, &codes);
+  const std::vector<Matrix>& codebooks = rq.codebooks();
+
+  IvfOptions opts;
+  opts.num_cells = 24;
+  opts.nprobe = 24;
+  auto full = IvfAdcIndex::Build(emb, codebooks, codes, opts);
+  ASSERT_TRUE(full.ok());
+  opts.nprobe = 6;
+  auto probed = IvfAdcIndex::Build(emb, codebooks, codes, opts);
+  ASSERT_TRUE(probed.ok());
+
+  size_t overlap = 0, total = 0;
+  for (int t = 0; t < 10; ++t) {
+    Matrix q = emb.RowCopy(static_cast<size_t>(rng.NextIndex(n)));
+    const auto truth = full.value().Search(q.data(), 10);
+    const auto fast = probed.value().Search(q.data(), 10);
+    std::set<uint32_t> truth_ids;
+    for (const auto& h : truth) truth_ids.insert(h.id);
+    for (const auto& h : fast) overlap += truth_ids.count(h.id);
+    total += truth.size();
+  }
+  EXPECT_GT(static_cast<double>(overlap) / static_cast<double>(total), 0.6);
+}
+
+TEST(IvfAdcIndexTest, ScanFractionScalesWithNprobe) {
+  auto f = MakeFixture(100, 2, 8, 6, 6);
+  IvfOptions opts;
+  opts.num_cells = 20;
+  opts.nprobe = 5;
+  auto idx = IvfAdcIndex::Build(f.embeddings, f.codebooks, f.codes, opts);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_LT(idx.value().ExpectedScanFraction(),
+            idx.value().ExpectedScanFraction(10));
+}
+
+TEST(IvfAdcIndexTest, RejectsMalformedInput) {
+  auto f = MakeFixture(50, 2, 8, 6, 7);
+  IvfOptions opts;
+  // Mismatched counts.
+  Matrix short_emb = Matrix(10, 6);
+  EXPECT_FALSE(
+      IvfAdcIndex::Build(short_emb, f.codebooks, f.codes, opts).ok());
+  // Code out of range.
+  auto bad = f.codes;
+  bad[0][0] = 99;
+  EXPECT_FALSE(IvfAdcIndex::Build(f.embeddings, f.codebooks, bad, opts).ok());
+  // No codebooks.
+  EXPECT_FALSE(IvfAdcIndex::Build(f.embeddings, {}, f.codes, opts).ok());
+}
+
+TEST(IvfAdcIndexTest, MemoryAccountedAndPositive) {
+  auto f = MakeFixture(120, 2, 8, 6, 8);
+  IvfOptions opts;
+  opts.num_cells = 8;
+  opts.nprobe = 2;
+  auto idx = IvfAdcIndex::Build(f.embeddings, f.codebooks, f.codes, opts);
+  ASSERT_TRUE(idx.ok());
+  // At least codes (n*m bytes) + ids (4n) + norms (4n).
+  EXPECT_GE(idx.value().MemoryBytes(), 120u * 2 + 120u * 8);
+}
+
+}  // namespace
+}  // namespace lightlt::index

@@ -1,0 +1,174 @@
+// Tests for layers, optimizers and learning-rate schedules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/linear.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/scheduler.h"
+#include "src/tensor/grad_check.h"
+#include "src/util/rng.h"
+
+namespace lightlt::nn {
+namespace {
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  // Zero weights, bias visible directly.
+  layer.weight()->mutable_value().Zero();
+  layer.bias()->mutable_value() = Matrix(1, 3, {1.0f, 2.0f, 3.0f});
+  Var x = MakeConstant(Matrix(2, 4, 1.0f));
+  Var y = layer.Forward(x);
+  ASSERT_EQ(y->value().rows(), 2u);
+  ASSERT_EQ(y->value().cols(), 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_FLOAT_EQ(y->value().at(i, 0), 1.0f);
+    EXPECT_FLOAT_EQ(y->value().at(i, 2), 3.0f);
+  }
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  Var x = MakeConstant(Matrix::RandomGaussian(4, 3, rng));
+  auto result = CheckGradients(layer.Parameters(), [&] {
+    return ops::Sum(ops::Square(layer.Forward(x)));
+  });
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(FfnTest, GradCheckThroughBothLayers) {
+  Rng rng(3);
+  Ffn ffn(3, 5, 3, rng);
+  Var x = MakeConstant(Matrix::RandomGaussian(4, 3, rng));
+  auto result = CheckGradients(
+      ffn.Parameters(),
+      [&] { return ops::Sum(ops::Square(ffn.Forward(x))); }, 1e-3f, 3e-2f);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(BackboneTest, DimsChainCorrectly) {
+  Rng rng(4);
+  MlpBackbone net({8, 16, 12, 4}, rng);
+  EXPECT_EQ(net.input_dim(), 8u);
+  EXPECT_EQ(net.output_dim(), 4u);
+  Var x = MakeConstant(Matrix::RandomGaussian(3, 8, rng));
+  EXPECT_EQ(net.Forward(x)->value().cols(), 4u);
+  // 3 layers x (weight + bias).
+  EXPECT_EQ(net.Parameters().size(), 6u);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize ||x - target||^2.
+  Var x = MakeParam(Matrix(1, 3, {5.0f, -3.0f, 2.0f}));
+  const Matrix target(1, 3, {1.0f, 1.0f, 1.0f});
+  Sgd opt({x}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    Var diff = ops::Sub(x, MakeConstant(target));
+    Var loss = ops::Sum(ops::Square(diff));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_TRUE(x->value().AllClose(target, 1e-3f));
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  auto run = [](float momentum) {
+    Var x = MakeParam(Matrix(1, 1, {10.0f}));
+    Sgd opt({x}, 0.01f, momentum);
+    for (int i = 0; i < 50; ++i) {
+      Var loss = ops::Sum(ops::Square(x));
+      Backward(loss);
+      opt.Step();
+    }
+    return std::fabs(x->value()[0]);
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(AdamWTest, ConvergesOnQuadratic) {
+  Var x = MakeParam(Matrix(2, 2, {4.0f, -4.0f, 2.0f, -2.0f}));
+  AdamWOptions opts;
+  opts.learning_rate = 0.1f;
+  opts.weight_decay = 0.0f;
+  AdamW opt({x}, opts);
+  for (int i = 0; i < 300; ++i) {
+    Var loss = ops::Sum(ops::Square(x));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(x->value().MaxAbs(), 1e-2f);
+}
+
+TEST(AdamWTest, WeightDecayShrinksUnusedParameters) {
+  // Decoupled weight decay: with an exactly-zero gradient the Adam moment
+  // term vanishes and each step multiplies the weight by (1 - lr * wd).
+  Var x = MakeParam(Matrix(1, 1, {1.0f}));
+  AdamWOptions opts;
+  opts.learning_rate = 0.05f;
+  opts.weight_decay = 0.5f;
+  AdamW opt({x}, opts);
+  for (int i = 0; i < 50; ++i) {
+    x->AccumulateGrad(Matrix(1, 1, {0.0f}));
+    opt.Step();
+  }
+  EXPECT_NEAR(x->value()[0], std::pow(1.0f - 0.05f * 0.5f, 50.0f), 1e-3f);
+}
+
+TEST(AdamWTest, GradientClippingBoundsUpdates) {
+  Var x = MakeParam(Matrix(1, 1, {0.0f}));
+  AdamWOptions opts;
+  opts.learning_rate = 1.0f;
+  opts.clip_norm = 1.0f;
+  AdamW opt({x}, opts);
+  // Gigantic gradient.
+  x->AccumulateGrad(Matrix(1, 1, {1e9f}));
+  opt.Step();
+  // First Adam step magnitude is ~lr regardless, but must be finite.
+  EXPECT_TRUE(std::isfinite(x->value()[0]));
+  EXPECT_LT(std::fabs(x->value()[0]), 2.0f);
+}
+
+TEST(AdamWTest, StepClearsGradients) {
+  Var x = MakeParam(Matrix(1, 1, {1.0f}));
+  AdamW opt({x}, AdamWOptions{});
+  x->AccumulateGrad(Matrix(1, 1, {1.0f}));
+  opt.Step();
+  EXPECT_TRUE(x->grad().empty() || x->grad().MaxAbs() == 0.0f);
+}
+
+TEST(ScheduleTest, ConstantLr) {
+  ConstantLr lr(0.5f);
+  EXPECT_FLOAT_EQ(lr.LearningRate(0), 0.5f);
+  EXPECT_FLOAT_EQ(lr.LearningRate(1000), 0.5f);
+}
+
+TEST(ScheduleTest, CosineAnnealingDecaysToMin) {
+  CosineAnnealingLr lr(1.0f, 100, 0, 0.1f);
+  EXPECT_NEAR(lr.LearningRate(0), 1.0f, 1e-3f);
+  EXPECT_NEAR(lr.LearningRate(50), 0.55f, 0.02f);  // halfway point
+  EXPECT_NEAR(lr.LearningRate(99), 0.1f, 0.01f);
+  // Monotone decreasing after warmup.
+  for (int s = 1; s < 100; ++s) {
+    EXPECT_LE(lr.LearningRate(s), lr.LearningRate(s - 1) + 1e-6f);
+  }
+}
+
+TEST(ScheduleTest, WarmupRampsUp) {
+  CosineAnnealingLr lr(1.0f, 100, 10);
+  EXPECT_LT(lr.LearningRate(0), 0.2f);
+  EXPECT_NEAR(lr.LearningRate(9), 1.0f, 1e-3f);
+}
+
+TEST(ScheduleTest, LinearWarmupDecaysToZero) {
+  LinearWarmupLr lr(1.0f, 100, 10);
+  EXPECT_LT(lr.LearningRate(0), 0.2f);
+  EXPECT_NEAR(lr.LearningRate(99), 0.0f, 0.02f);
+  // Peak right after warmup.
+  EXPECT_GT(lr.LearningRate(10), lr.LearningRate(50));
+}
+
+}  // namespace
+}  // namespace lightlt::nn

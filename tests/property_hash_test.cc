@@ -1,0 +1,112 @@
+// Parameterized property tests for the hashing stack: Hamming metric
+// axioms over random code sets, and hash-method determinism contracts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/shallow_hash.h"
+#include "src/index/hamming_index.h"
+#include "src/util/rng.h"
+
+namespace lightlt {
+namespace {
+
+class HammingPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HammingPropertyTest, MetricAxioms) {
+  const size_t bits = GetParam();
+  Rng rng(bits);
+  const size_t n = 20;
+  Matrix raw = Matrix::RandomGaussian(n, bits, rng);
+  size_t blocks = 0;
+  auto packed = index::PackSignBits(raw, &blocks);
+  index::HammingIndex idx(packed, blocks, bits);
+
+  // Pairwise distance table via per-row queries.
+  std::vector<std::vector<float>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    idx.ComputeScores(packed.data() + i * blocks, &dist[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    // Identity: d(x, x) = 0.
+    EXPECT_FLOAT_EQ(dist[i][i], 0.0f);
+    for (size_t j = 0; j < n; ++j) {
+      // Symmetry and bounds.
+      EXPECT_FLOAT_EQ(dist[i][j], dist[j][i]);
+      EXPECT_GE(dist[i][j], 0.0f);
+      EXPECT_LE(dist[i][j], static_cast<float>(bits));
+      // Triangle inequality through a third point.
+      for (size_t k = 0; k < n; k += 7) {
+        EXPECT_LE(dist[i][j], dist[i][k] + dist[k][j] + 1e-3f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, HammingPropertyTest,
+                         ::testing::Values(8, 24, 32, 64, 96),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+class HashDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashDeterminismTest, FitIsDeterministicPerSeed) {
+  data::Dataset train;
+  train.num_classes = 3;
+  Rng rng(3);
+  train.features = Matrix::RandomGaussian(60, 16, rng);
+  train.labels.resize(60);
+  for (size_t i = 0; i < 60; ++i) train.labels[i] = i % 3;
+
+  auto make = [&]() -> std::unique_ptr<baselines::LinearHash> {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<baselines::LshHash>(12);
+      case 1:
+        return std::make_unique<baselines::PcaHash>(12);
+      case 2:
+        return std::make_unique<baselines::ItqHash>(12);
+      case 3:
+        return std::make_unique<baselines::KnnhHash>(12);
+      default:
+        return std::make_unique<baselines::SdhHash>(12);
+    }
+  };
+  auto a = make();
+  auto b = make();
+  ASSERT_TRUE(a->Fit(train).ok());
+  ASSERT_TRUE(b->Fit(train).ok());
+  EXPECT_TRUE(a->projection().AllClose(b->projection(), 1e-6f))
+      << "hash fitting is nondeterministic for method " << GetParam();
+
+  // Same codes for the same data across the two fits.
+  ASSERT_TRUE(a->IndexDatabase(train.features).ok());
+  ASSERT_TRUE(b->IndexDatabase(train.features).ok());
+  ASSERT_TRUE(a->PrepareQueries(train.features).ok());
+  ASSERT_TRUE(b->PrepareQueries(train.features).ok());
+  EXPECT_EQ(a->RankQuery(0), b->RankQuery(0));
+}
+
+std::string HashMethodName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0:
+      return "LSH";
+    case 1:
+      return "PCAH";
+    case 2:
+      return "ITQ";
+    case 3:
+      return "KNNH";
+    default:
+      return "SDH";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, HashDeterminismTest, ::testing::Range(0, 5),
+                         HashMethodName);
+
+}  // namespace
+}  // namespace lightlt

@@ -1,0 +1,182 @@
+// Parameterized property tests for the loss functions and the long-tail
+// law: invariants over gamma, imbalance factors and batch shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/losses.h"
+#include "src/data/longtail.h"
+#include "src/util/rng.h"
+
+namespace lightlt::core {
+namespace {
+
+// ---- Class-weight properties over gamma --------------------------------------
+
+class ClassWeightPropertyTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(ClassWeightPropertyTest, WeightsDecreaseWithClassSize) {
+  const float gamma = GetParam();
+  const std::vector<size_t> counts = {1000, 400, 150, 40, 10, 2};
+  const auto w = ClassBalancedWeights(counts, gamma);
+  for (size_t c = 1; c < counts.size(); ++c) {
+    EXPECT_GE(w[c] + 1e-6f, w[c - 1])
+        << "smaller class got smaller weight at gamma=" << gamma;
+  }
+}
+
+TEST_P(ClassWeightPropertyTest, WeightedSampleCountIsPreserved) {
+  const float gamma = GetParam();
+  const std::vector<size_t> counts = {321, 55, 8, 3};
+  const auto w = ClassBalancedWeights(counts, gamma);
+  double weighted = 0.0, total = 0.0;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    weighted += w[c] * static_cast<double>(counts[c]);
+    total += static_cast<double>(counts[c]);
+  }
+  EXPECT_NEAR(weighted, total, total * 1e-3);
+}
+
+TEST_P(ClassWeightPropertyTest, AllWeightsPositive) {
+  const float gamma = GetParam();
+  const auto w = ClassBalancedWeights({500, 1}, gamma);
+  for (float v : w) EXPECT_GT(v, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, ClassWeightPropertyTest,
+                         ::testing::Values(0.0f, 0.5f, 0.9f, 0.99f, 0.999f,
+                                           0.9999f),
+                         [](const ::testing::TestParamInfo<float>& info) {
+                           return "gamma_x10000_" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 10000));
+                         });
+
+// ---- Loss-value properties over batch shapes ----------------------------------
+
+using BatchParam = std::tuple<size_t, size_t, size_t>;  // n, C, d
+
+class LossPropertyTest : public ::testing::TestWithParam<BatchParam> {
+ protected:
+  void SetUp() override {
+    n_ = std::get<0>(GetParam());
+    c_ = std::get<1>(GetParam());
+    d_ = std::get<2>(GetParam());
+    Rng rng(31);
+    logits_ = MakeConstant(Matrix::RandomGaussian(n_, c_, rng));
+    quantized_ = MakeConstant(Matrix::RandomGaussian(n_, d_, rng));
+    prototypes_ = MakeConstant(Matrix::RandomGaussian(c_, d_, rng));
+    labels_.resize(n_);
+    for (size_t i = 0; i < n_; ++i) labels_[i] = i % c_;
+    weights_.assign(c_, 1.0f);
+  }
+
+  size_t n_, c_, d_;
+  Var logits_, quantized_, prototypes_;
+  std::vector<size_t> labels_;
+  std::vector<float> weights_;
+};
+
+TEST_P(LossPropertyTest, CrossEntropyIsNonNegative) {
+  Var loss = WeightedCrossEntropy(logits_, labels_, weights_);
+  EXPECT_GE(loss->value()[0], 0.0f);
+  EXPECT_TRUE(std::isfinite(loss->value()[0]));
+}
+
+TEST_P(LossPropertyTest, CenterLossIsNonNegative) {
+  Var loss = CenterLoss(quantized_, prototypes_, labels_);
+  EXPECT_GE(loss->value()[0], 0.0f);
+}
+
+TEST_P(LossPropertyTest, RankingLossIsNonNegative) {
+  // -log softmax probability is always >= 0.
+  Var loss = RankingLoss(quantized_, prototypes_, labels_, 1.0f);
+  EXPECT_GE(loss->value()[0], 0.0f);
+}
+
+TEST_P(LossPropertyTest, TotalLossDecomposes) {
+  LossConfig cfg;
+  cfg.alpha = 0.3f;
+  const float total =
+      LightLtLoss(logits_, quantized_, prototypes_, labels_, weights_, cfg)
+          ->value()[0];
+  const float ce =
+      WeightedCrossEntropy(logits_, labels_, weights_)->value()[0];
+  const float lc = CenterLoss(quantized_, prototypes_, labels_)->value()[0];
+  const float lr =
+      RankingLoss(quantized_, prototypes_, labels_, cfg.tau)->value()[0];
+  EXPECT_NEAR(total, ce + cfg.alpha * (lc + lr), 5e-4f * (1.0f + total));
+}
+
+TEST_P(LossPropertyTest, LossesAreFiniteUnderExtremeInputs) {
+  Rng rng(32);
+  Var huge = MakeConstant(Matrix::RandomGaussian(n_, c_, rng, 50.0f));
+  EXPECT_TRUE(std::isfinite(
+      WeightedCrossEntropy(huge, labels_, weights_)->value()[0]));
+  Var far = MakeConstant(Matrix::RandomGaussian(n_, d_, rng, 100.0f));
+  EXPECT_TRUE(std::isfinite(
+      RankingLoss(far, prototypes_, labels_, 0.1f)->value()[0]));
+  EXPECT_TRUE(std::isfinite(
+      CenterLoss(far, prototypes_, labels_)->value()[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LossPropertyTest,
+    ::testing::Values(BatchParam{2, 2, 4}, BatchParam{7, 3, 8},
+                      BatchParam{16, 10, 16}, BatchParam{33, 5, 6},
+                      BatchParam{64, 100, 32}),
+    [](const ::testing::TestParamInfo<BatchParam>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_C" +
+             std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- Zipf law over (C, IF) -----------------------------------------------------
+
+using ZipfParam = std::tuple<size_t, double>;
+
+class ZipfPropertyTest : public ::testing::TestWithParam<ZipfParam> {};
+
+TEST_P(ZipfPropertyTest, ImbalanceFactorIsRealized) {
+  const auto [classes, imbalance] = GetParam();
+  data::LongTailSpec spec;
+  spec.num_classes = classes;
+  spec.head_size = 2000;
+  spec.imbalance_factor = imbalance;
+  spec.min_class_size = 1;
+  const auto sizes = data::LongTailClassSizes(spec);
+  ASSERT_EQ(sizes.size(), classes);
+  EXPECT_EQ(sizes.front(), 2000u);
+  EXPECT_NEAR(data::MeasuredImbalanceFactor(sizes), imbalance,
+              imbalance * 0.1);
+}
+
+TEST_P(ZipfPropertyTest, SizesFollowPowerLaw) {
+  const auto [classes, imbalance] = GetParam();
+  const double p = data::ZipfExponent(classes, imbalance);
+  data::LongTailSpec spec;
+  spec.num_classes = classes;
+  spec.head_size = 5000;
+  spec.imbalance_factor = imbalance;
+  const auto sizes = data::LongTailClassSizes(spec);
+  for (size_t i = 0; i < sizes.size(); i += 7) {
+    const double expected =
+        5000.0 * std::pow(static_cast<double>(i + 1), -p);
+    EXPECT_NEAR(static_cast<double>(sizes[i]), expected,
+                std::max(1.0, expected * 0.01));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Laws, ZipfPropertyTest,
+    ::testing::Values(ZipfParam{10, 50.0}, ZipfParam{10, 100.0},
+                      ZipfParam{25, 50.0}, ZipfParam{100, 50.0},
+                      ZipfParam{100, 100.0}, ZipfParam{200, 20.0}),
+    [](const ::testing::TestParamInfo<ZipfParam>& info) {
+      return "C" + std::to_string(std::get<0>(info.param)) + "_IF" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace lightlt::core

@@ -1,0 +1,191 @@
+// Parameterized property tests for the quantization stack: invariants that
+// must hold across (M, K, d) configurations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/dsq.h"
+#include "src/index/adc_index.h"
+#include "src/index/codes.h"
+#include "src/util/rng.h"
+
+namespace lightlt::core {
+namespace {
+
+// ---- DSQ invariants over (M, K, d) -----------------------------------------
+
+using DsqParam = std::tuple<size_t, size_t, size_t>;  // M, K, d
+
+class DsqPropertyTest : public ::testing::TestWithParam<DsqParam> {
+ protected:
+  DsqConfig Config() const {
+    DsqConfig cfg;
+    cfg.num_codebooks = std::get<0>(GetParam());
+    cfg.num_codewords = std::get<1>(GetParam());
+    cfg.dim = std::get<2>(GetParam());
+    return cfg;
+  }
+};
+
+TEST_P(DsqPropertyTest, EncodeProducesValidCodes) {
+  Rng rng(17);
+  DsqConfig cfg = Config();
+  DsqModule dsq(cfg, rng);
+  Matrix x = Matrix::RandomGaussian(25, cfg.dim, rng);
+  std::vector<std::vector<uint32_t>> codes;
+  dsq.Encode(x, &codes);
+  ASSERT_EQ(codes.size(), 25u);
+  for (const auto& item : codes) {
+    ASSERT_EQ(item.size(), cfg.num_codebooks);
+    for (uint32_t c : item) EXPECT_LT(c, cfg.num_codewords);
+  }
+}
+
+TEST_P(DsqPropertyTest, TrainingGraphAgreesWithInference) {
+  Rng rng(18);
+  DsqConfig cfg = Config();
+  DsqModule dsq(cfg, rng);
+  Matrix x = Matrix::RandomGaussian(15, cfg.dim, rng);
+  auto out = dsq.Forward(MakeConstant(x));
+  std::vector<std::vector<uint32_t>> codes;
+  dsq.Encode(x, &codes);
+  EXPECT_EQ(out.codes, codes);
+  EXPECT_TRUE(out.reconstruction->value().AllClose(dsq.Decode(codes), 1e-3f));
+}
+
+TEST_P(DsqPropertyTest, EncodingIsNearestAssignmentPerStage) {
+  // Property from Eqn. 3: at every stage, the selected codeword minimizes
+  // the distance to that stage's residual.
+  Rng rng(19);
+  DsqConfig cfg = Config();
+  DsqModule dsq(cfg, rng);
+  Matrix x = Matrix::RandomGaussian(10, cfg.dim, rng);
+  std::vector<std::vector<uint32_t>> codes;
+  dsq.Encode(x, &codes);
+
+  const auto books = dsq.EffectiveCodebooks();
+  Matrix residual = x;
+  for (size_t m = 0; m < cfg.num_codebooks; ++m) {
+    const Matrix d2 = residual.SquaredEuclideanTo(books[m]);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      const float chosen = d2.at(i, codes[i][m]);
+      for (size_t j = 0; j < cfg.num_codewords; ++j) {
+        EXPECT_GE(d2.at(i, j) + 1e-4f, chosen);
+      }
+    }
+    if (m + 1 < cfg.num_codebooks) {
+      for (size_t i = 0; i < x.rows(); ++i) {
+        const float* word = books[m].row(codes[i][m]);
+        float* r = residual.row(i);
+        for (size_t j = 0; j < cfg.dim; ++j) r[j] -= word[j];
+      }
+    }
+  }
+}
+
+TEST_P(DsqPropertyTest, AdcScoresMatchReconstructions) {
+  // End-to-end: an ADC index built from the DSQ's codebooks/codes must give
+  // distances exactly matching brute force over Decode().
+  Rng rng(20);
+  DsqConfig cfg = Config();
+  DsqModule dsq(cfg, rng);
+  Matrix x = Matrix::RandomGaussian(12, cfg.dim, rng);
+  std::vector<std::vector<uint32_t>> codes;
+  dsq.Encode(x, &codes);
+  auto idx = index::AdcIndex::Build(dsq.EffectiveCodebooks(), codes);
+  ASSERT_TRUE(idx.ok());
+
+  const Matrix decoded = dsq.Decode(codes);
+  Matrix query = Matrix::RandomGaussian(1, cfg.dim, rng);
+  std::vector<float> scores;
+  idx.value().ComputeScores(query.data(), &scores);
+  for (size_t i = 0; i < decoded.rows(); ++i) {
+    float expected = 0.0f;
+    for (size_t j = 0; j < cfg.dim; ++j) {
+      expected += decoded.at(i, j) * decoded.at(i, j) -
+                  2.0f * query[j] * decoded.at(i, j);
+    }
+    EXPECT_NEAR(scores[i], expected, 2e-2f);
+  }
+}
+
+TEST_P(DsqPropertyTest, GradientsReachEveryParameter) {
+  Rng rng(21);
+  DsqConfig cfg = Config();
+  DsqModule dsq(cfg, rng);
+  Var input = MakeConstant(Matrix::RandomGaussian(8, cfg.dim, rng));
+  auto out = dsq.Forward(input);
+  Backward(ops::Sum(ops::Square(out.reconstruction)));
+  for (const auto& p : dsq.main_codebooks()) {
+    EXPECT_FALSE(p->grad().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DsqPropertyTest,
+    ::testing::Values(DsqParam{1, 4, 6}, DsqParam{2, 8, 8},
+                      DsqParam{3, 16, 12}, DsqParam{4, 32, 16},
+                      DsqParam{6, 8, 10}, DsqParam{8, 4, 8}),
+    [](const ::testing::TestParamInfo<DsqParam>& info) {
+      return "M" + std::to_string(std::get<0>(info.param)) + "_K" +
+             std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- Reconstruction error monotonicity in M ---------------------------------
+
+TEST(DsqMonotonicityTest, MoreStagesNeverHurtReconstructionMuch) {
+  Rng data_rng(22);
+  Matrix x = Matrix::RandomGaussian(100, 12, data_rng);
+  double prev = 1e30;
+  for (size_t m : {1u, 2u, 4u, 8u}) {
+    DsqConfig cfg;
+    cfg.dim = 12;
+    cfg.num_codebooks = m;
+    cfg.num_codewords = 16;
+    Rng rng(23);  // same init stream for comparability
+    DsqModule dsq(cfg, rng);
+    const double err = dsq.ReconstructionError(x);
+    EXPECT_LT(err, prev * 1.05) << "M=" << m;
+    prev = err;
+  }
+}
+
+// ---- PackedCodes over code widths --------------------------------------------
+
+class PackedCodesPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PackedCodesPropertyTest, RoundTripAtEveryWidth) {
+  const size_t k = GetParam();
+  index::PackedCodes codes(23, 5, k);
+  Rng rng(24);
+  std::vector<uint32_t> expected(23 * 5);
+  for (size_t i = 0; i < 23; ++i) {
+    for (size_t m = 0; m < 5; ++m) {
+      const uint32_t v = static_cast<uint32_t>(rng.NextIndex(k));
+      expected[i * 5 + m] = v;
+      codes.Set(i, m, v);
+    }
+  }
+  // Random-access reads.
+  for (size_t i = 0; i < 23; ++i) {
+    for (size_t m = 0; m < 5; ++m) {
+      EXPECT_EQ(codes.Get(i, m), expected[i * 5 + m]);
+    }
+  }
+  // Sequential cursor reads agree with random access.
+  codes.ForEachCode([&](size_t item, size_t cb, uint32_t v) {
+    EXPECT_EQ(v, expected[item * 5 + cb]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PackedCodesPropertyTest,
+                         ::testing::Values(2, 3, 5, 16, 31, 64, 255, 256,
+                                           1000, 65536),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "K" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lightlt::core

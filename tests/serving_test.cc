@@ -1,0 +1,145 @@
+// Tests for the RetrievalService facade.
+
+#include "src/serving/service.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/trainer.h"
+#include "src/data/dataset.h"
+
+namespace lightlt::serving {
+namespace {
+
+struct ServiceFixture {
+  data::RetrievalBenchmark bench;
+  std::shared_ptr<core::LightLtModel> model;
+};
+
+ServiceFixture MakeFixture() {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 5;
+  cfg.feature_dim = 16;
+  cfg.train_spec.num_classes = 5;
+  cfg.train_spec.head_size = 40;
+  cfg.train_spec.imbalance_factor = 8.0;
+  cfg.queries_per_class = 4;
+  cfg.database_per_class = 30;
+  cfg.class_separation = 3.0f;
+  cfg.nuisance_scale = 0.3f;
+  cfg.seed = 444;
+
+  ServiceFixture f;
+  f.bench = data::GenerateSynthetic(cfg);
+
+  core::ModelConfig mc;
+  mc.input_dim = 16;
+  mc.hidden_dims = {24};
+  mc.embed_dim = 12;
+  mc.num_classes = 5;
+  mc.dsq.num_codebooks = 2;
+  mc.dsq.num_codewords = 16;
+  f.model = std::make_shared<core::LightLtModel>(mc, 3);
+
+  core::TrainOptions opts;
+  opts.epochs = 8;
+  opts.learning_rate = 3e-3f;
+  auto stats = core::TrainLightLt(f.model.get(), f.bench.train, opts);
+  EXPECT_TRUE(stats.ok());
+  return f;
+}
+
+TEST(RetrievalServiceTest, BuildRejectsBadInputs) {
+  auto f = MakeFixture();
+  EXPECT_FALSE(RetrievalService::Build(nullptr, f.bench.database.features)
+                   .ok());
+  Matrix empty;
+  EXPECT_FALSE(RetrievalService::Build(f.model, empty).ok());
+  Matrix wrong_dim(10, 7);
+  EXPECT_FALSE(RetrievalService::Build(f.model, wrong_dim).ok());
+}
+
+TEST(RetrievalServiceTest, QueryReturnsRelevantItems) {
+  auto f = MakeFixture();
+  auto service = RetrievalService::Build(f.model, f.bench.database.features);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  size_t relevant_at_5 = 0;
+  for (size_t q = 0; q < f.bench.query.size(); ++q) {
+    auto hits = service.value().Query(f.bench.query.features.RowCopy(q), 5);
+    ASSERT_TRUE(hits.ok());
+    ASSERT_EQ(hits.value().size(), 5u);
+    for (const auto& hit : hits.value()) {
+      if (f.bench.database.labels[hit.id] == f.bench.query.labels[q]) {
+        ++relevant_at_5;
+        break;
+      }
+    }
+  }
+  // Most queries should find at least one same-class item in the top 5.
+  EXPECT_GT(relevant_at_5, f.bench.query.size() / 2);
+}
+
+TEST(RetrievalServiceTest, QueryRejectsWrongShape) {
+  auto f = MakeFixture();
+  auto service = RetrievalService::Build(f.model, f.bench.database.features);
+  ASSERT_TRUE(service.ok());
+  Matrix bad(2, 16);
+  EXPECT_FALSE(service.value().Query(bad, 3).ok());
+  Matrix bad_dim(1, 9);
+  EXPECT_FALSE(service.value().Query(bad_dim, 3).ok());
+}
+
+TEST(RetrievalServiceTest, BatchMatchesSingleQueries) {
+  auto f = MakeFixture();
+  auto service = RetrievalService::Build(f.model, f.bench.database.features);
+  ASSERT_TRUE(service.ok());
+
+  auto batch = service.value().QueryBatch(f.bench.query.features, 3,
+                                          &GlobalThreadPool());
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value().size(), f.bench.query.size());
+  for (size_t q = 0; q < 5; ++q) {
+    auto single =
+        service.value().Query(f.bench.query.features.RowCopy(q), 3);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ(batch.value()[q].size(), single.value().size());
+    for (size_t i = 0; i < single.value().size(); ++i) {
+      EXPECT_EQ(batch.value()[q][i].id, single.value()[i].id);
+    }
+  }
+}
+
+TEST(RetrievalServiceTest, ExactRerankKeepsResultSetConsistent) {
+  auto f = MakeFixture();
+  ServiceOptions opts;
+  opts.exact_rerank = true;
+  opts.rerank_pool = 20;
+  auto service =
+      RetrievalService::Build(f.model, f.bench.database.features, opts);
+  ASSERT_TRUE(service.ok());
+  auto hits = service.value().Query(f.bench.query.features.RowCopy(0), 5);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits.value().size(), 5u);
+  // Distances ascending after re-rank.
+  for (size_t i = 1; i < hits.value().size(); ++i) {
+    EXPECT_LE(hits.value()[i - 1].distance, hits.value()[i].distance);
+  }
+}
+
+TEST(RetrievalServiceTest, IvfModeServesAndSaysHowMuchItScans) {
+  auto f = MakeFixture();
+  ServiceOptions opts;
+  opts.use_ivf = true;
+  opts.ivf.num_cells = 10;
+  opts.ivf.nprobe = 4;
+  auto service =
+      RetrievalService::Build(f.model, f.bench.database.features, opts);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  auto hits = service.value().Query(f.bench.query.features.RowCopy(0), 5);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 5u);
+  EXPECT_GT(service.value().IndexMemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace lightlt::serving

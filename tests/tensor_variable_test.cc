@@ -1,0 +1,99 @@
+// Tests for the autograd graph mechanics themselves (node lifetime, deep
+// chains, gradient accumulation rules) — complementary to the per-op
+// gradient checks in tensor_ops_test.cc.
+
+#include "src/tensor/variable.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops.h"
+
+namespace lightlt {
+namespace {
+
+TEST(VariableTest, LeafProperties) {
+  Var p = MakeParam(Matrix(2, 2, 1.0f), "w");
+  EXPECT_TRUE(p->requires_grad());
+  EXPECT_EQ(p->op_name(), "w");
+  EXPECT_TRUE(p->grad().empty());
+  Var c = MakeConstant(Matrix(2, 2, 1.0f));
+  EXPECT_FALSE(c->requires_grad());
+}
+
+TEST(VariableTest, RequiresGradPropagates) {
+  Var p = MakeParam(Matrix(1, 2, 1.0f));
+  Var c = MakeConstant(Matrix(1, 2, 2.0f));
+  EXPECT_TRUE(ops::Add(p, c)->requires_grad());
+  EXPECT_FALSE(ops::Add(c, c)->requires_grad());
+}
+
+TEST(VariableTest, ConstantsReceiveNoGradient) {
+  Var p = MakeParam(Matrix(1, 2, 1.0f));
+  Var c = MakeConstant(Matrix(1, 2, 2.0f));
+  Var loss = ops::Sum(ops::Mul(p, c));
+  Backward(loss);
+  EXPECT_FALSE(p->grad().empty());
+  EXPECT_TRUE(c->grad().empty());
+}
+
+TEST(VariableTest, DeepChainBackwardDoesNotOverflow) {
+  // 2000 chained ops: the iterative topological sort must handle it.
+  Var x = MakeParam(Matrix(1, 1, {1.0f}));
+  Var y = x;
+  for (int i = 0; i < 2000; ++i) y = ops::Scale(y, 1.0005f);
+  Backward(ops::Sum(y));
+  ASSERT_FALSE(x->grad().empty());
+  // d/dx (1.0005^2000 * x) = 1.0005^2000 ~ e.
+  EXPECT_NEAR(x->grad()[0], std::exp(2000.0f * std::log(1.0005f)), 0.05f);
+}
+
+TEST(VariableTest, WideFanOutAccumulates) {
+  Var x = MakeParam(Matrix(1, 1, {2.0f}));
+  Var total;
+  for (int i = 0; i < 50; ++i) {
+    Var branch = ops::Scale(x, static_cast<float>(i));
+    total = total ? ops::Add(total, branch) : branch;
+  }
+  Backward(ops::Sum(total));
+  // Sum of 0..49 = 1225.
+  EXPECT_FLOAT_EQ(x->grad()[0], 1225.0f);
+}
+
+TEST(VariableTest, BackwardRequiresScalarLoss) {
+  Var x = MakeParam(Matrix(2, 2, 1.0f));
+  Var y = ops::Scale(x, 2.0f);
+  EXPECT_DEATH(Backward(y), "LIGHTLT_CHECK");
+}
+
+TEST(VariableTest, GradShapeMismatchIsFatal) {
+  Var x = MakeParam(Matrix(2, 3, 1.0f));
+  EXPECT_DEATH(x->AccumulateGrad(Matrix(3, 2, 1.0f)), "LIGHTLT_CHECK");
+}
+
+TEST(VariableTest, ZeroGradKeepsBuffer) {
+  Var x = MakeParam(Matrix(1, 2, {1.0f, 2.0f}));
+  x->AccumulateGrad(Matrix(1, 2, {3.0f, 4.0f}));
+  x->ZeroGrad();
+  ASSERT_FALSE(x->grad().empty());
+  EXPECT_FLOAT_EQ(x->grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x->grad()[1], 0.0f);
+}
+
+TEST(VariableTest, GraphReleasedAfterBackward) {
+  // Intermediate nodes must be destructible once the loss handle dies:
+  // build in a scope, keep only the leaf, and ensure further use is fine.
+  Var x = MakeParam(Matrix(1, 1, {3.0f}));
+  {
+    Var loss = ops::Sum(ops::Square(x));
+    Backward(loss);
+  }
+  EXPECT_FLOAT_EQ(x->grad()[0], 6.0f);
+  x->ZeroGrad();
+  // A second, fresh graph works on the same leaf.
+  Var loss2 = ops::Sum(ops::Scale(x, 5.0f));
+  Backward(loss2);
+  EXPECT_FLOAT_EQ(x->grad()[0], 5.0f);
+}
+
+}  // namespace
+}  // namespace lightlt

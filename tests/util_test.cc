@@ -1,0 +1,215 @@
+// Tests for the utility layer: Status, Rng, ThreadPool, binary I/O, CLI
+// parsing and the table printer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/util/cli.h"
+#include "src/util/io.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/table_printer.h"
+#include "src/util/threadpool.h"
+
+namespace lightlt {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad K");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad K");
+}
+
+TEST(StatusTest, ResultHoldsValueOrError) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    EXPECT_LT(rng.NextIndex(10), 10u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  EXPECT_EQ(std::set<int>(v.begin(), v.end()),
+            std::set<int>(original.begin(), original.end()));
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  // Child stream differs from the parent's continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child.NextUint64() != parent.NextUint64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  ParallelFor(&pool, hits.size(),
+              [&](size_t i) { hits[i].fetch_add(1); }, 16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSerialFallback) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(BinaryIoTest, ScalarAndContainerRoundTrip) {
+  const std::string path = TempPath("io_test.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU32(7);
+    w.WriteU64(1ull << 40);
+    w.WriteI64(-12345);
+    w.WriteF32(1.5f);
+    w.WriteF64(2.25);
+    w.WriteString("lightlt");
+    w.WriteF32Vector({1.0f, 2.0f, 3.0f});
+    w.WriteU32Vector({9, 8});
+    w.WriteBytes({0xde, 0xad});
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 7u);
+  EXPECT_EQ(r.ReadU64(), 1ull << 40);
+  EXPECT_EQ(r.ReadI64(), -12345);
+  EXPECT_FLOAT_EQ(r.ReadF32(), 1.5f);
+  EXPECT_DOUBLE_EQ(r.ReadF64(), 2.25);
+  EXPECT_EQ(r.ReadString(), "lightlt");
+  EXPECT_EQ(r.ReadF32Vector(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(r.ReadU32Vector(), (std::vector<uint32_t>{9, 8}));
+  EXPECT_EQ(r.ReadBytes(), (std::vector<uint8_t>{0xde, 0xad}));
+  EXPECT_TRUE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ReadPastEndIsStickyError) {
+  const std::string path = TempPath("io_short.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU32(1);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 1u);
+  EXPECT_EQ(r.ReadU64(), 0u);  // truncated
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_EQ(r.ReadU32(), 0u);  // still failed (sticky)
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileFails) {
+  BinaryReader r("/nonexistent/file.bin");
+  EXPECT_FALSE(r.status().ok());
+  BinaryWriter w("/nonexistent/dir/file.bin");
+  EXPECT_FALSE(w.status().ok());
+}
+
+TEST(CliTest, ParsesAllFlagForms) {
+  // Note: a bare "--flag" followed by a non-flag token is parsed as
+  // "--flag <value>" (the common CLI convention), so boolean flags must
+  // either use --flag=true or not be followed by a positional argument.
+  const char* argv[] = {"prog",       "--name=value", "--count", "42",
+                        "positional", "--rate=0.5",   "--verbose"};
+  CommandLine cli(7, const_cast<char**>(argv));
+  EXPECT_EQ(cli.GetString("name", ""), "value");
+  EXPECT_EQ(cli.GetInt("count", 0), 42);
+  EXPECT_TRUE(cli.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(cli.GetDouble("rate", 0.0), 0.5);
+  EXPECT_FALSE(cli.Has("missing"));
+  EXPECT_EQ(cli.GetInt("missing", 7), 7);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(CliTest, BooleanFalseValues) {
+  const char* argv[] = {"prog", "--flag=false"};
+  CommandLine cli(2, const_cast<char**>(argv));
+  EXPECT_FALSE(cli.GetBool("flag", true));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Method", "MAP"});
+  t.AddRow({"LSH", "0.0333"});
+  t.AddRow({"LightLT", "0.3801"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| Method  | MAP    |"), std::string::npos);
+  EXPECT_NE(out.find("| LightLT | 0.3801 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatMetricPrecision) {
+  EXPECT_EQ(TablePrinter::FormatMetric(0.123456), "0.1235");
+  EXPECT_EQ(TablePrinter::FormatMetric(2.5, 1), "2.5");
+}
+
+TEST(TablePrinterTest, ShortRowsPadWithEmptyCells) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"x"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lightlt

@@ -1,0 +1,89 @@
+// Developer tool: grid-sweeps LightLT hyper-parameters (gamma, alpha,
+// temperature, epochs, learning rate) on one preset and prints MAP, to pick
+// the defaults in src/core/defaults.cc.
+//
+//   ./tool_tune_lightlt --preset=cifar --if=50 --gamma=0.99,0.999
+//       --alpha=0.01,0.05 --temp=0.5,1.0 --epochs=20
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/baselines/deep_quant.h"
+#include "src/data/presets.h"
+#include "src/util/cli.h"
+#include "src/util/threadpool.h"
+
+using namespace lightlt;
+
+namespace {
+std::vector<float> ParseList(const std::string& csv) {
+  std::vector<float> out;
+  std::stringstream ss(csv);
+  for (std::string tok; std::getline(ss, tok, ',');) {
+    out.push_back(std::strtof(tok.c_str(), nullptr));
+  }
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const std::string preset_name = cli.GetString("preset", "cifar");
+  const double imbalance = cli.GetDouble("if", 50.0);
+  const uint64_t seed = cli.GetInt("seed", 7);
+  const uint64_t model_seed = cli.GetInt("model_seed", 0);
+
+  data::PresetId preset = data::PresetId::kCifar100ish;
+  if (preset_name == "imagenet") preset = data::PresetId::kImageNet100ish;
+  if (preset_name == "nc") preset = data::PresetId::kNcish;
+  if (preset_name == "qba") preset = data::PresetId::kQbaish;
+
+  // Sentinel -1: keep the tuned default from src/core/defaults.cc.
+  const auto gammas = ParseList(cli.GetString("gamma", "-1"));
+  const auto alphas = ParseList(cli.GetString("alpha", "-1"));
+  const auto temps = ParseList(cli.GetString("temp", "-1"));
+  const auto lrs = ParseList(cli.GetString("lr", "-1"));
+  const int epochs = static_cast<int>(cli.GetInt("epochs", 0));
+  const int ensemble = static_cast<int>(cli.GetInt("ensemble", 1));
+
+  const auto bench = data::GeneratePreset(preset, imbalance, false, seed);
+
+  for (float gamma : gammas) {
+    for (float alpha : alphas) {
+      for (float temp : temps) {
+        for (float lr : lrs) {
+          auto spec = baselines::MakeLightLtSpec(bench, preset, false,
+                                                 ensemble);
+          if (cli.Has("skip")) {
+            spec.arch.dsq.codebook_skip = cli.GetBool("skip", true);
+          }
+          if (cli.Has("ffn_hidden")) {
+            spec.arch.dsq.ffn_hidden =
+                static_cast<size_t>(cli.GetInt("ffn_hidden", 0));
+          }
+          if (gamma >= 0.0f) spec.train.loss.gamma = gamma;
+          if (alpha >= 0.0f) spec.train.loss.alpha = alpha;
+          if (lr > 0.0f) spec.train.learning_rate = lr;
+          if (temp > 0.0f) spec.arch.dsq.temperature = temp;
+          if (epochs > 0) spec.train.epochs = epochs;
+          if (model_seed != 0) spec.seed = model_seed;
+          baselines::DeepQuantMethod method(std::move(spec));
+          auto report = baselines::EvaluateMethod(&method, bench,
+                                                  &GlobalThreadPool());
+          std::printf(
+              "gamma=%.4f alpha=%.3f temp=%.2f lr=%.4f epochs=%d ens=%d"
+              " skip=%d -> MAP %.4f\n",
+              spec.train.loss.gamma, spec.train.loss.alpha,
+              spec.arch.dsq.temperature, spec.train.learning_rate,
+              spec.train.epochs, ensemble,
+              spec.arch.dsq.codebook_skip ? 1 : 0,
+              report.ok() ? report.value().map : -1.0);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+  return 0;
+}
