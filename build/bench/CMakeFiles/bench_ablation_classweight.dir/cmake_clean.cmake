@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_classweight.dir/bench_ablation_classweight.cc.o"
+  "CMakeFiles/bench_ablation_classweight.dir/bench_ablation_classweight.cc.o.d"
+  "bench_ablation_classweight"
+  "bench_ablation_classweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_classweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

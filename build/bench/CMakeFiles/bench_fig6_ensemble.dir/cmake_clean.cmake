@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ensemble.dir/bench_fig6_ensemble.cc.o"
+  "CMakeFiles/bench_fig6_ensemble.dir/bench_fig6_ensemble.cc.o.d"
+  "bench_fig6_ensemble"
+  "bench_fig6_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ivf_scaling.dir/bench_ivf_scaling.cc.o"
+  "CMakeFiles/bench_ivf_scaling.dir/bench_ivf_scaling.cc.o.d"
+  "bench_ivf_scaling"
+  "bench_ivf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ivf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_image.dir/bench_table2_image.cc.o"
+  "CMakeFiles/bench_table2_image.dir/bench_table2_image.cc.o.d"
+  "bench_table2_image"
+  "bench_table2_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_text.dir/bench_table3_text.cc.o"
+  "CMakeFiles/bench_table3_text.dir/bench_table3_text.cc.o.d"
+  "bench_table3_text"
+  "bench_table3_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_dsq.dir/bench_table4_dsq.cc.o"
+  "CMakeFiles/bench_table4_dsq.dir/bench_table4_dsq.cc.o.d"
+  "bench_table4_dsq"
+  "bench_table4_dsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

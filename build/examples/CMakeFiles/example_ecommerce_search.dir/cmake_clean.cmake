@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ecommerce_search.dir/ecommerce_search.cpp.o"
+  "CMakeFiles/example_ecommerce_search.dir/ecommerce_search.cpp.o.d"
+  "example_ecommerce_search"
+  "example_ecommerce_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ecommerce_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ensemble_workflow.dir/ensemble_workflow.cpp.o"
+  "CMakeFiles/example_ensemble_workflow.dir/ensemble_workflow.cpp.o.d"
+  "example_ensemble_workflow"
+  "example_ensemble_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ensemble_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_retrieval.dir/image_retrieval.cpp.o"
+  "CMakeFiles/example_image_retrieval.dir/image_retrieval.cpp.o.d"
+  "example_image_retrieval"
+  "example_image_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

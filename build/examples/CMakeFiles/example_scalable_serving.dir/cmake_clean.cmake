@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scalable_serving.dir/scalable_serving.cpp.o"
+  "CMakeFiles/example_scalable_serving.dir/scalable_serving.cpp.o.d"
+  "example_scalable_serving"
+  "example_scalable_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scalable_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

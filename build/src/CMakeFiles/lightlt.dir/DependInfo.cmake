@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/deep_hash.cc" "src/CMakeFiles/lightlt.dir/baselines/deep_hash.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/baselines/deep_hash.cc.o.d"
+  "/root/repo/src/baselines/deep_quant.cc" "src/CMakeFiles/lightlt.dir/baselines/deep_quant.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/baselines/deep_quant.cc.o.d"
+  "/root/repo/src/baselines/method.cc" "src/CMakeFiles/lightlt.dir/baselines/method.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/baselines/method.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/lightlt.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/shallow_hash.cc" "src/CMakeFiles/lightlt.dir/baselines/shallow_hash.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/baselines/shallow_hash.cc.o.d"
+  "/root/repo/src/baselines/shallow_quant.cc" "src/CMakeFiles/lightlt.dir/baselines/shallow_quant.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/baselines/shallow_quant.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "src/CMakeFiles/lightlt.dir/clustering/kmeans.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/clustering/kmeans.cc.o.d"
+  "/root/repo/src/clustering/linalg.cc" "src/CMakeFiles/lightlt.dir/clustering/linalg.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/clustering/linalg.cc.o.d"
+  "/root/repo/src/clustering/pca.cc" "src/CMakeFiles/lightlt.dir/clustering/pca.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/clustering/pca.cc.o.d"
+  "/root/repo/src/core/defaults.cc" "src/CMakeFiles/lightlt.dir/core/defaults.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/core/defaults.cc.o.d"
+  "/root/repo/src/core/dsq.cc" "src/CMakeFiles/lightlt.dir/core/dsq.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/core/dsq.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/CMakeFiles/lightlt.dir/core/ensemble.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/core/ensemble.cc.o.d"
+  "/root/repo/src/core/lightlt_model.cc" "src/CMakeFiles/lightlt.dir/core/lightlt_model.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/core/lightlt_model.cc.o.d"
+  "/root/repo/src/core/losses.cc" "src/CMakeFiles/lightlt.dir/core/losses.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/core/losses.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/lightlt.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/lightlt.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/lightlt.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/data_io.cc" "src/CMakeFiles/lightlt.dir/data/data_io.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/data/data_io.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/lightlt.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/longtail.cc" "src/CMakeFiles/lightlt.dir/data/longtail.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/data/longtail.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/CMakeFiles/lightlt.dir/data/presets.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/data/presets.cc.o.d"
+  "/root/repo/src/eval/curves.cc" "src/CMakeFiles/lightlt.dir/eval/curves.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/eval/curves.cc.o.d"
+  "/root/repo/src/eval/efficiency.cc" "src/CMakeFiles/lightlt.dir/eval/efficiency.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/eval/efficiency.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/lightlt.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/index/adc_index.cc" "src/CMakeFiles/lightlt.dir/index/adc_index.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/index/adc_index.cc.o.d"
+  "/root/repo/src/index/codes.cc" "src/CMakeFiles/lightlt.dir/index/codes.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/index/codes.cc.o.d"
+  "/root/repo/src/index/flat_index.cc" "src/CMakeFiles/lightlt.dir/index/flat_index.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/index/flat_index.cc.o.d"
+  "/root/repo/src/index/hamming_index.cc" "src/CMakeFiles/lightlt.dir/index/hamming_index.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/index/hamming_index.cc.o.d"
+  "/root/repo/src/index/ivf_index.cc" "src/CMakeFiles/lightlt.dir/index/ivf_index.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/index/ivf_index.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/lightlt.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/lightlt.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/lightlt.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/lightlt.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/scheduler.cc" "src/CMakeFiles/lightlt.dir/nn/scheduler.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/nn/scheduler.cc.o.d"
+  "/root/repo/src/serving/service.cc" "src/CMakeFiles/lightlt.dir/serving/service.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/serving/service.cc.o.d"
+  "/root/repo/src/tensor/grad_check.cc" "src/CMakeFiles/lightlt.dir/tensor/grad_check.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/tensor/grad_check.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/lightlt.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/lightlt.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/variable.cc" "src/CMakeFiles/lightlt.dir/tensor/variable.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/tensor/variable.cc.o.d"
+  "/root/repo/src/util/cli.cc" "src/CMakeFiles/lightlt.dir/util/cli.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/util/cli.cc.o.d"
+  "/root/repo/src/util/io.cc" "src/CMakeFiles/lightlt.dir/util/io.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/util/io.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/lightlt.dir/util/status.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/lightlt.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/threadpool.cc" "src/CMakeFiles/lightlt.dir/util/threadpool.cc.o" "gcc" "src/CMakeFiles/lightlt.dir/util/threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/lightlt_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/clustering_test.cc" "tests/CMakeFiles/lightlt_tests.dir/clustering_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/clustering_test.cc.o.d"
+  "/root/repo/tests/core_dsq_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_dsq_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_dsq_test.cc.o.d"
+  "/root/repo/tests/core_ensemble_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_ensemble_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_ensemble_test.cc.o.d"
+  "/root/repo/tests/core_losses_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_losses_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_losses_test.cc.o.d"
+  "/root/repo/tests/core_model_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_model_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_model_test.cc.o.d"
+  "/root/repo/tests/core_pipeline_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_pipeline_test.cc.o.d"
+  "/root/repo/tests/core_serialize_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_serialize_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_serialize_test.cc.o.d"
+  "/root/repo/tests/core_trainer_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_trainer_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_trainer_test.cc.o.d"
+  "/root/repo/tests/data_io_test.cc" "tests/CMakeFiles/lightlt_tests.dir/data_io_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/data_io_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/lightlt_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/lightlt_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/eval_curves_test.cc" "tests/CMakeFiles/lightlt_tests.dir/eval_curves_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/eval_curves_test.cc.o.d"
+  "/root/repo/tests/eval_metrics_test.cc" "tests/CMakeFiles/lightlt_tests.dir/eval_metrics_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/eval_metrics_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/lightlt_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/ivf_index_test.cc" "tests/CMakeFiles/lightlt_tests.dir/ivf_index_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/ivf_index_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/lightlt_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/property_hash_test.cc" "tests/CMakeFiles/lightlt_tests.dir/property_hash_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/property_hash_test.cc.o.d"
+  "/root/repo/tests/property_losses_test.cc" "tests/CMakeFiles/lightlt_tests.dir/property_losses_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/property_losses_test.cc.o.d"
+  "/root/repo/tests/property_quantization_test.cc" "tests/CMakeFiles/lightlt_tests.dir/property_quantization_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/property_quantization_test.cc.o.d"
+  "/root/repo/tests/serving_test.cc" "tests/CMakeFiles/lightlt_tests.dir/serving_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/serving_test.cc.o.d"
+  "/root/repo/tests/tensor_matrix_test.cc" "tests/CMakeFiles/lightlt_tests.dir/tensor_matrix_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/tensor_matrix_test.cc.o.d"
+  "/root/repo/tests/tensor_ops_test.cc" "tests/CMakeFiles/lightlt_tests.dir/tensor_ops_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/tensor_ops_test.cc.o.d"
+  "/root/repo/tests/tensor_variable_test.cc" "tests/CMakeFiles/lightlt_tests.dir/tensor_variable_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/tensor_variable_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/lightlt_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lightlt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_tune_lightlt.dir/tune_lightlt.cc.o"
+  "CMakeFiles/tool_tune_lightlt.dir/tune_lightlt.cc.o.d"
+  "tool_tune_lightlt"
+  "tool_tune_lightlt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_tune_lightlt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

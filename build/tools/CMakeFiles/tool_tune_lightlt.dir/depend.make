@@ -1,0 +1,2 @@
+# Empty dependencies file for tool_tune_lightlt.
+# This may be replaced when dependencies are built.
