@@ -247,9 +247,6 @@ examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/../src/data/dataset.h \
  /root/repo/src/../src/data/longtail.h \
  /root/repo/src/../src/nn/optimizer.h \
- /root/repo/src/../src/data/presets.h \
- /root/repo/src/../src/core/pipeline.h \
- /root/repo/src/../src/eval/metrics.h \
  /root/repo/src/../src/util/threadpool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
@@ -264,6 +261,9 @@ examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/../src/data/presets.h \
+ /root/repo/src/../src/core/pipeline.h \
+ /root/repo/src/../src/eval/metrics.h \
  /root/repo/src/../src/index/adc_index.h \
  /root/repo/src/../src/index/codes.h /root/repo/src/../src/util/io.h \
  /root/repo/src/../src/util/cli.h /usr/include/c++/12/map \

@@ -246,8 +246,6 @@ examples/CMakeFiles/example_scalable_serving.dir/scalable_serving.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/../src/tensor/ops.h /root/repo/src/../src/core/trainer.h \
  /root/repo/src/../src/core/losses.h /root/repo/src/../src/nn/optimizer.h \
- /root/repo/src/../src/core/pipeline.h \
- /root/repo/src/../src/eval/metrics.h \
  /root/repo/src/../src/util/threadpool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
@@ -262,6 +260,8 @@ examples/CMakeFiles/example_scalable_serving.dir/scalable_serving.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/../src/core/pipeline.h \
+ /root/repo/src/../src/eval/metrics.h \
  /root/repo/src/../src/index/adc_index.h \
  /root/repo/src/../src/index/codes.h /root/repo/src/../src/util/io.h \
  /root/repo/src/../src/core/serialize.h \

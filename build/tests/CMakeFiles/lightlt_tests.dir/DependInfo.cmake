@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/lightlt_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/baselines_test.cc.o.d"
   "/root/repo/tests/clustering_test.cc" "tests/CMakeFiles/lightlt_tests.dir/clustering_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/clustering_test.cc.o.d"
+  "/root/repo/tests/concurrency_test.cc" "tests/CMakeFiles/lightlt_tests.dir/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/concurrency_test.cc.o.d"
   "/root/repo/tests/core_dsq_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_dsq_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_dsq_test.cc.o.d"
   "/root/repo/tests/core_ensemble_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_ensemble_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_ensemble_test.cc.o.d"
   "/root/repo/tests/core_losses_test.cc" "tests/CMakeFiles/lightlt_tests.dir/core_losses_test.cc.o" "gcc" "tests/CMakeFiles/lightlt_tests.dir/core_losses_test.cc.o.d"

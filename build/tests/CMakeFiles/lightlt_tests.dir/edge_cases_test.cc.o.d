@@ -328,8 +328,6 @@ tests/CMakeFiles/lightlt_tests.dir/edge_cases_test.cc.o: \
  /root/repo/src/../src/tensor/variable.h \
  /root/repo/src/../src/tensor/ops.h /root/repo/src/../src/core/trainer.h \
  /root/repo/src/../src/core/losses.h /root/repo/src/../src/nn/optimizer.h \
- /root/repo/src/../src/core/pipeline.h \
- /root/repo/src/../src/eval/metrics.h \
  /root/repo/src/../src/util/threadpool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
@@ -342,6 +340,8 @@ tests/CMakeFiles/lightlt_tests.dir/edge_cases_test.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/../src/core/pipeline.h \
+ /root/repo/src/../src/eval/metrics.h \
  /root/repo/src/../src/index/adc_index.h \
  /root/repo/src/../src/index/codes.h /root/repo/src/../src/util/io.h \
  /root/repo/src/../src/core/serialize.h \

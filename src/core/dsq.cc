@@ -5,6 +5,17 @@
 #include "src/util/check.h"
 
 namespace lightlt::core {
+namespace {
+
+/// Fallback sampling stream for the Gumbel-softmax option when the caller
+/// does not pass an explicit Rng. One independent stream per thread, so
+/// concurrent Forward calls (parallel ensemble training) never race.
+Rng& ThreadLocalGumbelRng() {
+  thread_local Rng rng(0x9a3b);
+  return rng;
+}
+
+}  // namespace
 
 Status DsqConfig::Validate() const {
   if (dim == 0) return Status::InvalidArgument("DsqConfig: dim must be > 0");
@@ -80,7 +91,8 @@ std::vector<Var> DsqModule::BuildCodebookChain() const {
   return chain;
 }
 
-DsqModule::ForwardResult DsqModule::Forward(const Var& input) const {
+DsqModule::ForwardResult DsqModule::Forward(const Var& input,
+                                            Rng* gumbel_rng) const {
   LIGHTLT_CHECK_EQ(input->value().cols(), config_.dim);
   const size_t n = input->value().rows();
   const size_t k = config_.num_codewords;
@@ -100,10 +112,12 @@ DsqModule::ForwardResult DsqModule::Forward(const Var& input) const {
       // Gumbel-max sampling: adding G_ij = -log(-log U) to the logits and
       // taking the argmax samples from the tempered categorical. The noise
       // is a constant in the graph (reparameterized logits).
+      Rng& noise_rng =
+          gumbel_rng != nullptr ? *gumbel_rng : ThreadLocalGumbelRng();
       Matrix noise(n, k);
       for (size_t i = 0; i < noise.size(); ++i) {
-        double u = sample_rng_.NextDouble();
-        while (u <= 1e-12) u = sample_rng_.NextDouble();
+        double u = noise_rng.NextDouble();
+        while (u <= 1e-12) u = noise_rng.NextDouble();
         noise[i] = static_cast<float>(-std::log(-std::log(u))) *
                    config_.temperature;
       }

@@ -66,7 +66,10 @@ class DsqModule : public nn::Module {
     /// Per-stage soft assignment entropy (diagnostic, averaged over batch).
     std::vector<float> assignment_entropy;
   };
-  ForwardResult Forward(const Var& input) const;
+  /// When `gumbel_noise` is enabled, noise is drawn from `gumbel_rng` if
+  /// provided (reproducible per caller), else from a thread-local stream —
+  /// concurrent Forward calls never share mutable RNG state.
+  ForwardResult Forward(const Var& input, Rng* gumbel_rng = nullptr) const;
 
   /// Inference-only encoding (no autograd graph): hard argmax per stage on
   /// the residual, exactly Eqns. 2-4.
@@ -105,8 +108,6 @@ class DsqModule : public nn::Module {
   std::vector<Var> main_codebooks_;  // P_k, each K x d
   std::vector<Var> gates_;           // g_k for k >= 2, each 1 x 1
   std::unique_ptr<nn::Ffn> ffn_;     // codebook transform (codebook_skip)
-  /// Sampling stream for the Gumbel-softmax option (training-time only).
-  mutable Rng sample_rng_{0x9a3b};
 };
 
 }  // namespace lightlt::core

@@ -30,25 +30,36 @@ Result<EnsembleResult> TrainEnsemble(const ModelConfig& config,
   // Algorithm 1, lines 2-6: train n base models. All members share the
   // backbone initialization (the paper's members share the same pretrained
   // ResNet34/BERT weights, which keeps the averaged weights in one loss
-  // basin) and differ in head initialization and data ordering.
-  std::vector<std::unique_ptr<LightLtModel>> members;
-  members.reserve(options.num_models);
-  for (int i = 0; i < options.num_models; ++i) {
-    auto model = std::make_unique<LightLtModel>(config, options.seed);
-    if (i > 0) {
-      // Distinct quantizer initialization per member (the paper's "different
-      // initializations"); see Example 1 for why the averaged codebooks then
-      // need re-alignment.
-      Rng reinit(options.seed + 1000 + static_cast<uint64_t>(i));
-      model->mutable_dsq().ReinitializeParameters(reinit);
-    }
-    TrainOptions per_model = options.base_training;
-    per_model.shuffle_seed = options.base_training.shuffle_seed +
-                             static_cast<uint64_t>(i) * 7919;
-    auto stats = TrainLightLt(model.get(), train, per_model);
-    if (!stats.ok()) return stats.status();
-    result.member_stats.push_back(std::move(stats).value());
-    members.push_back(std::move(model));
+  // basin) and differ in head initialization and data ordering. Members are
+  // independent, so with options.pool set they train concurrently under one
+  // TaskGroup; each slot is written only by its own task.
+  const size_t n_models = static_cast<size_t>(options.num_models);
+  std::vector<std::unique_ptr<LightLtModel>> members(n_models);
+  std::vector<Result<TrainStats>> member_results(n_models,
+                                                 Result<TrainStats>(
+                                                     TrainStats{}));
+  TaskGroup group(options.pool);
+  for (size_t i = 0; i < n_models; ++i) {
+    group.Submit([&, i] {
+      auto model = std::make_unique<LightLtModel>(config, options.seed);
+      if (i > 0) {
+        // Distinct quantizer initialization per member (the paper's
+        // "different initializations"); see Example 1 for why the averaged
+        // codebooks then need re-alignment.
+        Rng reinit(options.seed + 1000 + static_cast<uint64_t>(i));
+        model->mutable_dsq().ReinitializeParameters(reinit);
+      }
+      TrainOptions per_model = options.base_training;
+      per_model.shuffle_seed = options.base_training.shuffle_seed +
+                               static_cast<uint64_t>(i) * 7919;
+      member_results[i] = TrainLightLt(model.get(), train, per_model);
+      members[i] = std::move(model);
+    });
+  }
+  group.Wait();
+  for (size_t i = 0; i < n_models; ++i) {
+    if (!member_results[i].ok()) return member_results[i].status();
+    result.member_stats.push_back(std::move(member_results[i]).value());
   }
 
   if (options.num_models == 1) {

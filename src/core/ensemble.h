@@ -14,6 +14,7 @@
 
 #include "src/core/lightlt_model.h"
 #include "src/core/trainer.h"
+#include "src/util/threadpool.h"
 
 namespace lightlt::core {
 
@@ -23,6 +24,10 @@ struct EnsembleOptions {
   int finetune_epochs = 5;    ///< DSQ-only fine-tuning epochs
   float finetune_learning_rate = 1e-3f;
   uint64_t seed = 0xe17e;     ///< base seed; model i inits from seed+i
+  /// Trains the n members concurrently when set (each member is an
+  /// independent model, deterministic from its own seeds, so the result is
+  /// identical to serial training). Null = train members serially.
+  ThreadPool* pool = nullptr;
 
   Status Validate() const;
 };

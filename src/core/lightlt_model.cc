@@ -39,12 +39,13 @@ LightLtModel::LightLtModel(const ModelConfig& config, uint64_t seed,
       "prototypes");
 }
 
-LightLtModel::ForwardOutput LightLtModel::Forward(const Matrix& batch) const {
+LightLtModel::ForwardOutput LightLtModel::Forward(const Matrix& batch,
+                                                  Rng* gumbel_rng) const {
   LIGHTLT_CHECK_EQ(batch.cols(), config_.input_dim);
   ForwardOutput out;
   Var input = MakeConstant(batch, "batch");
   out.embedding = backbone_->Forward(input);
-  auto dsq_out = dsq_->Forward(out.embedding);
+  auto dsq_out = dsq_->Forward(out.embedding, gumbel_rng);
   out.quantized = dsq_out.reconstruction;
   out.codes = std::move(dsq_out.codes);
   out.logits = classifier_->Forward(out.quantized);

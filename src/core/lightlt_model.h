@@ -49,7 +49,9 @@ class LightLtModel : public nn::Module {
     Var logits;      ///< classifier(o), n x C
     std::vector<std::vector<uint32_t>> codes;  ///< hard codes
   };
-  ForwardOutput Forward(const Matrix& batch) const;
+  /// `gumbel_rng` is forwarded to DsqModule::Forward (per-caller sampling
+  /// stream for the gumbel_noise option; null = thread-local fallback).
+  ForwardOutput Forward(const Matrix& batch, Rng* gumbel_rng = nullptr) const;
 
   /// Inference: continuous representation f(x) (query side of ADC search).
   Matrix Embed(const Matrix& x) const;

@@ -8,19 +8,23 @@
 namespace lightlt::core {
 
 Matrix EmbedInChunks(const LightLtModel& model, const Matrix& x,
-                     size_t chunk) {
+                     size_t chunk, ThreadPool* pool) {
   LIGHTLT_CHECK_GT(chunk, 0u);
   Matrix out(x.rows(), model.config().embed_dim);
-  for (size_t start = 0; start < x.rows(); start += chunk) {
-    const size_t end = std::min(start + chunk, x.rows());
-    std::vector<size_t> idx(end - start);
-    std::iota(idx.begin(), idx.end(), start);
-    const Matrix part = model.Embed(x.GatherRows(idx));
-    for (size_t i = 0; i < part.rows(); ++i) {
-      std::copy(part.row(i), part.row(i) + part.cols(),
-                out.row(start + i));
-    }
-  }
+  // Forward passes only read the shared parameters, and each range writes a
+  // disjoint row span of `out`, so chunks embed concurrently without locks.
+  ParallelForRanges(
+      pool, x.rows(),
+      [&](size_t start, size_t end) {
+        std::vector<size_t> idx(end - start);
+        std::iota(idx.begin(), idx.end(), start);
+        const Matrix part = model.Embed(x.GatherRows(idx));
+        for (size_t i = 0; i < part.rows(); ++i) {
+          std::copy(part.row(i), part.row(i) + part.cols(),
+                    out.row(start + i));
+        }
+      },
+      /*min_chunk=*/chunk);
   return out;
 }
 
@@ -39,7 +43,8 @@ Result<RetrievalReport> EvaluateModel(const LightLtModel& model,
   if (!built.ok()) return built.status();
   const index::AdcIndex& idx = built.value();
 
-  const Matrix query_embeds = EmbedInChunks(model, bench.query.features);
+  const Matrix query_embeds =
+      EmbedInChunks(model, bench.query.features, /*chunk=*/4096, pool);
 
   eval::RankingFn ranker = [&](size_t q) {
     return idx.RankAll(query_embeds.row(q));

@@ -17,9 +17,11 @@
 namespace lightlt::core {
 
 /// Embeds `x` through the backbone in fixed-size chunks (bounds the autograd
-/// graph memory for large databases).
+/// graph memory for large databases). Chunks are embedded in parallel on
+/// `pool` when provided; chunk boundaries are independent of the thread
+/// count, so the result is identical for any pool size.
 Matrix EmbedInChunks(const LightLtModel& model, const Matrix& x,
-                     size_t chunk = 4096);
+                     size_t chunk = 4096, ThreadPool* pool = nullptr);
 
 /// Encodes `db_features` and assembles the searchable ADC index.
 Result<index::AdcIndex> BuildAdcIndex(const LightLtModel& model,

@@ -67,10 +67,16 @@ Status SaveModel(const LightLtModel& model, const std::string& path) {
 
 Result<std::unique_ptr<LightLtModel>> LoadModel(const std::string& path) {
   BinaryReader reader(path);
-  if (reader.ReadU32() != kModelMagic) {
+  const uint32_t magic = reader.ReadU32();
+  // Distinguish "could not read the file" from "read something that is not
+  // a model": an unreadable or truncated file must surface as an I/O error.
+  if (!reader.status().ok()) return reader.status();
+  if (magic != kModelMagic) {
     return Status::IoError("not a LightLT model file: " + path);
   }
-  if (reader.ReadU32() != kFormatVersion) {
+  const uint32_t version = reader.ReadU32();
+  if (!reader.status().ok()) return reader.status();
+  if (version != kFormatVersion) {
     return Status::IoError("unsupported model format version");
   }
   auto cfg = ReadConfig(reader);

@@ -74,6 +74,9 @@ Result<TrainStats> TrainLightLt(LightLtModel* model,
   }
 
   Rng shuffle_rng(options.shuffle_seed);
+  // Per-run Gumbel sampling stream: keeps gumbel_noise training reproducible
+  // from the options seed and race-free when members train on worker threads.
+  Rng gumbel_rng(options.shuffle_seed ^ 0x67756d62ULL);
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
 
@@ -94,7 +97,7 @@ Result<TrainStats> TrainLightLt(LightLtModel* model,
         labels[i] = train.labels[batch_idx[i]];
       }
 
-      auto out = model->Forward(batch);
+      auto out = model->Forward(batch, &gumbel_rng);
       Var loss = LightLtLoss(out.logits, out.quantized, model->prototypes(),
                              labels, class_weights, options.loss,
                              out.embedding);

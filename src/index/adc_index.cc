@@ -184,7 +184,10 @@ Status AdcIndex::Save(const std::string& path) const {
 
 Result<AdcIndex> AdcIndex::Load(const std::string& path) {
   BinaryReader reader(path);
-  if (reader.ReadU32() != kAdcMagic) {
+  const uint32_t magic = reader.ReadU32();
+  // An unreadable/truncated file is an I/O error, not a bad-magic file.
+  if (!reader.status().ok()) return reader.status();
+  if (magic != kAdcMagic) {
     return Status::IoError("AdcIndex: bad magic in " + path);
   }
   AdcIndex idx;

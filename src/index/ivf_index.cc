@@ -62,6 +62,16 @@ Result<IvfAdcIndex> IvfAdcIndex::Build(
   idx.cell_codes_.resize(cells);
   idx.cell_norms_.resize(cells);
 
+  // ||centroid||^2 is query-independent; computing it here instead of per
+  // query keeps the cell-ranking loop in Search to one dot product per cell.
+  idx.centroid_norms_.resize(cells);
+  for (size_t c = 0; c < cells; ++c) {
+    const float* centroid = idx.centroids_.row(c);
+    float norm = 0.0f;
+    for (size_t j = 0; j < d; ++j) norm += centroid[j] * centroid[j];
+    idx.centroid_norms_[c] = norm;
+  }
+
   std::vector<float> recon(d);
   for (size_t i = 0; i < item_codes.size(); ++i) {
     if (item_codes[i].size() != m) {
@@ -101,12 +111,9 @@ std::vector<SearchHit> IvfAdcIndex::Search(const float* query, size_t top_k,
   std::vector<float> cell_scores(centroids_.rows());
   for (size_t c = 0; c < centroids_.rows(); ++c) {
     const float* centroid = centroids_.row(c);
-    float dot = 0.0f, norm = 0.0f;
-    for (size_t j = 0; j < d; ++j) {
-      dot += query[j] * centroid[j];
-      norm += centroid[j] * centroid[j];
-    }
-    cell_scores[c] = norm - 2.0f * dot;
+    float dot = 0.0f;
+    for (size_t j = 0; j < d; ++j) dot += query[j] * centroid[j];
+    cell_scores[c] = centroid_norms_[c] - 2.0f * dot;
   }
   std::vector<uint32_t> cell_order(centroids_.rows());
   std::iota(cell_order.begin(), cell_order.end(), 0u);
@@ -155,18 +162,45 @@ std::vector<SearchHit> IvfAdcIndex::Search(const float* query, size_t top_k,
 
 double IvfAdcIndex::ExpectedScanFraction(size_t nprobe_override) const {
   if (total_items_ == 0) return 0.0;
+  const size_t cells = centroids_.rows();
+  const size_t d = centroids_.cols();
   const size_t nprobe = std::min(
-      nprobe_override == 0 ? options_.nprobe : nprobe_override,
-      centroids_.rows());
-  // Expected fraction under uniform cell choice, using actual cell sizes:
-  // average of the nprobe largest-to-smallest is data dependent; report
-  // the mean cell mass times nprobe as the standard estimate.
-  return static_cast<double>(nprobe) /
-         static_cast<double>(centroids_.rows());
+      nprobe_override == 0 ? options_.nprobe : nprobe_override, cells);
+
+  // For a query whose nearest centroid is cell c, Search scans the nprobe
+  // cells closest to the query — approximated here by the nprobe cells
+  // closest to centroid c. Weight each seed cell by its own item mass (the
+  // empirical query distribution), giving the mass-aware expectation rather
+  // than the uniform nprobe/cells estimate.
+  const double total = static_cast<double>(total_items_);
+  double expected = 0.0;
+  std::vector<std::pair<float, uint32_t>> by_dist(cells);
+  for (size_t c = 0; c < cells; ++c) {
+    const double seed_weight =
+        static_cast<double>(cell_ids_[c].size()) / total;
+    if (seed_weight == 0.0) continue;
+    const float* seed = centroids_.row(c);
+    for (size_t o = 0; o < cells; ++o) {
+      const float* other = centroids_.row(o);
+      float dot = 0.0f;
+      for (size_t j = 0; j < d; ++j) dot += seed[j] * other[j];
+      by_dist[o] = {centroid_norms_[o] - 2.0f * dot,
+                    static_cast<uint32_t>(o)};
+    }
+    std::partial_sort(by_dist.begin(), by_dist.begin() + nprobe,
+                      by_dist.end());
+    double scanned = 0.0;
+    for (size_t p = 0; p < nprobe; ++p) {
+      scanned += static_cast<double>(cell_ids_[by_dist[p].second].size());
+    }
+    expected += seed_weight * (scanned / total);
+  }
+  return expected;
 }
 
 size_t IvfAdcIndex::MemoryBytes() const {
   size_t bytes = centroids_.size() * sizeof(float);
+  bytes += centroid_norms_.size() * sizeof(float);
   for (const auto& book : codebooks_) bytes += book.size() * sizeof(float);
   for (size_t c = 0; c < cell_ids_.size(); ++c) {
     bytes += cell_ids_[c].size() * sizeof(uint32_t);

@@ -50,8 +50,11 @@ class IvfAdcIndex {
   std::vector<SearchHit> Search(const float* query, size_t top_k,
                                 size_t nprobe_override = 0) const;
 
-  /// Fraction of the database scanned for a query (diagnostic; average
-  /// cell balance determines the real speedup over exhaustive ADC).
+  /// Expected fraction of the database scanned per query (diagnostic; cell
+  /// balance determines the real speedup over exhaustive ADC). Uses actual
+  /// cell masses: for each cell, the mass of the nprobe cells nearest to its
+  /// centroid, weighted by the probability a query lands there (approximated
+  /// by the cell's own mass).
   double ExpectedScanFraction(size_t nprobe_override = 0) const;
 
   size_t num_items() const { return total_items_; }
@@ -65,6 +68,7 @@ class IvfAdcIndex {
 
   IvfOptions options_;
   Matrix centroids_;                 // num_cells x d
+  std::vector<float> centroid_norms_;  // ||centroid_c||^2, fixed at Build
   std::vector<Matrix> codebooks_;    // M x (K x d)
   /// Per cell: original database ids and their codes, flattened.
   std::vector<std::vector<uint32_t>> cell_ids_;

@@ -1,6 +1,8 @@
 #include "src/serving/service.h"
 
 #include <algorithm>
+#include <exception>
+#include <string>
 
 #include "src/core/pipeline.h"
 #include "src/util/check.h"
@@ -98,13 +100,25 @@ Result<std::vector<std::vector<ServedHit>>> RetrievalService::QueryBatch(
   if (features.cols() != model_->config().input_dim) {
     return Status::InvalidArgument("QueryBatch: feature dim mismatch");
   }
-  const Matrix embedded = core::EmbedInChunks(*model_, features);
-  std::vector<std::vector<ServedHit>> results(features.rows());
-  ParallelFor(
-      pool, features.rows(),
-      [&](size_t q) { results[q] = SearchEmbedded(embedded.row(q), top_k); },
-      /*min_chunk=*/4);
-  return results;
+  // Each call runs under its own TaskGroup, so concurrent QueryBatch calls
+  // sharing one pool wait only on their own queries. A worker exception is
+  // rethrown by ParallelFor and converted to Status here (no exceptions
+  // cross the serving API).
+  try {
+    const Matrix embedded =
+        core::EmbedInChunks(*model_, features, /*chunk=*/4096, pool);
+    std::vector<std::vector<ServedHit>> results(features.rows());
+    ParallelFor(
+        pool, features.rows(),
+        [&](size_t q) { results[q] = SearchEmbedded(embedded.row(q), top_k); },
+        /*min_chunk=*/4);
+    return results;
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("QueryBatch: worker failed: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("QueryBatch: worker failed");
+  }
 }
 
 size_t RetrievalService::IndexMemoryBytes() const {

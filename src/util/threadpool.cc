@@ -1,8 +1,24 @@
 #include "src/util/threadpool.h"
 
 #include <algorithm>
+#include <deque>
+#include <exception>
+#include <utility>
 
 namespace lightlt {
+
+/// Shared completion state of one TaskGroup. Held by shared_ptr from the
+/// group and from every ticket in the pool queue, so a ticket left behind
+/// by a helping Wait() can never dangle.
+struct ThreadPool::GroupState {
+  std::mutex mu;
+  std::condition_variable done;
+  std::deque<std::function<void()>> queue;
+  /// Queued + currently-running tasks of this group.
+  size_t pending = 0;
+  /// First exception thrown by a task of this group.
+  std::exception_ptr error;
+};
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -23,59 +39,136 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Enqueue(std::shared_ptr<GroupState> group) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    tickets_.push(std::move(group));
   }
   task_ready_.notify_one();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+bool ThreadPool::RunOneTask(const std::shared_ptr<GroupState>& group) {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    if (group->queue.empty()) return false;
+    task = std::move(group->queue.front());
+    group->queue.pop_front();
+  }
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(group->mu);
+    if (!group->error) group->error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    if (--group->pending == 0) group->done.notify_all();
+  }
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    std::shared_ptr<GroupState> group;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock,
-                       [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+                       [this] { return shutting_down_ || !tickets_.empty(); });
+      if (tickets_.empty()) return;  // shutting down and drained
+      group = std::move(tickets_.front());
+      tickets_.pop();
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
-    }
+    // A stale ticket (task already run inline by a helping Wait) is a no-op.
+    RunOneTask(group);
   }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool != nullptr && pool->num_threads() > 0 ? pool : nullptr),
+      state_(std::make_shared<ThreadPool::GroupState>()) {}
+
+TaskGroup::~TaskGroup() {
+  while (ThreadPool::RunOneTask(state_)) {
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done.wait(lock, [this] { return state_->pending == 0; });
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (!state_->error) state_->error = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->queue.push_back(std::move(task));
+    ++state_->pending;
+  }
+  pool_->Enqueue(state_);
+}
+
+void TaskGroup::Wait() {
+  // Help drain this group's own queue first: with every worker busy (or
+  // when called from inside a worker, as a nested ParallelFor does), the
+  // group's tasks still make progress on this thread.
+  while (ThreadPool::RunOneTask(state_)) {
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done.wait(lock, [this] { return state_->pending == 0; });
+  if (state_->error) {
+    std::exception_ptr error = std::exchange(state_->error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+namespace {
+
+/// Deterministic chunk size: a function of (n, min_chunk) only. The task
+/// count is capped so huge ranges don't drown the queue in tiny closures,
+/// but the cap is a constant — never derived from the pool size.
+size_t DeterministicChunk(size_t n, size_t min_chunk) {
+  constexpr size_t kMaxChunks = 1024;
+  const size_t floor = std::max<size_t>(1, min_chunk);
+  return std::max(floor, (n + kMaxChunks - 1) / kMaxChunks);
+}
+
+}  // namespace
+
+void ParallelForRanges(ThreadPool* pool, size_t n,
+                       const std::function<void(size_t, size_t)>& body,
+                       size_t min_chunk) {
+  if (n == 0) return;
+  const size_t chunk = DeterministicChunk(n, min_chunk);
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= chunk) {
+    // Same partition, executed in order on the calling thread.
+    for (size_t start = 0; start < n; start += chunk) {
+      body(start, std::min(start + chunk, n));
+    }
+    return;
+  }
+  TaskGroup group(pool);
+  for (size_t start = 0; start < n; start += chunk) {
+    const size_t end = std::min(start + chunk, n);
+    group.Submit([&body, start, end] { body(start, end); });
+  }
+  group.Wait();
 }
 
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& body, size_t min_chunk) {
-  if (n == 0) return;
-  if (pool == nullptr || pool->num_threads() <= 1 || n <= min_chunk) {
-    for (size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-  const size_t num_chunks =
-      std::min(pool->num_threads() * 4, (n + min_chunk - 1) / min_chunk);
-  const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  for (size_t start = 0; start < n; start += chunk) {
-    const size_t end = std::min(start + chunk, n);
-    pool->Submit([&body, start, end] {
-      for (size_t i = start; i < end; ++i) body(i);
-    });
-  }
-  pool->Wait();
+  ParallelForRanges(
+      pool, n,
+      [&body](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) body(i);
+      },
+      min_chunk);
 }
 
 ThreadPool& GlobalThreadPool() {

@@ -1,5 +1,16 @@
-// Fixed-size thread pool plus a ParallelFor helper used by k-means,
-// retrieval evaluation and index search.
+// Fixed-size thread pool with per-batch TaskGroup completion tracking, used
+// by k-means, retrieval evaluation, batched serving and index search.
+//
+// Concurrency contract (see DESIGN.md §7 "Threading model"):
+//  * Completion is tracked per TaskGroup, not per pool: two callers sharing
+//    one pool wait only on their own tasks, never on each other's.
+//  * A task that throws does not terminate the process; the first exception
+//    of a group is captured and rethrown from that group's Wait().
+//  * Wait() helps execute its own group's queued tasks inline, so a nested
+//    ParallelFor issued from inside a worker thread cannot deadlock the
+//    pool, even with a single worker.
+//  * ParallelFor partitions [0, n) deterministically: chunk boundaries
+//    depend only on (n, min_chunk), never on the pool's thread count.
 
 #ifndef LIGHTLT_UTIL_THREADPOOL_H_
 #define LIGHTLT_UTIL_THREADPOOL_H_
@@ -7,6 +18,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -14,8 +26,10 @@
 
 namespace lightlt {
 
-/// A minimal work-queue thread pool. Tasks are void() callables; Wait()
-/// blocks until the queue drains and all workers are idle.
+class TaskGroup;
+
+/// A minimal work-queue thread pool. All work is submitted through a
+/// TaskGroup, which owns the completion state for its batch of tasks.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (0 = hardware concurrency).
@@ -25,31 +39,77 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
-
-  /// Blocks until all submitted tasks have completed.
-  void Wait();
-
   size_t num_threads() const { return workers_.size(); }
 
  private:
+  friend class TaskGroup;
+  struct GroupState;
+
+  /// Posts a "this group has a queued task" ticket to the worker queue.
+  void Enqueue(std::shared_ptr<GroupState> group);
+
+  /// Pops and runs one queued task of `group`. Returns false (without
+  /// running anything) if the group's queue is empty. Exceptions thrown by
+  /// the task are captured into the group, never propagated.
+  static bool RunOneTask(const std::shared_ptr<GroupState>& group);
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  /// Tickets, one per submitted task. A ticket may be stale (its task was
+  /// already executed inline by a helping Wait()); workers skip those.
+  std::queue<std::shared_ptr<GroupState>> tickets_;
   std::mutex mu_;
   std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
   bool shutting_down_ = false;
+};
+
+/// Tracks completion of one batch of tasks on a shared ThreadPool. Each
+/// group has its own counter, condition variable and captured exception, so
+/// concurrent groups on the same pool are fully independent.
+///
+/// With a null pool (or a pool the caller wants bypassed), Submit() runs the
+/// task inline on the calling thread — same semantics, serial execution.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  /// Drains remaining tasks (discarding any captured exception) so queued
+  /// closures never outlive the state they capture.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues one task belonging to this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to this group has finished. The
+  /// calling thread helps execute the group's queued tasks inline (this is
+  /// what makes nested use from pool workers deadlock-free). If any task
+  /// threw, the first captured exception is rethrown here and the group is
+  /// reset for reuse.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::shared_ptr<ThreadPool::GroupState> state_;
 };
 
 /// Runs body(i) for i in [0, n), partitioned into contiguous chunks across
 /// the pool. Falls back to a serial loop when n is small or pool is null.
+/// Chunk boundaries depend only on (n, min_chunk) — never on the thread
+/// count — so per-chunk work is partitioned identically for 1 or N threads.
+/// Exceptions thrown by `body` propagate to the caller (first one wins).
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& body,
                  size_t min_chunk = 64);
+
+/// Range flavor: runs body(begin, end) over the same deterministic partition
+/// of [0, n) that ParallelFor uses. Use this when the body keeps per-chunk
+/// accumulators and bit-reproducibility across thread counts matters.
+void ParallelForRanges(ThreadPool* pool, size_t n,
+                       const std::function<void(size_t, size_t)>& body,
+                       size_t min_chunk = 64);
 
 /// Process-wide default pool, created on first use.
 ThreadPool& GlobalThreadPool();

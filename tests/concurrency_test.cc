@@ -1,0 +1,280 @@
+// Concurrency-semantics tests for the TaskGroup thread pool and its users:
+// group independence, exception propagation from Wait(), nested ParallelFor,
+// concurrent QueryBatch on a shared pool, thread-count determinism of the
+// parallel eval path, and race-free gumbel-noise Forward. This file is the
+// suite the ThreadSanitizer preset (tools/run_tsan.sh) exercises.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/dsq.h"
+#include "src/core/ensemble.h"
+#include "src/core/pipeline.h"
+#include "src/core/trainer.h"
+#include "src/data/dataset.h"
+#include "src/serving/service.h"
+#include "src/util/threadpool.h"
+
+namespace lightlt {
+namespace {
+
+TEST(TaskGroupTest, GroupsOnSharedPoolAreIndependent) {
+  ThreadPool pool(2);
+  // Group B holds one task hostage; group A's Wait() must still return
+  // because completion is tracked per group, not per pool.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  TaskGroup blocked(&pool);
+  blocked.Submit([gate] { gate.wait(); });
+
+  TaskGroup fast(&pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    fast.Submit([&done] { done.fetch_add(1); });
+  }
+  fast.Wait();  // must not wait on group B's hostage task
+  EXPECT_EQ(done.load(), 32);
+
+  release.set_value();
+  blocked.Wait();
+}
+
+TEST(TaskGroupTest, ThrowingTaskRethrowsFromWaitWithoutDeadlock) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 16; ++i) {
+    group.Submit([&executed, i] {
+      executed.fetch_add(1);
+      if (i % 5 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // Every task ran (an exception never leaks a group counter), and both the
+  // group and the pool stay usable afterwards.
+  EXPECT_EQ(executed.load(), 16);
+  std::atomic<int> after{0};
+  group.Submit([&after] { after.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(TaskGroupTest, InlineGroupCapturesExceptionsToo) {
+  TaskGroup group(nullptr);
+  group.Submit([] { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(ParallelForTest, ThrowingBodyPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(
+                   &pool, 256,
+                   [](size_t i) {
+                     if (i == 37) throw std::runtime_error("body failed");
+                   },
+                   /*min_chunk=*/8),
+               std::runtime_error);
+  // Pool is healthy after the failed batch.
+  std::vector<std::atomic<int>> hits(128);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); }, 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  // Every worker is occupied by an outer task; the inner ParallelFor's
+  // Wait() helps execute its own group's tasks inline instead of blocking
+  // on a worker that will never come free.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  ParallelFor(
+      &pool, kOuter,
+      [&](size_t o) {
+        ParallelFor(
+            &pool, kInner,
+            [&](size_t i) { counts[o * kInner + i].fetch_add(1); },
+            /*min_chunk=*/4);
+      },
+      /*min_chunk=*/1);
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, DeterministicPartitionIgnoresThreadCount) {
+  // Chunk boundaries must be a function of (n, min_chunk) only. Record the
+  // ranges ParallelForRanges produces for very different pool sizes.
+  auto partition = [](ThreadPool* pool) {
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> seen;
+    ParallelForRanges(
+        pool, 1000,
+        [&](size_t begin, size_t end) {
+          std::lock_guard<std::mutex> lock(mu);
+          seen.emplace_back(begin, end);
+        },
+        /*min_chunk=*/64);
+    std::sort(seen.begin(), seen.end());
+    return seen;
+  };
+  ThreadPool two(2), eight(8);
+  const auto serial = partition(nullptr);
+  EXPECT_EQ(partition(&two), serial);
+  EXPECT_EQ(partition(&eight), serial);
+}
+
+core::ModelConfig SmallModelConfig() {
+  core::ModelConfig mc;
+  mc.input_dim = 12;
+  mc.hidden_dims = {16};
+  mc.embed_dim = 8;
+  mc.num_classes = 4;
+  mc.dsq.num_codebooks = 2;
+  mc.dsq.num_codewords = 8;
+  return mc;
+}
+
+data::RetrievalBenchmark SmallBenchmark() {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.feature_dim = 12;
+  cfg.train_spec.num_classes = 4;
+  cfg.train_spec.head_size = 30;
+  cfg.train_spec.imbalance_factor = 6.0;
+  cfg.queries_per_class = 5;
+  cfg.database_per_class = 25;
+  cfg.class_separation = 3.0f;
+  cfg.seed = 99;
+  return data::GenerateSynthetic(cfg);
+}
+
+TEST(ConcurrencyIntegrationTest, ConcurrentQueryBatchOnSharedPool) {
+  auto bench = SmallBenchmark();
+  auto model = std::make_shared<core::LightLtModel>(SmallModelConfig(), 7);
+  core::TrainOptions topts;
+  topts.epochs = 3;
+  ASSERT_TRUE(core::TrainLightLt(model.get(), bench.train, topts).ok());
+  auto service = serving::RetrievalService::Build(
+      model, bench.database.features);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  const auto expected =
+      service.value().QueryBatch(bench.query.features, 5, nullptr);
+  ASSERT_TRUE(expected.ok());
+
+  // Several client threads hammer one shared pool; every batch must see
+  // exactly its own results (per-group completion), matching serial output.
+  constexpr int kClients = 4;
+  constexpr int kRounds = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        auto got = service.value().QueryBatch(bench.query.features, 5,
+                                              &GlobalThreadPool());
+        if (!got.ok() || got.value().size() != expected.value().size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t q = 0; q < got.value().size(); ++q) {
+          for (size_t i = 0; i < got.value()[q].size(); ++i) {
+            if (got.value()[q][i].id != expected.value()[q][i].id) {
+              mismatches.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyIntegrationTest, MapIsBitReproducibleAcrossThreadCounts) {
+  auto bench = SmallBenchmark();
+  core::LightLtModel model(SmallModelConfig(), 7);
+  core::TrainOptions topts;
+  topts.epochs = 3;
+  ASSERT_TRUE(core::TrainLightLt(&model, bench.train, topts).ok());
+
+  auto serial = core::EvaluateModel(model, bench, nullptr);
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(8);
+  auto parallel = core::EvaluateModel(model, bench, &pool);
+  ASSERT_TRUE(parallel.ok());
+
+  // Bitwise-equal doubles: the deterministic partition plus the serial
+  // reduction make the eval path independent of the thread count.
+  EXPECT_EQ(serial.value().map, parallel.value().map);
+  EXPECT_EQ(serial.value().head_map, parallel.value().head_map);
+  EXPECT_EQ(serial.value().tail_map, parallel.value().tail_map);
+}
+
+TEST(ConcurrencyIntegrationTest, ParallelEnsembleTrainingMatchesSerial) {
+  // Each ensemble member is an independent model trained from its own seeds,
+  // so training them concurrently must yield the exact same averaged and
+  // fine-tuned model as training them one after another.
+  auto bench = SmallBenchmark();
+  core::EnsembleOptions opts;
+  opts.num_models = 3;
+  opts.base_training.epochs = 2;
+  opts.finetune_epochs = 1;
+  opts.seed = 13;
+
+  auto serial = core::TrainEnsemble(SmallModelConfig(), bench.train, opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  ThreadPool pool(4);
+  opts.pool = &pool;
+  auto parallel = core::TrainEnsemble(SmallModelConfig(), bench.train, opts);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  const auto ps = serial.value().model->Parameters();
+  const auto pp = parallel.value().model->Parameters();
+  ASSERT_EQ(ps.size(), pp.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_TRUE(ps[i]->value().AllClose(pp[i]->value(), 0.0f)) << "param " << i;
+  }
+}
+
+TEST(ConcurrencyIntegrationTest, GumbelForwardIsRaceFreeAcrossThreads) {
+  Rng rng(21);
+  core::DsqConfig cfg;
+  cfg.dim = 8;
+  cfg.num_codebooks = 2;
+  cfg.num_codewords = 8;
+  cfg.gumbel_noise = true;
+  core::DsqModule dsq(cfg, rng);
+  Matrix x = Matrix::RandomGaussian(16, cfg.dim, rng);
+
+  // Concurrent Forward calls share the module but not an RNG stream (each
+  // thread has its own); TSan verifies the absence of races.
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < 5; ++r) {
+        auto out = dsq.Forward(MakeConstant(x));
+        ASSERT_EQ(out.codes.size(), 16u);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // An explicit per-caller Rng makes sampling reproducible.
+  Rng a(5), b(5);
+  EXPECT_EQ(dsq.Forward(MakeConstant(x), &a).codes,
+            dsq.Forward(MakeConstant(x), &b).codes);
+}
+
+}  // namespace
+}  // namespace lightlt

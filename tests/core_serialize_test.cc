@@ -92,6 +92,19 @@ TEST(SerializeTest, RejectsCorruptAndMissingFiles) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, UnreadableFileReportsIoErrorNotBadMagic) {
+  // A file we cannot read is an I/O failure; it must not be misreported as
+  // "not a LightLT model file" (which describes readable non-model bytes).
+  auto result = LoadModel("/nonexistent/model.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(result.status().message().find("not a LightLT model file"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("cannot open"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(SerializeTest, TruncatedFileFailsCleanly) {
   LightLtModel model(SmallModel(), 80);
   const std::string path = TempPath("trunc.bin");

@@ -180,7 +180,11 @@ TEST_F(AdcIndexTest, LoadRejectsCorruptFile) {
   std::fclose(f);
   EXPECT_FALSE(AdcIndex::Load(path).ok());
   std::remove(path.c_str());
-  EXPECT_FALSE(AdcIndex::Load("/nonexistent/path/x.bin").ok());
+  // Unreadable file: surfaced as the reader's I/O error, not "bad magic".
+  auto missing = AdcIndex::Load("/nonexistent/path/x.bin");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().message().find("bad magic"), std::string::npos)
+      << missing.status().ToString();
 }
 
 TEST(FlatIndexTest, ExactNearestNeighbor) {

@@ -94,12 +94,33 @@ TEST(RngTest, ForkProducesIndependentStreams) {
 
 TEST(ThreadPoolTest, ExecutesAllTasks) {
   ThreadPool pool(4);
+  TaskGroup group(&pool);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
+    group.Submit([&counter] { counter.fetch_add(1); });
   }
-  pool.Wait();
+  group.Wait();
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, TaskGroupIsReusableAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> counter{0};
+  group.Submit([&counter] { counter.fetch_add(1); });
+  group.Wait();
+  group.Submit([&counter] { counter.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, NullPoolGroupRunsInline) {
+  TaskGroup group(nullptr);
+  int counter = 0;
+  group.Submit([&counter] { ++counter; });
+  group.Submit([&counter] { ++counter; });
+  group.Wait();
+  EXPECT_EQ(counter, 2);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversRange) {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the test suite under ThreadSanitizer (-DLIGHTLT_SANITIZE=thread)
+# and runs the concurrency-sensitive tests through ctest. Exits nonzero if
+# TSan reports a race (halt_on_error) or any test fails.
+#
+# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLIGHTLT_SANITIZE=thread
+cmake --build "${build_dir}" --target lightlt_tests -j "$(nproc)"
+
+# Concurrency-sensitive suites: the TaskGroup/ParallelFor semantics tests,
+# the shared-pool serving stress, eval determinism, parallel gumbel Forward,
+# and the baseline threadpool unit tests.
+export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest)\.'
+
+echo "TSan concurrency suite passed with zero reported races."
