@@ -1,0 +1,212 @@
+#include "src/core/checkpoint.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/io.h"
+
+namespace lightlt::core {
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x4c54'4350;  // "LTCP"
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".bin";
+
+void WriteRngState(BinaryWriter& w, const RngState& st) {
+  for (uint64_t word : st.s) w.WriteU64(word);
+  w.WriteU32(st.has_cached ? 1 : 0);
+  w.WriteF64(st.cached);
+}
+
+RngState ReadRngState(BinaryReader& r) {
+  RngState st;
+  for (auto& word : st.s) word = r.ReadU64();
+  st.has_cached = r.ReadU32() != 0;
+  st.cached = r.ReadF64();
+  return st;
+}
+
+void WriteMatrixList(BinaryWriter& w, const std::vector<Matrix>& mats) {
+  w.WriteU64(mats.size());
+  for (const auto& m : mats) {
+    w.WriteU64(m.rows());
+    w.WriteU64(m.cols());
+    w.WriteF32Vector(m.storage());
+  }
+}
+
+Status ReadMatrixList(BinaryReader& r, std::vector<Matrix>* out) {
+  const size_t count = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (count > 100000) {
+    return Status::IoError("checkpoint: corrupt matrix count");
+  }
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t rows = r.ReadU64();
+    const size_t cols = r.ReadU64();
+    std::vector<float> data = r.ReadF32Vector();
+    if (!r.status().ok()) return r.status();
+    // rows * cols can wrap for corrupt headers; divide before multiplying.
+    if (rows != 0 && (cols == 0 || data.size() / rows != cols)) {
+      return Status::IoError("checkpoint: corrupt matrix payload");
+    }
+    if (data.size() != rows * cols) {
+      return Status::IoError("checkpoint: corrupt matrix payload");
+    }
+    out->emplace_back(rows, cols, std::move(data));
+  }
+  return Status::Ok();
+}
+
+void WriteF64Vector(BinaryWriter& w, const std::vector<double>& v) {
+  w.WriteU64(v.size());
+  for (double x : v) w.WriteF64(x);
+}
+
+Status ReadF64Vector(BinaryReader& r, std::vector<double>* out) {
+  const size_t count = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (count > (1u << 24)) {
+    return Status::IoError("checkpoint: corrupt vector length");
+  }
+  out->resize(count);
+  for (auto& x : *out) x = r.ReadF64();
+  return r.status();
+}
+
+}  // namespace
+
+Status CheckpointConfig::Validate() const {
+  if (!enabled()) return Status::Ok();
+  if (every_n_epochs <= 0) {
+    return Status::InvalidArgument(
+        "CheckpointConfig: every_n_epochs must be positive");
+  }
+  if (keep_last < 0) {
+    return Status::InvalidArgument(
+        "CheckpointConfig: keep_last must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Status SaveTrainerCheckpoint(const TrainerCheckpoint& ckpt,
+                             const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteU32(kCheckpointMagic);
+  w.WriteU32(kCheckpointVersion);
+  w.WriteI64(ckpt.epochs_completed);
+  w.WriteI64(ckpt.global_step);
+  WriteRngState(w, ckpt.shuffle_rng);
+  WriteRngState(w, ckpt.gumbel_rng);
+  w.WriteU32Vector(ckpt.order);
+  WriteF64Vector(w, ckpt.epoch_loss);
+  WriteF64Vector(w, ckpt.epoch_accuracy);
+  WriteMatrixList(w, ckpt.model_params);
+  WriteMatrixList(w, ckpt.opt_m);
+  WriteMatrixList(w, ckpt.opt_v);
+  w.WriteI64(ckpt.opt_step);
+  return w.Close();
+}
+
+Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
+  BinaryReader r(path);
+  const uint32_t magic = r.ReadU32();
+  if (!r.status().ok()) return r.status();
+  if (magic != kCheckpointMagic) {
+    return Status::IoError("not a checkpoint file: " + path);
+  }
+  const uint32_t version = r.ReadU32();
+  if (!r.status().ok()) return r.status();
+  if (version < 1 || version > kCheckpointVersion) {
+    return Status::IoError("unsupported checkpoint version");
+  }
+  TrainerCheckpoint ckpt;
+  ckpt.epochs_completed = r.ReadI64();
+  ckpt.global_step = r.ReadI64();
+  ckpt.shuffle_rng = ReadRngState(r);
+  ckpt.gumbel_rng = ReadRngState(r);
+  ckpt.order = r.ReadU32Vector();
+  LIGHTLT_RETURN_IF_ERROR(ReadF64Vector(r, &ckpt.epoch_loss));
+  LIGHTLT_RETURN_IF_ERROR(ReadF64Vector(r, &ckpt.epoch_accuracy));
+  LIGHTLT_RETURN_IF_ERROR(ReadMatrixList(r, &ckpt.model_params));
+  LIGHTLT_RETURN_IF_ERROR(ReadMatrixList(r, &ckpt.opt_m));
+  LIGHTLT_RETURN_IF_ERROR(ReadMatrixList(r, &ckpt.opt_v));
+  ckpt.opt_step = r.ReadI64();
+  if (!r.status().ok()) return r.status();
+  if (ckpt.epochs_completed < 0 || ckpt.global_step < 0 ||
+      ckpt.opt_step < 0) {
+    return Status::IoError("checkpoint: corrupt counters");
+  }
+  if (ckpt.epoch_loss.size() != ckpt.epoch_accuracy.size() ||
+      ckpt.epoch_loss.size() !=
+          static_cast<size_t>(ckpt.epochs_completed)) {
+    return Status::IoError("checkpoint: telemetry length mismatch");
+  }
+  if (ckpt.opt_m.size() != ckpt.opt_v.size()) {
+    return Status::IoError("checkpoint: moment list mismatch");
+  }
+  LIGHTLT_RETURN_IF_ERROR(r.VerifyFooter());
+  return ckpt;
+}
+
+std::string CheckpointPath(const std::string& dir, int64_t epoch) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%06" PRId64 "%s", kCheckpointPrefix,
+                epoch, kCheckpointSuffix);
+  return dir + "/" + name;
+}
+
+std::vector<int64_t> ListCheckpointEpochs(const std::string& dir) {
+  std::vector<int64_t> epochs;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return epochs;
+  while (struct dirent* entry = ::readdir(d)) {
+    const char* name = entry->d_name;
+    const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+    if (std::strncmp(name, kCheckpointPrefix, prefix_len) != 0) continue;
+    char* end = nullptr;
+    const long long epoch = std::strtoll(name + prefix_len, &end, 10);
+    if (end == name + prefix_len || epoch < 0) continue;
+    if (std::strcmp(end, kCheckpointSuffix) != 0) continue;
+    epochs.push_back(epoch);
+  }
+  ::closedir(d);
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("empty directory path");
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    const size_t slash = dir.find('/', pos);
+    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("cannot create directory: " + prefix);
+    }
+  }
+  return Status::Ok();
+}
+
+void PruneCheckpoints(const std::string& dir, int keep_last) {
+  if (keep_last <= 0) return;
+  std::vector<int64_t> epochs = ListCheckpointEpochs(dir);
+  if (epochs.size() <= static_cast<size_t>(keep_last)) return;
+  for (size_t i = 0; i + keep_last < epochs.size(); ++i) {
+    std::remove(CheckpointPath(dir, epochs[i]).c_str());
+  }
+}
+
+}  // namespace lightlt::core

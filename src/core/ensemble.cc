@@ -16,6 +16,15 @@ Status EnsembleOptions::Validate() const {
   if (finetune_learning_rate <= 0.0f) {
     return Status::InvalidArgument("finetune_learning_rate must be positive");
   }
+  LIGHTLT_RETURN_IF_ERROR(checkpoint.Validate());
+  if (num_models > 1 && !checkpoint.enabled() &&
+      base_training.checkpoint.enabled()) {
+    // Members sharing one checkpoint directory would clobber each other;
+    // ensemble-level checkpointing assigns per-member subdirectories.
+    return Status::InvalidArgument(
+        "set EnsembleOptions::checkpoint (not base_training.checkpoint) "
+        "when training multiple members");
+  }
   return base_training.Validate();
 }
 
@@ -52,6 +61,11 @@ Result<EnsembleResult> TrainEnsemble(const ModelConfig& config,
       TrainOptions per_model = options.base_training;
       per_model.shuffle_seed = options.base_training.shuffle_seed +
                                static_cast<uint64_t>(i) * 7919;
+      if (options.checkpoint.enabled()) {
+        per_model.checkpoint = options.checkpoint;
+        per_model.checkpoint.dir =
+            options.checkpoint.dir + "/member-" + std::to_string(i);
+      }
       member_results[i] = TrainLightLt(model.get(), train, per_model);
       members[i] = std::move(model);
     });
@@ -83,6 +97,13 @@ Result<EnsembleResult> TrainEnsemble(const ModelConfig& config,
     finetune.learning_rate = options.finetune_learning_rate;
     finetune.dsq_only = true;
     finetune.schedule = ScheduleKind::kConstant;
+    if (options.checkpoint.enabled()) {
+      // The averaged backbone is reconstructed deterministically from the
+      // members above, so resuming the fine-tune checkpoint continues the
+      // exact interrupted computation.
+      finetune.checkpoint = options.checkpoint;
+      finetune.checkpoint.dir = options.checkpoint.dir + "/finetune";
+    }
     auto stats = TrainLightLt(result.model.get(), train, finetune);
     if (!stats.ok()) return stats.status();
     result.finetune_stats = std::move(stats).value();

@@ -28,6 +28,11 @@ struct EnsembleOptions {
   /// independent model, deterministic from its own seeds, so the result is
   /// identical to serial training). Null = train members serially.
   ThreadPool* pool = nullptr;
+  /// Ensemble-level checkpointing: `checkpoint.dir` is the root; member i
+  /// checkpoints under `<dir>/member-<i>` and the DSQ fine-tune stage under
+  /// `<dir>/finetune`. A re-run after an interruption fast-forwards fully
+  /// trained members from their final checkpoints and resumes the rest.
+  CheckpointConfig checkpoint;
 
   Status Validate() const;
 };

@@ -1,12 +1,18 @@
 #include "src/core/serialize.h"
 
+#include <algorithm>
+
 #include "src/util/io.h"
 
 namespace lightlt::core {
 namespace {
 
 constexpr uint32_t kModelMagic = 0x4c'4c'54'31;  // "LLT1"
-constexpr uint32_t kFormatVersion = 1;
+// v1: header + payload, no integrity data. v2: identical layout followed by
+// the BinaryWriter checksum footer; written atomically. v1 files remain
+// readable (no footer expected, but trailing bytes are rejected).
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kMinSupportedVersion = 1;
 
 void WriteConfig(BinaryWriter& w, const ModelConfig& cfg) {
   w.WriteU64(cfg.input_dim);
@@ -42,6 +48,32 @@ Result<ModelConfig> ReadConfig(BinaryReader& r) {
   cfg.dsq.ffn_hidden = r.ReadU64();
   cfg.dsq.dim = cfg.embed_dim;
   if (!r.status().ok()) return r.status();
+  // Bound the model size implied by the config before anything is allocated
+  // from it: a corrupt header must not be able to request a multi-GB model
+  // (the FFN alone is quadratic in embed_dim). Per-field caps first so the
+  // parameter-count products below cannot overflow, then a total-size cap.
+  constexpr size_t kMaxDim = 1u << 20;
+  size_t max_field = std::max({cfg.input_dim, cfg.embed_dim, cfg.num_classes,
+                               cfg.dsq.num_codebooks, cfg.dsq.num_codewords,
+                               cfg.dsq.ffn_hidden});
+  for (size_t h : cfg.hidden_dims) max_field = std::max(max_field, h);
+  if (max_field > kMaxDim) {
+    return Status::IoError("corrupt model config (dimension too large)");
+  }
+  const size_t d = cfg.embed_dim;
+  const size_t ffn = cfg.dsq.ffn_hidden == 0 ? d : cfg.dsq.ffn_hidden;
+  size_t implied = cfg.num_classes * d +
+                   cfg.dsq.num_codebooks * cfg.dsq.num_codewords * d +
+                   2 * d * ffn;
+  size_t prev = cfg.input_dim;
+  for (size_t h : cfg.hidden_dims) {
+    implied += prev * h;
+    prev = h;
+  }
+  implied += prev * d;
+  if (implied > (1u << 28)) {  // 256M floats = 1 GiB of parameters
+    return Status::IoError("corrupt model config (implied size too large)");
+  }
   Status st = cfg.Validate();
   if (!st.ok()) return Status::IoError("invalid config: " + st.message());
   return cfg;
@@ -76,13 +108,18 @@ Result<std::unique_ptr<LightLtModel>> LoadModel(const std::string& path) {
   }
   const uint32_t version = reader.ReadU32();
   if (!reader.status().ok()) return reader.status();
-  if (version != kFormatVersion) {
+  if (version < kMinSupportedVersion || version > kFormatVersion) {
     return Status::IoError("unsupported model format version");
   }
   auto cfg = ReadConfig(reader);
   if (!cfg.ok()) return cfg.status();
 
-  auto model = std::make_unique<LightLtModel>(cfg.value(), /*seed=*/0);
+  std::unique_ptr<LightLtModel> model;
+  try {
+    model = std::make_unique<LightLtModel>(cfg.value(), /*seed=*/0);
+  } catch (const std::exception&) {
+    return Status::IoError("corrupt model config (allocation failed)");
+  }
   auto params = model->Parameters();
   const size_t stored = reader.ReadU64();
   if (!reader.status().ok()) return reader.status();
@@ -100,6 +137,11 @@ Result<std::unique_ptr<LightLtModel>> LoadModel(const std::string& path) {
     }
     p->mutable_value() = Matrix(rows, cols, std::move(data));
   }
+  // v2+ files end with a checksum footer covering the whole stream; v1
+  // files must instead end exactly after the payload.
+  Status integrity =
+      version >= 2 ? reader.VerifyFooter() : reader.ExpectEof();
+  if (!integrity.ok()) return integrity;
   return model;
 }
 

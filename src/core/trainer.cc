@@ -1,6 +1,7 @@
 #include "src/core/trainer.h"
 
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <numeric>
 
@@ -21,6 +22,10 @@ Status TrainOptions::Validate() const {
   if (warmup_fraction < 0.0f || warmup_fraction >= 1.0f) {
     return Status::InvalidArgument("warmup_fraction must be in [0, 1)");
   }
+  if (stop_after_epochs < 0) {
+    return Status::InvalidArgument("stop_after_epochs must be >= 0");
+  }
+  LIGHTLT_RETURN_IF_ERROR(checkpoint.Validate());
   return loss.Validate();
 }
 
@@ -80,9 +85,62 @@ Result<TrainStats> TrainLightLt(LightLtModel* model,
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
 
+  const auto all_params = model->Parameters();
   TrainStats stats;
   int64_t global_step = 0;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  int start_epoch = 0;
+
+  if (options.checkpoint.enabled()) {
+    if (n > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument(
+          "checkpointing: dataset too large for u32 shuffle permutation");
+    }
+    LIGHTLT_RETURN_IF_ERROR(EnsureDirectory(options.checkpoint.dir));
+    // Resume from the newest checkpoint that loads cleanly; a corrupt or
+    // torn file (detected by its checksum footer) falls back to the next
+    // older one. A checkpoint that loads but does not match this
+    // model/options is a hard error — silently retraining would hide it.
+    std::vector<int64_t> epochs =
+        ListCheckpointEpochs(options.checkpoint.dir);
+    for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+      auto loaded = LoadTrainerCheckpoint(
+          CheckpointPath(options.checkpoint.dir, *it));
+      if (!loaded.ok()) continue;
+      TrainerCheckpoint& c = loaded.value();
+      if (c.epochs_completed > options.epochs ||
+          c.order.size() != n ||
+          c.model_params.size() != all_params.size()) {
+        return Status::InvalidArgument(
+            "checkpoint does not match this model/options");
+      }
+      for (size_t i = 0; i < all_params.size(); ++i) {
+        if (!c.model_params[i].SameShape(all_params[i]->value())) {
+          return Status::InvalidArgument(
+              "checkpoint parameter shape mismatch");
+        }
+      }
+      LIGHTLT_RETURN_IF_ERROR(optimizer.RestoreState(
+          std::move(c.opt_m), std::move(c.opt_v), c.opt_step));
+      for (size_t i = 0; i < all_params.size(); ++i) {
+        all_params[i]->mutable_value() = std::move(c.model_params[i]);
+      }
+      shuffle_rng.SetState(c.shuffle_rng);
+      gumbel_rng.SetState(c.gumbel_rng);
+      for (size_t i = 0; i < n; ++i) order[i] = c.order[i];
+      stats.epoch_loss = std::move(c.epoch_loss);
+      stats.epoch_accuracy = std::move(c.epoch_accuracy);
+      global_step = c.global_step;
+      start_epoch = static_cast<int>(c.epochs_completed);
+      if (options.verbose) {
+        std::printf("  resumed from checkpoint after epoch %d\n",
+                    start_epoch);
+      }
+      break;
+    }
+  }
+
+  int completed_this_run = 0;
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     shuffle_rng.Shuffle(order);
     double epoch_loss = 0.0;
     size_t correct = 0;
@@ -122,6 +180,37 @@ Result<TrainStats> TrainLightLt(LightLtModel* model,
       std::printf("  epoch %2d  loss %.4f  train-acc %.4f\n", epoch + 1,
                   stats.epoch_loss.back(), stats.epoch_accuracy.back());
     }
+
+    ++completed_this_run;
+    const bool stopping = options.stop_after_epochs > 0 &&
+                          completed_this_run >= options.stop_after_epochs;
+    if (options.checkpoint.enabled()) {
+      const bool on_schedule =
+          (epoch + 1) % options.checkpoint.every_n_epochs == 0;
+      if (on_schedule || epoch + 1 == options.epochs || stopping) {
+        TrainerCheckpoint c;
+        c.epochs_completed = epoch + 1;
+        c.global_step = global_step;
+        c.shuffle_rng = shuffle_rng.GetState();
+        c.gumbel_rng = gumbel_rng.GetState();
+        c.order.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          c.order[i] = static_cast<uint32_t>(order[i]);
+        }
+        c.epoch_loss = stats.epoch_loss;
+        c.epoch_accuracy = stats.epoch_accuracy;
+        c.model_params.reserve(all_params.size());
+        for (const auto& p : all_params) c.model_params.push_back(p->value());
+        c.opt_m = optimizer.first_moments();
+        c.opt_v = optimizer.second_moments();
+        c.opt_step = optimizer.step_count();
+        LIGHTLT_RETURN_IF_ERROR(SaveTrainerCheckpoint(
+            c, CheckpointPath(options.checkpoint.dir, epoch + 1)));
+        PruneCheckpoints(options.checkpoint.dir,
+                         options.checkpoint.keep_last);
+      }
+    }
+    if (stopping) break;
   }
   return stats;
 }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/checkpoint.h"
 #include "src/core/lightlt_model.h"
 #include "src/core/losses.h"
 #include "src/data/dataset.h"
@@ -32,6 +33,16 @@ struct TrainOptions {
   /// backbone, classifier and prototypes stay frozen — paper Fig. 2).
   bool dsq_only = false;
   bool verbose = false;
+  /// Epoch-level checkpointing. When `checkpoint.dir` is set, the trainer
+  /// saves its full state there and — if the directory already holds a
+  /// valid checkpoint for the same model/options — resumes from it,
+  /// reproducing the uninterrupted run bit for bit.
+  CheckpointConfig checkpoint;
+  /// When > 0, return after completing this many epochs in this call
+  /// (simulated preemption / time-sliced training). With checkpointing
+  /// enabled a final checkpoint is always written first, so a later call
+  /// with the same options picks up where this one stopped.
+  int stop_after_epochs = 0;
 
   Status Validate() const;
 };

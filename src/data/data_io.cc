@@ -12,7 +12,29 @@ namespace {
 
 constexpr uint32_t kDatasetMagic = 0x4c54'4453;  // "LTDS"
 constexpr uint32_t kBenchMagic = 0x4c54'4242;    // "LTBB"
-constexpr uint32_t kVersion = 1;
+// v1: no integrity data. v2: same layout + checksum footer, atomic write.
+constexpr uint32_t kVersion = 2;
+
+// Shared header/trailer handling for both dataset-family formats.
+Status CheckHeader(BinaryReader& r, uint32_t want_magic,
+                   const std::string& what, const std::string& path,
+                   uint32_t* version) {
+  const uint32_t magic = r.ReadU32();
+  if (!r.status().ok()) return r.status();
+  if (magic != want_magic) {
+    return Status::IoError("not a " + what + " file: " + path);
+  }
+  *version = r.ReadU32();
+  if (!r.status().ok()) return r.status();
+  if (*version < 1 || *version > kVersion) {
+    return Status::IoError("unsupported " + what + " version");
+  }
+  return Status::Ok();
+}
+
+Status CheckTrailer(BinaryReader& r, uint32_t version) {
+  return version >= 2 ? r.VerifyFooter() : r.ExpectEof();
+}
 
 void WriteDatasetBody(BinaryWriter& w, const Dataset& dataset) {
   w.WriteU64(dataset.features.rows());
@@ -33,6 +55,10 @@ Result<Dataset> ReadDatasetBody(BinaryReader& r) {
   std::vector<float> features = r.ReadF32Vector();
   std::vector<uint32_t> labels = r.ReadU32Vector();
   if (!r.status().ok()) return r.status();
+  // rows * cols can wrap for corrupt headers; divide instead of multiplying.
+  if (rows != 0 && (cols == 0 || features.size() / rows != cols)) {
+    return Status::IoError("dataset payload size mismatch");
+  }
   if (features.size() != rows * cols || labels.size() != rows) {
     return Status::IoError("dataset payload size mismatch");
   }
@@ -61,13 +87,13 @@ Status SaveDataset(const Dataset& dataset, const std::string& path) {
 
 Result<Dataset> LoadDataset(const std::string& path) {
   BinaryReader r(path);
-  if (r.ReadU32() != kDatasetMagic) {
-    return Status::IoError("not a dataset file: " + path);
-  }
-  if (r.ReadU32() != kVersion) {
-    return Status::IoError("unsupported dataset version");
-  }
-  return ReadDatasetBody(r);
+  uint32_t version = 0;
+  LIGHTLT_RETURN_IF_ERROR(
+      CheckHeader(r, kDatasetMagic, "dataset", path, &version));
+  auto body = ReadDatasetBody(r);
+  if (!body.ok()) return body.status();
+  LIGHTLT_RETURN_IF_ERROR(CheckTrailer(r, version));
+  return body;
 }
 
 Status SaveBenchmark(const RetrievalBenchmark& bench,
@@ -84,12 +110,9 @@ Status SaveBenchmark(const RetrievalBenchmark& bench,
 
 Result<RetrievalBenchmark> LoadBenchmark(const std::string& path) {
   BinaryReader r(path);
-  if (r.ReadU32() != kBenchMagic) {
-    return Status::IoError("not a benchmark file: " + path);
-  }
-  if (r.ReadU32() != kVersion) {
-    return Status::IoError("unsupported benchmark version");
-  }
+  uint32_t version = 0;
+  LIGHTLT_RETURN_IF_ERROR(
+      CheckHeader(r, kBenchMagic, "benchmark", path, &version));
   RetrievalBenchmark bench;
   bench.name = r.ReadString();
   auto train = ReadDatasetBody(r);
@@ -101,6 +124,7 @@ Result<RetrievalBenchmark> LoadBenchmark(const std::string& path) {
   auto database = ReadDatasetBody(r);
   if (!database.ok()) return database.status();
   bench.database = std::move(database).value();
+  LIGHTLT_RETURN_IF_ERROR(CheckTrailer(r, version));
   return bench;
 }
 

@@ -165,12 +165,19 @@ size_t AdcIndex::TheoreticalQueryOps() const {
 }
 
 namespace {
-constexpr uint32_t kAdcMagic = 0x4144'4331;  // "ADC1"
+// Legacy format: magic directly followed by the payload, no version field,
+// no integrity data. Still readable.
+constexpr uint32_t kAdcMagicV1 = 0x4144'4331;  // "ADC1"
+// Current format: magic, u32 version, payload, checksum footer; written
+// atomically. The magic changed because v1 carried no version field.
+constexpr uint32_t kAdcMagicV2 = 0x4144'4332;  // "ADC2"
+constexpr uint32_t kAdcVersion = 2;
 }  // namespace
 
 Status AdcIndex::Save(const std::string& path) const {
   BinaryWriter writer(path);
-  writer.WriteU32(kAdcMagic);
+  writer.WriteU32(kAdcMagicV2);
+  writer.WriteU32(kAdcVersion);
   writer.WriteU64(codebooks_.size());
   for (const auto& cb : codebooks_) {
     writer.WriteU64(cb.rows());
@@ -187,7 +194,14 @@ Result<AdcIndex> AdcIndex::Load(const std::string& path) {
   const uint32_t magic = reader.ReadU32();
   // An unreadable/truncated file is an I/O error, not a bad-magic file.
   if (!reader.status().ok()) return reader.status();
-  if (magic != kAdcMagic) {
+  uint32_t version = 1;
+  if (magic == kAdcMagicV2) {
+    version = reader.ReadU32();
+    if (!reader.status().ok()) return reader.status();
+    if (version < 2 || version > kAdcVersion) {
+      return Status::IoError("AdcIndex: unsupported format version");
+    }
+  } else if (magic != kAdcMagicV1) {
     return Status::IoError("AdcIndex: bad magic in " + path);
   }
   AdcIndex idx;
@@ -205,14 +219,42 @@ Result<AdcIndex> AdcIndex::Load(const std::string& path) {
     }
     idx.codebooks_.emplace_back(rows, cols, std::move(data));
   }
+  // Cross-field consistency: the scan path indexes lookup tables sized from
+  // codebook 0, so mismatched shapes in a corrupt file would read out of
+  // bounds if admitted here.
+  const size_t k = idx.codebooks_[0].rows();
+  const size_t d = idx.codebooks_[0].cols();
+  if (k < 2 || d == 0) {
+    return Status::IoError("AdcIndex: corrupt codebook shape");
+  }
+  for (const auto& cb : idx.codebooks_) {
+    if (cb.rows() != k || cb.cols() != d) {
+      return Status::IoError("AdcIndex: codebook shape mismatch");
+    }
+  }
   auto codes = PackedCodes::Load(reader);
   if (!codes.ok()) return codes.status();
   idx.codes_ = std::move(codes).value();
+  if (idx.codes_.num_codebooks() != m || idx.codes_.num_codewords() > k) {
+    return Status::IoError("AdcIndex: codes/codebook mismatch");
+  }
+  // Packed code values index the lookup table rows; a corrupt bit pattern
+  // above k would read past the table.
+  bool codes_in_range = true;
+  idx.codes_.ForEachCode([&](size_t, size_t, uint32_t code) {
+    if (code >= k) codes_in_range = false;
+  });
+  if (!codes_in_range) {
+    return Status::IoError("AdcIndex: stored code out of range");
+  }
   idx.recon_norms_ = reader.ReadF32Vector();
   if (!reader.status().ok()) return reader.status();
   if (idx.recon_norms_.size() != idx.codes_.num_items()) {
     return Status::IoError("AdcIndex: norm table size mismatch");
   }
+  Status integrity =
+      version >= 2 ? reader.VerifyFooter() : reader.ExpectEof();
+  if (!integrity.ok()) return integrity;
   idx.BuildScanCache();
   return idx;
 }

@@ -68,15 +68,31 @@ Result<PackedCodes> PackedCodes::Load(BinaryReader& reader) {
   const size_t num_codewords = reader.ReadU64();
   std::vector<uint8_t> raw = reader.ReadBytes();
   if (!reader.status().ok()) return reader.status();
-  if (num_codewords < 2) {
+  if (num_codewords < 2 || num_codewords > (1u << 24)) {
     return Status::IoError("PackedCodes: corrupt codeword count");
   }
-  PackedCodes codes(num_items, num_codebooks, num_codewords);
-  if (raw.size() != codes.bits_.size() * sizeof(uint64_t)) {
+  if (num_codebooks == 0 || num_codebooks > 65536) {
+    return Status::IoError("PackedCodes: corrupt codebook count");
+  }
+  // Validate the geometry against the payload *before* constructing: the
+  // constructor multiplies items * codebooks * bits, which wraps for
+  // adversarial counts and could otherwise under- or over-allocate.
+  const uint64_t bits = BitsPerCode(num_codewords);
+  const uint64_t bits_per_item = bits * num_codebooks;
+  if (num_items > (UINT64_MAX - 63) / bits_per_item) {
+    return Status::IoError("PackedCodes: corrupt item count");
+  }
+  const uint64_t words = (num_items * bits_per_item + 63) / 64;
+  if (raw.size() != words * sizeof(uint64_t)) {
     return Status::IoError("PackedCodes: payload size mismatch");
   }
-  std::memcpy(codes.bits_.data(), raw.data(), raw.size());
-  return codes;
+  try {
+    PackedCodes codes(num_items, num_codebooks, num_codewords);
+    std::memcpy(codes.bits_.data(), raw.data(), raw.size());
+    return codes;
+  } catch (const std::exception&) {
+    return Status::IoError("PackedCodes: allocation failed (corrupt file)");
+  }
 }
 
 }  // namespace lightlt::index

@@ -1,10 +1,12 @@
 #include "src/index/ivf_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "src/clustering/kmeans.h"
 #include "src/util/check.h"
+#include "src/util/io.h"
 
 namespace lightlt::index {
 
@@ -196,6 +198,136 @@ double IvfAdcIndex::ExpectedScanFraction(size_t nprobe_override) const {
     expected += seed_weight * (scanned / total);
   }
   return expected;
+}
+
+namespace {
+// Format: magic, u32 version, payload, checksum footer. Footered from its
+// first version (there are no legacy IVF files).
+constexpr uint32_t kIvfMagic = 0x4c54'4956;  // "LTIV"
+constexpr uint32_t kIvfVersion = 1;
+}  // namespace
+
+Status IvfAdcIndex::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  writer.WriteU32(kIvfMagic);
+  writer.WriteU32(kIvfVersion);
+  writer.WriteU64(options_.num_cells);
+  writer.WriteU64(options_.nprobe);
+  writer.WriteI64(options_.kmeans_iterations);
+  writer.WriteU64(options_.seed);
+  writer.WriteU64(total_items_);
+  writer.WriteU64(centroids_.rows());
+  writer.WriteU64(centroids_.cols());
+  writer.WriteF32Vector(centroids_.storage());
+  writer.WriteF32Vector(centroid_norms_);
+  writer.WriteU64(codebooks_.size());
+  for (const auto& cb : codebooks_) {
+    writer.WriteU64(cb.rows());
+    writer.WriteU64(cb.cols());
+    writer.WriteF32Vector(cb.storage());
+  }
+  for (size_t c = 0; c < cell_ids_.size(); ++c) {
+    writer.WriteU32Vector(cell_ids_[c]);
+    writer.WriteBytes(cell_codes_[c]);
+    writer.WriteF32Vector(cell_norms_[c]);
+  }
+  return writer.Close();
+}
+
+Result<IvfAdcIndex> IvfAdcIndex::Load(const std::string& path) {
+  BinaryReader reader(path);
+  const uint32_t magic = reader.ReadU32();
+  if (!reader.status().ok()) return reader.status();
+  if (magic != kIvfMagic) {
+    return Status::IoError("IvfAdcIndex: bad magic in " + path);
+  }
+  const uint32_t version = reader.ReadU32();
+  if (!reader.status().ok()) return reader.status();
+  if (version < 1 || version > kIvfVersion) {
+    return Status::IoError("IvfAdcIndex: unsupported format version");
+  }
+
+  IvfAdcIndex idx;
+  idx.options_.num_cells = reader.ReadU64();
+  idx.options_.nprobe = reader.ReadU64();
+  idx.options_.kmeans_iterations =
+      static_cast<int>(reader.ReadI64());
+  idx.options_.seed = reader.ReadU64();
+  idx.total_items_ = reader.ReadU64();
+  const size_t cells = reader.ReadU64();
+  const size_t d = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  LIGHTLT_RETURN_IF_ERROR(idx.options_.Validate());
+  if (cells == 0 || cells > (1u << 24) || d == 0 || d > (1u << 20)) {
+    return Status::IoError("IvfAdcIndex: corrupt coarse quantizer shape");
+  }
+  std::vector<float> centroid_data = reader.ReadF32Vector();
+  if (!reader.status().ok()) return reader.status();
+  if (centroid_data.size() != cells * d) {
+    return Status::IoError("IvfAdcIndex: centroid payload size mismatch");
+  }
+  idx.centroids_ = Matrix(cells, d, std::move(centroid_data));
+  idx.centroid_norms_ = reader.ReadF32Vector();
+  if (!reader.status().ok()) return reader.status();
+  if (idx.centroid_norms_.size() != cells) {
+    return Status::IoError("IvfAdcIndex: centroid norm table mismatch");
+  }
+
+  const size_t m = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  if (m == 0 || m > 4096) return Status::IoError("IvfAdcIndex: corrupt M");
+  size_t k = 0;
+  idx.codebooks_.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const size_t rows = reader.ReadU64();
+    const size_t cols = reader.ReadU64();
+    std::vector<float> data = reader.ReadF32Vector();
+    if (!reader.status().ok()) return reader.status();
+    if (data.size() != rows * cols) {
+      return Status::IoError("IvfAdcIndex: corrupt codebook");
+    }
+    if (i == 0) {
+      k = rows;
+      if (k < 2 || k > 256 || cols != d) {
+        return Status::IoError("IvfAdcIndex: corrupt codebook shape");
+      }
+    } else if (rows != k || cols != d) {
+      return Status::IoError("IvfAdcIndex: codebook shape mismatch");
+    }
+    idx.codebooks_.emplace_back(rows, cols, std::move(data));
+  }
+
+  idx.cell_ids_.resize(cells);
+  idx.cell_codes_.resize(cells);
+  idx.cell_norms_.resize(cells);
+  uint64_t items_seen = 0;
+  for (size_t c = 0; c < cells; ++c) {
+    idx.cell_ids_[c] = reader.ReadU32Vector();
+    idx.cell_codes_[c] = reader.ReadBytes();
+    idx.cell_norms_[c] = reader.ReadF32Vector();
+    if (!reader.status().ok()) return reader.status();
+    const size_t n = idx.cell_ids_[c].size();
+    if (idx.cell_codes_[c].size() != n * m ||
+        idx.cell_norms_[c].size() != n) {
+      return Status::IoError("IvfAdcIndex: cell payload size mismatch");
+    }
+    for (const uint32_t id : idx.cell_ids_[c]) {
+      if (id >= idx.total_items_) {
+        return Status::IoError("IvfAdcIndex: cell id out of range");
+      }
+    }
+    for (const uint8_t code : idx.cell_codes_[c]) {
+      if (code >= k) {
+        return Status::IoError("IvfAdcIndex: stored code out of range");
+      }
+    }
+    items_seen += n;
+  }
+  if (items_seen != idx.total_items_) {
+    return Status::IoError("IvfAdcIndex: item count mismatch");
+  }
+  LIGHTLT_RETURN_IF_ERROR(reader.VerifyFooter());
+  return idx;
 }
 
 size_t IvfAdcIndex::MemoryBytes() const {

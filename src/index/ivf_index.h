@@ -12,6 +12,7 @@
 #define LIGHTLT_INDEX_IVF_INDEX_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/index/adc_index.h"
@@ -62,6 +63,10 @@ class IvfAdcIndex {
 
   /// Codebooks + packed per-cell codes + centroids + id lists.
   size_t MemoryBytes() const;
+
+  /// Versioned binary persistence (checksummed footer, atomic write).
+  Status Save(const std::string& path) const;
+  static Result<IvfAdcIndex> Load(const std::string& path);
 
  private:
   IvfAdcIndex() = default;

@@ -37,6 +37,26 @@ AdamW::AdamW(std::vector<Var> params, const AdamWOptions& options)
   }
 }
 
+Status AdamW::RestoreState(std::vector<Matrix> m, std::vector<Matrix> v,
+                           int64_t step_count) {
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument("AdamW: moment count mismatch");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!m[i].SameShape(params_[i]->value()) ||
+        !v[i].SameShape(params_[i]->value())) {
+      return Status::InvalidArgument("AdamW: moment shape mismatch");
+    }
+  }
+  if (step_count < 0) {
+    return Status::InvalidArgument("AdamW: negative step count");
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = step_count;
+  return Status::Ok();
+}
+
 void AdamW::Step() {
   ++t_;
 

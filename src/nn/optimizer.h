@@ -4,9 +4,11 @@
 #ifndef LIGHTLT_NN_OPTIMIZER_H_
 #define LIGHTLT_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/tensor/variable.h"
+#include "src/util/status.h"
 
 namespace lightlt::nn {
 
@@ -58,6 +60,16 @@ class AdamW : public Optimizer {
  public:
   AdamW(std::vector<Var> params, const AdamWOptions& options);
   void Step() override;
+
+  /// Moment/step state for checkpointing. The vectors parallel params().
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
+  int64_t step_count() const { return t_; }
+
+  /// Restores moments and step counter saved by a checkpoint. Shapes must
+  /// match the parameter list this optimizer was built over.
+  Status RestoreState(std::vector<Matrix> m, std::vector<Matrix> v,
+                      int64_t step_count);
 
  private:
   AdamWOptions options_;

@@ -1,6 +1,7 @@
 #include "src/serving/service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <string>
 
@@ -8,6 +9,17 @@
 #include "src/util/check.h"
 
 namespace lightlt::serving {
+namespace {
+
+bool AllFinite(const Matrix& m) {
+  const float* data = m.data();
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<RetrievalService> RetrievalService::Build(
     std::shared_ptr<const core::LightLtModel> model,
@@ -22,10 +34,31 @@ Result<RetrievalService> RetrievalService::Build(
     return Status::InvalidArgument(
         "RetrievalService: database feature dim mismatch");
   }
+  // Artifact validation: a model deserialized from a damaged or stale file
+  // (or a database with NaN features) must be rejected here, not discovered
+  // as garbage neighbours in production queries.
+  for (const auto& p : model->Parameters()) {
+    if (!AllFinite(p->value())) {
+      return Status::FailedPrecondition(
+          "RetrievalService: model has non-finite weights");
+    }
+  }
+  const size_t embed_dim = model->config().embed_dim;
+  for (const Matrix& cb : model->Codebooks()) {
+    if (cb.cols() != embed_dim) {
+      return Status::FailedPrecondition(
+          "RetrievalService: codebook/embedding dim mismatch");
+    }
+  }
+  if (!AllFinite(db_features)) {
+    return Status::InvalidArgument(
+        "RetrievalService: database features contain NaN/Inf");
+  }
 
   RetrievalService service;
   service.options_ = options;
   service.model_ = model;
+  service.degraded_queries_ = std::make_shared<std::atomic<uint64_t>>(0);
 
   const Matrix embedded = core::EmbedInChunks(*model, db_features);
   std::vector<std::vector<uint32_t>> codes;
@@ -53,7 +86,22 @@ std::vector<ServedHit> RetrievalService::SearchEmbedded(const float* query,
 
   std::vector<index::SearchHit> hits;
   if (ivf_ != nullptr) {
-    hits = ivf_->Search(query, pool);
+    // Graceful degradation: the flat ADC index covers the whole database, so
+    // if the IVF path throws or its probed cells yield fewer candidates than
+    // the flat scan would, fall back rather than fail or silently shortchange
+    // the caller. The counter makes degraded mode observable.
+    const size_t expected = std::min(pool, adc_->num_items());
+    bool degraded = false;
+    try {
+      hits = ivf_->Search(query, pool);
+      if (hits.size() < expected) degraded = true;
+    } catch (...) {
+      degraded = true;
+    }
+    if (degraded) {
+      hits = adc_->Search(query, pool);
+      if (degraded_queries_) degraded_queries_->fetch_add(1);
+    }
   } else {
     hits = adc_->Search(query, pool);
   }
@@ -91,6 +139,9 @@ Result<std::vector<ServedHit>> RetrievalService::Query(const Matrix& features,
       features.cols() != model_->config().input_dim) {
     return Status::InvalidArgument("Query: expected a 1 x input_dim vector");
   }
+  if (!AllFinite(features)) {
+    return Status::InvalidArgument("Query: features contain NaN/Inf");
+  }
   const Matrix embedded = model_->Embed(features);
   return SearchEmbedded(embedded.row(0), top_k);
 }
@@ -99,6 +150,10 @@ Result<std::vector<std::vector<ServedHit>>> RetrievalService::QueryBatch(
     const Matrix& features, size_t top_k, ThreadPool* pool) const {
   if (features.cols() != model_->config().input_dim) {
     return Status::InvalidArgument("QueryBatch: feature dim mismatch");
+  }
+  if (features.rows() == 0) return std::vector<std::vector<ServedHit>>{};
+  if (!AllFinite(features)) {
+    return Status::InvalidArgument("QueryBatch: features contain NaN/Inf");
   }
   // Each call runs under its own TaskGroup, so concurrent QueryBatch calls
   // sharing one pool wait only on their own queries. A worker exception is

@@ -2,10 +2,18 @@
 // model plus a compressed index and serves labelled top-k queries, with
 // optional exact re-ranking of the candidate pool and optional IVF
 // acceleration for large databases.
+//
+// Robustness contract: artifacts are validated at Build (finite weights and
+// database features, consistent dimensions), non-finite query features are
+// rejected as InvalidArgument, and an IVF search that fails or comes up
+// short degrades to the always-present flat ADC scan instead of failing the
+// query (observable via degraded_query_count()).
 
 #ifndef LIGHTLT_SERVING_SERVICE_H_
 #define LIGHTLT_SERVING_SERVICE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,6 +68,13 @@ class RetrievalService {
   size_t IndexMemoryBytes() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// Number of queries served by the flat-scan fallback because the IVF
+  /// path failed or returned fewer candidates than the flat index could.
+  /// Always 0 when IVF is not enabled.
+  uint64_t degraded_query_count() const {
+    return degraded_queries_ ? degraded_queries_->load() : 0;
+  }
+
  private:
   RetrievalService() = default;
 
@@ -70,6 +85,9 @@ class RetrievalService {
   std::shared_ptr<const core::LightLtModel> model_;
   std::unique_ptr<index::AdcIndex> adc_;
   std::unique_ptr<index::IvfAdcIndex> ivf_;
+  /// Heap-allocated so the service stays movable; incremented from
+  /// QueryBatch worker threads.
+  std::shared_ptr<std::atomic<uint64_t>> degraded_queries_;
 };
 
 }  // namespace lightlt::serving

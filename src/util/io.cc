@@ -1,5 +1,12 @@
 #include "src/util/io.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
 #include <limits>
 
 namespace lightlt {
@@ -8,24 +15,119 @@ namespace {
 // Hard ceiling on container sizes to fail fast on corrupt files instead of
 // attempting a multi-GB allocation.
 constexpr uint64_t kMaxContainerBytes = 1ull << 34;  // 16 GiB
+
+// Footer layout: kFooterMagic (u32) + CRC32 of all preceding bytes (u32).
+constexpr uint32_t kFooterMagic = 0x4c54'434b;  // "LTCK"
+
+IoFaultPlan g_fault_plan;
+bool g_faults_armed = false;
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb8'8320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// Best-effort directory sync so the rename itself is durable. Failure is not
+// fatal: the data file was already fsynced and some filesystems reject
+// directory fsync.
+void SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
 }  // namespace
 
-BinaryWriter::BinaryWriter(const std::string& path) {
-  file_ = std::fopen(path.c_str(), "wb");
+uint32_t Crc32(uint32_t crc, const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void ArmIoFaults(const IoFaultPlan& plan) {
+  g_fault_plan = plan;
+  g_faults_armed = true;
+}
+
+void DisarmIoFaults() {
+  g_faults_armed = false;
+  g_fault_plan = IoFaultPlan{};
+}
+
+bool IoFaultsArmed() { return g_faults_armed; }
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : BinaryWriter(path, Options{}) {}
+
+BinaryWriter::BinaryWriter(const std::string& path, const Options& options)
+    : final_path_(path), options_(options) {
+  fault_armed_ = g_faults_armed;
+  if (fault_armed_) fault_ = g_fault_plan;
+  tmp_path_ = options_.atomic
+                  ? path + ".tmp." + std::to_string(::getpid())
+                  : path;
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
   if (file_ == nullptr) {
-    status_ = Status::IoError("cannot open for writing: " + path);
+    status_ = Status::IoError("cannot open for writing: " + tmp_path_);
   }
 }
 
 BinaryWriter::~BinaryWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  // A writer destroyed without a successful Close never publishes: the
+  // temporary is discarded and the canonical path is left untouched.
+  Abort();
+}
+
+void BinaryWriter::Abort() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    if (options_.atomic) std::remove(tmp_path_.c_str());
+  }
 }
 
 void BinaryWriter::WriteRaw(const void* data, size_t size) {
   if (!status_.ok() || size == 0) return;
-  if (std::fwrite(data, 1, size, file_) != size) {
-    status_ = Status::IoError("short write");
+  if (fault_armed_ && fault_.fail_nth_write >= 0 &&
+      write_calls_++ == fault_.fail_nth_write) {
+    status_ = Status::IoError("injected write failure");
+    return;
   }
+  size_t to_write = size;
+  if (fault_armed_ && fault_.write_truncate_at >= 0) {
+    const uint64_t limit = static_cast<uint64_t>(fault_.write_truncate_at);
+    to_write = offset_ >= limit
+                   ? 0
+                   : static_cast<size_t>(
+                         std::min<uint64_t>(size, limit - offset_));
+  }
+  if (to_write > 0 &&
+      std::fwrite(data, 1, to_write, file_) != to_write) {
+    status_ = Status::IoError("short write");
+    return;
+  }
+  // The checksum covers the logical stream; under write truncation the
+  // committed file is then missing payload the footer accounts for, which is
+  // exactly what a torn write looks like to the reader.
+  crc_ = Crc32(crc_, data, size);
+  offset_ += size;
 }
 
 void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
@@ -55,31 +157,87 @@ void BinaryWriter::WriteBytes(const std::vector<uint8_t>& v) {
 }
 
 Status BinaryWriter::Close() {
-  if (file_ != nullptr) {
-    if (std::fclose(file_) != 0 && status_.ok()) {
-      status_ = Status::IoError("close failed");
-    }
+  if (file_ == nullptr) return status_;  // open failed; nothing to clean up
+  if (status_.ok() && options_.checksum_footer) {
+    const uint32_t payload_crc = crc_;
+    WriteU32(kFooterMagic);
+    WriteU32(payload_crc);
+  }
+  if (status_.ok() && std::fflush(file_) != 0) {
+    status_ = Status::IoError("flush failed");
+  }
+  if (status_.ok() && options_.sync && ::fsync(::fileno(file_)) != 0) {
+    status_ = Status::IoError("fsync failed");
+  }
+  if (!status_.ok()) {
+    Abort();
+    return status_;
+  }
+  if (std::fclose(file_) != 0) {
+    status_ = Status::IoError("close failed");
     file_ = nullptr;
+    if (options_.atomic) std::remove(tmp_path_.c_str());
+    return status_;
+  }
+  file_ = nullptr;
+  if (options_.atomic) {
+    if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+      status_ = Status::IoError("atomic rename failed: " + final_path_);
+      std::remove(tmp_path_.c_str());
+      return status_;
+    }
+    if (options_.sync) SyncParentDirectory(final_path_);
   }
   return status_;
 }
 
 BinaryReader::BinaryReader(const std::string& path) {
+  fault_armed_ = g_faults_armed;
+  if (fault_armed_) fault_ = g_fault_plan;
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
     status_ = Status::IoError("cannot open for reading: " + path);
+    return;
   }
+  struct stat st;
+  file_size_ = ::fstat(::fileno(file_), &st) == 0
+                   ? static_cast<uint64_t>(st.st_size)
+                   : std::numeric_limits<uint64_t>::max();
 }
 
 BinaryReader::~BinaryReader() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+bool BinaryReader::FitsRemaining(uint64_t bytes) const {
+  uint64_t limit = file_size_;
+  if (fault_armed_ && fault_.read_truncate_at >= 0) {
+    limit = std::min(limit, static_cast<uint64_t>(fault_.read_truncate_at));
+  }
+  return offset_ <= limit && bytes <= limit - offset_;
+}
+
 void BinaryReader::ReadRaw(void* data, size_t size) {
   if (!status_.ok() || size == 0) return;
+  if (fault_armed_ && fault_.read_truncate_at >= 0 &&
+      offset_ + size > static_cast<uint64_t>(fault_.read_truncate_at)) {
+    status_ = Status::IoError("short read (truncated or corrupt file)");
+    return;
+  }
   if (std::fread(data, 1, size, file_) != size) {
     status_ = Status::IoError("short read (truncated or corrupt file)");
+    return;
   }
+  if (fault_armed_ && fault_.read_flip_byte >= 0) {
+    const uint64_t flip = static_cast<uint64_t>(fault_.read_flip_byte);
+    if (flip >= offset_ && flip < offset_ + size) {
+      static_cast<uint8_t*>(data)[flip - offset_] ^= fault_.flip_mask;
+    }
+  }
+  // CRC over the bytes the consumer observes (post-flip), so an injected
+  // flip is indistinguishable from on-disk corruption.
+  crc_ = Crc32(crc_, data, size);
+  offset_ += size;
 }
 
 uint32_t BinaryReader::ReadU32() {
@@ -115,49 +273,96 @@ double BinaryReader::ReadF64() {
 std::string BinaryReader::ReadString() {
   const uint64_t n = ReadU64();
   if (!status_.ok()) return {};
-  if (n > kMaxContainerBytes) {
+  if (n > kMaxContainerBytes || !FitsRemaining(n)) {
     status_ = Status::IoError("string length too large (corrupt file)");
     return {};
   }
-  std::string s(n, '\0');
-  ReadRaw(s.data(), n);
-  return status_.ok() ? s : std::string{};
+  try {
+    std::string s(n, '\0');
+    ReadRaw(s.data(), n);
+    return status_.ok() ? s : std::string{};
+  } catch (const std::exception&) {
+    status_ = Status::IoError("string allocation failed (corrupt file)");
+    return {};
+  }
 }
 
 std::vector<float> BinaryReader::ReadF32Vector() {
   const uint64_t n = ReadU64();
   if (!status_.ok()) return {};
-  if (n * sizeof(float) > kMaxContainerBytes) {
+  // Divide instead of multiplying: n * sizeof(float) wraps for adversarial
+  // n (e.g. 2^62) and would pass a product-form check.
+  if (n > kMaxContainerBytes / sizeof(float) ||
+      !FitsRemaining(n * sizeof(float))) {
     status_ = Status::IoError("vector length too large (corrupt file)");
     return {};
   }
-  std::vector<float> v(n);
-  ReadRaw(v.data(), n * sizeof(float));
-  return status_.ok() ? v : std::vector<float>{};
+  try {
+    std::vector<float> v(n);
+    ReadRaw(v.data(), n * sizeof(float));
+    return status_.ok() ? v : std::vector<float>{};
+  } catch (const std::exception&) {
+    status_ = Status::IoError("vector allocation failed (corrupt file)");
+    return {};
+  }
 }
 
 std::vector<uint32_t> BinaryReader::ReadU32Vector() {
   const uint64_t n = ReadU64();
   if (!status_.ok()) return {};
-  if (n * sizeof(uint32_t) > kMaxContainerBytes) {
+  if (n > kMaxContainerBytes / sizeof(uint32_t) ||
+      !FitsRemaining(n * sizeof(uint32_t))) {
     status_ = Status::IoError("vector length too large (corrupt file)");
     return {};
   }
-  std::vector<uint32_t> v(n);
-  ReadRaw(v.data(), n * sizeof(uint32_t));
-  return status_.ok() ? v : std::vector<uint32_t>{};
+  try {
+    std::vector<uint32_t> v(n);
+    ReadRaw(v.data(), n * sizeof(uint32_t));
+    return status_.ok() ? v : std::vector<uint32_t>{};
+  } catch (const std::exception&) {
+    status_ = Status::IoError("vector allocation failed (corrupt file)");
+    return {};
+  }
 }
 
 std::vector<uint8_t> BinaryReader::ReadBytes() {
   const uint64_t n = ReadU64();
   if (!status_.ok()) return {};
-  if (n > kMaxContainerBytes) {
+  if (n > kMaxContainerBytes || !FitsRemaining(n)) {
     status_ = Status::IoError("byte array too large (corrupt file)");
     return {};
   }
-  std::vector<uint8_t> v(n);
-  ReadRaw(v.data(), n);
-  return status_.ok() ? v : std::vector<uint8_t>{};
+  try {
+    std::vector<uint8_t> v(n);
+    ReadRaw(v.data(), n);
+    return status_.ok() ? v : std::vector<uint8_t>{};
+  } catch (const std::exception&) {
+    status_ = Status::IoError("byte array allocation failed (corrupt file)");
+    return {};
+  }
+}
+
+Status BinaryReader::VerifyFooter() {
+  if (!status_.ok()) return status_;
+  const uint32_t payload_crc = crc_;
+  const uint32_t magic = ReadU32();
+  const uint32_t stored_crc = ReadU32();
+  if (!status_.ok()) return status_;
+  if (magic != kFooterMagic) {
+    return Status::IoError("missing checksum footer (truncated or corrupt)");
+  }
+  if (stored_crc != payload_crc) {
+    return Status::IoError("checksum mismatch (corrupt file)");
+  }
+  return ExpectEof();
+}
+
+Status BinaryReader::ExpectEof() {
+  if (!status_.ok()) return status_;
+  if (std::fgetc(file_) != EOF) {
+    return Status::IoError("trailing bytes after payload (corrupt file)");
+  }
+  return Status::Ok();
 }
 
 }  // namespace lightlt

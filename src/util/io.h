@@ -1,8 +1,22 @@
 // Binary serialization streams with Status-based error reporting.
 //
-// Used to persist trained models (codebooks, backbone weights) and encoded
-// databases. Format: little-endian, length-prefixed containers, with a
-// magic/version header written by the model serializers.
+// Used to persist trained models (codebooks, backbone weights), encoded
+// databases and training checkpoints. Format: little-endian, length-prefixed
+// containers, with a magic/version header written by the format serializers
+// and a CRC32 footer appended on Close().
+//
+// Durability protocol (crash safety): BinaryWriter writes to a temporary
+// sibling `<path>.tmp.<pid>`, and Close() flushes, fsyncs and atomically
+// renames it over the target. A writer that fails (or is destroyed without a
+// successful Close) removes the temporary and leaves any previous file at
+// the canonical path untouched.
+//
+// Integrity protocol: the writer maintains a running CRC32 over every byte
+// written; Close() appends an 8-byte footer (footer magic + CRC32).
+// BinaryReader mirrors the running CRC; loaders of footered formats call
+// VerifyFooter() after consuming the payload, which checks the footer magic,
+// the checksum and end-of-file. Legacy (pre-footer) formats instead call
+// ExpectEof().
 
 #ifndef LIGHTLT_UTIL_IO_H_
 #define LIGHTLT_UTIL_IO_H_
@@ -16,11 +30,48 @@
 
 namespace lightlt {
 
+/// Incremental CRC32 (IEEE 802.3 polynomial, zlib-compatible). Start with
+/// `crc = 0` and feed consecutive chunks.
+uint32_t Crc32(uint32_t crc, const void* data, size_t size);
+
+/// Deterministic I/O fault injection for crash/corruption testing. A plan is
+/// armed globally; every stream opened while armed applies it independently
+/// with its own byte-offset and write-call counters. All offsets/indices
+/// refer to the stream's own position. Disarm() restores normal operation.
+/// Not thread-safe: arm/disarm only in single-threaded test code.
+struct IoFaultPlan {
+  /// 0-based index of the WriteRaw call that fails with IoError (-1 = off).
+  int fail_nth_write = -1;
+  /// Bytes at or after this file offset are silently dropped on write,
+  /// simulating a crash mid-write (-1 = off).
+  int64_t write_truncate_at = -1;
+  /// Reads at or after this file offset observe EOF (-1 = off).
+  int64_t read_truncate_at = -1;
+  /// The byte at this file offset is XOR'd with `flip_mask` as it is read
+  /// (-1 = off).
+  int64_t read_flip_byte = -1;
+  uint8_t flip_mask = 0x01;
+};
+
+void ArmIoFaults(const IoFaultPlan& plan);
+void DisarmIoFaults();
+bool IoFaultsArmed();
+
 /// Writes POD scalars and vectors to a file. All methods are no-ops after
 /// the first failure; call status() (or Close()) to observe it.
 class BinaryWriter {
  public:
+  struct Options {
+    /// Write to `<path>.tmp.<pid>` and rename into place on Close().
+    bool atomic = true;
+    /// Append the CRC32 footer on Close().
+    bool checksum_footer = true;
+    /// fsync file (and containing directory after rename) on Close().
+    bool sync = true;
+  };
+
   explicit BinaryWriter(const std::string& path);
+  BinaryWriter(const std::string& path, const Options& options);
   ~BinaryWriter();
 
   BinaryWriter(const BinaryWriter&) = delete;
@@ -38,14 +89,29 @@ class BinaryWriter {
 
   const Status& status() const { return status_; }
 
-  /// Flushes and closes; returns the sticky status.
+  /// Bytes written so far (excluding the footer).
+  uint64_t bytes_written() const { return offset_; }
+
+  /// Commits the file: appends the checksum footer, flushes, fsyncs and
+  /// renames the temporary over the target path. On any failure (including
+  /// an earlier sticky error) the temporary is removed and the previous
+  /// canonical file is left untouched. Returns the sticky status.
   Status Close();
 
  private:
   void WriteRaw(const void* data, size_t size);
+  void Abort();  // close + remove the temporary without committing
 
   std::FILE* file_ = nullptr;
+  std::string final_path_;
+  std::string tmp_path_;   // equals final_path_ when options_.atomic is off
+  Options options_;
   Status status_;
+  uint32_t crc_ = 0;
+  uint64_t offset_ = 0;
+  int write_calls_ = 0;
+  bool fault_armed_ = false;
+  IoFaultPlan fault_;
 };
 
 /// Reads POD scalars and vectors written by BinaryWriter. All methods return
@@ -70,11 +136,29 @@ class BinaryReader {
 
   const Status& status() const { return status_; }
 
+  /// Consumes the trailing checksum footer and verifies (a) the footer
+  /// magic, (b) that the CRC32 of every byte read so far matches the stored
+  /// checksum, and (c) that the footer is the last thing in the file. Call
+  /// after reading the full payload of a footered format.
+  Status VerifyFooter();
+
+  /// Verifies the stream is positioned at end-of-file (legacy formats
+  /// without a footer: rejects trailing bytes).
+  Status ExpectEof();
+
  private:
   void ReadRaw(void* data, size_t size);
+  /// True when `bytes` more bytes can exist before EOF — used to reject
+  /// corrupt container lengths before allocating for them.
+  bool FitsRemaining(uint64_t bytes) const;
 
   std::FILE* file_ = nullptr;
   Status status_;
+  uint32_t crc_ = 0;
+  uint64_t offset_ = 0;
+  uint64_t file_size_ = 0;
+  bool fault_armed_ = false;
+  IoFaultPlan fault_;
 };
 
 }  // namespace lightlt

@@ -24,6 +24,15 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Complete serializable Rng state: the four Xoshiro words plus the
+/// Box-Muller spare. Capturing/restoring it lets a resumed training run
+/// continue the exact random stream of the interrupted one.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached = false;
+  double cached = 0.0;
+};
+
 /// Xoshiro256++ PRNG. Not cryptographic; fast and high quality for
 /// simulation workloads.
 class Rng {
@@ -92,6 +101,20 @@ class Rng {
 
   /// Derives an independent child generator (for per-model init seeds).
   Rng Fork() { return Rng(NextUint64()); }
+
+  /// Snapshot / restore of the full generator state (checkpoint/resume).
+  RngState GetState() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.has_cached = has_cached_;
+    st.cached = cached_;
+    return st;
+  }
+  void SetState(const RngState& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    has_cached_ = st.has_cached;
+    cached_ = st.cached;
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

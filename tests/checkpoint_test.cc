@@ -1,0 +1,271 @@
+// Checkpoint/resume tests: a training run interrupted at an epoch boundary
+// and resumed in a fresh process must produce bit-identical final weights,
+// and the resume logic must survive corrupt checkpoint files.
+
+#include "src/core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/ensemble.h"
+#include "src/core/trainer.h"
+#include "src/data/dataset.h"
+
+namespace lightlt::core {
+namespace {
+
+std::string TempDirFor(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void RemoveAllCheckpoints(const std::string& dir) {
+  for (int64_t epoch : ListCheckpointEpochs(dir)) {
+    std::remove(CheckpointPath(dir, epoch).c_str());
+  }
+}
+
+data::RetrievalBenchmark TinyBenchmark() {
+  data::SyntheticConfig cfg;
+  cfg.name = "ckpt";
+  cfg.num_classes = 4;
+  cfg.feature_dim = 12;
+  cfg.train_spec.num_classes = 4;
+  cfg.train_spec.head_size = 30;
+  cfg.train_spec.imbalance_factor = 6.0;
+  cfg.queries_per_class = 2;
+  cfg.database_per_class = 5;
+  cfg.seed = 321;
+  return data::GenerateSynthetic(cfg);
+}
+
+ModelConfig TinyModel() {
+  ModelConfig cfg;
+  cfg.input_dim = 12;
+  cfg.hidden_dims = {16};
+  cfg.embed_dim = 8;
+  cfg.num_classes = 4;
+  cfg.dsq.num_codebooks = 2;
+  cfg.dsq.num_codewords = 8;
+  return cfg;
+}
+
+TrainOptions BaseOptions() {
+  TrainOptions opts;
+  opts.epochs = 6;
+  opts.batch_size = 16;
+  opts.learning_rate = 4e-3f;
+  opts.schedule = ScheduleKind::kCosine;  // exercises global_step restore
+  return opts;
+}
+
+void ExpectSameParameters(const LightLtModel& a, const LightLtModel& b) {
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value().AllClose(pb[i]->value(), 0.0f))
+        << "parameter " << i << " diverged";
+  }
+}
+
+TEST(CheckpointConfigTest, Validation) {
+  CheckpointConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.dir = "somewhere";
+  EXPECT_TRUE(cfg.enabled());
+  cfg.every_n_epochs = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = CheckpointConfig{};
+  cfg.dir = "somewhere";
+  cfg.keep_last = -1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  // A disabled config is never consulted, so junk fields are harmless.
+  cfg.dir.clear();
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(CheckpointTest, InterruptedRunResumesBitIdentical) {
+  auto bench = TinyBenchmark();
+  TrainOptions opts = BaseOptions();
+
+  // Reference: one uninterrupted run, no checkpointing involved.
+  LightLtModel reference(TinyModel(), 11);
+  ASSERT_TRUE(TrainLightLt(&reference, bench.train, opts).ok());
+
+  // Interrupted run: stop after 3 of 6 epochs ("preemption"), then resume
+  // in a fresh model object, as a restarted process would.
+  const std::string dir = TempDirFor("resume");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  RemoveAllCheckpoints(dir);
+  TrainOptions interrupted = opts;
+  interrupted.checkpoint.dir = dir;
+  interrupted.checkpoint.every_n_epochs = 1;
+  interrupted.stop_after_epochs = 3;
+  {
+    LightLtModel first(TinyModel(), 11);
+    auto stats = TrainLightLt(&first, bench.train, interrupted);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats.value().epoch_loss.size(), 3u);
+  }
+
+  LightLtModel resumed(TinyModel(), 11);
+  TrainOptions resume = opts;
+  resume.checkpoint.dir = dir;
+  auto stats = TrainLightLt(&resumed, bench.train, resume);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Resumed stats cover all 6 epochs (3 restored + 3 trained now).
+  EXPECT_EQ(stats.value().epoch_loss.size(), 6u);
+  ExpectSameParameters(reference, resumed);
+  RemoveAllCheckpoints(dir);
+}
+
+TEST(CheckpointTest, CheckpointingDoesNotPerturbTraining) {
+  // Saving checkpoints must be a pure observer: same final weights as a run
+  // without any checkpointing.
+  auto bench = TinyBenchmark();
+  TrainOptions opts = BaseOptions();
+
+  LightLtModel plain(TinyModel(), 12);
+  ASSERT_TRUE(TrainLightLt(&plain, bench.train, opts).ok());
+
+  const std::string dir = TempDirFor("observer");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  RemoveAllCheckpoints(dir);
+  TrainOptions with_ckpt = opts;
+  with_ckpt.checkpoint.dir = dir;
+  LightLtModel observed(TinyModel(), 12);
+  ASSERT_TRUE(TrainLightLt(&observed, bench.train, with_ckpt).ok());
+
+  ExpectSameParameters(plain, observed);
+  RemoveAllCheckpoints(dir);
+}
+
+TEST(CheckpointTest, KeepLastPrunesOldCheckpoints) {
+  auto bench = TinyBenchmark();
+  const std::string dir = TempDirFor("prune");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  RemoveAllCheckpoints(dir);
+
+  TrainOptions opts = BaseOptions();
+  opts.checkpoint.dir = dir;
+  opts.checkpoint.every_n_epochs = 1;
+  opts.checkpoint.keep_last = 2;
+  LightLtModel model(TinyModel(), 13);
+  ASSERT_TRUE(TrainLightLt(&model, bench.train, opts).ok());
+
+  EXPECT_EQ(ListCheckpointEpochs(dir), (std::vector<int64_t>{5, 6}));
+  RemoveAllCheckpoints(dir);
+}
+
+TEST(CheckpointTest, CorruptNewestCheckpointFallsBackToOlder) {
+  auto bench = TinyBenchmark();
+  TrainOptions opts = BaseOptions();
+
+  LightLtModel reference(TinyModel(), 14);
+  ASSERT_TRUE(TrainLightLt(&reference, bench.train, opts).ok());
+
+  const std::string dir = TempDirFor("fallback");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  RemoveAllCheckpoints(dir);
+  TrainOptions interrupted = opts;
+  interrupted.checkpoint.dir = dir;
+  interrupted.checkpoint.every_n_epochs = 2;
+  interrupted.checkpoint.keep_last = 0;  // keep all
+  interrupted.stop_after_epochs = 4;
+  {
+    LightLtModel first(TinyModel(), 14);
+    ASSERT_TRUE(TrainLightLt(&first, bench.train, interrupted).ok());
+  }
+  ASSERT_EQ(ListCheckpointEpochs(dir), (std::vector<int64_t>{2, 4}));
+
+  // Damage the newest checkpoint in the middle; the footer checksum makes
+  // the loader reject it, and resume must fall back to epoch 2 — still
+  // converging to the reference weights.
+  const std::string newest = CheckpointPath(dir, 4);
+  std::FILE* f = std::fopen(newest.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  const unsigned char corrupt = 0xa5;
+  std::fwrite(&corrupt, 1, 1, f);
+  std::fclose(f);
+  ASSERT_FALSE(LoadTrainerCheckpoint(newest).ok());
+
+  LightLtModel resumed(TinyModel(), 14);
+  TrainOptions resume = opts;
+  resume.checkpoint.dir = dir;
+  auto stats = TrainLightLt(&resumed, bench.train, resume);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ExpectSameParameters(reference, resumed);
+  RemoveAllCheckpoints(dir);
+}
+
+TEST(CheckpointTest, MismatchedCheckpointIsHardError) {
+  auto bench = TinyBenchmark();
+  const std::string dir = TempDirFor("mismatch");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  RemoveAllCheckpoints(dir);
+
+  TrainOptions opts = BaseOptions();
+  opts.checkpoint.dir = dir;
+  opts.stop_after_epochs = 2;
+  {
+    LightLtModel model(TinyModel(), 15);
+    ASSERT_TRUE(TrainLightLt(&model, bench.train, opts).ok());
+  }
+
+  // Same dataset, different architecture: resuming must refuse loudly
+  // instead of silently restarting from scratch.
+  ModelConfig other = TinyModel();
+  other.hidden_dims = {24};
+  LightLtModel wrong(other, 15);
+  TrainOptions resume = BaseOptions();
+  resume.checkpoint.dir = dir;
+  auto result = TrainLightLt(&wrong, bench.train, resume);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  RemoveAllCheckpoints(dir);
+}
+
+TEST(CheckpointTest, EnsembleResumeMatchesUninterruptedRun) {
+  auto bench = TinyBenchmark();
+  EnsembleOptions opts;
+  opts.num_models = 2;
+  opts.finetune_epochs = 2;
+  opts.base_training = BaseOptions();
+  opts.base_training.epochs = 3;
+
+  auto reference = TrainEnsemble(TinyModel(), bench.train, opts);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  const std::string dir = TempDirFor("ensemble");
+  EnsembleOptions ckpt_opts = opts;
+  ckpt_opts.checkpoint.dir = dir;
+  // Simulate a process killed while member 0 was training: replicate member
+  // 0's exact setup (same init seed, same shuffle seed, its per-member
+  // checkpoint directory) and stop after 1 of 3 epochs. The re-run of the
+  // full ensemble must pick that checkpoint up and finish the computation.
+  {
+    LightLtModel member0(TinyModel(), opts.seed);
+    TrainOptions partial = ckpt_opts.base_training;
+    partial.checkpoint = ckpt_opts.checkpoint;
+    partial.checkpoint.dir = dir + "/member-0";
+    partial.stop_after_epochs = 1;
+    ASSERT_TRUE(TrainLightLt(&member0, bench.train, partial).ok());
+  }
+
+  auto resumed = TrainEnsemble(TinyModel(), bench.train, ckpt_opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameParameters(*reference.value().model, *resumed.value().model);
+
+  RemoveAllCheckpoints(dir + "/member-0");
+  RemoveAllCheckpoints(dir + "/member-1");
+  RemoveAllCheckpoints(dir + "/finetune");
+}
+
+}  // namespace
+}  // namespace lightlt::core

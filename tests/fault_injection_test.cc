@@ -1,0 +1,248 @@
+// Corruption-fuzz and crash-safety tests for every persisted format.
+//
+// Uses the deterministic I/O fault hooks (src/util/io.h) to (a) truncate
+// reads at every byte offset, (b) flip single bits at every byte offset, and
+// (c) fail writes mid-save, then asserts the invariants of the persistence
+// layer: loaders always return a non-OK Status (never crash, never silently
+// load garbage), and a failed save leaves the previous canonical file
+// untouched.
+
+#include "src/util/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/core/serialize.h"
+#include "src/data/data_io.h"
+#include "src/index/adc_index.h"
+#include "src/index/ivf_index.h"
+#include "src/util/rng.h"
+
+namespace lightlt {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Arms a fault plan for the current scope; disarms even on early return so
+/// one failing case cannot poison later tests.
+struct FaultGuard {
+  explicit FaultGuard(const IoFaultPlan& plan) { ArmIoFaults(plan); }
+  ~FaultGuard() { DisarmIoFaults(); }
+};
+
+int64_t FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const int64_t size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::vector<uint8_t> bytes(static_cast<size_t>(FileSize(path)));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+using Loader = std::function<Status(const std::string&)>;
+
+/// For every byte offset: simulate a file truncated there and a file with a
+/// flipped bit there. Each load must fail with a Status — the loop itself
+/// doubles as the never-crash assertion (a crash aborts the test binary).
+void FuzzFile(const std::string& path, const Loader& load) {
+  ASSERT_TRUE(load(path).ok()) << "fixture must load cleanly before fuzzing";
+  const int64_t size = FileSize(path);
+  ASSERT_GT(size, 0);
+
+  for (int64_t k = 0; k < size; ++k) {
+    IoFaultPlan plan;
+    plan.read_truncate_at = k;
+    FaultGuard guard(plan);
+    ASSERT_FALSE(load(path).ok()) << "truncation at byte " << k
+                                  << " of " << size << " loaded OK: " << path;
+  }
+  for (int64_t k = 0; k < size; ++k) {
+    IoFaultPlan plan;
+    plan.read_flip_byte = k;
+    plan.flip_mask = (k % 3 == 0) ? 0x80 : 0x01;  // vary high/low bit flips
+    FaultGuard guard(plan);
+    ASSERT_FALSE(load(path).ok()) << "bit flip at byte " << k
+                                  << " of " << size << " loaded OK: " << path;
+  }
+  ASSERT_TRUE(load(path).ok()) << "file damaged by read-side fuzzing";
+}
+
+core::ModelConfig SmallModel() {
+  core::ModelConfig cfg;
+  cfg.input_dim = 10;
+  cfg.hidden_dims = {12};
+  cfg.embed_dim = 6;
+  cfg.num_classes = 4;
+  cfg.dsq.num_codebooks = 2;
+  cfg.dsq.num_codewords = 8;
+  return cfg;
+}
+
+TEST(FaultInjectionTest, ModelFileSurvivesCorruptionFuzz) {
+  core::LightLtModel model(SmallModel(), 21);
+  const std::string path = TempPath("fuzz_model.bin");
+  ASSERT_TRUE(core::SaveModel(model, path).ok());
+  FuzzFile(path, [](const std::string& p) {
+    return core::LoadModel(p).status();
+  });
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, AdcIndexFileSurvivesCorruptionFuzz) {
+  Rng rng(5);
+  std::vector<Matrix> codebooks;
+  for (int cb = 0; cb < 2; ++cb) {
+    codebooks.push_back(Matrix::RandomGaussian(8, 6, rng));
+  }
+  std::vector<std::vector<uint32_t>> codes(30, std::vector<uint32_t>(2));
+  for (auto& item : codes) {
+    for (auto& c : item) c = static_cast<uint32_t>(rng.NextIndex(8));
+  }
+  auto index = index::AdcIndex::Build(codebooks, codes);
+  ASSERT_TRUE(index.ok());
+  const std::string path = TempPath("fuzz_adc.bin");
+  ASSERT_TRUE(index.value().Save(path).ok());
+  FuzzFile(path, [](const std::string& p) {
+    return index::AdcIndex::Load(p).status();
+  });
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, IvfIndexFileSurvivesCorruptionFuzz) {
+  Rng rng(6);
+  const Matrix embeddings = Matrix::RandomGaussian(40, 6, rng);
+  std::vector<Matrix> codebooks;
+  for (int cb = 0; cb < 2; ++cb) {
+    codebooks.push_back(Matrix::RandomGaussian(8, 6, rng));
+  }
+  std::vector<std::vector<uint32_t>> codes(40, std::vector<uint32_t>(2));
+  for (auto& item : codes) {
+    for (auto& c : item) c = static_cast<uint32_t>(rng.NextIndex(8));
+  }
+  index::IvfOptions opts;
+  opts.num_cells = 4;
+  opts.nprobe = 2;
+  auto index = index::IvfAdcIndex::Build(embeddings, codebooks, codes, opts);
+  ASSERT_TRUE(index.ok());
+  const std::string path = TempPath("fuzz_ivf.bin");
+  ASSERT_TRUE(index.value().Save(path).ok());
+  FuzzFile(path, [](const std::string& p) {
+    return index::IvfAdcIndex::Load(p).status();
+  });
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, DatasetFileSurvivesCorruptionFuzz) {
+  data::Dataset dataset;
+  dataset.num_classes = 3;
+  Rng rng(7);
+  dataset.features = Matrix::RandomGaussian(9, 5, rng);
+  dataset.labels = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  const std::string path = TempPath("fuzz_dataset.bin");
+  ASSERT_TRUE(data::SaveDataset(dataset, path).ok());
+  FuzzFile(path, [](const std::string& p) {
+    return data::LoadDataset(p).status();
+  });
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, CheckpointFileSurvivesCorruptionFuzz) {
+  core::TrainerCheckpoint c;
+  c.epochs_completed = 2;
+  c.global_step = 10;
+  c.order = {3, 1, 4, 1, 5, 0};
+  c.epoch_loss = {0.9, 0.7};
+  c.epoch_accuracy = {0.4, 0.6};
+  Rng rng(8);
+  c.model_params.push_back(Matrix::RandomGaussian(4, 3, rng));
+  c.opt_m.push_back(Matrix(4, 3));
+  c.opt_v.push_back(Matrix(4, 3));
+  c.opt_step = 10;
+  const std::string path = TempPath("fuzz_ckpt.bin");
+  ASSERT_TRUE(core::SaveTrainerCheckpoint(c, path).ok());
+  FuzzFile(path, [](const std::string& p) {
+    return core::LoadTrainerCheckpoint(p).status();
+  });
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, FailedSaveLeavesPreviousFileIntact) {
+  core::LightLtModel model(SmallModel(), 22);
+  const std::string path = TempPath("atomic_model.bin");
+  ASSERT_TRUE(core::SaveModel(model, path).ok());
+  const std::vector<uint8_t> before = ReadFileBytes(path);
+
+  // Fail the save at several points in the write sequence; the canonical
+  // file must remain byte-identical and loadable every time.
+  core::LightLtModel other(SmallModel(), 23);
+  for (int nth : {0, 1, 5, 40}) {
+    IoFaultPlan plan;
+    plan.fail_nth_write = nth;
+    FaultGuard guard(plan);
+    EXPECT_FALSE(core::SaveModel(other, path).ok()) << "nth=" << nth;
+  }
+  EXPECT_EQ(ReadFileBytes(path), before);
+  ASSERT_TRUE(core::LoadModel(path).ok());
+
+  // A save whose payload is silently truncated mid-write (torn write) may
+  // commit, but the checksum footer must expose it on load.
+  {
+    IoFaultPlan plan;
+    plan.write_truncate_at = static_cast<int64_t>(before.size()) / 2;
+    FaultGuard guard(plan);
+    core::SaveModel(other, path);
+  }
+  EXPECT_FALSE(core::LoadModel(path).ok())
+      << "torn write committed a file that then loaded OK";
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, WriterReportsInjectedFailureViaStatus) {
+  const std::string path = TempPath("writer_fault.bin");
+  IoFaultPlan plan;
+  plan.fail_nth_write = 1;
+  FaultGuard guard(plan);
+  BinaryWriter writer(path);
+  writer.WriteU32(1);  // ok
+  writer.WriteU32(2);  // injected failure
+  EXPECT_FALSE(writer.status().ok());
+  EXPECT_FALSE(writer.Close().ok());
+  // Nothing was committed.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST(FaultInjectionTest, ReaderRejectsOversizedContainerBeforeAllocating) {
+  // A corrupt length prefix must be rejected against the file size, not
+  // trusted into a huge allocation.
+  const std::string path = TempPath("oversized.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU64(1ull << 30);  // claims 1Gi floats follow; none do
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  reader.ReadF32Vector();
+  EXPECT_FALSE(reader.status().ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lightlt

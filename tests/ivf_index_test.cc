@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
+#include <string>
 
 #include "src/baselines/shallow_quant.h"
 #include "src/index/adc_index.h"
@@ -161,6 +163,36 @@ TEST(IvfAdcIndexTest, MemoryAccountedAndPositive) {
   ASSERT_TRUE(idx.ok());
   // At least codes (n*m bytes) + ids (4n) + norms (4n).
   EXPECT_GE(idx.value().MemoryBytes(), 120u * 2 + 120u * 8);
+}
+
+TEST(IvfAdcIndexTest, SaveLoadRoundTripPreservesSearch) {
+  auto f = MakeFixture(150, 3, 8, 6, 9);
+  IvfOptions opts;
+  opts.num_cells = 8;
+  opts.nprobe = 3;
+  auto built = IvfAdcIndex::Build(f.embeddings, f.codebooks, f.codes, opts);
+  ASSERT_TRUE(built.ok());
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/ivf_roundtrip.bin";
+  ASSERT_TRUE(built.value().Save(path).ok());
+  auto loaded = IvfAdcIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_items(), built.value().num_items());
+  EXPECT_EQ(loaded.value().num_cells(), built.value().num_cells());
+
+  Rng rng(10);
+  for (int t = 0; t < 5; ++t) {
+    Matrix q = Matrix::RandomGaussian(1, 6, rng);
+    const auto before = built.value().Search(q.data(), 15);
+    const auto after = loaded.value().Search(q.data(), 15);
+    ASSERT_EQ(before.size(), after.size());
+    for (size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i].id, after[i].id);
+      EXPECT_EQ(before[i].distance, after[i].distance);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/core/trainer.h"
 #include "src/data/dataset.h"
 
@@ -139,6 +142,95 @@ TEST(RetrievalServiceTest, IvfModeServesAndSaysHowMuchItScans) {
   ASSERT_TRUE(hits.ok());
   EXPECT_EQ(hits.value().size(), 5u);
   EXPECT_GT(service.value().IndexMemoryBytes(), 0u);
+}
+
+TEST(RetrievalServiceTest, BuildRejectsNonFiniteDatabase) {
+  auto f = MakeFixture();
+  Matrix bad = f.bench.database.features;
+  bad.data()[7] = std::numeric_limits<float>::quiet_NaN();
+  auto service = RetrievalService::Build(f.model, bad);
+  EXPECT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RetrievalServiceTest, QueryRejectsNonFiniteFeatures) {
+  auto f = MakeFixture();
+  auto service = RetrievalService::Build(f.model, f.bench.database.features);
+  ASSERT_TRUE(service.ok());
+
+  Matrix nan_query = f.bench.query.features.RowCopy(0);
+  nan_query.data()[3] = std::numeric_limits<float>::quiet_NaN();
+  auto hits = service.value().Query(nan_query, 3);
+  EXPECT_FALSE(hits.ok());
+  EXPECT_EQ(hits.status().code(), StatusCode::kInvalidArgument);
+
+  Matrix inf_batch = f.bench.query.features;
+  inf_batch.data()[11] = std::numeric_limits<float>::infinity();
+  auto batch = service.value().QueryBatch(inf_batch, 3);
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RetrievalServiceTest, EdgeCaseTopKAndEmptyBatch) {
+  auto f = MakeFixture();
+  auto service = RetrievalService::Build(f.model, f.bench.database.features);
+  ASSERT_TRUE(service.ok());
+  const Matrix query = f.bench.query.features.RowCopy(0);
+
+  // top_k = 0 is a valid (if useless) request: empty result, no error.
+  auto none = service.value().Query(query, 0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+
+  // top_k beyond the database returns everything, once.
+  const size_t n = service.value().num_items();
+  auto all = service.value().Query(query, n + 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), n);
+
+  // A zero-row batch is answered with a zero-length result list.
+  Matrix empty_batch(0, 16);
+  auto batch = service.value().QueryBatch(empty_batch, 3);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch.value().empty());
+}
+
+TEST(RetrievalServiceTest, RerankPoolSmallerThanTopKStillFillsTopK) {
+  auto f = MakeFixture();
+  ServiceOptions opts;
+  opts.exact_rerank = true;
+  opts.rerank_pool = 2;  // smaller than top_k below
+  auto service =
+      RetrievalService::Build(f.model, f.bench.database.features, opts);
+  ASSERT_TRUE(service.ok());
+  auto hits = service.value().Query(f.bench.query.features.RowCopy(0), 6);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 6u);
+}
+
+TEST(RetrievalServiceTest, IvfShortfallDegradesToFlatScan) {
+  auto f = MakeFixture();
+  ServiceOptions opts;
+  opts.use_ivf = true;
+  opts.ivf.num_cells = 10;
+  opts.ivf.nprobe = 2;  // probes a strict subset of the database
+  auto service =
+      RetrievalService::Build(f.model, f.bench.database.features, opts);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ(service.value().degraded_query_count(), 0u);
+
+  // Asking for every item exceeds what 2 of 10 cells can supply, so the
+  // query must be served by the flat fallback — full result set, counter up.
+  const size_t n = service.value().num_items();
+  auto hits = service.value().Query(f.bench.query.features.RowCopy(0), n);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), n);
+  EXPECT_EQ(service.value().degraded_query_count(), 1u);
+
+  // A small top_k satisfied by the probed cells stays on the fast path.
+  auto fast = service.value().Query(f.bench.query.features.RowCopy(1), 3);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(service.value().degraded_query_count(), 1u);
 }
 
 }  // namespace
