@@ -67,7 +67,9 @@ int main(int argc, char** argv) {
     }
     size_t hit = 0;
     for (size_t q = 0; q < results.value().size(); ++q) {
-      for (const auto& h : results.value()[q]) {
+      const auto& row = results.value()[q];
+      if (!row.ok()) continue;
+      for (const auto& h : row.value()) {
         if (bench.database.labels[h.id] == bench.query.labels[q]) {
           ++hit;
           break;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/util/chaos.h"
 #include "src/util/check.h"
 #include "src/util/io.h"
 
@@ -64,14 +65,10 @@ void AdcIndex::BuildScanCache() {
   });
 }
 
-void AdcIndex::ComputeScores(const float* query,
-                             std::vector<float>* scores) const {
+std::vector<float> AdcIndex::BuildLookupTables(const float* query) const {
   const size_t m = codebooks_.size();
   const size_t k = num_codewords();
   const size_t d = dim();
-  const size_t n = codes_.num_items();
-
-  // Lookup tables: lut[cb*k + j] = <q, C_cb[j]>. O(dMK).
   std::vector<float> lut(m * k);
   for (size_t cb = 0; cb < m; ++cb) {
     const Matrix& book = codebooks_[cb];
@@ -83,39 +80,89 @@ void AdcIndex::ComputeScores(const float* query,
       row[j] = acc;
     }
   }
+  return lut;
+}
 
-  // Scoring: score_i = ||o_i||^2 - 2 sum_cb lut[code]. O(nM).
-  scores->resize(n);
-  float* out = scores->data();
-  const float* lut_base = lut.data();
+void AdcIndex::ScoreRange(const float* lut, size_t begin, size_t end,
+                          float* scores) const {
+  const size_t m = codebooks_.size();
+  const size_t k = num_codewords();
   if (!scan_codes_.empty()) {
     // Fast path: byte-wide scan cache, no bit extraction in the hot loop.
-    const uint8_t* code_ptr = scan_codes_.data();
-    for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code_ptr = scan_codes_.data() + begin * m;
+    for (size_t i = begin; i < end; ++i) {
       float dot = 0.0f;
       for (size_t cb = 0; cb < m; ++cb) {
-        dot += lut_base[cb * k + code_ptr[cb]];
+        dot += lut[cb * k + code_ptr[cb]];
       }
-      out[i] = recon_norms_[i] - 2.0f * dot;
+      scores[i] = recon_norms_[i] - 2.0f * dot;
       code_ptr += m;
     }
   } else {
-    // Wide-code fallback: stream the packed bit array with a cursor.
-    float acc = 0.0f;
-    codes_.ForEachCode([&](size_t item, size_t cb, uint32_t code) {
-      acc += lut_base[cb * k + code];
-      if (cb + 1 == m) {
-        out[item] = recon_norms_[item] - 2.0f * acc;
-        acc = 0.0f;
+    // Wide-code fallback (K > 256): random-access bit extraction. Slower
+    // than the streaming cursor, but restartable at any chunk boundary.
+    for (size_t i = begin; i < end; ++i) {
+      float dot = 0.0f;
+      for (size_t cb = 0; cb < m; ++cb) {
+        dot += lut[cb * k + codes_.Get(i, cb)];
       }
-    });
+      scores[i] = recon_norms_[i] - 2.0f * dot;
+    }
   }
+}
+
+void AdcIndex::ComputeScores(const float* query,
+                             std::vector<float>* scores) const {
+  // Legacy uncontrolled scan (eval, RankAll): one uninterrupted pass, no
+  // lifecycle checks and no chaos instrumentation.
+  const std::vector<float> lut = BuildLookupTables(query);
+  scores->resize(codes_.num_items());
+  ScoreRange(lut.data(), 0, codes_.num_items(), scores->data());
+}
+
+Status AdcIndex::ComputeScores(const float* query, std::vector<float>* scores,
+                               const ScanControl& control) const {
+  const size_t n = codes_.num_items();
+  const std::vector<float> lut = BuildLookupTables(query);
+  scores->resize(n);
+  if (control.Trivial() && !ChaosArmed()) {
+    ScoreRange(lut.data(), 0, n, scores->data());
+    return Status::Ok();
+  }
+  // Score score_i = ||o_i||^2 - 2 sum_cb lut[code] in chunks, polling the
+  // control between chunks: an expired or cancelled request overshoots its
+  // budget by at most one chunk of scoring work.
+  const size_t chunk = std::max<size_t>(1, control.check_every_items);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    if (begin > 0) LIGHTLT_RETURN_IF_ERROR(control.Check());
+    LIGHTLT_RETURN_IF_ERROR(ChaosOnScanChunk());
+    ScoreRange(lut.data(), begin, std::min(begin + chunk, n),
+               scores->data());
+  }
+  return Status::Ok();
 }
 
 std::vector<SearchHit> AdcIndex::Search(const float* query,
                                         size_t top_k) const {
   std::vector<float> scores;
   ComputeScores(query, &scores);
+  const size_t k = std::min(top_k, scores.size());
+
+  std::vector<uint32_t> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return scores[a] < scores[b];
+                    });
+  std::vector<SearchHit> hits(k);
+  for (size_t i = 0; i < k; ++i) hits[i] = {ids[i], scores[ids[i]]};
+  return hits;
+}
+
+Result<std::vector<SearchHit>> AdcIndex::Search(
+    const float* query, size_t top_k, const ScanControl& control) const {
+  std::vector<float> scores;
+  LIGHTLT_RETURN_IF_ERROR(ComputeScores(query, &scores, control));
   const size_t k = std::min(top_k, scores.size());
 
   std::vector<uint32_t> ids(scores.size());

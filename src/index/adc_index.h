@@ -16,6 +16,7 @@
 
 #include "src/index/codes.h"
 #include "src/tensor/matrix.h"
+#include "src/util/deadline.h"
 #include "src/util/status.h"
 #include "src/util/threadpool.h"
 
@@ -42,8 +43,21 @@ class AdcIndex {
   /// distance for a fixed query. O(dMK + nM).
   void ComputeScores(const float* query, std::vector<float>* scores) const;
 
+  /// Control-aware scan: scores in chunks of `control.check_every_items`,
+  /// polling deadline/cancellation (and the chaos hooks, when armed)
+  /// between chunks, so an expiring request stops within one chunk. With a
+  /// trivial control and chaos disarmed this is the same single tight loop
+  /// as the overload above. On failure `scores` contents are unspecified.
+  Status ComputeScores(const float* query, std::vector<float>* scores,
+                       const ScanControl& control) const;
+
   /// Returns the top_k nearest items by ADC distance (ascending).
   std::vector<SearchHit> Search(const float* query, size_t top_k) const;
+
+  /// Control-aware Search: kDeadlineExceeded / kCancelled when the scan is
+  /// stopped mid-flight, kUnavailable for an injected transient fault.
+  Result<std::vector<SearchHit>> Search(const float* query, size_t top_k,
+                                        const ScanControl& control) const;
 
   /// Full ranking of all items (for MAP evaluation).
   std::vector<uint32_t> RankAll(const float* query) const;
@@ -74,6 +88,13 @@ class AdcIndex {
 
   /// Materializes the byte-wide scan cache from the packed codes.
   void BuildScanCache();
+
+  /// Per-query lookup tables lut[cb*K + j] = <q, C_cb[j]>. O(dMK).
+  std::vector<float> BuildLookupTables(const float* query) const;
+
+  /// Scores items [begin, end) into scores[begin..end). O((end-begin) M).
+  void ScoreRange(const float* lut, size_t begin, size_t end,
+                  float* scores) const;
 
   std::vector<Matrix> codebooks_;     // M x (K x d)
   PackedCodes codes_;                 // n x M packed IDs

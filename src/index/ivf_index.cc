@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "src/clustering/kmeans.h"
+#include "src/util/chaos.h"
 #include "src/util/check.h"
 #include "src/util/io.h"
 
@@ -102,6 +103,18 @@ Result<IvfAdcIndex> IvfAdcIndex::Build(
 
 std::vector<SearchHit> IvfAdcIndex::Search(const float* query, size_t top_k,
                                            size_t nprobe_override) const {
+  // Legacy uncontrolled entry point: chaos-instrumented like the
+  // control-aware one (the hooks are no-ops when disarmed), with an
+  // injected failure surfacing as an empty result (callers treat a
+  // shortfall as degradation).
+  auto result = Search(query, top_k, ScanControl{}, nprobe_override);
+  return result.ok() ? std::move(result).value() : std::vector<SearchHit>{};
+}
+
+Result<std::vector<SearchHit>> IvfAdcIndex::Search(
+    const float* query, size_t top_k, const ScanControl& control,
+    size_t nprobe_override) const {
+  LIGHTLT_RETURN_IF_ERROR(ChaosOnIvfSearch());
   const size_t m = codebooks_.size();
   const size_t k = codebooks_.empty() ? 0 : codebooks_[0].rows();
   const size_t d = codebooks_.empty() ? 0 : codebooks_[0].cols();
@@ -137,9 +150,13 @@ std::vector<SearchHit> IvfAdcIndex::Search(const float* query, size_t top_k,
     }
   }
 
-  // Scan the probed cells, keep the best top_k overall.
+  // Scan the probed cells, keep the best top_k overall. Each cell is one
+  // cooperative chunk: the control is polled between cells, so expiry or
+  // cancellation overshoots by at most one cell's scan.
   std::vector<SearchHit> hits;
   for (size_t p = 0; p < nprobe; ++p) {
+    if (p > 0) LIGHTLT_RETURN_IF_ERROR(control.Check());
+    LIGHTLT_RETURN_IF_ERROR(ChaosOnScanChunk());
     const uint32_t cell = cell_order[p];
     const auto& ids = cell_ids_[cell];
     const auto& codes = cell_codes_[cell];

@@ -17,6 +17,7 @@
 
 #include "src/index/adc_index.h"
 #include "src/tensor/matrix.h"
+#include "src/util/deadline.h"
 #include "src/util/status.h"
 
 namespace lightlt::index {
@@ -50,6 +51,15 @@ class IvfAdcIndex {
   /// query with `nprobe_override` > 0). Returns original database ids.
   std::vector<SearchHit> Search(const float* query, size_t top_k,
                                 size_t nprobe_override = 0) const;
+
+  /// Control-aware Search: polls deadline/cancellation between probed
+  /// cells (each cell is one scan chunk), and runs the chaos IVF hooks —
+  /// an injected IVF failure surfaces here as kUnavailable, which the
+  /// serving circuit breaker counts. On success, may still return fewer
+  /// than top_k hits when the probed cells are short (caller degrades).
+  Result<std::vector<SearchHit>> Search(const float* query, size_t top_k,
+                                        const ScanControl& control,
+                                        size_t nprobe_override) const;
 
   /// Expected fraction of the database scanned per query (diagnostic; cell
   /// balance determines the real speedup over exhaustive ADC). Uses actual

@@ -1,0 +1,115 @@
+#include "src/serving/circuit_breaker.h"
+
+#include <chrono>
+
+namespace lightlt::serving {
+
+namespace {
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options) {}
+
+double CircuitBreaker::Now() const {
+  return options_.clock ? options_.clock() : SteadyNowSeconds();
+}
+
+void CircuitBreaker::MaybeHalfOpenLocked() const {
+  if (state_ == BreakerState::kOpen &&
+      Now() - opened_at_ >= options_.cooldown_seconds) {
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+    half_open_probes_in_flight_ = 0;
+  }
+}
+
+bool CircuitBreaker::AllowRequest() {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeHalfOpenLocked();
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      if (half_open_probes_in_flight_ >= options_.half_open_max_probes) {
+        return false;
+      }
+      ++half_open_probes_in_flight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    if (half_open_probes_in_flight_ > 0) --half_open_probes_in_flight_;
+    if (++half_open_successes_ >= options_.half_open_successes_to_close) {
+      state_ = BreakerState::kClosed;
+    }
+  }
+}
+
+void CircuitBreaker::RecordAbandoned() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen && half_open_probes_in_flight_ > 0) {
+    --half_open_probes_in_flight_;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // A failed probe re-opens immediately: the cooldown restarts.
+    state_ = BreakerState::kOpen;
+    opened_at_ = Now();
+    ++open_transitions_;
+    consecutive_failures_ = 0;
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    opened_at_ = Now();
+    ++open_transitions_;
+    consecutive_failures_ = 0;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Report the cooldown promotion lazily, so an observer sees half-open
+  // as soon as the clock allows it (not only after the next request).
+  MaybeHalfOpenLocked();
+  return state_;
+}
+
+uint64_t CircuitBreaker::open_transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_transitions_;
+}
+
+}  // namespace lightlt::serving

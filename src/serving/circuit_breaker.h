@@ -1,0 +1,89 @@
+// Circuit breaker for the IVF search path (DESIGN.md §9).
+//
+// Generalizes the per-query IVF→flat fallback: when the IVF path fails or
+// comes up short N times in a row, the breaker opens and the service stops
+// paying for doomed IVF attempts entirely, serving from the flat scan.
+// After a cooldown it half-opens and lets a bounded number of probe
+// requests through; enough successes close it, any failure re-opens it.
+//
+//            failures >= threshold            cooldown elapsed
+//   CLOSED ───────────────────────▶ OPEN ───────────────────────▶ HALF-OPEN
+//     ▲                              ▲                                │
+//     │   successes >= probe quota   │          any failure           │
+//     └──────────────────────────────┼────────────────────────────────┤
+//                                    └────────────────────────────────┘
+//
+// Thread-safe; the clock is injectable so tests drive the cooldown
+// deterministically.
+
+#ifndef LIGHTLT_SERVING_CIRCUIT_BREAKER_H_
+#define LIGHTLT_SERVING_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace lightlt::serving {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that open the breaker. 0 disables it (always
+  /// closed, every request allowed).
+  int failure_threshold = 5;
+  /// Seconds the breaker stays open before half-opening.
+  double cooldown_seconds = 5.0;
+  /// Consecutive half-open successes required to close again.
+  int half_open_successes_to_close = 1;
+  /// Probe requests allowed through while half-open (in excess of this,
+  /// requests are routed around the protected path until a verdict).
+  int half_open_max_probes = 1;
+  /// Injectable monotonic clock (seconds); defaults to the steady clock.
+  std::function<double()> clock;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerOptions& options);
+
+  /// True when the protected path may be attempted: always when closed,
+  /// never when open (until the cooldown promotes it to half-open), and
+  /// for up to `half_open_max_probes` outstanding probes when half-open.
+  /// A true return must be matched by RecordSuccess() or RecordFailure().
+  bool AllowRequest();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  /// The attempt ended without a verdict on the protected path's health
+  /// (the request's deadline expired or it was cancelled mid-attempt).
+  /// Balances AllowRequest()'s half-open probe accounting; no state
+  /// transition and the consecutive-failure streak is left untouched.
+  void RecordAbandoned();
+
+  BreakerState state() const;
+  uint64_t open_transitions() const;
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+ private:
+  double Now() const;
+  /// Promotes kOpen → kHalfOpen once the cooldown has elapsed. Caller
+  /// holds mu_. Const (and the promoted fields mutable) because observers
+  /// like state() must see the promotion as soon as the clock allows it.
+  void MaybeHalfOpenLocked() const;
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  mutable BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  mutable int half_open_successes_ = 0;
+  mutable int half_open_probes_in_flight_ = 0;
+  double opened_at_ = 0.0;
+  uint64_t open_transitions_ = 0;
+};
+
+}  // namespace lightlt::serving
+
+#endif  // LIGHTLT_SERVING_CIRCUIT_BREAKER_H_

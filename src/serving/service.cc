@@ -4,6 +4,7 @@
 #include <cmath>
 #include <exception>
 #include <string>
+#include <utility>
 
 #include "src/core/pipeline.h"
 #include "src/util/check.h"
@@ -18,6 +19,17 @@ bool AllFinite(const Matrix& m) {
   }
   return true;
 }
+
+bool RowFinite(const Matrix& m, size_t row) {
+  const float* data = m.row(row);
+  for (size_t j = 0; j < m.cols(); ++j) {
+    if (!std::isfinite(data[j])) return false;
+  }
+  return true;
+}
+
+/// Rerank hits checked this often against the request deadline/token.
+constexpr size_t kRerankCheckEvery = 64;
 
 }  // namespace
 
@@ -58,7 +70,8 @@ Result<RetrievalService> RetrievalService::Build(
   RetrievalService service;
   service.options_ = options;
   service.model_ = model;
-  service.degraded_queries_ = std::make_shared<std::atomic<uint64_t>>(0);
+  service.counters_ = std::make_shared<Counters>();
+  service.admission_ = std::make_shared<AdmissionController>(options.admission);
 
   const Matrix embedded = core::EmbedInChunks(*model, db_features);
   std::vector<std::vector<uint32_t>> codes;
@@ -70,6 +83,7 @@ Result<RetrievalService> RetrievalService::Build(
     if (!ivf.ok()) return ivf.status();
     service.ivf_ =
         std::make_unique<index::IvfAdcIndex>(std::move(ivf).value());
+    service.breaker_ = std::make_shared<CircuitBreaker>(options.breaker);
   }
   // The flat ADC index is always kept: it serves re-ranking lookups
   // (Reconstruct) and is the fallback scan path.
@@ -79,40 +93,79 @@ Result<RetrievalService> RetrievalService::Build(
   return service;
 }
 
-std::vector<ServedHit> RetrievalService::SearchEmbedded(const float* query,
-                                                        size_t top_k) const {
-  const size_t pool = std::max(
-      top_k, options_.exact_rerank ? options_.rerank_pool : top_k);
+void RetrievalService::CountOutcome(const Status& status) const {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      counters_->expired.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kCancelled:
+      counters_->cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      counters_->failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+Result<std::vector<ServedHit>> RetrievalService::SearchEmbedded(
+    const float* query, size_t top_k, const ScanControl& control,
+    bool degraded) const {
+  // Degraded admissions shed the optional work: no over-fetch, no exact
+  // rerank, and the flat scan instead of the IVF path.
+  const bool rerank = options_.exact_rerank && !degraded;
+  const size_t pool =
+      std::max(top_k, rerank ? options_.rerank_pool : top_k);
 
   std::vector<index::SearchHit> hits;
-  if (ivf_ != nullptr) {
-    // Graceful degradation: the flat ADC index covers the whole database, so
-    // if the IVF path throws or its probed cells yield fewer candidates than
-    // the flat scan would, fall back rather than fail or silently shortchange
-    // the caller. The counter makes degraded mode observable.
+  bool have_hits = false;
+  if (ivf_ != nullptr && !degraded) {
+    // Graceful degradation: the flat ADC index covers the whole database,
+    // so if the IVF path fails or its probed cells yield fewer candidates
+    // than the flat scan would, fall back rather than fail or silently
+    // shortchange the caller. Repeated failures open the breaker, which
+    // routes straight to the flat scan until a cooldown probe succeeds.
     const size_t expected = std::min(pool, adc_->num_items());
-    bool degraded = false;
-    try {
-      hits = ivf_->Search(query, pool);
-      if (hits.size() < expected) degraded = true;
-    } catch (...) {
-      degraded = true;
+    if (breaker_->AllowRequest()) {
+      auto ivf_hits = ivf_->Search(query, pool, control, /*nprobe=*/0);
+      if (ivf_hits.ok()) {
+        if (ivf_hits.value().size() >= expected) {
+          breaker_->RecordSuccess();
+          hits = std::move(ivf_hits).value();
+          have_hits = true;
+        } else {
+          breaker_->RecordFailure();  // shortfall
+        }
+      } else if (ivf_hits.status().code() == StatusCode::kDeadlineExceeded ||
+                 ivf_hits.status().code() == StatusCode::kCancelled) {
+        // The request ran out of budget mid-scan — that says nothing about
+        // IVF health, so the breaker gets no verdict.
+        breaker_->RecordAbandoned();
+        return ivf_hits.status();
+      } else {
+        breaker_->RecordFailure();
+      }
     }
-    if (degraded) {
-      hits = adc_->Search(query, pool);
-      if (degraded_queries_) degraded_queries_->fetch_add(1);
+    if (!have_hits) {
+      counters_->flat_fallbacks.fetch_add(1, std::memory_order_relaxed);
     }
-  } else {
-    hits = adc_->Search(query, pool);
+  }
+  if (!have_hits) {
+    auto flat = adc_->Search(query, pool, control);
+    if (!flat.ok()) return flat.status();
+    hits = std::move(flat).value();
   }
 
-  if (options_.exact_rerank) {
+  if (rerank) {
     // Re-rank the pool by exact distance to the reconstructions: the ADC
     // score already is that distance up to a query-constant, so re-ranking
     // only matters when the candidate pool came from a lossier path (IVF
     // probing) or a future approximate scorer; it is cheap either way.
     const size_t d = adc_->dim();
-    for (auto& hit : hits) {
+    for (size_t i = 0; i < hits.size(); ++i) {
+      if (i % kRerankCheckEvery == 0 && !control.Trivial()) {
+        LIGHTLT_RETURN_IF_ERROR(control.Check());
+      }
+      auto& hit = hits[i];
       const Matrix recon = adc_->Reconstruct(hit.id);
       float dist = 0.0f;
       for (size_t j = 0; j < d; ++j) {
@@ -133,8 +186,46 @@ std::vector<ServedHit> RetrievalService::SearchEmbedded(const float* query,
   return out;
 }
 
+Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
+    const float* query, size_t top_k, const ScanControl& control,
+    size_t observed_depth) const {
+  // A request that arrives already expired or cancelled consumes no
+  // admission slot and no rate-limiter token.
+  Status pre = control.Check();
+  if (!pre.ok()) {
+    CountOutcome(pre);
+    return pre;
+  }
+
+  const AdmissionOutcome outcome = admission_->TryAdmit(observed_depth);
+  if (outcome == AdmissionOutcome::kShed) {
+    counters_->shed.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("RetrievalService: overloaded, request shed");
+  }
+  AdmissionTicket ticket(admission_.get());
+  const bool degraded = outcome == AdmissionOutcome::kDegrade;
+  counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+  if (degraded) {
+    counters_->degraded_admissions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  auto result = SearchEmbedded(query, top_k, control, degraded);
+  if (result.ok()) {
+    counters_->served.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    CountOutcome(result.status());
+  }
+  return result;
+}
+
 Result<std::vector<ServedHit>> RetrievalService::Query(const Matrix& features,
                                                        size_t top_k) const {
+  return Query(features, top_k, RequestOptions{});
+}
+
+Result<std::vector<ServedHit>> RetrievalService::Query(
+    const Matrix& features, size_t top_k,
+    const RequestOptions& request) const {
   if (features.rows() != 1 ||
       features.cols() != model_->config().input_dim) {
     return Status::InvalidArgument("Query: expected a 1 x input_dim vector");
@@ -142,38 +233,100 @@ Result<std::vector<ServedHit>> RetrievalService::Query(const Matrix& features,
   if (!AllFinite(features)) {
     return Status::InvalidArgument("Query: features contain NaN/Inf");
   }
+  const ScanControl control{request.deadline, request.cancel,
+                            options_.scan_check_every};
   const Matrix embedded = model_->Embed(features);
-  return SearchEmbedded(embedded.row(0), top_k);
+  return ServeEmbedded(embedded.row(0), top_k, control,
+                       /*observed_depth=*/0);
 }
 
-Result<std::vector<std::vector<ServedHit>>> RetrievalService::QueryBatch(
-    const Matrix& features, size_t top_k, ThreadPool* pool) const {
+Result<std::vector<Result<std::vector<ServedHit>>>>
+RetrievalService::QueryBatch(const Matrix& features, size_t top_k,
+                             ThreadPool* pool,
+                             const RequestOptions& request) const {
+  using RowResult = Result<std::vector<ServedHit>>;
   if (features.cols() != model_->config().input_dim) {
     return Status::InvalidArgument("QueryBatch: feature dim mismatch");
   }
-  if (features.rows() == 0) return std::vector<std::vector<ServedHit>>{};
-  if (!AllFinite(features)) {
-    return Status::InvalidArgument("QueryBatch: features contain NaN/Inf");
+  const size_t n = features.rows();
+  // Rows start out expired: any row the batch deadline prevents from
+  // running keeps this status, so callers always get one Result per row.
+  std::vector<RowResult> rows;
+  rows.reserve(n);
+  for (size_t q = 0; q < n; ++q) {
+    rows.emplace_back(Status::DeadlineExceeded(
+        "QueryBatch: deadline expired before this row started"));
   }
-  // Each call runs under its own TaskGroup, so concurrent QueryBatch calls
-  // sharing one pool wait only on their own queries. A worker exception is
-  // rethrown by ParallelFor and converted to Status here (no exceptions
-  // cross the serving API).
+  if (n == 0) return rows;
+
+  const ScanControl control{request.deadline, request.cancel,
+                            options_.scan_check_every};
   try {
+    // Embedding is a dense matrix product; non-finite rows embed to
+    // non-finite garbage but are rejected per-row below, before any scan.
     const Matrix embedded =
         core::EmbedInChunks(*model_, features, /*chunk=*/4096, pool);
-    std::vector<std::vector<ServedHit>> results(features.rows());
-    ParallelFor(
-        pool, features.rows(),
-        [&](size_t q) { results[q] = SearchEmbedded(embedded.row(q), top_k); },
-        /*min_chunk=*/4);
-    return results;
+
+    // One task per row so a deadline can cut the batch between rows:
+    // CancelPending() drops rows that never started, and running rows stop
+    // at their next chunk check. Each call runs under its own TaskGroup, so
+    // concurrent QueryBatch calls sharing one pool wait only on their own
+    // queries. No exceptions cross the serving API: each row converts its
+    // own failure to a per-row Status.
+    TaskGroup group(pool);
+    for (size_t q = 0; q < n; ++q) {
+      group.Submit([&, q]() {
+        try {
+          if (!RowFinite(features, q)) {
+            rows[q] = Status::InvalidArgument(
+                "QueryBatch: row features contain NaN/Inf");
+            return;
+          }
+          const size_t depth = pool ? pool->ApproxQueueDepth() : 0;
+          rows[q] = ServeEmbedded(embedded.row(q), top_k, control, depth);
+        } catch (const std::exception& e) {
+          rows[q] = Status::Internal(
+              std::string("QueryBatch: worker failed: ") + e.what());
+        } catch (...) {
+          rows[q] = Status::Internal("QueryBatch: worker failed");
+        }
+      });
+    }
+    if (request.deadline.IsInfinite()) {
+      group.Wait();
+    } else if (!group.WaitUntil(request.deadline.time_point())) {
+      const size_t dropped = group.CancelPending();
+      counters_->expired.fetch_add(dropped, std::memory_order_relaxed);
+      // Rows already running observe the deadline at their next chunk
+      // check, so this second wait is bounded by one chunk of work.
+      group.Wait();
+    }
+    return rows;
   } catch (const std::exception& e) {
-    return Status::Internal(std::string("QueryBatch: worker failed: ") +
+    return Status::Internal(std::string("QueryBatch: batch failed: ") +
                             e.what());
   } catch (...) {
-    return Status::Internal("QueryBatch: worker failed");
+    return Status::Internal("QueryBatch: batch failed");
   }
+}
+
+ServiceStats RetrievalService::Stats() const {
+  ServiceStats s;
+  s.admitted = counters_->admitted.load(std::memory_order_relaxed);
+  s.degraded_admissions =
+      counters_->degraded_admissions.load(std::memory_order_relaxed);
+  s.served = counters_->served.load(std::memory_order_relaxed);
+  s.shed = counters_->shed.load(std::memory_order_relaxed);
+  s.expired = counters_->expired.load(std::memory_order_relaxed);
+  s.cancelled = counters_->cancelled.load(std::memory_order_relaxed);
+  s.failed = counters_->failed.load(std::memory_order_relaxed);
+  s.flat_fallbacks = counters_->flat_fallbacks.load(std::memory_order_relaxed);
+  s.in_flight = admission_->InFlight();
+  if (breaker_) {
+    s.breaker_open_transitions = breaker_->open_transitions();
+    s.breaker_state = breaker_->state();
+  }
+  return s;
 }
 
 size_t RetrievalService::IndexMemoryBytes() const {

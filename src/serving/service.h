@@ -7,7 +7,14 @@
 // database features, consistent dimensions), non-finite query features are
 // rejected as InvalidArgument, and an IVF search that fails or comes up
 // short degrades to the always-present flat ADC scan instead of failing the
-// query (observable via degraded_query_count()).
+// query (observable via Stats().flat_fallbacks / degraded_query_count()).
+//
+// Request lifecycle (DESIGN.md §9): every query passes through
+//   deadline/cancel check → admission → (breaker-gated IVF | flat scan)
+//   → rerank → served
+// and ends in exactly one outcome — served, shed (kUnavailable), expired
+// (kDeadlineExceeded), cancelled (kCancelled) or failed — all visible in
+// the ServiceStats snapshot.
 
 #ifndef LIGHTLT_SERVING_SERVICE_H_
 #define LIGHTLT_SERVING_SERVICE_H_
@@ -21,6 +28,9 @@
 #include "src/core/lightlt_model.h"
 #include "src/index/adc_index.h"
 #include "src/index/ivf_index.h"
+#include "src/serving/admission.h"
+#include "src/serving/circuit_breaker.h"
+#include "src/util/deadline.h"
 #include "src/util/status.h"
 #include "src/util/threadpool.h"
 
@@ -37,12 +47,42 @@ struct ServiceOptions {
   /// Use the IVF-accelerated index (requires ivf options at Build time).
   bool use_ivf = false;
   index::IvfOptions ivf;
+  /// Overload policy: in-flight caps, backlog shedding, token bucket.
+  /// Defaults leave every limit off (always admit).
+  AdmissionOptions admission;
+  /// Circuit breaker around the IVF path; irrelevant without use_ivf.
+  CircuitBreakerOptions breaker;
+  /// Items scanned between deadline/cancellation checks inside index scan
+  /// loops; bounds deadline overshoot to roughly one chunk of work.
+  size_t scan_check_every = 1024;
+};
+
+/// Per-request lifecycle knobs. Default: no deadline, not cancellable.
+struct RequestOptions {
+  Deadline deadline;
+  CancellationToken cancel;
 };
 
 /// One retrieval result with its database payload.
 struct ServedHit {
   uint32_t id = 0;
   float distance = 0.0f;
+};
+
+/// Point-in-time counter snapshot; every terminal request outcome
+/// increments exactly one of served/shed/expired/cancelled/failed.
+struct ServiceStats {
+  uint64_t admitted = 0;    // passed admission (includes degraded)
+  uint64_t degraded_admissions = 0;  // admitted in degraded mode
+  uint64_t served = 0;      // returned hits to the caller
+  uint64_t shed = 0;        // rejected by admission (kUnavailable)
+  uint64_t expired = 0;     // kDeadlineExceeded
+  uint64_t cancelled = 0;   // kCancelled
+  uint64_t failed = 0;      // any other terminal error after admission
+  uint64_t flat_fallbacks = 0;  // served by flat scan though IVF was on
+  uint64_t breaker_open_transitions = 0;
+  uint64_t in_flight = 0;
+  BreakerState breaker_state = BreakerState::kClosed;
 };
 
 /// A ready-to-serve retrieval stack: model (query encoder) + compressed
@@ -58,28 +98,63 @@ class RetrievalService {
   /// Top-k search for one raw feature vector (1 x input_dim).
   Result<std::vector<ServedHit>> Query(const Matrix& features,
                                        size_t top_k) const;
+  Result<std::vector<ServedHit>> Query(const Matrix& features, size_t top_k,
+                                       const RequestOptions& request) const;
 
-  /// Batched search; parallelized across the pool when provided.
-  Result<std::vector<std::vector<ServedHit>>> QueryBatch(
-      const Matrix& features, size_t top_k,
-      ThreadPool* pool = nullptr) const;
+  /// Batched search; parallelized across the pool when provided. The outer
+  /// Status covers batch-level malformation only (dimension mismatch); each
+  /// row carries its own Result so one poisoned or deadline-expired row
+  /// cannot fail its siblings. Rows that never started when the batch
+  /// deadline expired report kDeadlineExceeded.
+  Result<std::vector<Result<std::vector<ServedHit>>>> QueryBatch(
+      const Matrix& features, size_t top_k, ThreadPool* pool = nullptr,
+      const RequestOptions& request = {}) const;
 
   size_t num_items() const { return adc_ ? adc_->num_items() : 0; }
   size_t IndexMemoryBytes() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// Lifecycle counters; cheap (a handful of relaxed atomic loads).
+  ServiceStats Stats() const;
+
   /// Number of queries served by the flat-scan fallback because the IVF
-  /// path failed or returned fewer candidates than the flat index could.
-  /// Always 0 when IVF is not enabled.
+  /// path failed, came up short, or was breaker-disallowed. Always 0 when
+  /// IVF is not enabled. (Alias of Stats().flat_fallbacks.)
   uint64_t degraded_query_count() const {
-    return degraded_queries_ ? degraded_queries_->load() : 0;
+    return counters_ ? counters_->flat_fallbacks.load() : 0;
   }
 
  private:
   RetrievalService() = default;
 
-  std::vector<ServedHit> SearchEmbedded(const float* query,
-                                        size_t top_k) const;
+  /// Shared by QueryBatch workers; all counters bumped with relaxed atomics.
+  struct Counters {
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> degraded_admissions{0};
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> cancelled{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> flat_fallbacks{0};
+  };
+
+  /// Records a terminal non-OK outcome for an admitted (or pre-admission
+  /// expired/cancelled) request.
+  void CountOutcome(const Status& status) const;
+
+  /// Full post-embedding lifecycle for one query: deadline/cancel check,
+  /// admission, breaker-gated search, outcome accounting.
+  Result<std::vector<ServedHit>> ServeEmbedded(const float* query,
+                                               size_t top_k,
+                                               const ScanControl& control,
+                                               size_t observed_depth) const;
+
+  /// Candidate retrieval + rerank for an admitted request.
+  Result<std::vector<ServedHit>> SearchEmbedded(const float* query,
+                                                size_t top_k,
+                                                const ScanControl& control,
+                                                bool degraded) const;
 
   ServiceOptions options_;
   std::shared_ptr<const core::LightLtModel> model_;
@@ -87,7 +162,9 @@ class RetrievalService {
   std::unique_ptr<index::IvfAdcIndex> ivf_;
   /// Heap-allocated so the service stays movable; incremented from
   /// QueryBatch worker threads.
-  std::shared_ptr<std::atomic<uint64_t>> degraded_queries_;
+  std::shared_ptr<Counters> counters_;
+  std::shared_ptr<AdmissionController> admission_;
+  std::shared_ptr<CircuitBreaker> breaker_;  // null unless IVF is enabled
 };
 
 }  // namespace lightlt::serving

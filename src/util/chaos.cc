@@ -1,0 +1,125 @@
+#include "src/util/chaos.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace lightlt {
+namespace {
+
+ChaosPlan g_plan;
+std::atomic<bool> g_armed{false};
+
+std::atomic<uint64_t> g_ivf_searches{0};
+std::atomic<uint64_t> g_ivf_failures{0};
+std::atomic<uint64_t> g_scan_chunks{0};
+std::atomic<uint64_t> g_scan_failures{0};
+
+// The IVF hold gate. A plain mutex/condvar pair: holds are rare (tests
+// only) and the armed check guards the fast path.
+std::mutex g_hold_mu;
+std::condition_variable g_hold_cv;
+bool g_hold_ivf = false;
+
+}  // namespace
+
+void ArmChaos(const ChaosPlan& plan) {
+  g_plan = plan;
+  g_ivf_searches.store(0);
+  g_ivf_failures.store(0);
+  g_scan_chunks.store(0);
+  g_scan_failures.store(0);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void DisarmChaos() {
+  g_armed.store(false, std::memory_order_release);
+  g_plan = ChaosPlan{};
+  // Never leave scans parked on the gate after a test disarms.
+  HoldIvf(false);
+}
+
+bool ChaosArmed() { return g_armed.load(std::memory_order_acquire); }
+
+ChaosCounters ChaosCountersSnapshot() {
+  ChaosCounters c;
+  c.ivf_searches = g_ivf_searches.load();
+  c.ivf_failures_injected = g_ivf_failures.load();
+  c.scan_chunks = g_scan_chunks.load();
+  c.scan_failures_injected = g_scan_failures.load();
+  return c;
+}
+
+Status ChaosOnIvfSearch() {
+  if (!ChaosArmed()) return Status::Ok();
+  {
+    std::unique_lock<std::mutex> lock(g_hold_mu);
+    g_hold_cv.wait(lock, [] { return !g_hold_ivf; });
+  }
+  const uint64_t n = g_ivf_searches.fetch_add(1) + 1;
+  if (g_plan.ivf_fail_first_n > 0 &&
+      n <= static_cast<uint64_t>(g_plan.ivf_fail_first_n)) {
+    g_ivf_failures.fetch_add(1);
+    return Status::Unavailable("chaos: injected IVF failure");
+  }
+  return Status::Ok();
+}
+
+Status ChaosOnScanChunk() {
+  if (!ChaosArmed()) return Status::Ok();
+  const uint64_t chunk = g_scan_chunks.fetch_add(1);
+  if (g_plan.scan_chunk_delay_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(g_plan.scan_chunk_delay_seconds));
+  }
+  if (g_plan.scan_fail_nth >= 0 &&
+      chunk == static_cast<uint64_t>(g_plan.scan_fail_nth)) {
+    g_scan_failures.fetch_add(1);
+    return Status::Unavailable("chaos: injected scan failure");
+  }
+  return Status::Ok();
+}
+
+void HoldIvf(bool hold) {
+  {
+    std::lock_guard<std::mutex> lock(g_hold_mu);
+    g_hold_ivf = hold;
+  }
+  if (!hold) g_hold_cv.notify_all();
+}
+
+struct PoolStarver::Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+};
+
+PoolStarver::PoolStarver(ThreadPool* pool, size_t threads)
+    : gate_(std::make_shared<Gate>()), group_(pool) {
+  // A null (or zero-thread) pool would run the blocking tasks inline on
+  // this thread and never return; starving nothing is the only sane answer.
+  if (pool == nullptr || pool->num_threads() == 0) return;
+  for (size_t i = 0; i < threads; ++i) {
+    group_.Submit([gate = gate_] {
+      std::unique_lock<std::mutex> lock(gate->mu);
+      gate->cv.wait(lock, [&] { return gate->released; });
+    });
+  }
+}
+
+PoolStarver::~PoolStarver() {
+  Release();
+  // TaskGroup's destructor drains; the blocked tasks exit on release.
+}
+
+void PoolStarver::Release() {
+  {
+    std::lock_guard<std::mutex> lock(gate_->mu);
+    gate_->released = true;
+  }
+  gate_->cv.notify_all();
+}
+
+}  // namespace lightlt

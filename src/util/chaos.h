@@ -1,0 +1,82 @@
+// Deterministic compute-side fault injection, mirroring IoFaultPlan
+// (src/util/io.h) for the serving path. A ChaosPlan is armed globally;
+// instrumented code calls the hooks below, which inject latency spikes,
+// transient scan failures and IVF-path failures so tests can drive every
+// request-lifecycle state (served / degraded / shed / expired) on demand.
+//
+// Arm/disarm only from single-threaded test code; the hooks themselves are
+// thread-safe (scan loops run on pool workers). Hook counters are global
+// and reset on Arm, so a test can assert exactly how many injections fired.
+
+#ifndef LIGHTLT_UTIL_CHAOS_H_
+#define LIGHTLT_UTIL_CHAOS_H_
+
+#include <cstdint>
+
+#include "src/util/status.h"
+#include "src/util/threadpool.h"
+
+namespace lightlt {
+
+struct ChaosPlan {
+  /// The first N IVF searches fail with kUnavailable (0 = off). Drives the
+  /// serving circuit breaker through its failure transitions.
+  int ivf_fail_first_n = 0;
+  /// Injected latency before every scan chunk (flat ADC chunks and IVF
+  /// cells), simulating a slow machine so short deadlines expire
+  /// deterministically mid-scan (0 = off).
+  double scan_chunk_delay_seconds = 0.0;
+  /// 0-based global scan-chunk index that fails with kUnavailable
+  /// (-1 = off): a transient one-off compute fault.
+  int64_t scan_fail_nth = -1;
+};
+
+/// Counts of injections and hook visits since the last ArmChaos().
+struct ChaosCounters {
+  uint64_t ivf_searches = 0;
+  uint64_t ivf_failures_injected = 0;
+  uint64_t scan_chunks = 0;
+  uint64_t scan_failures_injected = 0;
+};
+
+void ArmChaos(const ChaosPlan& plan);
+void DisarmChaos();
+bool ChaosArmed();
+ChaosCounters ChaosCountersSnapshot();
+
+/// Hook at IVF search entry: counts the attempt and fails the first
+/// `ivf_fail_first_n` of them. Blocks while HoldIvf(true) is in effect
+/// (lets a test deterministically pin a request inside the IVF path).
+Status ChaosOnIvfSearch();
+
+/// Hook between scan chunks: injects the per-chunk delay and the one-shot
+/// scan failure. No-op (and not counted) when chaos is disarmed.
+Status ChaosOnScanChunk();
+
+/// Gate for pinning requests inside the IVF path. HoldIvf(true) makes every
+/// subsequent ChaosOnIvfSearch() block until HoldIvf(false).
+void HoldIvf(bool hold);
+
+/// Deterministic pool starvation: occupies `threads` workers of `pool` with
+/// tasks that block until Release() (or destruction). Lets a test saturate
+/// a pool so admission control observes real backlog.
+class PoolStarver {
+ public:
+  PoolStarver(ThreadPool* pool, size_t threads);
+  ~PoolStarver();
+
+  PoolStarver(const PoolStarver&) = delete;
+  PoolStarver& operator=(const PoolStarver&) = delete;
+
+  /// Unblocks the occupied workers; idempotent.
+  void Release();
+
+ private:
+  struct Gate;
+  std::shared_ptr<Gate> gate_;
+  TaskGroup group_;
+};
+
+}  // namespace lightlt
+
+#endif  // LIGHTLT_UTIL_CHAOS_H_

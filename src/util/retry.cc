@@ -1,0 +1,25 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace lightlt {
+
+double RetryPolicy::BackoffSeconds(int retry, Rng* rng) const {
+  const double base =
+      initial_backoff_seconds * std::pow(backoff_multiplier, retry);
+  const double capped = std::min(base, max_backoff_seconds);
+  if (jitter_fraction <= 0.0 || rng == nullptr) return capped;
+  const double lo = 1.0 - jitter_fraction;
+  const double hi = 1.0 + jitter_fraction;
+  return std::max(0.0, capped * rng->NextUniform(lo, hi));
+}
+
+void SleepForSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace lightlt

@@ -1,0 +1,75 @@
+// Bounded retry with exponential backoff and deterministic-seedable jitter,
+// for transient failures around artifact I/O (a load racing an atomic
+// rename, an injected fault, a shed request worth one more attempt).
+//
+// Only statuses IsRetryable() approves are retried (kIoError,
+// kUnavailable); everything else returns immediately. Backoff sleeping is
+// injectable so tests run without wall-clock delays.
+
+#ifndef LIGHTLT_UTIL_RETRY_H_
+#define LIGHTLT_UTIL_RETRY_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace lightlt {
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 3;
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  /// Each backoff is scaled by a factor uniform in [1 - jitter, 1 + jitter]
+  /// drawn from an Rng seeded with `jitter_seed`, so a retry schedule is
+  /// reproducible from the seed.
+  double jitter_fraction = 0.2;
+  uint64_t jitter_seed = 0x5eed;
+
+  /// Backoff before retry number `retry` (0-based: the sleep between the
+  /// first failure and the second attempt is retry 0).
+  double BackoffSeconds(int retry, Rng* rng) const;
+};
+
+/// Sleeps the calling thread (the default sleep_fn of CallWithRetry).
+void SleepForSeconds(double seconds);
+
+namespace internal {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+/// Invokes `fn` (returning Status or Result<T>) up to policy.max_attempts
+/// times, sleeping the jittered backoff between attempts, and returns the
+/// last outcome. Non-retryable failures short-circuit. `sleep_fn` exists
+/// for tests (count instead of sleep, disarm an injected fault, ...).
+template <typename Fn>
+auto CallWithRetry(const RetryPolicy& policy, Fn&& fn,
+                   const std::function<void(double)>& sleep_fn = {}) {
+  Rng jitter(policy.jitter_seed);
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 0;; ++attempt) {
+    auto outcome = fn();
+    if (internal::StatusOf(outcome).ok() ||
+        !IsRetryable(internal::StatusOf(outcome)) ||
+        attempt + 1 >= attempts) {
+      return outcome;
+    }
+    const double backoff = policy.BackoffSeconds(attempt, &jitter);
+    if (sleep_fn) {
+      sleep_fn(backoff);
+    } else {
+      SleepForSeconds(backoff);
+    }
+  }
+}
+
+}  // namespace lightlt
+
+#endif  // LIGHTLT_UTIL_RETRY_H_

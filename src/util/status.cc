@@ -1,9 +1,8 @@
 #include "src/util/status.h"
 
 namespace lightlt {
-namespace {
 
-const char* CodeName(StatusCode code) {
+const char* Status::CodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -19,11 +18,15 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
-
-}  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -22,6 +22,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  // Request-lifecycle codes (see DESIGN.md §9): a request that ran out of
+  // its deadline budget, a request rejected by overload control, and a
+  // request whose caller asked for it to stop.
+  kDeadlineExceeded,
+  kUnavailable,
+  kCancelled,
 };
 
 /// Result of a fallible operation: an error code plus a human-readable
@@ -51,6 +57,15 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -58,6 +73,9 @@ class Status {
 
   /// "OK" or "<code>: <message>" for logs and test failure output.
   std::string ToString() const;
+
+  /// The code's name alone ("DeadlineExceeded"), message omitted.
+  static const char* CodeName(StatusCode code);
 
  private:
   StatusCode code_;
@@ -83,6 +101,16 @@ class Result {
   Status status_;
   std::optional<T> value_;
 };
+
+/// True for failures that a bounded retry can plausibly cure: transient
+/// I/O errors (a torn read racing an atomic rename) and kUnavailable
+/// (overload shed / injected transient fault). Deadline expiry, cancellation
+/// and caller bugs (kInvalidArgument etc.) are never retryable — the retry
+/// would consume more of a budget that is already spent.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
+}
 
 /// Propagates a non-OK Status to the caller.
 #define LIGHTLT_RETURN_IF_ERROR(expr)          \

@@ -44,6 +44,7 @@ void ThreadPool::Enqueue(std::shared_ptr<GroupState> group) {
     std::lock_guard<std::mutex> lock(mu_);
     tickets_.push(std::move(group));
   }
+  approx_queue_depth_.fetch_add(1, std::memory_order_relaxed);
   task_ready_.notify_one();
 }
 
@@ -79,6 +80,7 @@ void ThreadPool::WorkerLoop() {
       group = std::move(tickets_.front());
       tickets_.pop();
     }
+    approx_queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     // A stale ticket (task already run inline by a helping Wait) is a no-op.
     RunOneTask(group);
   }
@@ -126,6 +128,41 @@ void TaskGroup::Wait() {
     lock.unlock();
     std::rethrow_exception(error);
   }
+}
+
+bool TaskGroup::WaitUntil(std::chrono::steady_clock::time_point deadline) {
+  // Same helping discipline as Wait(), but stop picking up new tasks once
+  // the deadline passes (a task already started runs to completion — the
+  // timeout is chunk-granular, like the scan loops').
+  while (std::chrono::steady_clock::now() < deadline &&
+         ThreadPool::RunOneTask(state_)) {
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  const bool completed = state_->done.wait_until(
+      lock, deadline, [this] { return state_->pending == 0; });
+  if (!completed) return false;
+  if (state_->error) {
+    std::exception_ptr error = std::exchange(state_->error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+  return true;
+}
+
+bool TaskGroup::WaitFor(double timeout_seconds) {
+  return WaitUntil(std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(timeout_seconds)));
+}
+
+size_t TaskGroup::CancelPending() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  const size_t dropped = state_->queue.size();
+  state_->queue.clear();
+  state_->pending -= dropped;
+  if (state_->pending == 0) state_->done.notify_all();
+  return dropped;
 }
 
 namespace {

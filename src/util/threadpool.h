@@ -15,6 +15,8 @@
 #ifndef LIGHTLT_UTIL_THREADPOOL_H_
 #define LIGHTLT_UTIL_THREADPOOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -41,6 +43,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Approximate number of tickets waiting for a worker — a lock-free load
+  /// of one counter, cheap enough to consult on every admission decision.
+  /// An upper bound on real backlog: tickets whose task a helping Wait()
+  /// already ran inline stay counted until a worker pops them.
+  size_t ApproxQueueDepth() const {
+    return approx_queue_depth_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TaskGroup;
   struct GroupState;
@@ -59,6 +69,7 @@ class ThreadPool {
   /// Tickets, one per submitted task. A ticket may be stale (its task was
   /// already executed inline by a helping Wait()); workers skip those.
   std::queue<std::shared_ptr<GroupState>> tickets_;
+  std::atomic<size_t> approx_queue_depth_{0};
   std::mutex mu_;
   std::condition_variable task_ready_;
   bool shutting_down_ = false;
@@ -89,6 +100,20 @@ class TaskGroup {
   /// threw, the first captured exception is rethrown here and the group is
   /// reset for reuse.
   void Wait();
+
+  /// Deadline-bounded Wait(): helps run the group's queued tasks until
+  /// `deadline`, then waits for in-flight tasks up to the same deadline.
+  /// Returns true when the group completed (rethrowing a captured exception
+  /// like Wait()); false on timeout, with tasks possibly still queued or
+  /// running — follow up with CancelPending() and/or Wait().
+  bool WaitUntil(std::chrono::steady_clock::time_point deadline);
+  bool WaitFor(double timeout_seconds);
+
+  /// Cancellation hook for queued-but-unstarted work: discards every task
+  /// still in this group's queue and returns how many were dropped. Tasks
+  /// already running are unaffected (cancel those cooperatively via a
+  /// CancellationToken they observe).
+  size_t CancelPending();
 
  private:
   ThreadPool* pool_;

@@ -105,9 +105,10 @@ TEST(RetrievalServiceTest, BatchMatchesSingleQueries) {
     auto single =
         service.value().Query(f.bench.query.features.RowCopy(q), 3);
     ASSERT_TRUE(single.ok());
-    ASSERT_EQ(batch.value()[q].size(), single.value().size());
+    ASSERT_TRUE(batch.value()[q].ok());
+    ASSERT_EQ(batch.value()[q].value().size(), single.value().size());
     for (size_t i = 0; i < single.value().size(); ++i) {
-      EXPECT_EQ(batch.value()[q][i].id, single.value()[i].id);
+      EXPECT_EQ(batch.value()[q].value()[i].id, single.value()[i].id);
     }
   }
 }
@@ -164,11 +165,17 @@ TEST(RetrievalServiceTest, QueryRejectsNonFiniteFeatures) {
   EXPECT_FALSE(hits.ok());
   EXPECT_EQ(hits.status().code(), StatusCode::kInvalidArgument);
 
+  // A poisoned row fails only itself; its siblings are served normally.
   Matrix inf_batch = f.bench.query.features;
   inf_batch.data()[11] = std::numeric_limits<float>::infinity();
   auto batch = service.value().QueryBatch(inf_batch, 3);
-  EXPECT_FALSE(batch.ok());
-  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value().size(), f.bench.query.size());
+  EXPECT_FALSE(batch.value()[0].ok());
+  EXPECT_EQ(batch.value()[0].status().code(), StatusCode::kInvalidArgument);
+  for (size_t q = 1; q < batch.value().size(); ++q) {
+    EXPECT_TRUE(batch.value()[q].ok());
+  }
 }
 
 TEST(RetrievalServiceTest, EdgeCaseTopKAndEmptyBatch) {

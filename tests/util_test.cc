@@ -4,12 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <set>
 #include <string>
 
+#include <vector>
+
 #include "src/util/cli.h"
+#include "src/util/deadline.h"
 #include "src/util/io.h"
+#include "src/util/retry.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 #include "src/util/table_printer.h"
@@ -42,6 +47,150 @@ TEST(StatusTest, ResultHoldsValueOrError) {
   Result<int> bad(Status::NotFound("nope"));
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, LifecycleCodesRoundTrip) {
+  struct Case {
+    Status st;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::DeadlineExceeded("late"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
+      {Status::Unavailable("busy"), StatusCode::kUnavailable, "Unavailable"},
+      {Status::Cancelled("stop"), StatusCode::kCancelled, "Cancelled"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.st.ok());
+    EXPECT_EQ(c.st.code(), c.code);
+    EXPECT_STREQ(Status::CodeName(c.code), c.name);
+    EXPECT_EQ(c.st.ToString(), std::string(c.name) + ": " + c.st.message());
+  }
+}
+
+TEST(StatusTest, IsRetryableClassification) {
+  EXPECT_TRUE(IsRetryable(Status::IoError("disk hiccup")));
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("overloaded")));
+  EXPECT_FALSE(IsRetryable(Status::Ok()));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsRetryable(Status::Cancelled("stop")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("bug")));
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+  EXPECT_TRUE(Deadline::Infinite().IsInfinite());
+}
+
+TEST(DeadlineTest, AfterExpiresOnSchedule) {
+  EXPECT_TRUE(Deadline::After(0.0).Expired());
+  EXPECT_TRUE(Deadline::After(-1.0).Expired());
+  Deadline soon = Deadline::After(60.0);
+  EXPECT_FALSE(soon.IsInfinite());
+  EXPECT_FALSE(soon.Expired());
+  EXPECT_GT(soon.RemainingSeconds(), 0.0);
+  EXPECT_LE(soon.RemainingSeconds(), 60.0);
+  EXPECT_TRUE(Deadline::At(Deadline::Clock::now()).Expired());
+}
+
+TEST(CancellationTest, SourceRaisesFlagForAllTokens) {
+  CancellationSource src;
+  CancellationToken tok = src.token();
+  CancellationToken copy = tok;
+  EXPECT_TRUE(tok.CanBeCancelled());
+  EXPECT_FALSE(tok.Cancelled());
+  EXPECT_FALSE(src.CancellationRequested());
+  src.RequestCancellation();
+  src.RequestCancellation();  // idempotent
+  EXPECT_TRUE(tok.Cancelled());
+  EXPECT_TRUE(copy.Cancelled());
+  EXPECT_TRUE(src.CancellationRequested());
+
+  CancellationToken detached;
+  EXPECT_FALSE(detached.CanBeCancelled());
+  EXPECT_FALSE(detached.Cancelled());
+}
+
+TEST(ScanControlTest, CancelWinsOverDeadline) {
+  ScanControl trivial;
+  EXPECT_TRUE(trivial.Trivial());
+  EXPECT_TRUE(trivial.Check().ok());
+
+  CancellationSource src;
+  ScanControl control;
+  control.deadline = Deadline::After(0.0);
+  control.cancel = src.token();
+  EXPECT_FALSE(control.Trivial());
+  EXPECT_EQ(control.Check().code(), StatusCode::kDeadlineExceeded);
+  src.RequestCancellation();
+  EXPECT_EQ(control.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RetryTest, BackoffIsBoundedJitteredAndDeterministic) {
+  RetryPolicy policy;
+  Rng a(policy.jitter_seed), b(policy.jitter_seed);
+  for (int retry = 0; retry < 8; ++retry) {
+    const double base = std::min(
+        policy.max_backoff_seconds,
+        policy.initial_backoff_seconds *
+            std::pow(policy.backoff_multiplier, retry));
+    const double got = policy.BackoffSeconds(retry, &a);
+    EXPECT_GE(got, base * (1.0 - policy.jitter_fraction) - 1e-12);
+    EXPECT_LE(got, base * (1.0 + policy.jitter_fraction) + 1e-12);
+    EXPECT_EQ(got, policy.BackoffSeconds(retry, &b));  // seed-reproducible
+  }
+}
+
+TEST(RetryTest, RetriesOnlyRetryableFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  std::vector<double> sleeps;
+  auto record_sleep = [&](double s) { sleeps.push_back(s); };
+
+  int calls = 0;
+  Status ok_eventually = CallWithRetry(
+      policy,
+      [&]() -> Status {
+        return ++calls < 3 ? Status::Unavailable("busy") : Status::Ok();
+      },
+      record_sleep);
+  EXPECT_TRUE(ok_eventually.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.size(), 2u);
+
+  calls = 0;
+  Status fatal = CallWithRetry(
+      policy, [&]() -> Status { return ++calls, Status::InvalidArgument("no"); },
+      record_sleep);
+  EXPECT_EQ(fatal.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);  // non-retryable: no second attempt
+
+  calls = 0;
+  Status exhausted = CallWithRetry(
+      policy, [&]() -> Status { return ++calls, Status::IoError("dead"); },
+      record_sleep);
+  EXPECT_EQ(exhausted.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, policy.max_attempts);
+}
+
+TEST(RetryTest, WorksWithResultReturningCallables) {
+  RetryPolicy policy;
+  int calls = 0;
+  Result<int> r = CallWithRetry(
+      policy,
+      [&]() -> Result<int> {
+        if (++calls < 2) return Status::IoError("flaky");
+        return 7;
+      },
+      [](double) {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(calls, 2);
 }
 
 TEST(RngTest, DeterministicForSeed) {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds and runs the serving chaos harness (ctest label `chaos`) under both
+# sanitizers: AddressSanitizer first, then ThreadSanitizer. The suite drives
+# every request-lifecycle outcome — served / degraded / shed / expired /
+# cancelled — with deterministic fault injection (ChaosPlan), saturates a
+# small pool, and walks the IVF circuit breaker closed → open → half-open →
+# closed. Exits nonzero if either sanitizer reports an error or any
+# lifecycle invariant fails.
+#
+# Usage: tools/run_chaos.sh [asan-build-dir] [tsan-build-dir]
+#        (defaults: build-asan, build-tsan — shared with the other presets)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+asan_dir="${1:-${repo_root}/build-asan}"
+tsan_dir="${2:-${repo_root}/build-tsan}"
+
+run_labelled() {
+  local build_dir="$1" sanitize="$2"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLIGHTLT_SANITIZE="${sanitize}"
+  cmake --build "${build_dir}" --target lightlt_chaos_tests -j "$(nproc)"
+  ctest --test-dir "${build_dir}" --output-on-failure -L chaos
+}
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
+export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
+
+run_labelled "${asan_dir}" address
+run_labelled "${tsan_dir}" thread
+
+echo "Chaos harness passed under ASan and TSan."

@@ -13,12 +13,14 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLIGHTLT_SANITIZE=thread
 cmake --build "${build_dir}" --target lightlt_tests -j "$(nproc)"
+cmake --build "${build_dir}" --target lightlt_chaos_tests -j "$(nproc)"
 
 # Concurrency-sensitive suites: the TaskGroup/ParallelFor semantics tests,
 # the shared-pool serving stress, eval determinism, parallel gumbel Forward,
-# and the baseline threadpool unit tests.
+# the baseline threadpool unit tests, and the serving chaos harness
+# (request-lifecycle races: admission, breaker, deadline-cut batches).
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest)\.'
+  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest)\.'
 
 echo "TSan concurrency suite passed with zero reported races."
