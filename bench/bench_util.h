@@ -30,11 +30,16 @@ struct TableColumn {
 using ResultGrid = std::map<std::string, std::map<std::string, double>>;
 
 /// Runs `make_methods(bench)` for each column and fills the grid. Method
-/// order of the first column defines row order via `row_order`.
+/// order of the first column defines row order via `row_order`. Per-method
+/// evaluation wall time is recorded into `method_seconds` (a caller
+/// histogram, or a local one feeding the end-of-table timing summary).
 template <typename MethodFactory>
 ResultGrid RunTable(const std::vector<TableColumn>& columns,
                     const MethodFactory& make_methods, bool full_scale,
-                    uint64_t seed, std::vector<std::string>* row_order) {
+                    uint64_t seed, std::vector<std::string>* row_order,
+                    obs::Histogram* method_seconds = nullptr) {
+  obs::Histogram local_seconds;
+  if (method_seconds == nullptr) method_seconds = &local_seconds;
   ResultGrid grid;
   for (const auto& col : columns) {
     std::printf("-- generating %s (IF=%.0f)...\n", col.header.c_str(),
@@ -43,7 +48,7 @@ ResultGrid RunTable(const std::vector<TableColumn>& columns,
                                             full_scale, seed);
     auto methods = make_methods(bench, col.preset);
     for (auto& method : methods) {
-      WallTimer timer;
+      ScopedTimer timer(method_seconds);
       auto report =
           baselines::EvaluateMethod(method.get(), bench, &GlobalThreadPool());
       if (!report.ok()) {
@@ -60,6 +65,12 @@ ResultGrid RunTable(const std::vector<TableColumn>& columns,
       }
       grid[report.value().name][col.header] = report.value().map;
     }
+  }
+  const obs::HistogramSnapshot timing = method_seconds->Snapshot();
+  if (timing.count > 0) {
+    std::printf("-- %llu method evaluations: mean %.1fs  p50 %.1fs  p95 %.1fs\n",
+                static_cast<unsigned long long>(timing.count), timing.Mean(),
+                timing.Quantile(0.50), timing.Quantile(0.95));
   }
   return grid;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/obs/log.h"
 #include "src/util/io.h"
 
 namespace lightlt::core {
@@ -205,7 +206,17 @@ void PruneCheckpoints(const std::string& dir, int keep_last) {
   std::vector<int64_t> epochs = ListCheckpointEpochs(dir);
   if (epochs.size() <= static_cast<size_t>(keep_last)) return;
   for (size_t i = 0; i + keep_last < epochs.size(); ++i) {
-    std::remove(CheckpointPath(dir, epochs[i]).c_str());
+    const std::string path = CheckpointPath(dir, epochs[i]);
+    if (std::remove(path.c_str()) != 0) {
+      // Best-effort by contract, but an undeletable checkpoint usually
+      // means permissions/disk trouble worth surfacing.
+      obs::Logger::Global().Log(obs::LogLevel::kWarn, "checkpoint",
+                                "failed to prune checkpoint",
+                                {{"path", path}});
+    } else {
+      obs::Logger::Global().Log(obs::LogLevel::kDebug, "checkpoint",
+                                "pruned checkpoint", {{"path", path}});
+    }
   }
 }
 

@@ -92,16 +92,20 @@ Var RankingLoss(const Var& quantized, const Var& prototypes,
 Var LightLtLoss(const Var& logits, const Var& quantized, const Var& prototypes,
                 const std::vector<size_t>& labels,
                 const std::vector<float>& class_weights,
-                const LossConfig& config, const Var& embedding) {
+                const LossConfig& config, const Var& embedding,
+                LossBreakdown* breakdown) {
   LIGHTLT_CHECK(config.Validate().ok());
   Var loss = WeightedCrossEntropy(logits, labels, class_weights);
+  if (breakdown != nullptr) breakdown->ce = loss->value()[0];
   if (config.alpha > 0.0f) {
     Var extra;
     if (config.use_center_loss) {
       extra = CenterLoss(quantized, prototypes, labels);
+      if (breakdown != nullptr) breakdown->center = extra->value()[0];
     }
     if (config.use_ranking_loss) {
       Var r = RankingLoss(quantized, prototypes, labels, config.tau);
+      if (breakdown != nullptr) breakdown->ranking = r->value()[0];
       extra = extra ? ops::Add(extra, r) : r;
     }
     if (extra) loss = ops::Add(loss, ops::Scale(extra, config.alpha));
@@ -112,8 +116,10 @@ Var LightLtLoss(const Var& logits, const Var& quantized, const Var& prototypes,
     // usual auto-encoder formulation where the codebooks chase f(x).
     Var target = ops::StopGradient(embedding);
     Var recon = ops::Mean(ops::Square(ops::Sub(target, quantized)));
+    if (breakdown != nullptr) breakdown->recon = recon->value()[0];
     loss = ops::Add(loss, ops::Scale(recon, config.recon_weight));
   }
+  if (breakdown != nullptr) breakdown->total = loss->value()[0];
   return loss;
 }
 

@@ -59,12 +59,26 @@ Var CenterLoss(const Var& quantized, const Var& prototypes,
 Var RankingLoss(const Var& quantized, const Var& prototypes,
                 const std::vector<size_t>& labels, float tau);
 
+/// Per-term values of one LightLtLoss evaluation (training telemetry,
+/// DESIGN.md §10). Terms are the raw batch means, before the alpha /
+/// recon_weight scaling; disabled terms stay 0.
+struct LossBreakdown {
+  double ce = 0.0;       ///< L_ce (Eqn. 12)
+  double center = 0.0;   ///< L_c (Eqn. 13)
+  double ranking = 0.0;  ///< L_r (Eqn. 14)
+  double recon = 0.0;    ///< reconstruction term (ablation)
+  double total = 0.0;    ///< the combined Eqn. 15 value
+};
+
 /// Full LightLT objective (Eqn. 15). `embedding` (the continuous f(x)) is
 /// only consumed when config.recon_weight > 0; pass nullptr otherwise.
+/// `breakdown`, when non-null, receives the per-term values (free: the
+/// graph is eager, so the component Vars already hold them).
 Var LightLtLoss(const Var& logits, const Var& quantized, const Var& prototypes,
                 const std::vector<size_t>& labels,
                 const std::vector<float>& class_weights,
-                const LossConfig& config, const Var& embedding = nullptr);
+                const LossConfig& config, const Var& embedding = nullptr,
+                LossBreakdown* breakdown = nullptr);
 
 /// Reference implementation of the triplet loss the paper upper-bounds
 /// (Prop. 1); O(N^3), used only in tests to verify the bound empirically.

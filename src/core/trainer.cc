@@ -1,6 +1,7 @@
 #include "src/core/trainer.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -8,8 +9,34 @@
 #include "src/nn/scheduler.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/timer.h"
 
 namespace lightlt::core {
+
+namespace {
+
+/// Long-tail evaluation buckets: thirds of the class list ranked by
+/// training count, most populous first (paper §V's head/mid/tail split).
+/// Returns bucket index 0/1/2 per class.
+std::vector<int> HeadMidTailBuckets(const std::vector<size_t>& class_counts) {
+  const size_t c = class_counts.size();
+  std::vector<size_t> by_count(c);
+  std::iota(by_count.begin(), by_count.end(), 0);
+  std::stable_sort(by_count.begin(), by_count.end(),
+                   [&](size_t a, size_t b) {
+                     return class_counts[a] > class_counts[b];
+                   });
+  std::vector<int> bucket(c, 2);
+  const size_t third = (c + 2) / 3;
+  for (size_t rank = 0; rank < c; ++rank) {
+    bucket[by_count[rank]] = static_cast<int>(std::min<size_t>(rank / third, 2));
+  }
+  return bucket;
+}
+
+const char* kBucketNames[3] = {"head", "mid", "tail"};
+
+}  // namespace
 
 Status TrainOptions::Validate() const {
   if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
@@ -44,8 +71,28 @@ Result<TrainStats> TrainLightLt(LightLtModel* model,
     return Status::InvalidArgument("dataset/model input dim mismatch");
   }
 
+  // Structured logging: an explicit logger wins; `verbose` without one
+  // gets an stdout kInfo logger (the old printf behaviour); otherwise the
+  // global logger's kWarn threshold keeps training silent.
+  std::unique_ptr<obs::Logger> verbose_logger;
+  obs::Logger* logger = options.logger;
+  if (logger == nullptr) {
+    if (options.verbose) {
+      obs::Logger::Options lo;
+      lo.min_level = obs::LogLevel::kInfo;
+      lo.stream = stdout;
+      verbose_logger = std::make_unique<obs::Logger>(lo);
+      logger = verbose_logger.get();
+    } else {
+      logger = &obs::Logger::Global();
+    }
+  }
+  obs::MetricsRegistry* metrics = options.metrics;
+
+  const std::vector<size_t> class_counts = train.ClassCounts();
   const std::vector<float> class_weights =
-      ClassBalancedWeights(train.ClassCounts(), options.loss.gamma);
+      ClassBalancedWeights(class_counts, options.loss.gamma);
+  const std::vector<int> class_bucket = HeadMidTailBuckets(class_counts);
 
   std::vector<Var> params =
       options.dsq_only ? model->DsqParameters() : model->Parameters();
@@ -105,7 +152,15 @@ Result<TrainStats> TrainLightLt(LightLtModel* model,
     for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
       auto loaded = LoadTrainerCheckpoint(
           CheckpointPath(options.checkpoint.dir, *it));
-      if (!loaded.ok()) continue;
+      if (!loaded.ok()) {
+        // Torn/corrupt file: fall back to the next older checkpoint, but
+        // leave an audit trail — silent fallback hides disk trouble.
+        logger->Log(obs::LogLevel::kWarn, "trainer",
+                    "skipping unreadable checkpoint",
+                    {{"epoch", static_cast<int>(*it)},
+                     {"error", loaded.status().message()}});
+        continue;
+      }
       TrainerCheckpoint& c = loaded.value();
       if (c.epochs_completed > options.epochs ||
           c.order.size() != n ||
@@ -131,19 +186,30 @@ Result<TrainStats> TrainLightLt(LightLtModel* model,
       stats.epoch_accuracy = std::move(c.epoch_accuracy);
       global_step = c.global_step;
       start_epoch = static_cast<int>(c.epochs_completed);
-      if (options.verbose) {
-        std::printf("  resumed from checkpoint after epoch %d\n",
-                    start_epoch);
-      }
+      logger->Log(obs::LogLevel::kInfo, "trainer", "resumed from checkpoint",
+                  {{"epochs_completed", start_epoch}});
       break;
     }
   }
 
+  const size_t num_stages = model->config().dsq.num_codebooks;
+  const size_t num_words = model->config().dsq.num_codewords;
+
   int completed_this_run = 0;
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    WallTimer epoch_timer;
     shuffle_rng.Shuffle(order);
     double epoch_loss = 0.0;
     size_t correct = 0;
+    LossBreakdown epoch_terms;  // batch-size-weighted sums, /n at epoch end
+    size_t bucket_correct[3] = {0, 0, 0};
+    size_t bucket_total[3] = {0, 0, 0};
+    // Per-stage codeword usage counts for utilization/perplexity gauges;
+    // skipped entirely without a registry (it is per-sample work).
+    std::vector<std::vector<uint64_t>> code_counts;
+    if (metrics != nullptr) {
+      code_counts.assign(num_stages, std::vector<uint64_t>(num_words, 0));
+    }
 
     for (size_t start = 0; start < n; start += options.batch_size) {
       const size_t end = std::min(start + options.batch_size, n);
@@ -156,29 +222,102 @@ Result<TrainStats> TrainLightLt(LightLtModel* model,
       }
 
       auto out = model->Forward(batch, &gumbel_rng);
+      LossBreakdown batch_terms;
       Var loss = LightLtLoss(out.logits, out.quantized, model->prototypes(),
                              labels, class_weights, options.loss,
-                             out.embedding);
+                             out.embedding, &batch_terms);
       Backward(loss);
 
       optimizer.set_learning_rate(schedule->LearningRate(global_step));
       optimizer.Step();
       ++global_step;
 
-      epoch_loss += static_cast<double>(loss->value()[0]) *
-                    static_cast<double>(labels.size());
+      const double batch_n = static_cast<double>(labels.size());
+      epoch_loss += static_cast<double>(loss->value()[0]) * batch_n;
+      epoch_terms.ce += batch_terms.ce * batch_n;
+      epoch_terms.center += batch_terms.center * batch_n;
+      epoch_terms.ranking += batch_terms.ranking * batch_n;
+      epoch_terms.recon += batch_terms.recon * batch_n;
       const auto predicted = out.logits->value().RowArgMax();
       for (size_t i = 0; i < labels.size(); ++i) {
-        if (predicted[i] == labels[i]) ++correct;
+        const int bucket = class_bucket[labels[i]];
+        ++bucket_total[bucket];
+        if (predicted[i] == labels[i]) {
+          ++correct;
+          ++bucket_correct[bucket];
+        }
+      }
+      if (metrics != nullptr) {
+        for (const auto& item : out.codes) {
+          for (size_t s = 0; s < item.size() && s < num_stages; ++s) {
+            ++code_counts[s][item[s]];
+          }
+        }
       }
     }
 
-    stats.epoch_loss.push_back(epoch_loss / static_cast<double>(n));
-    stats.epoch_accuracy.push_back(static_cast<double>(correct) /
-                                   static_cast<double>(n));
-    if (options.verbose) {
-      std::printf("  epoch %2d  loss %.4f  train-acc %.4f\n", epoch + 1,
-                  stats.epoch_loss.back(), stats.epoch_accuracy.back());
+    const double denom = static_cast<double>(n);
+    stats.epoch_loss.push_back(epoch_loss / denom);
+    stats.epoch_accuracy.push_back(static_cast<double>(correct) / denom);
+    if (logger->Enabled(obs::LogLevel::kInfo)) {
+      logger->Log(obs::LogLevel::kInfo, "trainer", "epoch complete",
+                  {{"epoch", epoch + 1},
+                   {"loss", stats.epoch_loss.back()},
+                   {"train_acc", stats.epoch_accuracy.back()},
+                   {"loss_ce", epoch_terms.ce / denom},
+                   {"loss_center", epoch_terms.center / denom},
+                   {"loss_ranking", epoch_terms.ranking / denom}});
+    }
+    if (metrics != nullptr) {
+      metrics->GetGauge("train_epoch")->Set(epoch + 1);
+      metrics->GetGauge("train_accuracy")->Set(stats.epoch_accuracy.back());
+      metrics->GetGauge(obs::WithLabel("train_loss", "term", "total"))
+          ->Set(stats.epoch_loss.back());
+      metrics->GetGauge(obs::WithLabel("train_loss", "term", "ce"))
+          ->Set(epoch_terms.ce / denom);
+      metrics->GetGauge(obs::WithLabel("train_loss", "term", "center"))
+          ->Set(epoch_terms.center / denom);
+      metrics->GetGauge(obs::WithLabel("train_loss", "term", "ranking"))
+          ->Set(epoch_terms.ranking / denom);
+      if (options.loss.recon_weight > 0.0f) {
+        metrics->GetGauge(obs::WithLabel("train_loss", "term", "recon"))
+            ->Set(epoch_terms.recon / denom);
+      }
+      for (int b = 0; b < 3; ++b) {
+        if (bucket_total[b] == 0) continue;
+        metrics
+            ->GetGauge(obs::WithLabel("train_accuracy_bucket", "bucket",
+                                      kBucketNames[b]))
+            ->Set(static_cast<double>(bucket_correct[b]) /
+                  static_cast<double>(bucket_total[b]));
+      }
+      // DSQ codebook health per stage: utilization = fraction of codewords
+      // selected at least once this epoch; perplexity = exp(entropy) of
+      // the usage distribution (K when uniform, ~1 when collapsed).
+      for (size_t s = 0; s < num_stages; ++s) {
+        uint64_t used = 0;
+        uint64_t total = 0;
+        for (uint64_t count : code_counts[s]) {
+          if (count > 0) ++used;
+          total += count;
+        }
+        double entropy = 0.0;
+        if (total > 0) {
+          for (uint64_t count : code_counts[s]) {
+            if (count == 0) continue;
+            const double p =
+                static_cast<double>(count) / static_cast<double>(total);
+            entropy -= p * std::log(p);
+          }
+        }
+        const std::string stage = std::to_string(s);
+        metrics->GetGauge(obs::WithLabel("train_dsq_utilization", "stage", stage))
+            ->Set(static_cast<double>(used) / static_cast<double>(num_words));
+        metrics->GetGauge(obs::WithLabel("train_dsq_perplexity", "stage", stage))
+            ->Set(std::exp(entropy));
+      }
+      metrics->GetHistogram("train_epoch_seconds")
+          ->Record(epoch_timer.ElapsedSeconds());
     }
 
     ++completed_this_run;

@@ -12,6 +12,8 @@
 #include "src/core/losses.h"
 #include "src/data/dataset.h"
 #include "src/nn/optimizer.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 
 namespace lightlt::core {
@@ -43,6 +45,16 @@ struct TrainOptions {
   /// enabled a final checkpoint is always written first, so a later call
   /// with the same options picks up where this one stopped.
   int stop_after_epochs = 0;
+  /// Per-epoch training telemetry (DESIGN.md §10): loss-term breakdown,
+  /// DSQ codebook utilization/perplexity per stage, head/mid/tail
+  /// accuracy. Null disables metric recording entirely. Must outlive the
+  /// TrainLightLt call; none of this state is checkpointed, so resume
+  /// stays bit-identical with or without it.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Structured logger for progress events. Null: epoch lines go to an
+  /// stdout kInfo logger when `verbose`, otherwise to Logger::Global()
+  /// (threshold kWarn — silent under ctest).
+  obs::Logger* logger = nullptr;
 
   Status Validate() const;
 };

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/log.h"
 #include "src/util/io.h"
 
 namespace lightlt::data {
@@ -93,6 +94,12 @@ Result<Dataset> LoadDataset(const std::string& path) {
   auto body = ReadDatasetBody(r);
   if (!body.ok()) return body.status();
   LIGHTLT_RETURN_IF_ERROR(CheckTrailer(r, version));
+  obs::Logger::Global().Log(obs::LogLevel::kDebug, "data_io",
+                            "loaded dataset",
+                            {{"path", path},
+                             {"rows", body.value().size()},
+                             {"dim", body.value().dim()},
+                             {"classes", body.value().num_classes}});
   return body;
 }
 
@@ -125,6 +132,13 @@ Result<RetrievalBenchmark> LoadBenchmark(const std::string& path) {
   if (!database.ok()) return database.status();
   bench.database = std::move(database).value();
   LIGHTLT_RETURN_IF_ERROR(CheckTrailer(r, version));
+  obs::Logger::Global().Log(obs::LogLevel::kDebug, "data_io",
+                            "loaded benchmark",
+                            {{"path", path},
+                             {"name", bench.name},
+                             {"train_rows", bench.train.size()},
+                             {"query_rows", bench.query.size()},
+                             {"database_rows", bench.database.size()}});
   return bench;
 }
 

@@ -42,26 +42,38 @@ EfficiencyReport MeasureEfficiency(const index::FlatIndex& flat,
   flat.ComputeScores(queries.row(0), &scores);
   adc.ComputeScores(queries.row(0), &scores);
 
-  WallTimer timer;
+  // Per-query ScopedTimer recordings: the histogram sum replaces the old
+  // one-stopwatch-per-phase total and additionally yields latency tails.
+  obs::Histogram flat_hist;
   for (int r = 0; r < repeats; ++r) {
     for (size_t q = 0; q < queries.rows(); ++q) {
+      ScopedTimer timer(&flat_hist);
       flat.ComputeScores(queries.row(q), &scores);
     }
   }
-  const double flat_seconds = timer.ElapsedSeconds();
+  const obs::HistogramSnapshot flat_snap = flat_hist.Snapshot();
+  const double flat_seconds = flat_snap.sum;
 
-  timer.Reset();
+  obs::Histogram adc_hist;
   for (int r = 0; r < repeats; ++r) {
     for (size_t q = 0; q < queries.rows(); ++q) {
+      ScopedTimer timer(&adc_hist);
       adc.ComputeScores(queries.row(q), &scores);
     }
   }
-  const double adc_seconds = timer.ElapsedSeconds();
+  const obs::HistogramSnapshot adc_snap = adc_hist.Snapshot();
+  const double adc_seconds = adc_snap.sum;
 
   const double total_queries =
       static_cast<double>(queries.rows()) * repeats;
   report.flat_query_micros = flat_seconds * 1e6 / total_queries;
   report.adc_query_micros = adc_seconds * 1e6 / total_queries;
+  report.flat_p50_micros = flat_snap.Quantile(0.50) * 1e6;
+  report.flat_p95_micros = flat_snap.Quantile(0.95) * 1e6;
+  report.flat_p99_micros = flat_snap.Quantile(0.99) * 1e6;
+  report.adc_p50_micros = adc_snap.Quantile(0.50) * 1e6;
+  report.adc_p95_micros = adc_snap.Quantile(0.95) * 1e6;
+  report.adc_p99_micros = adc_snap.Quantile(0.99) * 1e6;
   report.measured_speedup = flat_seconds / std::max(adc_seconds, 1e-12);
   report.measured_compress_ratio =
       static_cast<double>(flat.MemoryBytes()) /

@@ -17,7 +17,9 @@
 
 namespace lightlt::eval {
 
-/// One row of the Fig. 7 sweep.
+/// One row of the Fig. 7 sweep. Mean latencies feed the speedup ratio;
+/// the p50/p95/p99 tails come from per-query ScopedTimer recordings into
+/// a log-bucketed Histogram (upper-bound quantiles, ~19% resolution).
 struct EfficiencyReport {
   size_t database_size = 0;
   double measured_speedup = 0.0;
@@ -26,6 +28,12 @@ struct EfficiencyReport {
   double theoretical_compress_ratio = 0.0;
   double flat_query_micros = 0.0;
   double adc_query_micros = 0.0;
+  double flat_p50_micros = 0.0;
+  double flat_p95_micros = 0.0;
+  double flat_p99_micros = 0.0;
+  double adc_p50_micros = 0.0;
+  double adc_p95_micros = 0.0;
+  double adc_p99_micros = 0.0;
 };
 
 /// Times `repeats` full passes of ComputeScores over all queries against

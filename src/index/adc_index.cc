@@ -6,8 +6,22 @@
 #include "src/util/chaos.h"
 #include "src/util/check.h"
 #include "src/util/io.h"
+#include "src/util/timer.h"
 
 namespace lightlt::index {
+
+void ScanInstruments::Register(obs::MetricsRegistry* registry,
+                               const std::string& prefix) {
+  chunks = registry->GetCounter(prefix + "scan_chunks_total");
+  items = registry->GetCounter(prefix + "scan_items_total");
+  overshoot = registry->GetCounter(prefix + "scan_deadline_overshoot_total");
+  chunk_seconds = registry->GetHistogram(prefix + "scan_chunk_seconds");
+}
+
+void AdcIndex::Instrument(obs::MetricsRegistry* registry,
+                          const std::string& prefix) {
+  instruments_.Register(registry, prefix);
+}
 
 Result<AdcIndex> AdcIndex::Build(
     const std::vector<Matrix>& codebooks,
@@ -126,7 +140,14 @@ Status AdcIndex::ComputeScores(const float* query, std::vector<float>* scores,
   const std::vector<float> lut = BuildLookupTables(query);
   scores->resize(n);
   if (control.Trivial() && !ChaosArmed()) {
+    // Telemetry stays chunk-granular even here: the whole scan is one
+    // chunk, so the hot loop itself carries no per-vector instrumentation.
+    ScopedTimer timer(instruments_.chunk_seconds);
     ScoreRange(lut.data(), 0, n, scores->data());
+    if (instruments_.enabled()) {
+      instruments_.chunks->Increment();
+      instruments_.items->Increment(n);
+    }
     return Status::Ok();
   }
   // Score score_i = ||o_i||^2 - 2 sum_cb lut[code] in chunks, polling the
@@ -134,10 +155,23 @@ Status AdcIndex::ComputeScores(const float* query, std::vector<float>* scores,
   // budget by at most one chunk of scoring work.
   const size_t chunk = std::max<size_t>(1, control.check_every_items);
   for (size_t begin = 0; begin < n; begin += chunk) {
-    if (begin > 0) LIGHTLT_RETURN_IF_ERROR(control.Check());
+    if (begin > 0) {
+      const Status check = control.Check();
+      if (!check.ok()) {
+        // The request's budget ran out mid-scan: the chunk just scored was
+        // the overshoot DESIGN.md §9 bounds.
+        if (instruments_.enabled()) instruments_.overshoot->Increment();
+        return check;
+      }
+    }
     LIGHTLT_RETURN_IF_ERROR(ChaosOnScanChunk());
-    ScoreRange(lut.data(), begin, std::min(begin + chunk, n),
-               scores->data());
+    const size_t end = std::min(begin + chunk, n);
+    ScopedTimer timer(instruments_.chunk_seconds);
+    ScoreRange(lut.data(), begin, end, scores->data());
+    if (instruments_.enabled()) {
+      instruments_.chunks->Increment();
+      instruments_.items->Increment(end - begin);
+    }
   }
   return Status::Ok();
 }

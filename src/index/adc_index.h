@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/index/codes.h"
+#include "src/obs/metrics.h"
 #include "src/tensor/matrix.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
@@ -26,6 +27,25 @@ namespace lightlt::index {
 struct SearchHit {
   uint32_t id;
   float distance;
+};
+
+/// Telemetry handles for a scan hot path (DESIGN.md §10). All-null by
+/// default: an uninstrumented index pays one branch per chunk and nothing
+/// per vector. When wired to a registry, each scan chunk costs a couple of
+/// relaxed atomic adds plus two clock reads — never any per-vector work or
+/// locking.
+struct ScanInstruments {
+  obs::Counter* chunks = nullptr;          ///< scan chunks executed
+  obs::Counter* items = nullptr;           ///< vectors scored
+  /// Scans stopped mid-flight by deadline/cancellation — each such stop
+  /// overshot its budget by up to one chunk of work (§9).
+  obs::Counter* overshoot = nullptr;
+  obs::Histogram* chunk_seconds = nullptr; ///< per-chunk scoring time
+
+  bool enabled() const { return chunks != nullptr; }
+
+  /// Wires the handles to `{prefix}scan_*` metrics in `registry`.
+  void Register(obs::MetricsRegistry* registry, const std::string& prefix);
 };
 
 /// ADC index: codebooks + packed codes + per-item reconstruction norms.
@@ -83,6 +103,11 @@ class AdcIndex {
   Status Save(const std::string& path) const;
   static Result<AdcIndex> Load(const std::string& path);
 
+  /// Registers `{prefix}scan_*` metrics and records into them from every
+  /// control-aware scan. Call once after Build/Load (not thread-safe
+  /// against in-flight scans); the registry must outlive the index.
+  void Instrument(obs::MetricsRegistry* registry, const std::string& prefix);
+
  private:
   AdcIndex() = default;
 
@@ -103,6 +128,7 @@ class AdcIndex {
   /// packed array is the storage format, this is the scan format. At the
   /// paper's K=256 the two coincide (log2 K = 8 bits).
   std::vector<uint8_t> scan_codes_;
+  ScanInstruments instruments_;
 };
 
 }  // namespace lightlt::index

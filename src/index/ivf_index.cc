@@ -8,6 +8,7 @@
 #include "src/util/chaos.h"
 #include "src/util/check.h"
 #include "src/util/io.h"
+#include "src/util/timer.h"
 
 namespace lightlt::index {
 
@@ -152,15 +153,24 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
 
   // Scan the probed cells, keep the best top_k overall. Each cell is one
   // cooperative chunk: the control is polled between cells, so expiry or
-  // cancellation overshoots by at most one cell's scan.
+  // cancellation overshoots by at most one cell's scan. Telemetry is
+  // likewise per-cell — the inner scoring loop carries no instrumentation.
   std::vector<SearchHit> hits;
+  size_t items_scanned = 0;
   for (size_t p = 0; p < nprobe; ++p) {
-    if (p > 0) LIGHTLT_RETURN_IF_ERROR(control.Check());
+    if (p > 0) {
+      const Status check = control.Check();
+      if (!check.ok()) {
+        if (instruments_.enabled()) instruments_.overshoot->Increment();
+        return check;
+      }
+    }
     LIGHTLT_RETURN_IF_ERROR(ChaosOnScanChunk());
     const uint32_t cell = cell_order[p];
     const auto& ids = cell_ids_[cell];
     const auto& codes = cell_codes_[cell];
     const auto& norms = cell_norms_[cell];
+    ScopedTimer timer(instruments_.chunk_seconds);
     for (size_t i = 0; i < ids.size(); ++i) {
       float dot = 0.0f;
       const uint8_t* item_codes = codes.data() + i * m;
@@ -169,6 +179,18 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
       }
       hits.push_back({ids[i], norms[i] - 2.0f * dot});
     }
+    items_scanned += ids.size();
+    if (instruments_.enabled()) {
+      instruments_.chunks->Increment();
+      instruments_.items->Increment(ids.size());
+    }
+  }
+  if (probed_cells_ != nullptr) {
+    probed_cells_->Record(static_cast<double>(nprobe));
+  }
+  if (scanned_fraction_ != nullptr && total_items_ > 0) {
+    scanned_fraction_->Record(static_cast<double>(items_scanned) /
+                              static_cast<double>(total_items_));
   }
   const size_t keep = std::min(top_k, hits.size());
   std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
@@ -345,6 +367,13 @@ Result<IvfAdcIndex> IvfAdcIndex::Load(const std::string& path) {
   }
   LIGHTLT_RETURN_IF_ERROR(reader.VerifyFooter());
   return idx;
+}
+
+void IvfAdcIndex::Instrument(obs::MetricsRegistry* registry,
+                             const std::string& prefix) {
+  instruments_.Register(registry, prefix);
+  probed_cells_ = registry->GetHistogram(prefix + "probed_cells");
+  scanned_fraction_ = registry->GetHistogram(prefix + "scanned_fraction");
 }
 
 size_t IvfAdcIndex::MemoryBytes() const {

@@ -78,6 +78,13 @@ class IvfAdcIndex {
   Status Save(const std::string& path) const;
   static Result<IvfAdcIndex> Load(const std::string& path);
 
+  /// Registers `{prefix}scan_*` chunk telemetry plus `{prefix}probed_cells`
+  /// and `{prefix}scanned_fraction` histograms, recorded per successful
+  /// search. Instruments are not persisted — call again after Load. Not
+  /// thread-safe against in-flight searches; the registry must outlive the
+  /// index.
+  void Instrument(obs::MetricsRegistry* registry, const std::string& prefix);
+
  private:
   IvfAdcIndex() = default;
 
@@ -90,6 +97,10 @@ class IvfAdcIndex {
   std::vector<std::vector<uint8_t>> cell_codes_;  // nM bytes per cell
   std::vector<std::vector<float>> cell_norms_;    // ||o_i||^2 per item
   size_t total_items_ = 0;
+  /// Per-cell chunk telemetry plus probe-breadth histograms (DESIGN.md §10).
+  ScanInstruments instruments_;
+  obs::Histogram* probed_cells_ = nullptr;
+  obs::Histogram* scanned_fraction_ = nullptr;
 };
 
 }  // namespace lightlt::index

@@ -1,0 +1,131 @@
+#include "src/obs/log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace lightlt::obs {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
+
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string EscapeQuotes(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 4);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Logger::Logger(const Options& options)
+    : options_(options),
+      min_level_(static_cast<int>(options.min_level)),
+      tokens_(options.burst) {
+  if (!options_.clock) options_.clock = &SteadyNowSeconds;
+  last_refill_ = options_.clock();
+}
+
+void Logger::Log(LogLevel level, std::string_view component,
+                 std::string_view message, std::vector<LogField> fields) {
+  if (!Enabled(level)) return;
+
+  // Text form: level=info component=trainer msg="epoch done" epoch=3 ...
+  std::string line;
+  line.reserve(64 + message.size());
+  line += "level=";
+  line += LogLevelName(level);
+  line += " component=";
+  line.append(component.data(), component.size());
+  line += " msg=\"";
+  line += EscapeQuotes(message);
+  line += "\"";
+  for (const LogField& f : fields) {
+    line += " ";
+    line += f.key;
+    line += "=";
+    if (f.quoted) {
+      line += "\"" + EscapeQuotes(f.value) + "\"";
+    } else {
+      line += f.value;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.rate_per_second > 0.0) {
+    const double now = options_.clock();
+    tokens_ = std::min(options_.burst,
+                       tokens_ + (now - last_refill_) *
+                                     options_.rate_per_second);
+    last_refill_ = now;
+    if (tokens_ < 1.0) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    tokens_ -= 1.0;
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+
+  if (options_.stream != nullptr) {
+    std::fprintf(options_.stream, "%s\n", line.c_str());
+    std::fflush(options_.stream);
+  }
+  if (!options_.jsonl_path.empty()) {
+    std::string json = "{\"level\":\"";
+    json += LogLevelName(level);
+    json += "\",\"component\":\"";
+    json += EscapeQuotes(component);
+    json += "\",\"msg\":\"";
+    json += EscapeQuotes(message);
+    json += "\"";
+    for (const LogField& f : fields) {
+      json += ",\"" + EscapeQuotes(f.key) + "\":";
+      if (f.quoted) {
+        json += "\"" + EscapeQuotes(f.value) + "\"";
+      } else {
+        json += f.value;
+      }
+    }
+    json += "}";
+    if (std::FILE* f = std::fopen(options_.jsonl_path.c_str(), "a")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
+  if (options_.callback) options_.callback(line);
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger(Options{});
+  return *logger;
+}
+
+}  // namespace lightlt::obs

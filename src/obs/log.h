@@ -1,0 +1,107 @@
+// Leveled structured logging (DESIGN.md §10).
+//
+// One event = level + component + message + typed key=value fields.
+// Sinks: a key=value text stream (stderr by default), an optional JSONL
+// file, and an optional in-process callback (tests). The global logger
+// defaults to kWarn so library progress chatter (trainer epochs, dataset
+// loads) stays silent under ctest; operators lower the level to kInfo or
+// kDebug. An optional token-bucket rate limit (injectable clock) caps
+// emission; suppressed events are counted, never dropped silently.
+
+#ifndef LIGHTLT_OBS_LOG_H_
+#define LIGHTLT_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lightlt::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// One typed key=value pair; values are stringified once at the call site.
+struct LogField {
+  LogField(std::string k, const std::string& v) : key(std::move(k)), value(v) {
+    quoted = true;
+  }
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {
+    quoted = true;
+  }
+  LogField(std::string k, int64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, int v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, double v);
+
+  std::string key;
+  std::string value;
+  bool quoted = false;  ///< string-valued fields are quoted in both sinks
+};
+
+class Logger {
+ public:
+  struct Options {
+    LogLevel min_level = LogLevel::kWarn;
+    /// Text sink; null disables it (useful with jsonl_path or callback).
+    std::FILE* stream = stderr;
+    /// When non-empty, events are appended to this file as JSON lines.
+    std::string jsonl_path;
+    /// When set, receives every emitted line (text form). Used by tests.
+    std::function<void(const std::string&)> callback;
+    /// Token-bucket rate limit across all events; <= 0 disables limiting.
+    double rate_per_second = 0.0;
+    double burst = 10.0;
+    /// Injectable clock in seconds for the rate limiter.
+    std::function<double()> clock;
+  };
+
+  Logger() : Logger(Options{}) {}
+  explicit Logger(const Options& options);
+
+  /// Emits one structured event if `level` clears the threshold and the
+  /// rate limiter grants a token.
+  void Log(LogLevel level, std::string_view component,
+           std::string_view message, std::vector<LogField> fields = {});
+
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+
+  /// Events written to at least one sink / dropped by the rate limiter.
+  uint64_t emitted_count() const { return emitted_.load(); }
+  uint64_t suppressed_count() const { return suppressed_.load(); }
+
+  /// Process-wide logger used when call sites are not handed one
+  /// explicitly. Default threshold kWarn keeps test output quiet.
+  static Logger& Global();
+
+ private:
+  Options options_;
+  std::atomic<int> min_level_;
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> suppressed_{0};
+  std::mutex mu_;     ///< serializes sink writes and the token bucket
+  double tokens_ = 0.0;
+  double last_refill_ = 0.0;
+};
+
+}  // namespace lightlt::obs
+
+#endif  // LIGHTLT_OBS_LOG_H_

@@ -1,0 +1,264 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace lightlt::obs {
+
+size_t ThisThreadShard() {
+  // A cheap stable per-thread slot: threads take consecutive slots in
+  // creation order, which spreads a pool's workers across shards evenly.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot = next.fetch_add(1);
+  return slot;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile observation, 1-based; q=0 means rank 1.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) return Histogram::BucketUpperBound(i);
+  }
+  return Histogram::BucketUpperBound(counts.size() - 1);
+}
+
+double Histogram::BucketRatio() {
+  return std::exp2(1.0 / kSubBuckets);
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN clamp to the first bucket
+  // value = m * 2^e with m in [0.5, 1): sub-bucket position from m.
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);
+  if (exp <= kMinExponent) return 0;
+  if (exp > kMaxExponent) return kNumBuckets - 1;
+  // mantissa in [0.5, 1) -> sub in [0, kSubBuckets). The bucket's upper
+  // bound is the first boundary at or above the value.
+  const int sub = static_cast<int>(
+      std::floor(std::log2(mantissa * 2.0) * kSubBuckets));
+  const int clamped_sub =
+      sub < 0 ? 0 : (sub >= kSubBuckets ? kSubBuckets - 1 : sub);
+  const size_t idx = 1 +
+                     static_cast<size_t>(exp - 1 - kMinExponent) * kSubBuckets +
+                     static_cast<size_t>(clamped_sub);
+  return idx >= kNumBuckets ? kNumBuckets - 1 : idx;
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return std::exp2(kMinExponent);
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::exp2(kMinExponent +
+                   static_cast<double>(i) / kSubBuckets);
+}
+
+double Histogram::BucketLowerBound(size_t i) {
+  if (i == 0) return 0.0;
+  return BucketUpperBound(i - 1);
+}
+
+void Histogram::Record(double value) {
+  Shard& shard = shards_[ThisThreadShard() % kShards];
+  shard.counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&shard.sum, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.assign(kNumBuckets, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+std::string WithLabel(const std::string& base, const std::string& key,
+                      const std::string& value) {
+  return base + "{" + key + "=\"" + value + "\"}";
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_gauges_[name] = std::move(fn);
+}
+
+namespace {
+
+/// `name` up to the label block — what a `# TYPE` line describes.
+std::string BaseName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Splits `base{a="b"}` into `base` + `a="b"` (empty when unlabelled).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+void AppendTypeLine(std::string* out, std::string* last_base,
+                    const std::string& name, const char* type) {
+  const std::string base = BaseName(name);
+  if (base != *last_base) {
+    out->append("# TYPE " + base + " " + type + "\n");
+    *last_base = base;
+  }
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Re-labels `base{x="y"}` as `base_suffix{x="y",extra}` — the summary
+/// quantile/sum/count naming.
+std::string Relabel(const std::string& name, const std::string& suffix,
+                    const std::string& extra_label) {
+  std::string base, labels;
+  SplitLabels(name, &base, &labels);
+  std::string out = base + suffix;
+  std::string all = labels;
+  if (!extra_label.empty()) {
+    all = all.empty() ? extra_label : all + "," + extra_label;
+  }
+  if (!all.empty()) out += "{" + all + "}";
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_base;
+  for (const auto& [name, counter] : counters_) {
+    AppendTypeLine(&out, &last_base, name, "counter");
+    out += name + " " + std::to_string(counter->Value()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    AppendTypeLine(&out, &last_base, name, "gauge");
+    out += name + " " + FormatDouble(gauge->Value()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, fn] : callback_gauges_) {
+    AppendTypeLine(&out, &last_base, name, "gauge");
+    out += name + " " + FormatDouble(fn()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    AppendTypeLine(&out, &last_base, name, "summary");
+    for (double q : {0.5, 0.95, 0.99}) {
+      out += Relabel(name, "", "quantile=\"" + FormatDouble(q) + "\"") + " " +
+             FormatDouble(snap.Quantile(q)) + "\n";
+    }
+    out += Relabel(name, "_sum", "") + " " + FormatDouble(snap.sum) + "\n";
+    out += Relabel(name, "_count", "") + " " + std::to_string(snap.count) +
+           "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "{\"type\":\"counter\",\"name\":\"" + JsonEscape(name) +
+           "\",\"value\":" + std::to_string(counter->Value()) + "}\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + JsonEscape(name) +
+           "\",\"value\":" + FormatDouble(gauge->Value()) + "}\n";
+  }
+  for (const auto& [name, fn] : callback_gauges_) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + JsonEscape(name) +
+           "\",\"value\":" + FormatDouble(fn()) + "}\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    out += "{\"type\":\"histogram\",\"name\":\"" + JsonEscape(name) +
+           "\",\"count\":" + std::to_string(snap.count) +
+           ",\"sum\":" + FormatDouble(snap.sum) +
+           ",\"p50\":" + FormatDouble(snap.Quantile(0.5)) +
+           ",\"p95\":" + FormatDouble(snap.Quantile(0.95)) +
+           ",\"p99\":" + FormatDouble(snap.Quantile(0.99)) + "}\n";
+  }
+  return out;
+}
+
+Status MetricsRegistry::WriteJsonl(const std::string& path) const {
+  const std::string body = RenderJsonl();
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::IoError("MetricsRegistry: cannot open " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != body.size() || !closed) {
+    return Status::IoError("MetricsRegistry: short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace lightlt::obs

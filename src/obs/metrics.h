@@ -1,0 +1,188 @@
+// Lock-cheap metrics primitives (DESIGN.md §10).
+//
+// Three metric kinds, all safe to touch from scan loops and worker threads:
+//  * Counter — monotonically increasing, sharded across cache lines so the
+//    hot path pays one relaxed fetch_add with no cross-core contention.
+//  * Gauge — a point-in-time double (set/add); callback gauges are read at
+//    render time (breaker state, queue depth).
+//  * Histogram — log-bucketed (factor-2 octaves split into 4 sub-buckets,
+//    ~19% relative resolution) with sharded bucket counters; Snapshot()
+//    merges shards and answers p50/p95/p99 with bucket-bound guarantees:
+//    Quantile(q) returns the upper bound of the bucket holding rank q, so
+//    the true rank value lies in [bound / BucketRatio(), bound).
+//
+// A MetricsRegistry names and owns metrics. Names follow the
+// `<layer>_<noun>_<unit>[_total]` scheme with optional Prometheus-style
+// labels embedded in the name (`serving_requests_total{outcome="served"}`);
+// the registry treats the full labelled string as the key and groups
+// `# TYPE` lines by base name in RenderText(). RenderJsonl() emits one JSON
+// object per metric so tools/ and bench/ can diff runs.
+
+#ifndef LIGHTLT_OBS_METRICS_H_
+#define LIGHTLT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lightlt::obs {
+
+/// Adds `delta` to an atomic double with a CAS loop (fetch_add on
+/// atomic<double> is not yet portable across the toolchains we build with).
+inline void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Returns a small stable shard slot for the calling thread.
+size_t ThisThreadShard();
+
+/// Monotonic counter, sharded so concurrent writers on different cores do
+/// not bounce one cache line. Value() sums the shards (exact: every
+/// increment lands in exactly one shard).
+class Counter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Increment(uint64_t n = 1) {
+    shards_[ThisThreadShard() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Point-in-time value. Set/Add are relaxed; last writer wins on Set.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { AtomicAddDouble(&value_, delta); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged point-in-time view of a Histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  /// counts[i] observations fell in
+  /// [Histogram::BucketLowerBound(i), Histogram::BucketUpperBound(i)).
+  std::vector<uint64_t> counts;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Upper bucket bound of the observation at rank ceil(q * count); the
+  /// true value lies within one bucket ratio below the returned bound.
+  /// 0 when empty.
+  double Quantile(double q) const;
+};
+
+/// Log-bucketed histogram of non-negative doubles (typically seconds).
+/// Record() is one relaxed fetch_add on a sharded bucket plus a relaxed
+/// CAS for the running sum — cheap enough for per-chunk scan telemetry,
+/// never used per vector.
+class Histogram {
+ public:
+  /// 4 sub-buckets per power-of-two octave: relative bucket width
+  /// 2^(1/4) ~= 1.19.
+  static constexpr int kSubBuckets = 4;
+  /// Finite range ~[2^-20, 2^20) ~= [1e-6, 1e6] — microseconds to days
+  /// when recording seconds. Out-of-range values land in the clamp
+  /// buckets at either end.
+  static constexpr int kMinExponent = -20;
+  static constexpr int kMaxExponent = 20;
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(kMaxExponent - kMinExponent) * kSubBuckets + 2;
+  /// Upper/lower bound ratio of every finite bucket.
+  static double BucketRatio();
+
+  void Record(double value);
+
+  /// Bucket index a value falls into (values <= 0 go to bucket 0).
+  static size_t BucketIndex(double value);
+  /// Exclusive upper bound of bucket i (+inf for the overflow bucket).
+  static double BucketUpperBound(size_t i);
+  /// Inclusive lower bound of bucket i (0 for the underflow bucket).
+  static double BucketLowerBound(size_t i);
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  static constexpr size_t kShards = 4;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> counts[kNumBuckets] = {};
+    std::atomic<double> sum{0.0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Builds `base{key="value"}` — the labelled-name convention the registry
+/// keys on.
+std::string WithLabel(const std::string& base, const std::string& key,
+                      const std::string& value);
+
+/// Named metric owner. Get* registers on first use and returns a stable
+/// pointer — callers cache it and never pay the registry lock again.
+/// Thread-safe; metrics live as long as the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// A gauge whose value is computed at render/snapshot time (e.g. breaker
+  /// state). The callback must be safe to invoke from any thread for the
+  /// registry's lifetime; re-registering a name replaces the callback.
+  void RegisterCallbackGauge(const std::string& name,
+                             std::function<double()> fn);
+
+  /// Prometheus-style text exposition: counters, gauges, and summary-style
+  /// histograms (quantile lines + _sum/_count), sorted by name.
+  std::string RenderText() const;
+
+  /// One JSON object per line per metric — machine-readable dump for
+  /// diffing runs (tools/bench_smoke.sh).
+  std::string RenderJsonl() const;
+
+  /// Appends RenderJsonl() to `path` (creating it if needed).
+  Status WriteJsonl(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<double()>> callback_gauges_;
+};
+
+}  // namespace lightlt::obs
+
+#endif  // LIGHTLT_OBS_METRICS_H_

@@ -1,0 +1,105 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace lightlt::obs {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Span::Span(Span&& other) noexcept
+    : trace_(other.trace_), index_(other.index_) {
+  other.trace_ = nullptr;
+  other.index_ = -1;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    trace_ = other.trace_;
+    index_ = other.index_;
+    other.trace_ = nullptr;
+    other.index_ = -1;
+  }
+  return *this;
+}
+
+void Span::End() {
+  if (trace_ != nullptr && index_ >= 0) {
+    trace_->EndSpan(index_);
+  }
+  trace_ = nullptr;
+  index_ = -1;
+}
+
+Trace::Trace(TraceClock clock) : clock_(std::move(clock)) {
+  if (!clock_) clock_ = &SteadyNowNanos;
+}
+
+Span Trace::StartSpan(const std::string& name) {
+  return StartSpan(name, Span());
+}
+
+Span Trace::StartSpan(const std::string& name, const Span& parent) {
+  const uint64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord record;
+  record.name = name;
+  record.parent = parent.index_;
+  record.start_ns = now;
+  records_.push_back(std::move(record));
+  return Span(this, static_cast<int32_t>(records_.size() - 1));
+}
+
+void Trace::EndSpan(int32_t index) {
+  const uint64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= 0 && static_cast<size_t>(index) < records_.size() &&
+      records_[index].end_ns == 0) {
+    records_[index].end_ns = now;
+  }
+}
+
+std::vector<Trace::SpanRecord> Trace::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+namespace {
+
+void RenderSubtree(const std::vector<Trace::SpanRecord>& records,
+                   int32_t parent, int depth, std::string* out) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (r.parent != parent) continue;
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    *out += r.name;
+    if (r.end_ns >= r.start_ns && r.end_ns != 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %.0fus",
+                    static_cast<double>(r.end_ns - r.start_ns) * 1e-3);
+      *out += buf;
+    } else {
+      *out += " (open)";
+    }
+    out->push_back('\n');
+    RenderSubtree(records, static_cast<int32_t>(i), depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Trace::Render() const {
+  const std::vector<SpanRecord> records = Records();
+  std::string out;
+  RenderSubtree(records, -1, 0, &out);
+  return out;
+}
+
+}  // namespace lightlt::obs

@@ -1,0 +1,95 @@
+// Span-based request tracing (DESIGN.md §10).
+//
+// A Trace owns the span records of one request; a Span is a move-only RAII
+// handle that closes its record on destruction (or an explicit End()).
+// Spans form a tree via parent indices, mapping onto the request lifecycle
+// of §9: query → embed / admission / search → (ivf_route | adc_scan) /
+// rerank. The clock is injectable so tests assert exact durations.
+//
+// Thread-safety: spans may be opened and closed from different threads
+// (QueryBatch rows); Trace guards its record vector with a mutex. Tracing
+// is strictly opt-in — a null Trace* costs one branch per span site.
+
+#ifndef LIGHTLT_OBS_TRACE_H_
+#define LIGHTLT_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lightlt::obs {
+
+/// Monotonic nanosecond clock; injectable for deterministic tests.
+using TraceClock = std::function<uint64_t()>;
+
+/// The default steady-clock nanosecond reading.
+uint64_t SteadyNowNanos();
+
+class Trace;
+
+/// RAII handle to one open span. Move-only; destruction ends the span.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// Closes the span (idempotent; a moved-from or default span is a no-op).
+  void End();
+
+  /// Index of this span's record inside its trace; -1 for an empty span.
+  int32_t index() const { return index_; }
+
+ private:
+  friend class Trace;
+  Span(Trace* trace, int32_t index) : trace_(trace), index_(index) {}
+
+  Trace* trace_ = nullptr;
+  int32_t index_ = -1;
+};
+
+/// One request's span tree.
+class Trace {
+ public:
+  struct SpanRecord {
+    std::string name;
+    int32_t parent = -1;       ///< index of the parent record, -1 = root
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;       ///< 0 while still open
+  };
+
+  /// `clock` defaults to the steady clock.
+  explicit Trace(TraceClock clock = {});
+
+  /// Opens a root-level span.
+  Span StartSpan(const std::string& name);
+  /// Opens a child of `parent` (which must belong to this trace and be
+  /// open; an empty parent produces a root-level span).
+  Span StartSpan(const std::string& name, const Span& parent);
+
+  /// Snapshot of all records (open spans have end_ns == 0).
+  std::vector<SpanRecord> Records() const;
+
+  /// Human-readable indented tree with per-span durations:
+  ///   query 812us
+  ///     embed 120us
+  ///     search 650us
+  std::string Render() const;
+
+ private:
+  friend class Span;
+  void EndSpan(int32_t index);
+
+  TraceClock clock_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+};
+
+}  // namespace lightlt::obs
+
+#endif  // LIGHTLT_OBS_TRACE_H_

@@ -8,6 +8,7 @@
 
 #include "src/core/pipeline.h"
 #include "src/util/check.h"
+#include "src/util/timer.h"
 
 namespace lightlt::serving {
 namespace {
@@ -31,7 +32,42 @@ bool RowFinite(const Matrix& m, size_t row) {
 /// Rerank hits checked this often against the request deadline/token.
 constexpr size_t kRerankCheckEvery = 64;
 
+/// Opens `name` under `parent` when tracing is on; an empty Span otherwise.
+obs::Span MaybeSpan(obs::Trace* trace, const char* name,
+                    const obs::Span* parent) {
+  if (trace == nullptr) return obs::Span();
+  if (parent != nullptr) return trace->StartSpan(name, *parent);
+  return trace->StartSpan(name);
+}
+
 }  // namespace
+
+void RetrievalService::Instruments::Register(obs::MetricsRegistry* registry) {
+  admitted = registry->GetCounter("serving_admitted_total");
+  degraded_admissions =
+      registry->GetCounter("serving_degraded_admissions_total");
+  flat_fallbacks = registry->GetCounter("serving_flat_fallbacks_total");
+  const std::string requests = "serving_requests_total";
+  served = registry->GetCounter(obs::WithLabel(requests, "outcome", "served"));
+  shed = registry->GetCounter(obs::WithLabel(requests, "outcome", "shed"));
+  expired =
+      registry->GetCounter(obs::WithLabel(requests, "outcome", "expired"));
+  cancelled =
+      registry->GetCounter(obs::WithLabel(requests, "outcome", "cancelled"));
+  failed = registry->GetCounter(obs::WithLabel(requests, "outcome", "failed"));
+  const std::string latency = "serving_latency_seconds";
+  latency_served =
+      registry->GetHistogram(obs::WithLabel(latency, "outcome", "served"));
+  latency_shed =
+      registry->GetHistogram(obs::WithLabel(latency, "outcome", "shed"));
+  latency_expired =
+      registry->GetHistogram(obs::WithLabel(latency, "outcome", "expired"));
+  latency_cancelled =
+      registry->GetHistogram(obs::WithLabel(latency, "outcome", "cancelled"));
+  latency_failed =
+      registry->GetHistogram(obs::WithLabel(latency, "outcome", "failed"));
+  queue_depth = registry->GetGauge("serving_queue_depth");
+}
 
 Result<RetrievalService> RetrievalService::Build(
     std::shared_ptr<const core::LightLtModel> model,
@@ -70,8 +106,21 @@ Result<RetrievalService> RetrievalService::Build(
   RetrievalService service;
   service.options_ = options;
   service.model_ = model;
-  service.counters_ = std::make_shared<Counters>();
+  service.metrics_ = options.metrics ? options.metrics
+                                     : std::make_shared<obs::MetricsRegistry>();
+  service.inst_.Register(service.metrics_.get());
   service.admission_ = std::make_shared<AdmissionController>(options.admission);
+
+  // Callback gauges capture shared_ptr copies, never `this`: they stay
+  // valid after the service moves, and a shared external registry cannot
+  // dangle as long as it holds the closures (it co-owns the components).
+  {
+    std::shared_ptr<AdmissionController> admission = service.admission_;
+    service.metrics_->RegisterCallbackGauge(
+        "serving_in_flight", [admission]() {
+          return static_cast<double>(admission->InFlight());
+        });
+  }
 
   const Matrix embedded = core::EmbedInChunks(*model, db_features);
   std::vector<std::vector<uint32_t>> codes;
@@ -83,33 +132,49 @@ Result<RetrievalService> RetrievalService::Build(
     if (!ivf.ok()) return ivf.status();
     service.ivf_ =
         std::make_unique<index::IvfAdcIndex>(std::move(ivf).value());
+    service.ivf_->Instrument(service.metrics_.get(), "ivf_");
     service.breaker_ = std::make_shared<CircuitBreaker>(options.breaker);
+    std::shared_ptr<CircuitBreaker> breaker = service.breaker_;
+    service.metrics_->RegisterCallbackGauge(
+        "serving_breaker_state", [breaker]() {
+          // 0 closed, 1 open, 2 half-open.
+          return static_cast<double>(static_cast<int>(breaker->state()));
+        });
+    service.metrics_->RegisterCallbackGauge(
+        "serving_breaker_open_transitions", [breaker]() {
+          return static_cast<double>(breaker->open_transitions());
+        });
   }
   // The flat ADC index is always kept: it serves re-ranking lookups
   // (Reconstruct) and is the fallback scan path.
   auto adc = index::AdcIndex::Build(model->Codebooks(), codes);
   if (!adc.ok()) return adc.status();
   service.adc_ = std::make_unique<index::AdcIndex>(std::move(adc).value());
+  service.adc_->Instrument(service.metrics_.get(), "adc_");
   return service;
 }
 
-void RetrievalService::CountOutcome(const Status& status) const {
+void RetrievalService::CountOutcome(const Status& status,
+                                    double elapsed_seconds) const {
   switch (status.code()) {
     case StatusCode::kDeadlineExceeded:
-      counters_->expired.fetch_add(1, std::memory_order_relaxed);
+      inst_.expired->Increment();
+      inst_.latency_expired->Record(elapsed_seconds);
       break;
     case StatusCode::kCancelled:
-      counters_->cancelled.fetch_add(1, std::memory_order_relaxed);
+      inst_.cancelled->Increment();
+      inst_.latency_cancelled->Record(elapsed_seconds);
       break;
     default:
-      counters_->failed.fetch_add(1, std::memory_order_relaxed);
+      inst_.failed->Increment();
+      inst_.latency_failed->Record(elapsed_seconds);
       break;
   }
 }
 
 Result<std::vector<ServedHit>> RetrievalService::SearchEmbedded(
     const float* query, size_t top_k, const ScanControl& control,
-    bool degraded) const {
+    bool degraded, obs::Trace* trace, const obs::Span* parent) const {
   // Degraded admissions shed the optional work: no over-fetch, no exact
   // rerank, and the flat scan instead of the IVF path.
   const bool rerank = options_.exact_rerank && !degraded;
@@ -119,6 +184,7 @@ Result<std::vector<ServedHit>> RetrievalService::SearchEmbedded(
   std::vector<index::SearchHit> hits;
   bool have_hits = false;
   if (ivf_ != nullptr && !degraded) {
+    obs::Span ivf_span = MaybeSpan(trace, "ivf_route", parent);
     // Graceful degradation: the flat ADC index covers the whole database,
     // so if the IVF path fails or its probed cells yield fewer candidates
     // than the flat scan would, fall back rather than fail or silently
@@ -146,16 +212,18 @@ Result<std::vector<ServedHit>> RetrievalService::SearchEmbedded(
       }
     }
     if (!have_hits) {
-      counters_->flat_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      inst_.flat_fallbacks->Increment();
     }
   }
   if (!have_hits) {
+    obs::Span scan_span = MaybeSpan(trace, "adc_scan", parent);
     auto flat = adc_->Search(query, pool, control);
     if (!flat.ok()) return flat.status();
     hits = std::move(flat).value();
   }
 
   if (rerank) {
+    obs::Span rerank_span = MaybeSpan(trace, "rerank", parent);
     // Re-rank the pool by exact distance to the reconstructions: the ADC
     // score already is that distance up to a query-constant, so re-ranking
     // only matters when the candidate pool came from a lossier path (IVF
@@ -188,32 +256,44 @@ Result<std::vector<ServedHit>> RetrievalService::SearchEmbedded(
 
 Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
     const float* query, size_t top_k, const ScanControl& control,
-    size_t observed_depth) const {
+    size_t observed_depth, obs::Trace* trace,
+    const obs::Span* parent) const {
+  WallTimer timer;
   // A request that arrives already expired or cancelled consumes no
   // admission slot and no rate-limiter token.
   Status pre = control.Check();
   if (!pre.ok()) {
-    CountOutcome(pre);
+    CountOutcome(pre, timer.ElapsedSeconds());
     return pre;
   }
 
-  const AdmissionOutcome outcome = admission_->TryAdmit(observed_depth);
+  AdmissionOutcome outcome;
+  {
+    obs::Span admission_span = MaybeSpan(trace, "admission", parent);
+    outcome = admission_->TryAdmit(observed_depth);
+  }
   if (outcome == AdmissionOutcome::kShed) {
-    counters_->shed.fetch_add(1, std::memory_order_relaxed);
+    inst_.shed->Increment();
+    inst_.latency_shed->Record(timer.ElapsedSeconds());
     return Status::Unavailable("RetrievalService: overloaded, request shed");
   }
   AdmissionTicket ticket(admission_.get());
   const bool degraded = outcome == AdmissionOutcome::kDegrade;
-  counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+  inst_.admitted->Increment();
   if (degraded) {
-    counters_->degraded_admissions.fetch_add(1, std::memory_order_relaxed);
+    inst_.degraded_admissions->Increment();
   }
 
-  auto result = SearchEmbedded(query, top_k, control, degraded);
+  auto result = [&] {
+    obs::Span search_span = MaybeSpan(trace, "search", parent);
+    return SearchEmbedded(query, top_k, control, degraded, trace,
+                          trace ? &search_span : nullptr);
+  }();
   if (result.ok()) {
-    counters_->served.fetch_add(1, std::memory_order_relaxed);
+    inst_.served->Increment();
+    inst_.latency_served->Record(timer.ElapsedSeconds());
   } else {
-    CountOutcome(result.status());
+    CountOutcome(result.status(), timer.ElapsedSeconds());
   }
   return result;
 }
@@ -235,9 +315,17 @@ Result<std::vector<ServedHit>> RetrievalService::Query(
   }
   const ScanControl control{request.deadline, request.cancel,
                             options_.scan_check_every};
-  const Matrix embedded = model_->Embed(features);
+  obs::Trace* trace = request.trace;
+  obs::Span query_span = MaybeSpan(trace, "query", nullptr);
+  Matrix embedded;
+  {
+    obs::Span embed_span =
+        MaybeSpan(trace, "embed", trace ? &query_span : nullptr);
+    embedded = model_->Embed(features);
+  }
   return ServeEmbedded(embedded.row(0), top_k, control,
-                       /*observed_depth=*/0);
+                       /*observed_depth=*/0, trace,
+                       trace ? &query_span : nullptr);
 }
 
 Result<std::vector<Result<std::vector<ServedHit>>>>
@@ -283,7 +371,9 @@ RetrievalService::QueryBatch(const Matrix& features, size_t top_k,
             return;
           }
           const size_t depth = pool ? pool->ApproxQueueDepth() : 0;
-          rows[q] = ServeEmbedded(embedded.row(q), top_k, control, depth);
+          inst_.queue_depth->Set(static_cast<double>(depth));
+          rows[q] = ServeEmbedded(embedded.row(q), top_k, control, depth,
+                                  /*trace=*/nullptr, /*parent=*/nullptr);
         } catch (const std::exception& e) {
           rows[q] = Status::Internal(
               std::string("QueryBatch: worker failed: ") + e.what());
@@ -296,7 +386,7 @@ RetrievalService::QueryBatch(const Matrix& features, size_t top_k,
       group.Wait();
     } else if (!group.WaitUntil(request.deadline.time_point())) {
       const size_t dropped = group.CancelPending();
-      counters_->expired.fetch_add(dropped, std::memory_order_relaxed);
+      inst_.expired->Increment(dropped);
       // Rows already running observe the deadline at their next chunk
       // check, so this second wait is bounded by one chunk of work.
       group.Wait();
@@ -311,16 +401,18 @@ RetrievalService::QueryBatch(const Matrix& features, size_t top_k,
 }
 
 ServiceStats RetrievalService::Stats() const {
+  // A view over the registry: Counter::Value() sums shards exactly, so
+  // this snapshot satisfies the same conservation laws the old private
+  // atomics did (asserted by the chaos tests).
   ServiceStats s;
-  s.admitted = counters_->admitted.load(std::memory_order_relaxed);
-  s.degraded_admissions =
-      counters_->degraded_admissions.load(std::memory_order_relaxed);
-  s.served = counters_->served.load(std::memory_order_relaxed);
-  s.shed = counters_->shed.load(std::memory_order_relaxed);
-  s.expired = counters_->expired.load(std::memory_order_relaxed);
-  s.cancelled = counters_->cancelled.load(std::memory_order_relaxed);
-  s.failed = counters_->failed.load(std::memory_order_relaxed);
-  s.flat_fallbacks = counters_->flat_fallbacks.load(std::memory_order_relaxed);
+  s.admitted = inst_.admitted->Value();
+  s.degraded_admissions = inst_.degraded_admissions->Value();
+  s.served = inst_.served->Value();
+  s.shed = inst_.shed->Value();
+  s.expired = inst_.expired->Value();
+  s.cancelled = inst_.cancelled->Value();
+  s.failed = inst_.failed->Value();
+  s.flat_fallbacks = inst_.flat_fallbacks->Value();
   s.in_flight = admission_->InFlight();
   if (breaker_) {
     s.breaker_open_transitions = breaker_->open_transitions();

@@ -28,6 +28,8 @@
 #include "src/core/lightlt_model.h"
 #include "src/index/adc_index.h"
 #include "src/index/ivf_index.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serving/admission.h"
 #include "src/serving/circuit_breaker.h"
 #include "src/util/deadline.h"
@@ -55,12 +57,22 @@ struct ServiceOptions {
   /// Items scanned between deadline/cancellation checks inside index scan
   /// loops; bounds deadline overshoot to roughly one chunk of work.
   size_t scan_check_every = 1024;
+  /// Metrics registry the service records into (serving counters, latency
+  /// histograms, index scan telemetry). Null: the service creates its own,
+  /// reachable via Metrics(). Shared so external registries (one per
+  /// process, many services) outlive in-flight callback gauges.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// Per-request lifecycle knobs. Default: no deadline, not cancellable.
 struct RequestOptions {
   Deadline deadline;
   CancellationToken cancel;
+  /// Opt-in span tracing for single-query calls: Query() records the
+  /// query → embed / admission / search → (ivf_route|adc_scan) / rerank
+  /// tree into this trace. Null (default) costs one branch per span site.
+  /// QueryBatch rows are not traced (metrics cover the aggregate path).
+  obs::Trace* trace = nullptr;
 };
 
 /// One retrieval result with its database payload.
@@ -114,55 +126,81 @@ class RetrievalService {
   size_t IndexMemoryBytes() const;
   const ServiceOptions& options() const { return options_; }
 
-  /// Lifecycle counters; cheap (a handful of relaxed atomic loads).
+  /// Lifecycle counters as a point-in-time view over the metrics registry.
+  /// Exact, not sampled: every outcome increments exactly one registry
+  /// counter and Counter::Value() sums its shards losslessly, so the chaos
+  /// tests' conservation law (admitted + shed + pre-admission terminals ==
+  /// total requests) holds on this snapshot.
   ServiceStats Stats() const;
+
+  /// The registry this service records into (its own unless
+  /// ServiceOptions::metrics supplied one). Render with
+  /// Metrics().RenderText() for Prometheus-style exposition.
+  obs::MetricsRegistry& Metrics() const { return *metrics_; }
 
   /// Number of queries served by the flat-scan fallback because the IVF
   /// path failed, came up short, or was breaker-disallowed. Always 0 when
   /// IVF is not enabled. (Alias of Stats().flat_fallbacks.)
   uint64_t degraded_query_count() const {
-    return counters_ ? counters_->flat_fallbacks.load() : 0;
+    return inst_.flat_fallbacks ? inst_.flat_fallbacks->Value() : 0;
   }
 
  private:
   RetrievalService() = default;
 
-  /// Shared by QueryBatch workers; all counters bumped with relaxed atomics.
-  struct Counters {
-    std::atomic<uint64_t> admitted{0};
-    std::atomic<uint64_t> degraded_admissions{0};
-    std::atomic<uint64_t> served{0};
-    std::atomic<uint64_t> shed{0};
-    std::atomic<uint64_t> expired{0};
-    std::atomic<uint64_t> cancelled{0};
-    std::atomic<uint64_t> failed{0};
-    std::atomic<uint64_t> flat_fallbacks{0};
+  /// Registry-backed handles shared by QueryBatch workers; counters are
+  /// sharded relaxed atomics (Counter) so the worker hot path stays
+  /// contention-free. Raw pointers into metrics_, stable for its lifetime;
+  /// the struct is trivially copyable so the service stays movable.
+  struct Instruments {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* degraded_admissions = nullptr;
+    obs::Counter* served = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* flat_fallbacks = nullptr;
+    /// Request latency per terminal outcome, seconds.
+    obs::Histogram* latency_served = nullptr;
+    obs::Histogram* latency_shed = nullptr;
+    obs::Histogram* latency_expired = nullptr;
+    obs::Histogram* latency_cancelled = nullptr;
+    obs::Histogram* latency_failed = nullptr;
+    /// Pool backlog observed by QueryBatch rows (ApproxQueueDepth).
+    obs::Gauge* queue_depth = nullptr;
+
+    void Register(obs::MetricsRegistry* registry);
   };
 
-  /// Records a terminal non-OK outcome for an admitted (or pre-admission
-  /// expired/cancelled) request.
-  void CountOutcome(const Status& status) const;
+  /// Records a terminal non-OK outcome (and its latency) for an admitted
+  /// (or pre-admission expired/cancelled) request.
+  void CountOutcome(const Status& status, double elapsed_seconds) const;
 
   /// Full post-embedding lifecycle for one query: deadline/cancel check,
-  /// admission, breaker-gated search, outcome accounting.
+  /// admission, breaker-gated search, outcome accounting. `trace` (may be
+  /// null) hangs lifecycle spans under `parent`.
   Result<std::vector<ServedHit>> ServeEmbedded(const float* query,
                                                size_t top_k,
                                                const ScanControl& control,
-                                               size_t observed_depth) const;
+                                               size_t observed_depth,
+                                               obs::Trace* trace,
+                                               const obs::Span* parent) const;
 
   /// Candidate retrieval + rerank for an admitted request.
   Result<std::vector<ServedHit>> SearchEmbedded(const float* query,
                                                 size_t top_k,
                                                 const ScanControl& control,
-                                                bool degraded) const;
+                                                bool degraded,
+                                                obs::Trace* trace,
+                                                const obs::Span* parent) const;
 
   ServiceOptions options_;
   std::shared_ptr<const core::LightLtModel> model_;
   std::unique_ptr<index::AdcIndex> adc_;
   std::unique_ptr<index::IvfAdcIndex> ivf_;
-  /// Heap-allocated so the service stays movable; incremented from
-  /// QueryBatch worker threads.
-  std::shared_ptr<Counters> counters_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  Instruments inst_;
   std::shared_ptr<AdmissionController> admission_;
   std::shared_ptr<CircuitBreaker> breaker_;  // null unless IVF is enabled
 };

@@ -1,9 +1,12 @@
-// Wall-clock timing used by the efficiency experiments (Fig. 7).
+// Wall-clock timing shared by the efficiency experiments (Fig. 7), the
+// bench harnesses and the serving instrumentation (DESIGN.md §10).
 
 #ifndef LIGHTLT_UTIL_TIMER_H_
 #define LIGHTLT_UTIL_TIMER_H_
 
 #include <chrono>
+
+#include "src/obs/metrics.h"
 
 namespace lightlt {
 
@@ -26,6 +29,30 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// A WallTimer that records its elapsed seconds into a Histogram when it
+/// goes out of scope — the one timing path shared by the paper-figure
+/// benches and the serving latency metrics. A null sink just times.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(obs::Histogram* sink) : sink_(sink) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->Record(timer_.ElapsedSeconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Drops the pending record (e.g. the measured branch was not taken).
+  void Cancel() { sink_ = nullptr; }
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+  double ElapsedMillis() const { return timer_.ElapsedMillis(); }
+
+ private:
+  WallTimer timer_;
+  obs::Histogram* sink_;
 };
 
 }  // namespace lightlt

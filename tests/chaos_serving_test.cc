@@ -10,6 +10,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <limits>
 #include <thread>
@@ -79,6 +81,21 @@ bool SpinUntil(const std::function<bool()>& pred, double timeout_seconds) {
 /// IVF gate) into the next test.
 struct ChaosGuard {
   ~ChaosGuard() { DisarmChaos(); }
+};
+
+/// Dumps the service's metrics registry to stderr when the enclosing test
+/// fails, so a chaos failure ships the full counter/histogram state with
+/// the log. Gated on LIGHTLT_CHAOS_DUMP_METRICS (set by tools/run_chaos.sh)
+/// to keep ordinary failures terse.
+struct MetricsDumpOnFailure {
+  const RetrievalService* service = nullptr;
+  ~MetricsDumpOnFailure() {
+    if (service != nullptr && ::testing::Test::HasFailure() &&
+        std::getenv("LIGHTLT_CHAOS_DUMP_METRICS") != nullptr) {
+      std::fprintf(stderr, "---- metrics registry at failure ----\n%s",
+                   service->Metrics().RenderText().c_str());
+    }
+  }
 };
 
 // One sequential pass that lands a request in every lifecycle outcome and
@@ -346,6 +363,7 @@ TEST(ChaosServingTest, SaturatedPoolShedsAndExpiresUnderDeadline) {
                                        opts);
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   const auto& service = built.value();
+  MetricsDumpOnFailure dump{&service};
 
   constexpr size_t kRows = 48;
   Matrix batch(kRows, 16);
@@ -393,6 +411,39 @@ TEST(ChaosServingTest, SaturatedPoolShedsAndExpiresUnderDeadline) {
   EXPECT_EQ(stats.served, ok_rows);
   // Conservation: 48 rows, one terminal outcome each.
   EXPECT_EQ(stats.served + stats.shed + stats.expired + stats.failed, kRows);
+
+  // ServiceStats is an exact view over the metrics registry: after the
+  // saturation storm the raw registry counters must agree with the stats
+  // snapshot field for field (sharded counters lose no increments), and
+  // every served row must have left exactly one latency observation.
+  obs::MetricsRegistry& reg = service.Metrics();
+  EXPECT_EQ(reg.GetCounter("serving_admitted_total")->Value(),
+            stats.admitted);
+  EXPECT_EQ(reg.GetCounter(obs::WithLabel("serving_requests_total",
+                                          "outcome", "served"))
+                ->Value(),
+            stats.served);
+  EXPECT_EQ(reg.GetCounter(obs::WithLabel("serving_requests_total",
+                                          "outcome", "shed"))
+                ->Value(),
+            stats.shed);
+  EXPECT_EQ(reg.GetCounter(obs::WithLabel("serving_requests_total",
+                                          "outcome", "expired"))
+                ->Value(),
+            stats.expired);
+  EXPECT_EQ(reg.GetCounter(obs::WithLabel("serving_requests_total",
+                                          "outcome", "cancelled"))
+                ->Value(),
+            stats.cancelled);
+  EXPECT_EQ(reg.GetCounter(obs::WithLabel("serving_requests_total",
+                                          "outcome", "failed"))
+                ->Value(),
+            stats.failed);
+  EXPECT_EQ(reg.GetHistogram(obs::WithLabel("serving_latency_seconds",
+                                            "outcome", "served"))
+                ->Snapshot()
+                .count,
+            stats.served);
 
   // Rows stop at the first chunk check past the deadline, so the whole
   // batch is bounded by deadline + one chunk + margin — nowhere near the

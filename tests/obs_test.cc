@@ -1,0 +1,327 @@
+// Tests for the observability subsystem (DESIGN.md §10): histogram bucket
+// math and quantile bounds, sharded-counter conservation under ParallelFor,
+// span trees on a manual clock, logger rate limiting, and the registry's
+// text/JSONL exposition.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/threadpool.h"
+#include "src/util/timer.h"
+
+namespace lightlt::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram buckets and quantiles
+
+TEST(ObsHistogramTest, BucketBoundsAreConsistent) {
+  // Buckets are half-open [lower, upper): values strictly inside the
+  // interval map to bucket i, values just past the upper bound to i + 1.
+  // (Exact boundary values are nudged by 1e-9 relative — well inside the
+  // ~19% bucket width — so libm rounding at the quarter-octave boundaries
+  // cannot flip the expected index.)
+  for (size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    const double lower = Histogram::BucketLowerBound(i);
+    const double upper = Histogram::BucketUpperBound(i);
+    ASSERT_LT(lower, upper);
+    EXPECT_EQ(Histogram::BucketIndex(lower * (1.0 + 1e-9)), i)
+        << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(upper * (1.0 - 1e-9)), i)
+        << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(upper * (1.0 + 1e-9)), i + 1)
+        << "bucket " << i;
+    EXPECT_NEAR(upper / lower, Histogram::BucketRatio(), 1e-9);
+  }
+}
+
+TEST(ObsHistogramTest, ClampBucketsCatchExtremes) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-3.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketUpperBound(Histogram::kNumBuckets - 1)));
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0.0);
+}
+
+TEST(ObsHistogramTest, SnapshotCountsAndSumAreExact) {
+  Histogram h;
+  const std::vector<double> values = {1e-4, 2e-4, 3e-3, 0.5, 0.5, 7.0};
+  double expected_sum = 0.0;
+  for (double v : values) {
+    h.Record(v);
+    expected_sum += v;
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  EXPECT_NEAR(snap.sum, expected_sum, 1e-12);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, values.size());
+  EXPECT_NEAR(snap.Mean(), expected_sum / values.size(), 1e-12);
+}
+
+TEST(ObsHistogramTest, QuantileReturnsRankBucketUpperBound) {
+  Histogram h;
+  // 100 observations of 1.0 and one of 100.0: p50 must report the bucket
+  // holding 1.0, p995 the bucket holding 100.0 — each as its upper bound,
+  // so the true value lies in [bound / ratio, bound).
+  for (int i = 0; i < 100; ++i) h.Record(1.0);
+  h.Record(100.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  const double ratio = Histogram::BucketRatio();
+
+  const double p50 = snap.Quantile(0.50);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 1.0 * ratio * (1.0 + 1e-9));
+
+  const double p995 = snap.Quantile(0.995);
+  EXPECT_GT(p995, 100.0);
+  EXPECT_LE(p995, 100.0 * ratio * (1.0 + 1e-9));
+
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogramTest, QuantileRankUsesCeil) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(1000.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  // rank(0.5) = ceil(0.5 * 2) = 1 → the first (smaller) observation.
+  EXPECT_LT(snap.Quantile(0.5), 2.0);
+  EXPECT_GT(snap.Quantile(0.51), 999.0);
+}
+
+// ---------------------------------------------------------------------------
+// Counter conservation under concurrency
+
+TEST(ObsCounterTest, ShardedIncrementsConserveUnderParallelFor) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_events_total");
+  ThreadPool pool(8);
+  constexpr size_t kItems = 100000;
+  ParallelFor(&pool, kItems, [&](size_t i) {
+    counter->Increment();
+    if (i % 10 == 0) counter->Increment(2);
+  });
+  EXPECT_EQ(counter->Value(), kItems + 2 * (kItems / 10));
+}
+
+TEST(ObsCounterTest, GaugeSetAndAdd) {
+  Gauge g;
+  g.Set(41.0);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 42.5);
+}
+
+TEST(ObsCounterTest, HistogramRecordsConserveUnderParallelFor) {
+  Histogram h;
+  ThreadPool pool(8);
+  constexpr size_t kItems = 50000;
+  ParallelFor(&pool, kItems, [&](size_t i) {
+    h.Record(1e-3 * static_cast<double>(1 + (i % 7)));
+  });
+  EXPECT_EQ(h.Snapshot().count, kItems);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(ObsTraceTest, SpanTreeShapeOnManualClock) {
+  uint64_t now = 100;
+  Trace trace([&now]() { return now; });
+
+  Span query = trace.StartSpan("query");
+  now = 110;
+  {
+    Span embed = trace.StartSpan("embed", query);
+    now = 150;
+  }  // embed ends at 150
+  Span search = trace.StartSpan("search", query);
+  now = 180;
+  Span scan = trace.StartSpan("adc_scan", search);
+  now = 250;
+  scan.End();
+  scan.End();  // idempotent
+  search.End();
+  now = 260;
+  query.End();
+
+  const auto records = trace.Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].name, "query");
+  EXPECT_EQ(records[0].parent, -1);
+  EXPECT_EQ(records[0].start_ns, 100u);
+  EXPECT_EQ(records[0].end_ns, 260u);
+  EXPECT_EQ(records[1].name, "embed");
+  EXPECT_EQ(records[1].parent, 0);
+  EXPECT_EQ(records[1].start_ns, 110u);
+  EXPECT_EQ(records[1].end_ns, 150u);
+  EXPECT_EQ(records[2].name, "search");
+  EXPECT_EQ(records[2].parent, 0);
+  EXPECT_EQ(records[3].name, "adc_scan");
+  EXPECT_EQ(records[3].parent, 2);
+  EXPECT_EQ(records[3].end_ns - records[3].start_ns, 70u);
+
+  const std::string rendered = trace.Render();
+  EXPECT_NE(rendered.find("query"), std::string::npos);
+  EXPECT_NE(rendered.find("adc_scan"), std::string::npos);
+}
+
+TEST(ObsTraceTest, MovedSpanEndsOnce) {
+  uint64_t now = 0;
+  Trace trace([&now]() { return now; });
+  Span outer;
+  {
+    Span inner = trace.StartSpan("moved");
+    now = 5;
+    outer = std::move(inner);
+  }  // moved-from inner must not close the record
+  const auto mid = trace.Records();
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0].end_ns, 0u);  // still open
+  now = 9;
+  outer.End();
+  EXPECT_EQ(trace.Records()[0].end_ns, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+
+TEST(ObsLoggerTest, RateLimitSuppressesAndCounts) {
+  double now = 0.0;
+  std::vector<std::string> lines;
+  Logger::Options opts;
+  opts.min_level = LogLevel::kInfo;
+  opts.stream = nullptr;
+  opts.rate_per_second = 1.0;
+  opts.burst = 2.0;
+  opts.clock = [&now]() { return now; };
+  opts.callback = [&lines](const std::string& line) {
+    lines.push_back(line);
+  };
+  Logger logger(opts);
+
+  logger.Log(LogLevel::kInfo, "test", "a");
+  logger.Log(LogLevel::kInfo, "test", "b");
+  logger.Log(LogLevel::kInfo, "test", "c");  // bucket empty → suppressed
+  EXPECT_EQ(lines.size(), 2u);
+  EXPECT_EQ(logger.emitted_count(), 2u);
+  EXPECT_EQ(logger.suppressed_count(), 1u);
+
+  now = 1.5;  // refills 1.5 tokens
+  logger.Log(LogLevel::kInfo, "test", "d");
+  EXPECT_EQ(lines.size(), 3u);
+  EXPECT_EQ(logger.suppressed_count(), 1u);
+}
+
+TEST(ObsLoggerTest, LevelsAndFieldFormatting) {
+  std::vector<std::string> lines;
+  Logger::Options opts;
+  opts.min_level = LogLevel::kWarn;
+  opts.stream = nullptr;
+  opts.callback = [&lines](const std::string& line) {
+    lines.push_back(line);
+  };
+  Logger logger(opts);
+
+  logger.Log(LogLevel::kInfo, "trainer", "below threshold");
+  EXPECT_TRUE(lines.empty());
+  EXPECT_FALSE(logger.Enabled(LogLevel::kInfo));
+
+  logger.Log(LogLevel::kWarn, "trainer", "epoch \"done\"",
+             {{"epoch", 3}, {"loss", 0.25}, {"path", "a b"}});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("level=warn"), std::string::npos);
+  EXPECT_NE(lines[0].find("component=trainer"), std::string::npos);
+  EXPECT_NE(lines[0].find("msg=\"epoch \\\"done\\\"\""), std::string::npos);
+  EXPECT_NE(lines[0].find("epoch=3"), std::string::npos);
+  EXPECT_NE(lines[0].find("loss=0.25"), std::string::npos);
+  EXPECT_NE(lines[0].find("path=\"a b\""), std::string::npos);
+
+  logger.set_min_level(LogLevel::kDebug);
+  logger.Log(LogLevel::kDebug, "trainer", "now visible");
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry exposition
+
+TEST(ObsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total");
+  Counter* b = registry.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  a->Increment(5);
+  EXPECT_EQ(b->Value(), 5u);
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("x")),
+            static_cast<void*>(nullptr));
+}
+
+TEST(ObsRegistryTest, RenderTextExposesAllKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter(WithLabel("serving_requests_total", "outcome", "served"))
+      ->Increment(7);
+  registry.GetGauge("serving_breaker_state")->Set(1.0);
+  registry.RegisterCallbackGauge("serving_in_flight", []() { return 3.0; });
+  Histogram* lat = registry.GetHistogram(
+      WithLabel("serving_latency_seconds", "outcome", "served"));
+  lat->Record(0.010);
+  lat->Record(0.020);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# TYPE serving_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("serving_requests_total{outcome=\"served\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE serving_breaker_state gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("serving_in_flight 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serving_latency_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("serving_latency_seconds{outcome=\"served\",quantile=\"0.5\""),
+      std::string::npos);
+  EXPECT_NE(text.find("serving_latency_seconds_count{outcome=\"served\"} 2"),
+            std::string::npos);
+}
+
+TEST(ObsRegistryTest, RenderJsonlOneObjectPerMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total")->Increment();
+  registry.GetGauge("b")->Set(2.5);
+  registry.GetHistogram("c_seconds")->Record(0.5);
+  const std::string jsonl = registry.RenderJsonl();
+  size_t objects = 0;
+  for (size_t pos = 0; (pos = jsonl.find('\n', pos)) != std::string::npos;
+       ++pos) {
+    ++objects;
+  }
+  EXPECT_EQ(objects, 3u);
+  EXPECT_NE(jsonl.find("\"name\":\"a_total\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"p99\""), std::string::npos);
+}
+
+TEST(ObsRegistryTest, ScopedTimerRecordsOnDestruction) {
+  Histogram h;
+  {
+    ScopedTimer timer(&h);
+  }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+  {
+    ScopedTimer timer(&h);
+    timer.Cancel();
+  }
+  EXPECT_EQ(h.Snapshot().count, 1u);  // cancelled → no second record
+  ScopedTimer null_sink(nullptr);     // must not crash on destruction
+}
+
+}  // namespace
+}  // namespace lightlt::obs

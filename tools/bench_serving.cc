@@ -1,0 +1,138 @@
+// Serving smoke benchmark (tools/bench_smoke.sh): trains a small LightLT
+// stack on a synthetic preset, drives a query load through
+// RetrievalService, and writes the registry-derived throughput and latency
+// figures as one JSON object (BENCH_serving.json). All numbers come from
+// the observability subsystem itself — the same histograms an operator
+// scrapes via MetricsRegistry::RenderText — so the bench doubles as an
+// end-to-end check of the metrics wiring.
+//
+//   ./tool_bench_serving --out=BENCH_serving.json [--seed=7] [--repeat=5]
+//       [--epochs=4] [--cells=32] [--nprobe=8] [--ivf=true]
+//       [--metrics_jsonl=metrics.jsonl] [--render]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/lightlt.h"
+#include "src/obs/metrics.h"
+#include "src/util/cli.h"
+#include "src/util/timer.h"
+
+using namespace lightlt;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const uint64_t seed = cli.GetInt("seed", 7);
+  const int repeat = static_cast<int>(cli.GetInt("repeat", 5));
+  const int epochs = static_cast<int>(cli.GetInt("epochs", 4));
+  const size_t cells = static_cast<size_t>(cli.GetInt("cells", 32));
+  const size_t nprobe = static_cast<size_t>(cli.GetInt("nprobe", 8));
+  const bool use_ivf = cli.GetBool("ivf", true);
+  const std::string out = cli.GetString("out", "BENCH_serving.json");
+  const std::string jsonl = cli.GetString("metrics_jsonl", "");
+
+  const auto bench =
+      data::GeneratePreset(data::PresetId::kQbaish, 100.0, false, seed);
+
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  auto model_cfg = core::DefaultModelConfig(bench);
+  auto train_cfg = core::DefaultTrainOptions(data::PresetId::kQbaish);
+  train_cfg.epochs = epochs;  // throughput, not retrieval quality
+  train_cfg.metrics = metrics.get();
+  auto model = std::make_shared<core::LightLtModel>(model_cfg, seed);
+  std::printf("training encoder (%d epochs)...\n", epochs);
+  if (!core::TrainLightLt(model.get(), bench.train, train_cfg).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  serving::ServiceOptions opts;
+  opts.metrics = metrics;
+  opts.exact_rerank = true;
+  opts.rerank_pool = 50;
+  if (use_ivf) {
+    opts.use_ivf = true;
+    opts.ivf.num_cells = cells;
+    opts.ivf.nprobe = nprobe;
+  }
+  auto built =
+      serving::RetrievalService::Build(model, bench.database.features, opts);
+  if (!built.ok()) {
+    std::fprintf(stderr, "service build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const serving::RetrievalService& service = built.value();
+  std::printf("serving %zu queries x %d rounds over %zu items...\n",
+              bench.query.features.rows(), repeat, service.num_items());
+
+  WallTimer wall;
+  size_t rows_served = 0;
+  for (int r = 0; r < repeat; ++r) {
+    auto results =
+        service.QueryBatch(bench.query.features, 10, &GlobalThreadPool());
+    if (!results.ok()) {
+      std::fprintf(stderr, "QueryBatch failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& row : results.value()) {
+      if (row.ok()) ++rows_served;
+    }
+  }
+  const double seconds = wall.ElapsedSeconds();
+
+  const auto latency =
+      metrics
+          ->GetHistogram(obs::WithLabel("serving_latency_seconds", "outcome",
+                                        "served"))
+          ->Snapshot();
+  double scanned_fraction = 1.0;  // flat ADC scans everything
+  if (use_ivf) {
+    const auto sf = metrics->GetHistogram("ivf_scanned_fraction")->Snapshot();
+    if (sf.count > 0) scanned_fraction = sf.Mean();
+  }
+  const auto stats = service.Stats();
+  const double qps =
+      seconds > 0.0 ? static_cast<double>(rows_served) / seconds : 0.0;
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"queries\": %zu, \"wall_seconds\": %.6f, \"qps\": %.1f,\n"
+               " \"latency_ms\": {\"mean\": %.4f, \"p50\": %.4f, "
+               "\"p95\": %.4f, \"p99\": %.4f},\n"
+               " \"scanned_fraction\": %.4f, \"ivf\": %s,\n"
+               " \"served\": %llu, \"shed\": %llu, \"failed\": %llu, "
+               "\"flat_fallbacks\": %llu}\n",
+               rows_served, seconds, qps, latency.Mean() * 1e3,
+               latency.Quantile(0.50) * 1e3, latency.Quantile(0.95) * 1e3,
+               latency.Quantile(0.99) * 1e3, scanned_fraction,
+               use_ivf ? "true" : "false",
+               static_cast<unsigned long long>(stats.served),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.failed),
+               static_cast<unsigned long long>(stats.flat_fallbacks));
+  std::fclose(f);
+
+  if (!jsonl.empty()) {
+    const Status dumped = metrics->WriteJsonl(jsonl);
+    if (!dumped.ok()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n",
+                   dumped.ToString().c_str());
+      return 1;
+    }
+  }
+  if (cli.GetBool("render", false)) {
+    std::printf("%s", metrics->RenderText().c_str());
+  }
+  std::printf(
+      "%.0f qps  p50 %.2fms  p95 %.2fms  p99 %.2fms  scanned %.1f%%  -> %s\n",
+      qps, latency.Quantile(0.50) * 1e3, latency.Quantile(0.95) * 1e3,
+      latency.Quantile(0.99) * 1e3, 100.0 * scanned_fraction, out.c_str());
+  return 0;
+}

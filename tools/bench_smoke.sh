@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Smoke benchmark: runs the index micro-benchmarks (bench/micro_index) and
+# a short end-to-end serving loop (tool_bench_serving), leaving two JSON
+# artifacts for run-to-run diffing:
+#   BENCH_micro_index.json — google-benchmark JSON for the scan kernels
+#   BENCH_serving.json     — QPS, p50/p95/p99 latency, scanned fraction,
+#                            lifecycle counts (all read back from the
+#                            metrics registry, so this also smoke-tests
+#                            the observability wiring end to end)
+#   BENCH_metrics.jsonl    — full registry dump, one JSON object per metric
+#
+# Usage: tools/bench_smoke.sh [build-dir] [out-dir]
+#        (defaults: build, current directory)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_dir="${2:-$(pwd)}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" --target micro_index tool_bench_serving \
+  -j "$(nproc)"
+
+mkdir -p "${out_dir}"
+
+"${build_dir}/bench/micro_index" \
+  --benchmark_format=json \
+  --benchmark_out="${out_dir}/BENCH_micro_index.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.05
+
+rm -f "${out_dir}/BENCH_metrics.jsonl"
+"${build_dir}/tools/tool_bench_serving" \
+  --out="${out_dir}/BENCH_serving.json" \
+  --metrics_jsonl="${out_dir}/BENCH_metrics.jsonl"
+
+echo "wrote ${out_dir}/BENCH_micro_index.json"
+echo "wrote ${out_dir}/BENCH_serving.json"
+echo "wrote ${out_dir}/BENCH_metrics.jsonl"

@@ -26,6 +26,9 @@ run_labelled() {
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
+# On a lifecycle-invariant failure the suite dumps the full metrics
+# registry (MetricsRegistry::RenderText) alongside the assertion output.
+export LIGHTLT_CHAOS_DUMP_METRICS=1
 
 run_labelled "${asan_dir}" address
 run_labelled "${tsan_dir}" thread

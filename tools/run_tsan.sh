@@ -14,13 +14,16 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DLIGHTLT_SANITIZE=thread
 cmake --build "${build_dir}" --target lightlt_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_chaos_tests -j "$(nproc)"
+cmake --build "${build_dir}" --target lightlt_obs_tests -j "$(nproc)"
 
 # Concurrency-sensitive suites: the TaskGroup/ParallelFor semantics tests,
 # the shared-pool serving stress, eval determinism, parallel gumbel Forward,
-# the baseline threadpool unit tests, and the serving chaos harness
-# (request-lifecycle races: admission, breaker, deadline-cut batches).
+# the baseline threadpool unit tests, the serving chaos harness
+# (request-lifecycle races: admission, breaker, deadline-cut batches), and
+# the observability suite (sharded counters/histograms under ParallelFor —
+# the scan hot path's relaxed-atomics-only claim is checked here).
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest)\.'
+  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|Obs[A-Za-z]*Test)\.'
 
 echo "TSan concurrency suite passed with zero reported races."
