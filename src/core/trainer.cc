@@ -6,6 +6,7 @@
 #include <memory>
 #include <numeric>
 
+#include "src/eval/metrics.h"
 #include "src/nn/scheduler.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
@@ -15,26 +16,8 @@ namespace lightlt::core {
 
 namespace {
 
-/// Long-tail evaluation buckets: thirds of the class list ranked by
-/// training count, most populous first (paper §V's head/mid/tail split).
-/// Returns bucket index 0/1/2 per class.
-std::vector<int> HeadMidTailBuckets(const std::vector<size_t>& class_counts) {
-  const size_t c = class_counts.size();
-  std::vector<size_t> by_count(c);
-  std::iota(by_count.begin(), by_count.end(), 0);
-  std::stable_sort(by_count.begin(), by_count.end(),
-                   [&](size_t a, size_t b) {
-                     return class_counts[a] > class_counts[b];
-                   });
-  std::vector<int> bucket(c, 2);
-  const size_t third = (c + 2) / 3;
-  for (size_t rank = 0; rank < c; ++rank) {
-    bucket[by_count[rank]] = static_cast<int>(std::min<size_t>(rank / third, 2));
-  }
-  return bucket;
-}
-
-const char* kBucketNames[3] = {"head", "mid", "tail"};
+using eval::HeadMidTailBuckets;
+const char* const* kBucketNames = eval::kHeadMidTailNames;
 
 }  // namespace
 

@@ -1,0 +1,204 @@
+#include "src/eval/bench_gate.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lightlt::eval {
+namespace {
+
+/// Position just past `"key"` followed by optional space and a colon, or
+/// npos. Matches quoted keys only, so values cannot alias keys.
+size_t FindKey(const std::string& json, const std::string& key, size_t from) {
+  const std::string quoted = "\"" + key + "\"";
+  size_t at = json.find(quoted, from);
+  while (at != std::string::npos) {
+    size_t p = at + quoted.size();
+    while (p < json.size() && (json[p] == ' ' || json[p] == '\t')) ++p;
+    if (p < json.size() && json[p] == ':') return p + 1;
+    at = json.find(quoted, at + 1);
+  }
+  return std::string::npos;
+}
+
+bool ParseNumberAt(const std::string& json, size_t at, double* value,
+                   size_t* end) {
+  while (at < json.size() &&
+         (json[at] == ' ' || json[at] == '\t' || json[at] == '\n')) {
+    ++at;
+  }
+  if (at >= json.size()) return false;
+  const char* start = json.c_str() + at;
+  char* parsed_end = nullptr;
+  const double v = std::strtod(start, &parsed_end);
+  if (parsed_end == start) return false;
+  *value = v;
+  if (end != nullptr) *end = at + static_cast<size_t>(parsed_end - start);
+  return true;
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool ExtractJsonNumber(const std::string& json, const std::string& key,
+                       double* value) {
+  const size_t at = FindKey(json, key, 0);
+  if (at == std::string::npos) return false;
+  return ParseNumberAt(json, at, value, nullptr);
+}
+
+std::vector<std::pair<std::string, double>> ExtractMicroBenchTimes(
+    const std::string& json) {
+  std::vector<std::pair<std::string, double>> out;
+  // google-benchmark emits, per entry: "name": "<bench>", ... "real_time":
+  // <ns>. The context block has no "name" key, so pairing consecutive
+  // occurrences is exact.
+  size_t cursor = 0;
+  while (true) {
+    size_t name_at = FindKey(json, "name", cursor);
+    if (name_at == std::string::npos) break;
+    while (name_at < json.size() && json[name_at] == ' ') ++name_at;
+    if (name_at >= json.size() || json[name_at] != '"') {
+      cursor = name_at;
+      continue;
+    }
+    const size_t name_end = json.find('"', name_at + 1);
+    if (name_end == std::string::npos) break;
+    const std::string name = json.substr(name_at + 1, name_end - name_at - 1);
+    const size_t time_at = FindKey(json, "real_time", name_end);
+    if (time_at == std::string::npos) break;
+    double value = 0.0;
+    size_t time_end = time_at;
+    if (ParseNumberAt(json, time_at, &value, &time_end)) {
+      out.emplace_back(name, value);
+    }
+    cursor = time_end;
+  }
+  return out;
+}
+
+std::string GateReport::Render() const {
+  std::string out;
+  for (const GateFinding& finding : regressions) {
+    out += "REGRESSION " + finding.metric + ": baseline " +
+           FormatNumber(finding.baseline) + " -> candidate " +
+           FormatNumber(finding.candidate) + " (" + finding.detail + ")\n";
+  }
+  for (const std::string& note : notes) {
+    out += "note: " + note + "\n";
+  }
+  if (regressions.empty()) out += "bench gate: OK\n";
+  return out;
+}
+
+GateReport CompareServingBench(const std::string& baseline_json,
+                               const std::string& candidate_json,
+                               const GateThresholds& thresholds) {
+  GateReport report;
+  double base = 0.0, cand = 0.0;
+
+  const bool base_p95 = ExtractJsonNumber(baseline_json, "p95", &base);
+  const bool cand_p95 = ExtractJsonNumber(candidate_json, "p95", &cand);
+  if (base_p95 && cand_p95) {
+    const double limit = base * (1.0 + thresholds.max_p95_regress_pct / 100.0);
+    if (base > 0.0 && cand > limit) {
+      report.regressions.push_back(
+          {"serving_p95_ms", base, cand,
+           "limit +" + FormatNumber(thresholds.max_p95_regress_pct) + "%"});
+    }
+  } else {
+    report.notes.push_back("p95 missing from a run; latency check skipped");
+  }
+
+  const bool base_qps = ExtractJsonNumber(baseline_json, "qps", &base);
+  const bool cand_qps = ExtractJsonNumber(candidate_json, "qps", &cand);
+  if (base_qps && cand_qps) {
+    if (base > 0.0 && cand < base * thresholds.min_qps_ratio) {
+      report.regressions.push_back(
+          {"qps", base, cand,
+           "limit x" + FormatNumber(thresholds.min_qps_ratio)});
+    }
+  } else {
+    report.notes.push_back("qps missing from a run; throughput check skipped");
+  }
+
+  const bool base_recall =
+      ExtractJsonNumber(baseline_json, "shadow_recall", &base);
+  const bool cand_recall =
+      ExtractJsonNumber(candidate_json, "shadow_recall", &cand);
+  if (base_recall && cand_recall) {
+    if (base >= 0.0 && cand >= 0.0 &&
+        cand < base - thresholds.max_recall_drop) {
+      report.regressions.push_back(
+          {"shadow_recall", base, cand,
+           "limit -" + FormatNumber(thresholds.max_recall_drop)});
+    }
+  } else {
+    report.notes.push_back(
+        "shadow_recall missing from a run; recall check skipped");
+  }
+  return report;
+}
+
+GateReport CompareMicroBench(const std::string& baseline_json,
+                             const std::string& candidate_json,
+                             const GateThresholds& thresholds) {
+  GateReport report;
+  const auto base = ExtractMicroBenchTimes(baseline_json);
+  const auto cand = ExtractMicroBenchTimes(candidate_json);
+  for (const auto& [name, base_time] : base) {
+    const std::pair<std::string, double>* match = nullptr;
+    for (const auto& entry : cand) {
+      if (entry.first == name) {
+        match = &entry;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      report.notes.push_back("benchmark only in baseline: " + name);
+      continue;
+    }
+    const double limit =
+        base_time * (1.0 + thresholds.max_micro_regress_pct / 100.0);
+    if (base_time > 0.0 && match->second > limit) {
+      report.regressions.push_back(
+          {name, base_time, match->second,
+           "limit +" + FormatNumber(thresholds.max_micro_regress_pct) + "%"});
+    }
+  }
+  for (const auto& [name, time] : cand) {
+    bool known = false;
+    for (const auto& entry : base) {
+      if (entry.first == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) report.notes.push_back("benchmark only in candidate: " + name);
+  }
+  return report;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("bench_gate: cannot open " + path);
+  }
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("bench_gate: read failed on " + path);
+  return out;
+}
+
+}  // namespace lightlt::eval

@@ -1,0 +1,81 @@
+// Bench regression gate (DESIGN.md §11): compares two bench_smoke runs —
+// BENCH_serving.json (end-to-end QPS / latency / recall) and the
+// google-benchmark BENCH_micro_index.json (scan kernels) — and reports
+// regressions beyond configurable thresholds. Library form so the logic is
+// unit-testable; tools/bench_gate.cc is the CLI wired into
+// tools/bench_smoke.sh --gate.
+//
+// Parsing: the repo carries no JSON library, and both artifacts are
+// machine-written with unique scalar keys, so a first-occurrence
+// `"key": <number>` scanner is exact for them (and only them — this is not
+// a general JSON parser).
+
+#ifndef LIGHTLT_EVAL_BENCH_GATE_H_
+#define LIGHTLT_EVAL_BENCH_GATE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lightlt::eval {
+
+struct GateThresholds {
+  /// Serving p95 latency may grow at most this percent over baseline.
+  double max_p95_regress_pct = 25.0;
+  /// Candidate QPS must stay at/above this fraction of baseline.
+  double min_qps_ratio = 0.75;
+  /// Shadow recall may drop at most this much (absolute). Skipped when
+  /// either run lacks the shadow_recall key (older baselines).
+  double max_recall_drop = 0.05;
+  /// Per-benchmark real_time in the micro suite may grow at most this
+  /// percent over baseline.
+  double max_micro_regress_pct = 30.0;
+};
+
+struct GateFinding {
+  std::string metric;  ///< "serving_p95_ms", "qps", "BM_AdcScan/..."
+  double baseline = 0.0;
+  double candidate = 0.0;
+  std::string detail;
+};
+
+struct GateReport {
+  std::vector<GateFinding> regressions;
+  /// Non-fatal observations: keys missing from a run, benchmarks present
+  /// in only one file. Never silent — a gate that skips a check says so.
+  std::vector<std::string> notes;
+
+  bool ok() const { return regressions.empty(); }
+  /// Human-readable verdict, one line per regression/note.
+  std::string Render() const;
+};
+
+/// First occurrence of `"key": <number>` in `json`; false when absent or
+/// malformed.
+bool ExtractJsonNumber(const std::string& json, const std::string& key,
+                       double* value);
+
+/// All `"name": "<benchmark>"` / `"real_time": <ns>` pairs of a
+/// google-benchmark JSON file, in file order.
+std::vector<std::pair<std::string, double>> ExtractMicroBenchTimes(
+    const std::string& json);
+
+/// Gates candidate vs baseline BENCH_serving.json contents.
+GateReport CompareServingBench(const std::string& baseline_json,
+                               const std::string& candidate_json,
+                               const GateThresholds& thresholds);
+
+/// Gates candidate vs baseline BENCH_micro_index.json contents; benchmarks
+/// are matched by name, unmatched ones are noted.
+GateReport CompareMicroBench(const std::string& baseline_json,
+                             const std::string& candidate_json,
+                             const GateThresholds& thresholds);
+
+/// Whole-file read for the CLI (IoError on open/read failure).
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace lightlt::eval
+
+#endif  // LIGHTLT_EVAL_BENCH_GATE_H_

@@ -1,6 +1,7 @@
 #include "src/eval/metrics.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "src/util/check.h"
 
@@ -86,5 +87,23 @@ double MeanAveragePrecisionForClasses(const RankingFn& rank_query,
   }
   return count == 0 ? 0.0 : total / static_cast<double>(count);
 }
+
+std::vector<int> HeadMidTailBuckets(const std::vector<size_t>& class_counts) {
+  const size_t c = class_counts.size();
+  std::vector<size_t> by_count(c);
+  std::iota(by_count.begin(), by_count.end(), 0);
+  std::stable_sort(by_count.begin(), by_count.end(), [&](size_t a, size_t b) {
+    return class_counts[a] > class_counts[b];
+  });
+  std::vector<int> bucket(c, 2);
+  const size_t third = (c + 2) / 3;
+  for (size_t rank = 0; rank < c; ++rank) {
+    bucket[by_count[rank]] =
+        static_cast<int>(std::min<size_t>(rank / third, 2));
+  }
+  return bucket;
+}
+
+const char* const kHeadMidTailNames[3] = {"head", "mid", "tail"};
 
 }  // namespace lightlt::eval

@@ -46,6 +46,16 @@ double MeanAveragePrecisionForClasses(const RankingFn& rank_query,
                                       const std::vector<bool>& class_subset,
                                       ThreadPool* pool = nullptr);
 
+/// Long-tail evaluation buckets: thirds of the class list ranked by
+/// training count, most populous first (paper §V's head/mid/tail split).
+/// Returns bucket index 0 (head) / 1 (mid) / 2 (tail) per class. Shared by
+/// the trainer's per-epoch accuracy breakdown and the serving layer's
+/// shadow-recall segmentation.
+std::vector<int> HeadMidTailBuckets(const std::vector<size_t>& class_counts);
+
+/// Display names for the three buckets: "head", "mid", "tail".
+extern const char* const kHeadMidTailNames[3];
+
 }  // namespace lightlt::eval
 
 #endif  // LIGHTLT_EVAL_METRICS_H_

@@ -148,6 +148,10 @@ Status AdcIndex::ComputeScores(const float* query, std::vector<float>* scores,
       instruments_.chunks->Increment();
       instruments_.items->Increment(n);
     }
+    if (control.stats != nullptr) {
+      control.stats->chunks += 1;
+      control.stats->items += n;
+    }
     return Status::Ok();
   }
   // Score score_i = ||o_i||^2 - 2 sum_cb lut[code] in chunks, polling the
@@ -171,6 +175,10 @@ Status AdcIndex::ComputeScores(const float* query, std::vector<float>* scores,
     if (instruments_.enabled()) {
       instruments_.chunks->Increment();
       instruments_.items->Increment(end - begin);
+    }
+    if (control.stats != nullptr) {
+      control.stats->chunks += 1;
+      control.stats->items += end - begin;
     }
   }
   return Status::Ok();

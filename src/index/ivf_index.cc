@@ -184,6 +184,11 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
       instruments_.chunks->Increment();
       instruments_.items->Increment(ids.size());
     }
+    if (control.stats != nullptr) {
+      control.stats->chunks += 1;
+      control.stats->items += ids.size();
+      control.stats->probed_cells += 1;
+    }
   }
   if (probed_cells_ != nullptr) {
     probed_cells_->Record(static_cast<double>(nprobe));

@@ -28,10 +28,19 @@
 #include "src/index/hamming_index.h"
 #include "src/index/ivf_index.h"
 
-// Serving: the deployment-facing retrieval facade.
+// Serving: the deployment-facing retrieval facade and shadow verifier.
 #include "src/serving/service.h"
+#include "src/serving/shadow.h"
 
-// Evaluation: retrieval quality, curves and efficiency.
+// Observability: metrics, tracing, logging, online quality & SLOs.
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/quality.h"
+#include "src/obs/slo.h"
+#include "src/obs/trace.h"
+
+// Evaluation: retrieval quality, curves, efficiency, bench gating.
+#include "src/eval/bench_gate.h"
 #include "src/eval/curves.h"
 #include "src/eval/efficiency.h"
 #include "src/eval/metrics.h"

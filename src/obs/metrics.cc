@@ -31,6 +31,20 @@ double HistogramSnapshot::Quantile(double q) const {
   return Histogram::BucketUpperBound(counts.size() - 1);
 }
 
+HistogramSnapshot HistogramSnapshot::Delta(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  out.counts.assign(counts.size(), 0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t before = i < earlier.counts.size() ? earlier.counts[i] : 0;
+    out.counts[i] = counts[i] > before ? counts[i] - before : 0;
+    out.count += out.counts[i];
+  }
+  out.sum = sum - earlier.sum;
+  if (out.sum < 0.0 || out.count == 0) out.sum = 0.0;
+  return out;
+}
+
 double Histogram::BucketRatio() {
   return std::exp2(1.0 / kSubBuckets);
 }
@@ -85,9 +99,30 @@ HistogramSnapshot Histogram::Snapshot() const {
   return snap;
 }
 
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string WithLabel(const std::string& base, const std::string& key,
                       const std::string& value) {
-  return base + "{" + key + "=\"" + value + "\"}";
+  return base + "{" + key + "=\"" + EscapeLabelValue(value) + "\"}";
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {

@@ -99,7 +99,21 @@ struct HistogramSnapshot {
   /// true value lies within one bucket ratio below the returned bound.
   /// 0 when empty.
   double Quantile(double q) const;
+
+  /// The observations recorded between `earlier` and this snapshot of the
+  /// same cumulative histogram — windowed quantiles and drift detection
+  /// work off two cumulative snapshots without a second histogram.
+  /// Underflow-guarded: bucket counts subtract saturating at 0 and the sum
+  /// is floored at 0, so snapshots taken while shards were mid-merge (or
+  /// accidentally swapped operands) yield an empty-ish window instead of
+  /// wrapped 2^64 counts. `count` is recomputed from the guarded buckets.
+  HistogramSnapshot Delta(const HistogramSnapshot& earlier) const;
 };
+
+inline HistogramSnapshot operator-(const HistogramSnapshot& later,
+                                   const HistogramSnapshot& earlier) {
+  return later.Delta(earlier);
+}
 
 /// Log-bucketed histogram of non-negative doubles (typically seconds).
 /// Record() is one relaxed fetch_add on a sharded bucket plus a relaxed
@@ -140,8 +154,13 @@ class Histogram {
   Shard shards_[kShards];
 };
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and newline become \\, \" and \n.
+std::string EscapeLabelValue(const std::string& value);
+
 /// Builds `base{key="value"}` — the labelled-name convention the registry
-/// keys on.
+/// keys on. `value` is escaped here, so the registry key is already valid
+/// exposition text and RenderText can emit names verbatim.
 std::string WithLabel(const std::string& base, const std::string& key,
                       const std::string& value);
 

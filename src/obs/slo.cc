@@ -1,0 +1,158 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace lightlt::obs {
+
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SloTracker::SloTracker(Options options) : options_(std::move(options)) {
+  LIGHTLT_CHECK_GT(options_.bucket_seconds, 0.0);
+  LIGHTLT_CHECK_GT(options_.objective, 0.0);
+  LIGHTLT_CHECK_LT(options_.objective, 1.0);
+  double longest = options_.horizon_seconds;
+  for (const BurnRateWindow& w : options_.windows) {
+    longest = std::max(longest, w.long_seconds);
+  }
+  if (!options_.clock) options_.clock = SteadyNowSeconds;
+  const size_t buckets = static_cast<size_t>(
+      std::ceil(longest / options_.bucket_seconds)) + 1;
+  ring_.assign(buckets, Bucket{});
+}
+
+int64_t SloTracker::BucketEpoch(double now) const {
+  return static_cast<int64_t>(std::floor(now / options_.bucket_seconds));
+}
+
+void SloTracker::Record(bool good) {
+  const double now = options_.clock();
+  const int64_t epoch = BucketEpoch(now);
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = ring_[static_cast<size_t>(epoch % static_cast<int64_t>(
+                             ring_.size()))];
+  if (bucket.epoch != epoch) {
+    bucket.epoch = epoch;
+    bucket.good = 0;
+    bucket.bad = 0;
+  }
+  if (good) {
+    ++bucket.good;
+  } else {
+    ++bucket.bad;
+  }
+}
+
+void SloTracker::SumWindow(double now, double window_seconds, uint64_t* good,
+                           uint64_t* bad) const {
+  *good = 0;
+  *bad = 0;
+  const int64_t now_epoch = BucketEpoch(now);
+  const int64_t span = static_cast<int64_t>(
+      std::ceil(window_seconds / options_.bucket_seconds));
+  const int64_t first = now_epoch - span + 1;  // current bucket counts
+  for (const Bucket& bucket : ring_) {
+    if (bucket.epoch >= first && bucket.epoch <= now_epoch) {
+      *good += bucket.good;
+      *bad += bucket.bad;
+    }
+  }
+}
+
+double SloTracker::BadFraction(double window_seconds) const {
+  const double now = options_.clock();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t good = 0, bad = 0;
+  SumWindow(now, window_seconds, &good, &bad);
+  const uint64_t total = good + bad;
+  return total == 0 ? 0.0
+                    : static_cast<double>(bad) / static_cast<double>(total);
+}
+
+double SloTracker::BurnRate(double window_seconds) const {
+  return BadFraction(window_seconds) / (1.0 - options_.objective);
+}
+
+SloTracker::AlertState SloTracker::Check() {
+  const double now = options_.clock();
+  AlertState state;
+  bool was_firing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    was_firing = firing_;
+    const double budget = 1.0 - options_.objective;
+    bool any = false;
+    for (const BurnRateWindow& rule : options_.windows) {
+      uint64_t good = 0, bad = 0;
+      SumWindow(now, rule.short_seconds, &good, &bad);
+      uint64_t total = good + bad;
+      const double short_burn =
+          total == 0 ? 0.0 : (static_cast<double>(bad) / total) / budget;
+      SumWindow(now, rule.long_seconds, &good, &bad);
+      total = good + bad;
+      const double long_burn =
+          total == 0 ? 0.0 : (static_cast<double>(bad) / total) / budget;
+      state.short_burn.push_back(short_burn);
+      state.long_burn.push_back(long_burn);
+      if (short_burn >= rule.threshold && long_burn >= rule.threshold) {
+        any = true;
+      }
+    }
+    firing_ = any;
+    state.firing = any;
+    if (any && !was_firing) ++fire_count_;
+  }
+  if (options_.registry != nullptr) {
+    for (size_t i = 0; i < options_.windows.size(); ++i) {
+      const std::string window =
+          std::to_string(static_cast<int64_t>(options_.windows[i].long_seconds));
+      options_.registry
+          ->GetGauge(WithLabel(options_.metric_prefix + "burn_short_" + window,
+                               "slo", options_.name))
+          ->Set(state.short_burn[i]);
+      options_.registry
+          ->GetGauge(WithLabel(options_.metric_prefix + "burn_long_" + window,
+                               "slo", options_.name))
+          ->Set(state.long_burn[i]);
+    }
+    options_.registry
+        ->GetGauge(
+            WithLabel(options_.metric_prefix + "firing", "slo", options_.name))
+        ->Set(state.firing ? 1.0 : 0.0);
+  }
+  if (options_.logger != nullptr && state.firing != was_firing) {
+    if (state.firing) {
+      double worst = 0.0;
+      for (double b : state.short_burn) worst = std::max(worst, b);
+      options_.logger->Log(LogLevel::kWarn, "slo", "burn-rate alert firing",
+                           {{"slo", options_.name}, {"burn", worst}});
+    } else {
+      options_.logger->Log(LogLevel::kInfo, "slo", "burn-rate alert cleared",
+                           {{"slo", options_.name}});
+    }
+  }
+  return state;
+}
+
+bool SloTracker::firing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return firing_;
+}
+
+uint64_t SloTracker::fire_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fire_count_;
+}
+
+}  // namespace lightlt::obs

@@ -151,7 +151,55 @@ Result<RetrievalService> RetrievalService::Build(
   if (!adc.ok()) return adc.status();
   service.adc_ = std::make_unique<index::AdcIndex>(std::move(adc).value());
   service.adc_->Instrument(service.metrics_.get(), "adc_");
+
+  if (options.slow_query.latency_threshold_seconds > 0.0 ||
+      (options.shadow.sample_rate > 0.0 &&
+       options.shadow.recall_miss_threshold > 0.0)) {
+    service.slow_log_ =
+        std::make_shared<obs::SlowQueryLog>(options.slow_query);
+  }
+  if (options.shadow.sample_rate > 0.0) {
+    ShadowOptions shadow_options = options.shadow;
+    if (service.slow_log_ != nullptr && !shadow_options.on_recall_miss) {
+      // Recall misses land in the slow-query ring next to latency outliers;
+      // the shadow task is asynchronous, so there is no span tree or scan
+      // accounting to attach.
+      std::shared_ptr<obs::SlowQueryLog> slow_log = service.slow_log_;
+      shadow_options.on_recall_miss = [slow_log](double recall,
+                                                 uint64_t /*successes*/,
+                                                 uint64_t /*trials*/) {
+        obs::SlowQueryRecord record;
+        record.kind = "recall_miss";
+        record.outcome = "ok";
+        record.recall = recall;
+        slow_log->Add(std::move(record));
+      };
+    }
+    // The verifier needs the exact embedded database as its oracle; this is
+    // the one place that copy is justified — it is what "shadow
+    // verification against the exact index" means.
+    service.shadow_ = std::make_shared<ShadowVerifier>(
+        embedded, std::move(shadow_options), service.metrics_);
+  }
   return service;
+}
+
+ServiceStats StatsSince(const ServiceStats& later,
+                        const ServiceStats& earlier) {
+  ServiceStats window = later;
+  window.admitted -= earlier.admitted;
+  window.degraded_admissions -= earlier.degraded_admissions;
+  window.served -= earlier.served;
+  window.shed -= earlier.shed;
+  window.expired -= earlier.expired;
+  window.cancelled -= earlier.cancelled;
+  window.failed -= earlier.failed;
+  window.flat_fallbacks -= earlier.flat_fallbacks;
+  window.breaker_open_transitions -= earlier.breaker_open_transitions;
+  // in_flight and breaker_state are instantaneous, not cumulative: keep
+  // the later reading.
+  window.served_latency = later.served_latency.Delta(earlier.served_latency);
+  return window;
 }
 
 void RetrievalService::CountOutcome(const Status& status,
@@ -174,7 +222,8 @@ void RetrievalService::CountOutcome(const Status& status,
 
 Result<std::vector<ServedHit>> RetrievalService::SearchEmbedded(
     const float* query, size_t top_k, const ScanControl& control,
-    bool degraded, obs::Trace* trace, const obs::Span* parent) const {
+    bool degraded, obs::Trace* trace, const obs::Span* parent,
+    bool* used_fallback) const {
   // Degraded admissions shed the optional work: no over-fetch, no exact
   // rerank, and the flat scan instead of the IVF path.
   const bool rerank = options_.exact_rerank && !degraded;
@@ -213,6 +262,7 @@ Result<std::vector<ServedHit>> RetrievalService::SearchEmbedded(
     }
     if (!have_hits) {
       inst_.flat_fallbacks->Increment();
+      if (used_fallback != nullptr) *used_fallback = true;
     }
   }
   if (!have_hits) {
@@ -284,16 +334,48 @@ Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
     inst_.degraded_admissions->Increment();
   }
 
+  bool used_fallback = false;
   auto result = [&] {
     obs::Span search_span = MaybeSpan(trace, "search", parent);
     return SearchEmbedded(query, top_k, control, degraded, trace,
-                          trace ? &search_span : nullptr);
+                          trace ? &search_span : nullptr, &used_fallback);
   }();
+  const double elapsed = timer.ElapsedSeconds();
   if (result.ok()) {
     inst_.served->Increment();
-    inst_.latency_served->Record(timer.ElapsedSeconds());
+    inst_.latency_served->Record(elapsed);
+    // Shadow verification rides after the response is accounted: selection
+    // and budget are decided in Acquire(), the exact re-run happens on the
+    // pool (or inline when no pool is configured), never on the caller's
+    // latency path beyond one query copy.
+    if (shadow_ != nullptr && shadow_->Acquire()) {
+      std::vector<uint32_t> ids;
+      ids.reserve(result.value().size());
+      for (const ServedHit& hit : result.value()) ids.push_back(hit.id);
+      shadow_->Submit(query, std::move(ids));
+    }
   } else {
-    CountOutcome(result.status(), timer.ElapsedSeconds());
+    CountOutcome(result.status(), elapsed);
+  }
+  if (slow_log_ != nullptr &&
+      slow_log_->options().latency_threshold_seconds > 0.0 &&
+      elapsed >= slow_log_->options().latency_threshold_seconds) {
+    obs::SlowQueryRecord record;
+    record.kind = "latency";
+    record.outcome =
+        result.ok() ? "ok" : Status::CodeName(result.status().code());
+    record.latency_seconds = elapsed;
+    if (control.stats != nullptr) {
+      record.explain.chunks = control.stats->chunks;
+      record.explain.items = control.stats->items;
+      record.explain.probed_cells = control.stats->probed_cells;
+    }
+    record.explain.degraded = degraded;
+    record.explain.flat_fallback = used_fallback;
+    // The root query span is typically still open here (end_ns == 0); the
+    // closed child spans carry the useful timing.
+    if (trace != nullptr) record.spans = trace->Records();
+    slow_log_->Add(std::move(record));
   }
   return result;
 }
@@ -313,9 +395,18 @@ Result<std::vector<ServedHit>> RetrievalService::Query(
   if (!AllFinite(features)) {
     return Status::InvalidArgument("Query: features contain NaN/Inf");
   }
-  const ScanControl control{request.deadline, request.cancel,
-                            options_.scan_check_every};
+  ScanStats scan_stats;
+  ScanControl control{request.deadline, request.cancel,
+                      options_.scan_check_every};
+  // Slow-query capture needs the span tree and the scan accounting even
+  // when the caller did not opt into tracing, so an internal per-call trace
+  // stands in; QueryBatch rows keep both off (shared ScanControl).
+  obs::Trace internal_trace;
   obs::Trace* trace = request.trace;
+  if (slow_log_ != nullptr) {
+    control.stats = &scan_stats;
+    if (trace == nullptr) trace = &internal_trace;
+  }
   obs::Span query_span = MaybeSpan(trace, "query", nullptr);
   Matrix embedded;
   {
@@ -414,6 +505,7 @@ ServiceStats RetrievalService::Stats() const {
   s.failed = inst_.failed->Value();
   s.flat_fallbacks = inst_.flat_fallbacks->Value();
   s.in_flight = admission_->InFlight();
+  s.served_latency = inst_.latency_served->Snapshot();
   if (breaker_) {
     s.breaker_open_transitions = breaker_->open_transitions();
     s.breaker_state = breaker_->state();

@@ -29,9 +29,11 @@
 #include "src/index/adc_index.h"
 #include "src/index/ivf_index.h"
 #include "src/obs/metrics.h"
+#include "src/obs/quality.h"
 #include "src/obs/trace.h"
 #include "src/serving/admission.h"
 #include "src/serving/circuit_breaker.h"
+#include "src/serving/shadow.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
 #include "src/util/threadpool.h"
@@ -62,6 +64,14 @@ struct ServiceOptions {
   /// reachable via Metrics(). Shared so external registries (one per
   /// process, many services) outlive in-flight callback gauges.
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Online quality monitoring (DESIGN.md §11): shadow-verify a seeded
+  /// fraction of served queries against the exact flat index. sample_rate 0
+  /// keeps the verifier (and its flat copy of the database) out entirely.
+  ShadowOptions shadow;
+  /// Slow-query capture: single queries at/above latency_threshold_seconds
+  /// — and shadow recall misses, when both features are on — land in a ring
+  /// with their span tree and scan "explain" record. Threshold 0 disables.
+  obs::SlowQueryLog::Options slow_query;
 };
 
 /// Per-request lifecycle knobs. Default: no deadline, not cancellable.
@@ -95,7 +105,14 @@ struct ServiceStats {
   uint64_t breaker_open_transitions = 0;
   uint64_t in_flight = 0;
   BreakerState breaker_state = BreakerState::kClosed;
+  /// Served-request latency distribution at snapshot time (cumulative).
+  obs::HistogramSnapshot served_latency;
 };
+
+/// Windowed view between two Stats() snapshots of the same service: counter
+/// differences plus the served-latency HistogramSnapshot delta, so callers
+/// can report per-interval p95 instead of since-boot aggregates.
+ServiceStats StatsSince(const ServiceStats& later, const ServiceStats& earlier);
 
 /// A ready-to-serve retrieval stack: model (query encoder) + compressed
 /// database index.
@@ -145,6 +162,12 @@ class RetrievalService {
     return inst_.flat_fallbacks ? inst_.flat_fallbacks->Value() : 0;
   }
 
+  /// The shadow verifier, when ServiceOptions::shadow enabled one.
+  ShadowVerifier* Shadow() const { return shadow_.get(); }
+
+  /// The slow-query ring, when ServiceOptions::slow_query enabled one.
+  obs::SlowQueryLog* SlowQueries() const { return slow_log_.get(); }
+
  private:
   RetrievalService() = default;
 
@@ -187,13 +210,16 @@ class RetrievalService {
                                                obs::Trace* trace,
                                                const obs::Span* parent) const;
 
-  /// Candidate retrieval + rerank for an admitted request.
+  /// Candidate retrieval + rerank for an admitted request. When
+  /// `used_fallback` is non-null it reports whether the flat scan served
+  /// the query although IVF was enabled (explain record plumbing).
   Result<std::vector<ServedHit>> SearchEmbedded(const float* query,
                                                 size_t top_k,
                                                 const ScanControl& control,
                                                 bool degraded,
                                                 obs::Trace* trace,
-                                                const obs::Span* parent) const;
+                                                const obs::Span* parent,
+                                                bool* used_fallback) const;
 
   ServiceOptions options_;
   std::shared_ptr<const core::LightLtModel> model_;
@@ -203,6 +229,8 @@ class RetrievalService {
   Instruments inst_;
   std::shared_ptr<AdmissionController> admission_;
   std::shared_ptr<CircuitBreaker> breaker_;  // null unless IVF is enabled
+  std::shared_ptr<ShadowVerifier> shadow_;   // null unless sampling enabled
+  std::shared_ptr<obs::SlowQueryLog> slow_log_;  // null unless capture on
 };
 
 }  // namespace lightlt::serving

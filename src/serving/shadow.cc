@@ -1,0 +1,154 @@
+#include "src/serving/shadow.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/eval/metrics.h"
+
+namespace lightlt::serving {
+namespace {
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash of the query ordinal so
+/// sampling is deterministic per (seed, ordinal) yet uncorrelated with any
+/// traffic pattern.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t SelectionThreshold(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return ~0ULL;
+  return static_cast<uint64_t>(rate * 18446744073709551616.0);  // rate * 2^64
+}
+
+}  // namespace
+
+ShadowVerifier::ShadowVerifier(
+    Matrix exact_vectors, ShadowOptions options,
+    const std::shared_ptr<obs::MetricsRegistry>& registry)
+    : options_(std::move(options)),
+      selection_threshold_(SelectionThreshold(options_.sample_rate)),
+      flat_(std::move(exact_vectors)),
+      estimator_(std::make_shared<obs::StreamingRecallEstimator>()),
+      group_(options_.pool) {
+  if (!options_.db_labels.empty() && !options_.class_counts.empty()) {
+    const std::vector<int> class_bucket =
+        eval::HeadMidTailBuckets(options_.class_counts);
+    item_bucket_.reserve(options_.db_labels.size());
+    for (size_t label : options_.db_labels) {
+      item_bucket_.push_back(
+          label < class_bucket.size() ? class_bucket[label] : -1);
+    }
+  }
+  sampled_ = registry->GetCounter("shadow_sampled_total");
+  skipped_budget_ = registry->GetCounter("shadow_skipped_budget_total");
+  completed_ = registry->GetCounter("shadow_completed_total");
+  recall_miss_ = registry->GetCounter("shadow_recall_miss_total");
+  query_recall_ = registry->GetHistogram("shadow_query_recall");
+  // The recall gauges capture only the shared estimator, so an external
+  // registry outliving this verifier keeps reading valid state.
+  for (size_t segment = 0; segment < obs::kNumRecallSegments; ++segment) {
+    const std::string label = obs::RecallSegmentName(segment);
+    std::shared_ptr<obs::StreamingRecallEstimator> estimator = estimator_;
+    registry->RegisterCallbackGauge(
+        obs::WithLabel("shadow_recall", "segment", label),
+        [estimator, segment]() {
+          return estimator->Snapshot(segment).recall.center;
+        });
+    registry->RegisterCallbackGauge(
+        obs::WithLabel("shadow_recall_lower", "segment", label),
+        [estimator, segment]() {
+          return estimator->Snapshot(segment).recall.lower;
+        });
+    registry->RegisterCallbackGauge(
+        obs::WithLabel("shadow_recall_queries", "segment", label),
+        [estimator, segment]() {
+          return static_cast<double>(estimator->Snapshot(segment).queries);
+        });
+  }
+}
+
+ShadowVerifier::~ShadowVerifier() {
+  // ~TaskGroup drains remaining shadow tasks (group_ is the first member
+  // destroyed), so no task can touch flat_/estimator_ after they die.
+}
+
+bool ShadowVerifier::Acquire() {
+  if (selection_threshold_ == 0) return false;
+  const uint64_t ordinal =
+      query_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  if (SplitMix64(options_.seed ^ ordinal) >= selection_threshold_) {
+    return false;
+  }
+  // Take an in-flight slot; at the cap the query is skipped, keeping shadow
+  // memory and pool backlog strictly bounded under overload.
+  size_t current = in_flight_.load(std::memory_order_relaxed);
+  while (true) {
+    if (current >= options_.max_in_flight) {
+      skipped_budget_->Increment();
+      return false;
+    }
+    if (in_flight_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_acq_rel)) {
+      sampled_->Increment();
+      return true;
+    }
+  }
+}
+
+void ShadowVerifier::Submit(const float* query,
+                            std::vector<uint32_t> served_ids) {
+  std::vector<float> copy(query, query + flat_.dim());
+  group_.Submit([this, copy = std::move(copy),
+                 ids = std::move(served_ids)]() {
+    // The slot is released even when the scan throws (the exception is
+    // captured by the TaskGroup and surfaces at Flush()).
+    try {
+      RunShadow(copy, ids);
+    } catch (...) {
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      throw;
+    }
+    in_flight_.fetch_sub(1, std::memory_order_release);
+  });
+}
+
+void ShadowVerifier::RunShadow(const std::vector<float>& query,
+                               const std::vector<uint32_t>& served_ids) {
+  const std::vector<index::SearchHit> exact =
+      flat_.Search(query.data(), options_.recall_k);
+  uint64_t successes = 0;
+  for (const index::SearchHit& hit : exact) {
+    for (uint32_t id : served_ids) {
+      if (id == hit.id) {
+        ++successes;
+        break;
+      }
+    }
+  }
+  const uint64_t trials = exact.size();
+  int bucket = -1;
+  if (!exact.empty() && exact[0].id < item_bucket_.size()) {
+    bucket = item_bucket_[exact[0].id];
+  }
+  estimator_->Add(bucket, successes, trials);
+  const double recall =
+      trials == 0 ? 0.0
+                  : static_cast<double>(successes) / static_cast<double>(trials);
+  query_recall_->Record(recall);
+  completed_->Increment();
+  if (options_.recall_miss_threshold > 0.0 &&
+      recall <= options_.recall_miss_threshold) {
+    recall_miss_->Increment();
+    if (options_.on_recall_miss) {
+      options_.on_recall_miss(recall, successes, trials);
+    }
+  }
+}
+
+void ShadowVerifier::Flush() { group_.Wait(); }
+
+}  // namespace lightlt::serving

@@ -1,0 +1,133 @@
+// Shadow verification of served queries (DESIGN.md §11).
+//
+// A ShadowVerifier re-runs a deterministic, seeded fraction of served
+// queries against the exact FlatIndex over the embedded database —
+// asynchronously, on the serving thread pool — and feeds a streaming
+// recall@k estimator segmented by head/mid/tail class bucket. This turns
+// "is the compressed index still good?" from an offline eval question into
+// a live gauge with a Wilson confidence interval.
+//
+// Cost model: a shadow task is one exact O(nd) scan. At sample rate r the
+// added load is r * (flat cost / served cost) of the serving budget;
+// `max_in_flight` strictly bounds queued shadow work so a pool stall can
+// never pile up unbounded copies (overflow is skipped and counted, the
+// estimator stays unbiased because selection is decided before the budget
+// check). Shadow tasks bypass admission entirely — they are background
+// work on the pool, not requests.
+
+#ifndef LIGHTLT_SERVING_SHADOW_H_
+#define LIGHTLT_SERVING_SHADOW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/index/flat_index.h"
+#include "src/obs/metrics.h"
+#include "src/obs/quality.h"
+#include "src/tensor/matrix.h"
+#include "src/util/threadpool.h"
+
+namespace lightlt::serving {
+
+struct ShadowOptions {
+  /// Fraction of served queries to shadow-verify; 0 disables, 1 verifies
+  /// every query. Selection is a pure function of (seed, query ordinal),
+  /// so runs are reproducible.
+  double sample_rate = 0.0;
+  uint64_t seed = 0x51ad0u;
+  /// Hard cap on shadow tasks queued or running at once. At the cap a
+  /// selected query is skipped (counted), never enqueued.
+  size_t max_in_flight = 4;
+  /// k of the recall@k estimate; also how many served ids are compared.
+  size_t recall_k = 10;
+  /// Pool for the asynchronous exact scans; null runs them inline on the
+  /// serving thread (deterministic — used by tests). Must outlive the
+  /// verifier.
+  ThreadPool* pool = nullptr;
+  /// Optional head/mid/tail segmentation: per-database-item class label
+  /// plus per-class training counts (eval::HeadMidTailBuckets). A query is
+  /// bucketed by its exact top-1 neighbour's class. Leave empty to pool
+  /// every query into the overall segment.
+  std::vector<size_t> db_labels;
+  std::vector<size_t> class_counts;
+  /// Per-query recall at/below this counts as a recall miss (counted and
+  /// reported via on_recall_miss); 0 disables.
+  double recall_miss_threshold = 0.0;
+  /// Invoked from the shadow task (pool thread) for each recall miss.
+  std::function<void(double recall, uint64_t successes, uint64_t trials)>
+      on_recall_miss;
+};
+
+/// Owns the exact oracle index and the streaming estimator. Thread-safe:
+/// Acquire/Submit may race across serving threads; the estimator and all
+/// instruments are lock-free.
+class ShadowVerifier {
+ public:
+  /// `exact_vectors` is the embedded database (the space the ADC index
+  /// approximates). Registers shadow_* instruments and per-segment recall
+  /// gauges on `registry`; gauge closures capture only shared state, so a
+  /// registry that outlives the verifier stays safe.
+  ShadowVerifier(Matrix exact_vectors, ShadowOptions options,
+                 const std::shared_ptr<obs::MetricsRegistry>& registry);
+  ~ShadowVerifier();
+
+  ShadowVerifier(const ShadowVerifier&) = delete;
+  ShadowVerifier& operator=(const ShadowVerifier&) = delete;
+
+  /// Decides whether the current served query is shadow-verified: advances
+  /// the query ordinal, applies the seeded selection, then tries to take an
+  /// in-flight slot. On true the caller MUST follow with exactly one
+  /// Submit() — the slot is held until the shadow task finishes.
+  bool Acquire();
+
+  /// Enqueues the exact re-run for a query Acquire() selected. `query` is
+  /// copied before returning; `served_ids` are the ids the approximate
+  /// path returned (order irrelevant — recall is set intersection).
+  void Submit(const float* query, std::vector<uint32_t> served_ids);
+
+  /// Blocks until every enqueued shadow task has completed (tests;
+  /// rethrows the first captured task exception, as TaskGroup::Wait).
+  void Flush();
+
+  const obs::StreamingRecallEstimator& estimator() const {
+    return *estimator_;
+  }
+
+  uint64_t sampled_count() const { return sampled_->Value(); }
+  uint64_t skipped_budget_count() const { return skipped_budget_->Value(); }
+  uint64_t completed_count() const { return completed_->Value(); }
+  uint64_t recall_miss_count() const { return recall_miss_->Value(); }
+
+  const ShadowOptions& options() const { return options_; }
+
+ private:
+  void RunShadow(const std::vector<float>& query,
+                 const std::vector<uint32_t>& served_ids);
+
+  ShadowOptions options_;
+  uint64_t selection_threshold_ = 0;  ///< sample iff hash < threshold
+  index::FlatIndex flat_;
+  /// Head/mid/tail bucket per database item (-1 when unsegmented).
+  std::vector<int> item_bucket_;
+  std::shared_ptr<obs::StreamingRecallEstimator> estimator_;
+
+  std::atomic<uint64_t> query_ordinal_{0};
+  std::atomic<size_t> in_flight_{0};
+
+  obs::Counter* sampled_ = nullptr;
+  obs::Counter* skipped_budget_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* recall_miss_ = nullptr;
+  obs::Histogram* query_recall_ = nullptr;
+
+  /// Declared last: destroyed first, draining in-flight shadow tasks
+  /// before the members they use go away.
+  TaskGroup group_;
+};
+
+}  // namespace lightlt::serving
+
+#endif  // LIGHTLT_SERVING_SHADOW_H_

@@ -98,6 +98,17 @@ class CancellationSource {
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 
+/// Per-request scan accounting filled by the index scan loops when a
+/// request asks for it (ScanControl::stats). Raw, layer-agnostic numbers
+/// only — the serving layer composes them with its own flags into an
+/// "explain" record (src/obs/quality.h). Written by exactly one scan at a
+/// time (single-request plumbing), so plain fields suffice.
+struct ScanStats {
+  uint64_t chunks = 0;        ///< scan chunks / probed cells executed
+  uint64_t items = 0;         ///< vectors scored
+  uint64_t probed_cells = 0;  ///< IVF cells probed (0 on flat scans)
+};
+
 /// Cooperative controls a scan loop polls between chunks. Trivial controls
 /// (no deadline, no token) are detected once so the fast path pays nothing.
 struct ScanControl {
@@ -105,6 +116,10 @@ struct ScanControl {
   CancellationToken cancel;
   /// Items scored between consecutive Check() calls.
   size_t check_every_items = 1024;
+  /// Optional per-request scan accounting (null = off). The pointee must
+  /// outlive the scan and belong to this request alone: batch paths that
+  /// share one ScanControl across rows must leave it null.
+  ScanStats* stats = nullptr;
 
   bool Trivial() const {
     return deadline.IsInfinite() && !cancel.CanBeCancelled();

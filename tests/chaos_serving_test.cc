@@ -451,6 +451,76 @@ TEST(ChaosServingTest, SaturatedPoolShedsAndExpiresUnderDeadline) {
   EXPECT_LT(elapsed, 0.4);
 }
 
+// Registry-vs-ServiceStats exactness on the degraded IVF→flat fallback
+// path (the saturation test covers only shed/expired): injected IVF
+// failures and a degraded admission must each land in exactly the right
+// registry counter, field for field against the Stats() snapshot.
+TEST(ChaosServingTest, DegradedFallbackCountersMatchRegistryExactly) {
+  ChaosGuard guard;
+  auto f = MakeFixture();
+  ServiceOptions opts;
+  opts.use_ivf = true;
+  opts.ivf.num_cells = 10;
+  opts.ivf.nprobe = 2;
+  opts.exact_rerank = true;
+  opts.rerank_pool = 20;
+  opts.admission.degrade_in_flight = 1;
+  opts.admission.on_overload = AdmissionOptions::OverloadPolicy::kDegrade;
+  auto built = RetrievalService::Build(f.model, f.bench.database.features,
+                                       opts);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto& service = built.value();
+  MetricsDumpOnFailure dump{&service};
+  const Matrix query = f.bench.query.features.RowCopy(0);
+
+  // Two IVF failures → two flat fallbacks (breaker threshold defaults far
+  // higher, so both go through the IVF attempt path).
+  ChaosPlan plan;
+  plan.ivf_fail_first_n = 2;
+  ArmChaos(plan);
+  ASSERT_TRUE(service.Query(query, 3).ok());
+  ASSERT_TRUE(service.Query(query, 3).ok());
+  DisarmChaos();
+
+  // One degraded admission: request A pinned inside IVF, B admitted at the
+  // degrade threshold takes the flat path without counting as a fallback.
+  ArmChaos(ChaosPlan{});
+  HoldIvf(true);
+  std::thread held([&] { EXPECT_TRUE(service.Query(query, 3).ok()); });
+  ASSERT_TRUE(SpinUntil([&] { return service.Stats().in_flight == 1; }, 30.0));
+  ASSERT_TRUE(service.Query(query, 3).ok());
+  HoldIvf(false);
+  held.join();
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.served, 4u);
+  EXPECT_EQ(stats.flat_fallbacks, 2u);
+  EXPECT_EQ(stats.degraded_admissions, 1u);
+
+  obs::MetricsRegistry& reg = service.Metrics();
+  EXPECT_EQ(reg.GetCounter("serving_admitted_total")->Value(), stats.admitted);
+  EXPECT_EQ(reg.GetCounter("serving_flat_fallbacks_total")->Value(),
+            stats.flat_fallbacks);
+  EXPECT_EQ(reg.GetCounter("serving_degraded_admissions_total")->Value(),
+            stats.degraded_admissions);
+  EXPECT_EQ(reg.GetCounter(obs::WithLabel("serving_requests_total",
+                                          "outcome", "served"))
+                ->Value(),
+            stats.served);
+  EXPECT_EQ(reg.GetCounter(obs::WithLabel("serving_requests_total",
+                                          "outcome", "failed"))
+                ->Value(),
+            stats.failed);
+  // Every served query left exactly one latency observation, and the
+  // Stats() snapshot carries that same histogram state.
+  const auto latency = reg.GetHistogram(obs::WithLabel(
+                                            "serving_latency_seconds",
+                                            "outcome", "served"))
+                           ->Snapshot();
+  EXPECT_EQ(latency.count, stats.served);
+  EXPECT_EQ(stats.served_latency.count, stats.served);
+}
+
 // The PoolStarver chaos tool really occupies workers: queued work does not
 // start until Release().
 TEST(ChaosHarnessTest, PoolStarverOccupiesWorkersUntilReleased) {

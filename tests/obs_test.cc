@@ -309,6 +309,37 @@ TEST(ObsRegistryTest, RenderJsonlOneObjectPerMetric) {
   EXPECT_NE(jsonl.find("\"p99\""), std::string::npos);
 }
 
+TEST(ObsRegistryTest, EscapeLabelValueHandlesPathologicalCharacters) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeLabelValue("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(EscapeLabelValue("new\nline"), "new\\nline");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(ObsRegistryTest, RenderTextEscapesPathologicalLabelValues) {
+  // Prometheus exposition format: inside a label value, backslash, double
+  // quote and newline must be escaped as \\, \" and \n. A counter whose
+  // label value carries all three must render as valid exposition text —
+  // one physical line, escapes intact.
+  MetricsRegistry registry;
+  registry.GetCounter(WithLabel("evil_total", "path", "a\\b\"c\nd"))
+      ->Increment();
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("evil_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+  // Exactly the TYPE line plus one sample line: the raw newline inside the
+  // label value must not have produced a third physical line.
+  size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u) << text;
+  // No raw (unescaped) quote-newline sequence from the label value.
+  EXPECT_EQ(text.find("c\nd"), std::string::npos);
+}
+
 TEST(ObsRegistryTest, ScopedTimerRecordsOnDestruction) {
   Histogram h;
   {

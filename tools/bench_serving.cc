@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   const size_t cells = static_cast<size_t>(cli.GetInt("cells", 32));
   const size_t nprobe = static_cast<size_t>(cli.GetInt("nprobe", 8));
   const bool use_ivf = cli.GetBool("ivf", true);
+  const double shadow_rate = cli.GetDouble("shadow_rate", 0.25);
   const std::string out = cli.GetString("out", "BENCH_serving.json");
   const std::string jsonl = cli.GetString("metrics_jsonl", "");
 
@@ -55,6 +56,16 @@ int main(int argc, char** argv) {
     opts.use_ivf = true;
     opts.ivf.num_cells = cells;
     opts.ivf.nprobe = nprobe;
+  }
+  if (shadow_rate > 0.0) {
+    // Shadow-verify a fraction of served queries against the exact index so
+    // the bench reports live recall@10 next to throughput — the number the
+    // bench gate holds steady across runs.
+    opts.shadow.sample_rate = shadow_rate;
+    opts.shadow.seed = seed;
+    opts.shadow.recall_k = 10;
+    opts.shadow.max_in_flight = 16;
+    opts.shadow.pool = &GlobalThreadPool();
   }
   auto built =
       serving::RetrievalService::Build(model, bench.database.features, opts);
@@ -96,6 +107,14 @@ int main(int argc, char** argv) {
   const auto stats = service.Stats();
   const double qps =
       seconds > 0.0 ? static_cast<double>(rows_served) / seconds : 0.0;
+  double shadow_recall = -1.0;  // -1 = shadow sampling off
+  size_t shadow_samples = 0;
+  if (service.Shadow() != nullptr) {
+    service.Shadow()->Flush();
+    const auto overall = service.Shadow()->estimator().Snapshot(0);
+    shadow_recall = overall.recall.center;
+    shadow_samples = overall.queries;
+  }
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
@@ -107,12 +126,13 @@ int main(int argc, char** argv) {
                " \"latency_ms\": {\"mean\": %.4f, \"p50\": %.4f, "
                "\"p95\": %.4f, \"p99\": %.4f},\n"
                " \"scanned_fraction\": %.4f, \"ivf\": %s,\n"
+               " \"shadow_recall\": %.4f, \"shadow_samples\": %zu,\n"
                " \"served\": %llu, \"shed\": %llu, \"failed\": %llu, "
                "\"flat_fallbacks\": %llu}\n",
                rows_served, seconds, qps, latency.Mean() * 1e3,
                latency.Quantile(0.50) * 1e3, latency.Quantile(0.95) * 1e3,
                latency.Quantile(0.99) * 1e3, scanned_fraction,
-               use_ivf ? "true" : "false",
+               use_ivf ? "true" : "false", shadow_recall, shadow_samples,
                static_cast<unsigned long long>(stats.served),
                static_cast<unsigned long long>(stats.shed),
                static_cast<unsigned long long>(stats.failed),
@@ -131,8 +151,10 @@ int main(int argc, char** argv) {
     std::printf("%s", metrics->RenderText().c_str());
   }
   std::printf(
-      "%.0f qps  p50 %.2fms  p95 %.2fms  p99 %.2fms  scanned %.1f%%  -> %s\n",
+      "%.0f qps  p50 %.2fms  p95 %.2fms  p99 %.2fms  scanned %.1f%%  "
+      "shadow recall %.3f (%zu samples)  -> %s\n",
       qps, latency.Quantile(0.50) * 1e3, latency.Quantile(0.95) * 1e3,
-      latency.Quantile(0.99) * 1e3, 100.0 * scanned_fraction, out.c_str());
+      latency.Quantile(0.99) * 1e3, 100.0 * scanned_fraction, shadow_recall,
+      shadow_samples, out.c_str());
   return 0;
 }

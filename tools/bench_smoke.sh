@@ -4,22 +4,48 @@
 # artifacts for run-to-run diffing:
 #   BENCH_micro_index.json — google-benchmark JSON for the scan kernels
 #   BENCH_serving.json     — QPS, p50/p95/p99 latency, scanned fraction,
-#                            lifecycle counts (all read back from the
-#                            metrics registry, so this also smoke-tests
-#                            the observability wiring end to end)
+#                            shadow recall, lifecycle counts (all read back
+#                            from the metrics registry, so this also
+#                            smoke-tests the observability wiring end to
+#                            end)
 #   BENCH_metrics.jsonl    — full registry dump, one JSON object per metric
 #
-# Usage: tools/bench_smoke.sh [build-dir] [out-dir]
-#        (defaults: build, current directory)
+# With --gate <baseline-dir>, the run is then compared against the
+# baseline's BENCH_serving.json / BENCH_micro_index.json via
+# tool_bench_gate, and the script exits non-zero on regression — the CI
+# hook-in point (a committed baseline lives at bench/baseline/).
+#
+# Usage: tools/bench_smoke.sh [build-dir] [out-dir] [--gate baseline-dir]
+#        (defaults: build, current directory, no gate)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
-out_dir="${2:-$(pwd)}"
+
+gate_dir=""
+positional=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --gate)
+      [[ $# -ge 2 ]] || { echo "--gate requires a baseline dir" >&2; exit 2; }
+      gate_dir="$2"
+      shift 2
+      ;;
+    --gate=*)
+      gate_dir="${1#--gate=}"
+      shift
+      ;;
+    *)
+      positional+=("$1")
+      shift
+      ;;
+  esac
+done
+build_dir="${positional[0]:-${repo_root}/build}"
+out_dir="${positional[1]:-$(pwd)}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" --target micro_index tool_bench_serving \
-  -j "$(nproc)"
+  tool_bench_gate -j "$(nproc)"
 
 mkdir -p "${out_dir}"
 
@@ -37,3 +63,19 @@ rm -f "${out_dir}/BENCH_metrics.jsonl"
 echo "wrote ${out_dir}/BENCH_micro_index.json"
 echo "wrote ${out_dir}/BENCH_serving.json"
 echo "wrote ${out_dir}/BENCH_metrics.jsonl"
+
+if [[ -n "${gate_dir}" ]]; then
+  gate_args=(
+    --baseline_serving="${gate_dir}/BENCH_serving.json"
+    --candidate_serving="${out_dir}/BENCH_serving.json"
+  )
+  if [[ -f "${gate_dir}/BENCH_micro_index.json" ]]; then
+    gate_args+=(
+      --baseline_micro="${gate_dir}/BENCH_micro_index.json"
+      --candidate_micro="${out_dir}/BENCH_micro_index.json"
+    )
+  fi
+  # Propagates tool_bench_gate's exit code (1 = regression, 2 = IO error)
+  # through set -e, failing the CI job.
+  "${build_dir}/tools/tool_bench_gate" "${gate_args[@]}"
+fi

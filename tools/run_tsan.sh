@@ -15,15 +15,17 @@ cmake -B "${build_dir}" -S "${repo_root}" \
 cmake --build "${build_dir}" --target lightlt_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_chaos_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_obs_tests -j "$(nproc)"
+cmake --build "${build_dir}" --target lightlt_quality_obs_tests -j "$(nproc)"
 
 # Concurrency-sensitive suites: the TaskGroup/ParallelFor semantics tests,
 # the shared-pool serving stress, eval determinism, parallel gumbel Forward,
 # the baseline threadpool unit tests, the serving chaos harness
 # (request-lifecycle races: admission, breaker, deadline-cut batches), and
 # the observability suite (sharded counters/histograms under ParallelFor —
-# the scan hot path's relaxed-atomics-only claim is checked here).
+# the scan hot path's relaxed-atomics-only claim is checked here), and the
+# online-quality suite (shadow verification tasks racing batch serving).
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|Obs[A-Za-z]*Test)\.'
+  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest)\.'
 
 echo "TSan concurrency suite passed with zero reported races."
