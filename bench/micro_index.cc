@@ -1,13 +1,20 @@
 // Micro-benchmarks of the search kernels behind Fig. 7: ADC lookup-table
-// scoring vs exhaustive float scoring, packed-code access, and Hamming
-// scoring, across database sizes.
+// scoring vs exhaustive float scoring, packed-code access, Hamming scoring,
+// and the fast-scan accumulate kernels (DESIGN.md §12) — one row per kernel
+// family available on this CPU, registered at runtime, so the scalar
+// reference and the SIMD variants land side by side in the JSON for
+// tools/bench_smoke.sh --gate to diff.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "src/index/adc_index.h"
 #include "src/index/codes.h"
 #include "src/index/flat_index.h"
 #include "src/index/hamming_index.h"
+#include "src/index/kernels/scan_kernels.h"
 #include "src/util/rng.h"
 
 namespace lightlt {
@@ -112,7 +119,73 @@ void BM_AdcIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_AdcIndexBuild)->Arg(1000)->Arg(10000);
 
+// One accumulate pass over n items with a pre-quantized LUT — the inner
+// loop of the fast-scan Search, isolated per kernel family. Rows are named
+// BM_ScanKernel<family>/n; "scalar" is the reference every SIMD family is
+// measured against (the >=3x acceptance line of §12).
+void BM_ScanKernel(benchmark::State& state,
+                   index::kernels::ScanKernel kernel) {
+  Rng rng(6);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t m = kCodebooks;
+  const size_t kp = index::kernels::PadCodewords(kCodewords);
+  std::vector<uint8_t> item_major(n * m);
+  for (auto& c : item_major) {
+    c = static_cast<uint8_t>(rng.NextIndex(kCodewords));
+  }
+  std::vector<uint8_t> blocked;
+  index::kernels::BuildBlockedCodes(item_major.data(), n, m, &blocked);
+  std::vector<float> lut(m * kCodewords);
+  for (auto& v : lut) v = static_cast<float>(rng.NextGaussian());
+  const auto qlut = index::kernels::QuantizeLut(lut.data(), m, kCodewords);
+  const size_t blocks = index::kernels::NumBlocks(n);
+  std::vector<uint16_t> sums(blocks * index::kernels::kBlockItems);
+  for (auto _ : state) {
+    kernel.fn(blocked.data(), blocks, m, kp, qlut.table.data(), sums.data());
+    benchmark::DoNotOptimize(sums.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+// End-to-end Search through whichever path the index selected (fast-scan
+// shortlist + exact re-rank, or the legacy exact scan under
+// LIGHTLT_SCAN_KERNEL=off) — the user-visible number the kernels feed.
+void BM_AdcSearch(benchmark::State& state) {
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto idx = MakeAdc(n, rng);
+  Matrix query = Matrix::RandomGaussian(1, kDim, rng);
+  for (auto _ : state) {
+    auto hits = idx.Search(query.data(), 10);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(idx.scan_kernel_name());
+}
+BENCHMARK(BM_AdcSearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Kernel rows depend on the CPU, so they register at runtime rather than
+// via the static BENCHMARK macro.
+void RegisterScanKernelBenchmarks() {
+  const size_t kp = index::kernels::PadCodewords(kCodewords);
+  for (const std::string& name : index::kernels::AvailableScanKernels()) {
+    const auto kernel = index::kernels::ScanKernelByName(name, kp);
+    if (kernel.fn == nullptr) continue;  // family lacks this table width
+    benchmark::RegisterBenchmark(("BM_ScanKernel" + name).c_str(),
+                                 BM_ScanKernel, kernel)
+        ->Arg(1000)
+        ->Arg(100000);
+  }
+}
+
 }  // namespace
 }  // namespace lightlt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  lightlt::RegisterScanKernelBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

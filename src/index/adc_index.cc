@@ -70,6 +70,8 @@ Result<AdcIndex> AdcIndex::Build(
 
 void AdcIndex::BuildScanCache() {
   scan_codes_.clear();
+  blocked_codes_.clear();
+  scan_kernel_ = kernels::ScanKernel{};
   if (num_codewords() > 256) return;
   scan_codes_.resize(codes_.num_items() * codebooks_.size());
   uint8_t* out = scan_codes_.data();
@@ -77,6 +79,20 @@ void AdcIndex::BuildScanCache() {
                                                   uint32_t code) {
     out[item * m + cb] = static_cast<uint8_t>(code);
   });
+  // When a fast-scan kernel is selected, the blocked/transposed layout
+  // replaces the item-major cache as the one scan format (exact scoring
+  // reads it strided) — the byte cost stays one byte per code plus tail
+  // padding. M > 256 could overflow the u16 accumulators, so such indexes
+  // stay on the item-major exact path.
+  if (codebooks_.size() > 256 || codes_.num_items() == 0) return;
+  scan_kernel_ = kernels::SelectScanKernel(
+      kernels::PadCodewords(num_codewords()));
+  if (scan_kernel_.fn != nullptr) {
+    kernels::BuildBlockedCodes(scan_codes_.data(), codes_.num_items(),
+                               codebooks_.size(), &blocked_codes_);
+    scan_codes_.clear();
+    scan_codes_.shrink_to_fit();
+  }
 }
 
 std::vector<float> AdcIndex::BuildLookupTables(const float* query) const {
@@ -101,7 +117,22 @@ void AdcIndex::ScoreRange(const float* lut, size_t begin, size_t end,
                           float* scores) const {
   const size_t m = codebooks_.size();
   const size_t k = num_codewords();
-  if (!scan_codes_.empty()) {
+  if (!blocked_codes_.empty()) {
+    // Blocked scan cache: the same bytes as the item-major cache in
+    // fast-scan order; per item the codebooks accumulate in the same
+    // order, so scores are bit-identical to the item-major loop.
+    for (size_t i = begin; i < end; ++i) {
+      const uint8_t* base =
+          blocked_codes_.data() +
+          (i / kernels::kBlockItems) * m * kernels::kBlockItems +
+          (i % kernels::kBlockItems);
+      float dot = 0.0f;
+      for (size_t cb = 0; cb < m; ++cb) {
+        dot += lut[cb * k + base[cb * kernels::kBlockItems]];
+      }
+      scores[i] = recon_norms_[i] - 2.0f * dot;
+    }
+  } else if (!scan_codes_.empty()) {
     // Fast path: byte-wide scan cache, no bit extraction in the hot loop.
     const uint8_t* code_ptr = scan_codes_.data() + begin * m;
     for (size_t i = begin; i < end; ++i) {
@@ -184,38 +215,157 @@ Status AdcIndex::ComputeScores(const float* query, std::vector<float>* scores,
   return Status::Ok();
 }
 
-std::vector<SearchHit> AdcIndex::Search(const float* query,
-                                        size_t top_k) const {
-  std::vector<float> scores;
-  ComputeScores(query, &scores);
+std::vector<SearchHit> AdcIndex::TopKFromScores(
+    const std::vector<float>& scores, size_t top_k) {
   const size_t k = std::min(top_k, scores.size());
-
   std::vector<uint32_t> ids(scores.size());
   std::iota(ids.begin(), ids.end(), 0u);
+  // Ties at the k boundary break by ascending id: the selection is then a
+  // pure function of the scores, stable across runs and across the
+  // flat/IVF/fast-scan paths (a tie flip here would otherwise read as a
+  // spurious shadow-recall miss).
   std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
                     [&](uint32_t a, uint32_t b) {
-                      return scores[a] < scores[b];
+                      return scores[a] < scores[b] ||
+                             (scores[a] == scores[b] && a < b);
                     });
   std::vector<SearchHit> hits(k);
   for (size_t i = 0; i < k; ++i) hits[i] = {ids[i], scores[ids[i]]};
   return hits;
 }
 
+Result<std::vector<SearchHit>> AdcIndex::SearchFastScan(
+    const float* query, size_t top_k, const ScanControl* control) const {
+  const size_t n = codes_.num_items();
+  const size_t m = codebooks_.size();
+  const size_t k = num_codewords();
+  const size_t keep = std::min(top_k, n);
+  if (keep == 0) return std::vector<SearchHit>{};
+
+  const std::vector<float> lut = BuildLookupTables(query);
+  const kernels::QuantizedLut qlut = kernels::QuantizeLut(lut.data(), m, k);
+  const size_t blocks = kernels::NumBlocks(n);
+  std::vector<uint16_t> sums(blocks * kernels::kBlockItems);
+
+  // Quantized pass. Chunking stays item-granular — ceil(n / check_every)
+  // logical chunks, each polling deadline/cancellation and running the
+  // chaos hook — exactly like the exact scan, so deadline overshoot and
+  // injected per-chunk latency are independent of the 32-item kernel block
+  // size. Kernel blocks advance lazily underneath the chunk accounting: a
+  // chunk runs every not-yet-scored block it overlaps (at most one partial
+  // block of read-ahead when check_every < kBlockItems).
+  const size_t check_every =
+      control == nullptr ? n : std::max<size_t>(1, control->check_every_items);
+  size_t next_block = 0;
+  for (size_t chunk_begin = 0; chunk_begin < n; chunk_begin += check_every) {
+    if (control != nullptr && chunk_begin > 0) {
+      const Status check = control->Check();
+      if (!check.ok()) {
+        if (instruments_.enabled()) instruments_.overshoot->Increment();
+        return check;
+      }
+    }
+    if (control != nullptr) LIGHTLT_RETURN_IF_ERROR(ChaosOnScanChunk());
+    const size_t chunk_end = std::min(chunk_begin + check_every, n);
+    const size_t block_end = std::min(kernels::NumBlocks(chunk_end), blocks);
+    if (block_end > next_block) {
+      ScopedTimer timer(control == nullptr ? nullptr
+                                           : instruments_.chunk_seconds);
+      scan_kernel_.fn(blocked_codes_.data() +
+                          next_block * m * kernels::kBlockItems,
+                      block_end - next_block, m, qlut.k_padded,
+                      qlut.table.data(),
+                      sums.data() + next_block * kernels::kBlockItems);
+      next_block = block_end;
+    }
+    if (control != nullptr) {
+      if (instruments_.enabled()) {
+        instruments_.chunks->Increment();
+        instruments_.items->Increment(chunk_end - chunk_begin);
+      }
+      if (control->stats != nullptr) {
+        control->stats->chunks += 1;
+        control->stats->items += chunk_end - chunk_begin;
+      }
+    }
+  }
+
+  // Approximate scores from the integer sums. The reconstruction error is
+  // bounded by qlut.ScoreErrorBound() (DESIGN.md §12), which is what makes
+  // the shortlist below provably cover the exact top-k.
+  std::vector<float> approx(n);
+  for (size_t i = 0; i < n; ++i) {
+    approx[i] = recon_norms_[i] -
+                2.0f * (static_cast<float>(sums[i]) * qlut.scale +
+                        qlut.bias_sum);
+  }
+
+  // Shortlist: every item whose approximate score could still beat the
+  // k-th best after both errors are unwound — exact <= approx + B and
+  // kth_exact <= kth_approx + B, so the cut is kth_approx + 2B.
+  std::vector<float> order(approx);
+  std::nth_element(order.begin(), order.begin() + (keep - 1), order.end());
+  const float tau = order[keep - 1] + 2.0f * qlut.ScoreErrorBound();
+  std::vector<uint32_t> shortlist;
+  shortlist.reserve(keep * 2);
+  for (size_t i = 0; i < n; ++i) {
+    if (approx[i] <= tau) shortlist.push_back(static_cast<uint32_t>(i));
+  }
+
+  // Exact float re-rank of the shortlist, accumulating in the same
+  // codebook order as ScoreRange so the scores are bit-identical to the
+  // exact scalar scan. Usually |shortlist| ~ top_k; a degenerate LUT
+  // (scale 0) can shortlist broadly, so keep polling the control.
+  std::vector<float> exact(shortlist.size());
+  for (size_t s = 0; s < shortlist.size(); ++s) {
+    if (control != nullptr && s > 0 && s % check_every == 0) {
+      LIGHTLT_RETURN_IF_ERROR(control->Check());
+    }
+    const uint32_t id = shortlist[s];
+    const uint8_t* base =
+        blocked_codes_.data() +
+        (id / kernels::kBlockItems) * m * kernels::kBlockItems +
+        (id % kernels::kBlockItems);
+    float dot = 0.0f;
+    for (size_t cb = 0; cb < m; ++cb) {
+      dot += lut[cb * k + base[cb * kernels::kBlockItems]];
+    }
+    exact[s] = recon_norms_[id] - 2.0f * dot;
+  }
+  std::vector<uint32_t> ranked(shortlist.size());
+  std::iota(ranked.begin(), ranked.end(), 0u);
+  const size_t out_k = std::min(keep, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + out_k, ranked.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return exact[a] < exact[b] ||
+                             (exact[a] == exact[b] &&
+                              shortlist[a] < shortlist[b]);
+                    });
+  std::vector<SearchHit> hits(out_k);
+  for (size_t i = 0; i < out_k; ++i) {
+    hits[i] = {shortlist[ranked[i]], exact[ranked[i]]};
+  }
+  return hits;
+}
+
+std::vector<SearchHit> AdcIndex::Search(const float* query,
+                                        size_t top_k) const {
+  if (FastScanEnabled()) {
+    // Uncontrolled flavour: no polling, chaos, or instrumentation, so the
+    // only failure paths are compiled out — value() is always present.
+    return SearchFastScan(query, top_k, nullptr).value();
+  }
+  std::vector<float> scores;
+  ComputeScores(query, &scores);
+  return TopKFromScores(scores, top_k);
+}
+
 Result<std::vector<SearchHit>> AdcIndex::Search(
     const float* query, size_t top_k, const ScanControl& control) const {
+  if (FastScanEnabled()) return SearchFastScan(query, top_k, &control);
   std::vector<float> scores;
   LIGHTLT_RETURN_IF_ERROR(ComputeScores(query, &scores, control));
-  const size_t k = std::min(top_k, scores.size());
-
-  std::vector<uint32_t> ids(scores.size());
-  std::iota(ids.begin(), ids.end(), 0u);
-  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
-                    [&](uint32_t a, uint32_t b) {
-                      return scores[a] < scores[b];
-                    });
-  std::vector<SearchHit> hits(k);
-  for (size_t i = 0; i < k; ++i) hits[i] = {ids[i], scores[ids[i]]};
-  return hits;
+  return TopKFromScores(scores, top_k);
 }
 
 std::vector<uint32_t> AdcIndex::RankAll(const float* query) const {
@@ -241,9 +391,15 @@ Matrix AdcIndex::Reconstruct(size_t item) const {
 size_t AdcIndex::MemoryBytes() const {
   size_t bytes = 0;
   for (const auto& cb : codebooks_) bytes += cb.size() * sizeof(float);
-  // Operational code storage: the byte-wide scan cache when present (equal
-  // to the packed array at the paper's K=256), else the packed bits.
-  bytes += scan_codes_.empty() ? codes_.MemoryBytes() : scan_codes_.size();
+  // Operational code storage: exactly one scan cache is live — the blocked
+  // fast-scan layout (item-major bytes plus tail padding) when a kernel is
+  // selected, else the byte-wide item-major cache (equal to the packed
+  // array at the paper's K=256), else the packed bits.
+  if (!blocked_codes_.empty()) {
+    bytes += blocked_codes_.size();
+  } else {
+    bytes += scan_codes_.empty() ? codes_.MemoryBytes() : scan_codes_.size();
+  }
   bytes += recon_norms_.size() * sizeof(float);
   return bytes;
 }
@@ -259,14 +415,17 @@ namespace {
 constexpr uint32_t kAdcMagicV1 = 0x4144'4331;  // "ADC1"
 // Current format: magic, u32 version, payload, checksum footer; written
 // atomically. The magic changed because v1 carried no version field.
+// v3 adds the scan-layout block width so a reader whose blocked fast-scan
+// layout diverged refuses the file instead of mis-scanning it.
 constexpr uint32_t kAdcMagicV2 = 0x4144'4332;  // "ADC2"
-constexpr uint32_t kAdcVersion = 2;
+constexpr uint32_t kAdcVersion = 3;
 }  // namespace
 
 Status AdcIndex::Save(const std::string& path) const {
   BinaryWriter writer(path);
   writer.WriteU32(kAdcMagicV2);
   writer.WriteU32(kAdcVersion);
+  writer.WriteU32(static_cast<uint32_t>(kernels::kBlockItems));
   writer.WriteU64(codebooks_.size());
   for (const auto& cb : codebooks_) {
     writer.WriteU64(cb.rows());
@@ -292,6 +451,13 @@ Result<AdcIndex> AdcIndex::Load(const std::string& path) {
     }
   } else if (magic != kAdcMagicV1) {
     return Status::IoError("AdcIndex: bad magic in " + path);
+  }
+  if (version >= 3) {
+    const uint32_t scan_block = reader.ReadU32();
+    if (!reader.status().ok()) return reader.status();
+    if (scan_block != kernels::kBlockItems) {
+      return Status::IoError("AdcIndex: unsupported scan layout");
+    }
   }
   AdcIndex idx;
   const size_t m = reader.ReadU64();

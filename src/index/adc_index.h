@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/index/codes.h"
+#include "src/index/kernels/scan_kernels.h"
 #include "src/obs/metrics.h"
 #include "src/tensor/matrix.h"
 #include "src/util/deadline.h"
@@ -71,13 +72,20 @@ class AdcIndex {
   Status ComputeScores(const float* query, std::vector<float>* scores,
                        const ScanControl& control) const;
 
-  /// Returns the top_k nearest items by ADC distance (ascending).
+  /// Returns the top_k nearest items by ADC distance (ascending; equal
+  /// distances break by ascending id). Uses the fast-scan kernel path when
+  /// available: u8-quantized LUT scan over the blocked code layout, then an
+  /// exact float re-rank of the shortlist, so the result equals the exact
+  /// scalar scan's top-k (DESIGN.md §12).
   std::vector<SearchHit> Search(const float* query, size_t top_k) const;
 
   /// Control-aware Search: kDeadlineExceeded / kCancelled when the scan is
   /// stopped mid-flight, kUnavailable for an injected transient fault.
   Result<std::vector<SearchHit>> Search(const float* query, size_t top_k,
                                         const ScanControl& control) const;
+
+  /// Name of the scan kernel Search will use ("off" = exact scalar path).
+  const char* scan_kernel_name() const { return scan_kernel_.name; }
 
   /// Full ranking of all items (for MAP evaluation).
   std::vector<uint32_t> RankAll(const float* query) const;
@@ -118,16 +126,39 @@ class AdcIndex {
   std::vector<float> BuildLookupTables(const float* query) const;
 
   /// Scores items [begin, end) into scores[begin..end). O((end-begin) M).
+  /// Exact float path — bit-identical across builds and kernels; the
+  /// fast-scan shortlist is re-ranked against these scores.
   void ScoreRange(const float* lut, size_t begin, size_t end,
                   float* scores) const;
+
+  /// True when Search can take the quantized kernel path.
+  bool FastScanEnabled() const {
+    return scan_kernel_.fn != nullptr && !blocked_codes_.empty();
+  }
+
+  /// Kernel-path Search: quantized scan, shortlist, exact re-rank. With a
+  /// null control this is the uncontrolled flavour (no polling, no chaos,
+  /// no instrumentation), mirroring the legacy Search split.
+  Result<std::vector<SearchHit>> SearchFastScan(
+      const float* query, size_t top_k, const ScanControl* control) const;
+
+  /// Exact scalar Search over precomputed scores (legacy path and the
+  /// K > 256 / kernels-off fallback).
+  static std::vector<SearchHit> TopKFromScores(
+      const std::vector<float>& scores, size_t top_k);
 
   std::vector<Matrix> codebooks_;     // M x (K x d)
   PackedCodes codes_;                 // n x M packed IDs
   std::vector<float> recon_norms_;    // ||o_i||^2 per item
-  /// Byte-wide scan cache (one uint8 per code) built when K <= 256: the
-  /// packed array is the storage format, this is the scan format. At the
-  /// paper's K=256 the two coincide (log2 K = 8 bits).
+  /// Byte-wide scan caches, built when K <= 256 — the packed array is the
+  /// storage format, these are the scan formats, and exactly one is live.
+  /// With a fast-scan kernel selected the blocked/transposed layout
+  /// (kernels::BuildBlockedCodes) is the one scan cache and exact scoring
+  /// reads it strided; otherwise the item-major byte array is (at the
+  /// paper's K=256 it equals the packed size, log2 K = 8 bits).
   std::vector<uint8_t> scan_codes_;
+  std::vector<uint8_t> blocked_codes_;
+  kernels::ScanKernel scan_kernel_;
   ScanInstruments instruments_;
 };
 

@@ -32,7 +32,8 @@ std::vector<SearchHit> FlatIndex::Search(const float* query,
   std::iota(ids.begin(), ids.end(), 0u);
   std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
                     [&](uint32_t a, uint32_t b) {
-                      return scores[a] < scores[b];
+                      return scores[a] < scores[b] ||
+                             (scores[a] == scores[b] && a < b);
                     });
   std::vector<SearchHit> hits(k);
   for (size_t i = 0; i < k; ++i) hits[i] = {ids[i], scores[ids[i]]};

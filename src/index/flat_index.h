@@ -19,6 +19,7 @@ class FlatIndex {
   /// scores[i] = ||x_i||^2 - 2 <q, x_i> (rank-equivalent squared L2). O(nd).
   void ComputeScores(const float* query, std::vector<float>* scores) const;
 
+  /// Top-k by exact distance, ascending; ties break by ascending id.
   std::vector<SearchHit> Search(const float* query, size_t top_k) const;
   std::vector<uint32_t> RankAll(const float* query) const;
 

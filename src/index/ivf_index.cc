@@ -76,6 +76,8 @@ Result<IvfAdcIndex> IvfAdcIndex::Build(
     idx.centroid_norms_[c] = norm;
   }
 
+  // Gather item-major codes per cell first; the scan layout is blocked.
+  std::vector<std::vector<uint8_t>> item_major(cells);
   std::vector<float> recon(d);
   for (size_t i = 0; i < item_codes.size(); ++i) {
     if (item_codes[i].size() != m) {
@@ -89,7 +91,7 @@ Result<IvfAdcIndex> IvfAdcIndex::Build(
       if (code >= k) {
         return Status::InvalidArgument("IvfAdcIndex: code out of range");
       }
-      idx.cell_codes_[cell].push_back(static_cast<uint8_t>(code));
+      item_major[cell].push_back(static_cast<uint8_t>(code));
       const float* word = codebooks[cb].row(code);
       for (size_t j = 0; j < d; ++j) recon[j] += word[j];
     }
@@ -99,6 +101,12 @@ Result<IvfAdcIndex> IvfAdcIndex::Build(
     }
     idx.cell_norms_[cell].push_back(static_cast<float>(norm));
   }
+  for (size_t c = 0; c < cells; ++c) {
+    kernels::BuildBlockedCodes(item_major[c].data(),
+                               idx.cell_ids_[c].size(), m,
+                               &idx.cell_codes_[c]);
+  }
+  idx.SelectKernel();
   return idx;
 }
 
@@ -110,6 +118,42 @@ std::vector<SearchHit> IvfAdcIndex::Search(const float* query, size_t top_k,
   // shortfall as degradation).
   auto result = Search(query, top_k, ScanControl{}, nprobe_override);
   return result.ok() ? std::move(result).value() : std::vector<SearchHit>{};
+}
+
+namespace {
+
+/// Strict weak order "a is a better hit than b": ascending distance, ties
+/// by ascending id — the shared tie-break of every scan path (a tie flip
+/// between the flat and IVF paths reads as a spurious shadow-recall miss).
+bool BetterHit(const SearchHit& a, const SearchHit& b) {
+  return a.distance < b.distance ||
+         (a.distance == b.distance && a.id < b.id);
+}
+
+}  // namespace
+
+float IvfAdcIndex::ExactCellScore(uint32_t cell, size_t i, const float* lut,
+                                  size_t k) const {
+  const size_t m = codebooks_.size();
+  const uint8_t* base = cell_codes_[cell].data() +
+                        (i / kernels::kBlockItems) * m * kernels::kBlockItems +
+                        (i % kernels::kBlockItems);
+  float dot = 0.0f;
+  for (size_t cb = 0; cb < m; ++cb) {
+    dot += lut[cb * k + base[cb * kernels::kBlockItems]];
+  }
+  return cell_norms_[cell][i] - 2.0f * dot;
+}
+
+void IvfAdcIndex::RecordProbeStats(size_t cells_scanned,
+                                   size_t items_scanned) const {
+  if (probed_cells_ != nullptr) {
+    probed_cells_->Record(static_cast<double>(cells_scanned));
+  }
+  if (scanned_fraction_ != nullptr && total_items_ > 0) {
+    scanned_fraction_->Record(static_cast<double>(items_scanned) /
+                              static_cast<double>(total_items_));
+  }
 }
 
 Result<std::vector<SearchHit>> IvfAdcIndex::Search(
@@ -135,10 +179,12 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
   std::iota(cell_order.begin(), cell_order.end(), 0u);
   std::partial_sort(cell_order.begin(), cell_order.begin() + nprobe,
                     cell_order.end(), [&](uint32_t a, uint32_t b) {
-                      return cell_scores[a] < cell_scores[b];
+                      return cell_scores[a] < cell_scores[b] ||
+                             (cell_scores[a] == cell_scores[b] && a < b);
                     });
 
-  // Shared lookup tables, as in the flat ADC scan (§IV-B).
+  // Shared lookup tables, as in the flat ADC scan (§IV-B), plus their
+  // quantized form when a fast-scan kernel is selected.
   std::vector<float> lut(m * k);
   for (size_t cb = 0; cb < m; ++cb) {
     const Matrix& book = codebooks_[cb];
@@ -150,34 +196,78 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
       row[j] = acc;
     }
   }
+  kernels::QuantizedLut qlut;
+  if (scan_kernel_.fn != nullptr) {
+    qlut = kernels::QuantizeLut(lut.data(), m, k);
+  }
+  const float bound = qlut.ScoreErrorBound();
 
-  // Scan the probed cells, keep the best top_k overall. Each cell is one
-  // cooperative chunk: the control is polled between cells, so expiry or
-  // cancellation overshoots by at most one cell's scan. Telemetry is
-  // likewise per-cell — the inner scoring loop carries no instrumentation.
-  std::vector<SearchHit> hits;
+  // Scan the probed cells keeping a bounded worst-on-top heap of the best
+  // top_k seen so far — O(top_k) state instead of materializing every
+  // scanned item. Each cell is one cooperative chunk: the control is
+  // polled between cells, so expiry or cancellation overshoots by at most
+  // one cell's scan; the probe-breadth histograms record whatever was
+  // actually scanned, on the early-out paths too, so those distributions
+  // are not biased toward fast queries. Telemetry is likewise per-cell —
+  // the inner scoring loop carries no instrumentation.
+  std::vector<SearchHit> heap;
+  heap.reserve(top_k);
+  std::vector<uint16_t> sums;
   size_t items_scanned = 0;
   for (size_t p = 0; p < nprobe; ++p) {
     if (p > 0) {
       const Status check = control.Check();
       if (!check.ok()) {
         if (instruments_.enabled()) instruments_.overshoot->Increment();
+        RecordProbeStats(p, items_scanned);
         return check;
       }
     }
-    LIGHTLT_RETURN_IF_ERROR(ChaosOnScanChunk());
+    {
+      const Status chaos = ChaosOnScanChunk();
+      if (!chaos.ok()) {
+        RecordProbeStats(p, items_scanned);
+        return chaos;
+      }
+    }
     const uint32_t cell = cell_order[p];
     const auto& ids = cell_ids_[cell];
-    const auto& codes = cell_codes_[cell];
     const auto& norms = cell_norms_[cell];
     ScopedTimer timer(instruments_.chunk_seconds);
-    for (size_t i = 0; i < ids.size(); ++i) {
-      float dot = 0.0f;
-      const uint8_t* item_codes = codes.data() + i * m;
-      for (size_t cb = 0; cb < m; ++cb) {
-        dot += lut[cb * k + item_codes[cb]];
+    const auto offer = [&](size_t i, float exact) {
+      if (top_k == 0) return;
+      const SearchHit hit{ids[i], exact};
+      if (heap.size() < top_k) {
+        heap.push_back(hit);
+        std::push_heap(heap.begin(), heap.end(), BetterHit);
+      } else if (BetterHit(hit, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), BetterHit);
+        heap.back() = hit;
+        std::push_heap(heap.begin(), heap.end(), BetterHit);
       }
-      hits.push_back({ids[i], norms[i] - 2.0f * dot});
+    };
+    if (scan_kernel_.fn != nullptr && top_k > 0) {
+      // Quantized cell scan: integer sums first, then an exact float
+      // re-score of only the items whose approximate score could still
+      // make the heap (|approx - exact| <= bound, DESIGN.md §12) — so the
+      // heap contents equal the all-float scan's.
+      const size_t blocks = kernels::NumBlocks(ids.size());
+      sums.resize(blocks * kernels::kBlockItems);
+      scan_kernel_.fn(cell_codes_[cell].data(), blocks, m, qlut.k_padded,
+                      qlut.table.data(), sums.data());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const float approx =
+            norms[i] - 2.0f * (static_cast<float>(sums[i]) * qlut.scale +
+                               qlut.bias_sum);
+        if (heap.size() == top_k && approx - bound > heap.front().distance) {
+          continue;
+        }
+        offer(i, ExactCellScore(cell, i, lut.data(), k));
+      }
+    } else {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        offer(i, ExactCellScore(cell, i, lut.data(), k));
+      }
     }
     items_scanned += ids.size();
     if (instruments_.enabled()) {
@@ -190,20 +280,9 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
       control.stats->probed_cells += 1;
     }
   }
-  if (probed_cells_ != nullptr) {
-    probed_cells_->Record(static_cast<double>(nprobe));
-  }
-  if (scanned_fraction_ != nullptr && total_items_ > 0) {
-    scanned_fraction_->Record(static_cast<double>(items_scanned) /
-                              static_cast<double>(total_items_));
-  }
-  const size_t keep = std::min(top_k, hits.size());
-  std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
-                    [](const SearchHit& a, const SearchHit& b) {
-                      return a.distance < b.distance;
-                    });
-  hits.resize(keep);
-  return hits;
+  RecordProbeStats(nprobe, items_scanned);
+  std::sort_heap(heap.begin(), heap.end(), BetterHit);
+  return heap;
 }
 
 double IvfAdcIndex::ExpectedScanFraction(size_t nprobe_override) const {
@@ -246,15 +325,29 @@ double IvfAdcIndex::ExpectedScanFraction(size_t nprobe_override) const {
 
 namespace {
 // Format: magic, u32 version, payload, checksum footer. Footered from its
-// first version (there are no legacy IVF files).
+// first version (there are no legacy IVF files). v2 stores cell codes in
+// the blocked fast-scan layout (preceded by its block width) instead of
+// item-major bytes, so a load pays no repacking; v1 files are repacked on
+// load.
 constexpr uint32_t kIvfMagic = 0x4c54'4956;  // "LTIV"
-constexpr uint32_t kIvfVersion = 1;
+constexpr uint32_t kIvfVersion = 2;
 }  // namespace
+
+void IvfAdcIndex::SelectKernel() {
+  // K <= 256 is an IVF build invariant; M > 256 would overflow the u16
+  // accumulators, so such indexes stay on the exact float path.
+  scan_kernel_ = kernels::ScanKernel{};
+  if (codebooks_.size() <= 256 && !codebooks_.empty()) {
+    scan_kernel_ =
+        kernels::SelectScanKernel(kernels::PadCodewords(codebooks_[0].rows()));
+  }
+}
 
 Status IvfAdcIndex::Save(const std::string& path) const {
   BinaryWriter writer(path);
   writer.WriteU32(kIvfMagic);
   writer.WriteU32(kIvfVersion);
+  writer.WriteU32(static_cast<uint32_t>(kernels::kBlockItems));
   writer.WriteU64(options_.num_cells);
   writer.WriteU64(options_.nprobe);
   writer.WriteI64(options_.kmeans_iterations);
@@ -289,6 +382,13 @@ Result<IvfAdcIndex> IvfAdcIndex::Load(const std::string& path) {
   if (!reader.status().ok()) return reader.status();
   if (version < 1 || version > kIvfVersion) {
     return Status::IoError("IvfAdcIndex: unsupported format version");
+  }
+  if (version >= 2) {
+    const uint32_t scan_block = reader.ReadU32();
+    if (!reader.status().ok()) return reader.status();
+    if (scan_block != kernels::kBlockItems) {
+      return Status::IoError("IvfAdcIndex: unsupported scan layout");
+    }
   }
 
   IvfAdcIndex idx;
@@ -347,12 +447,14 @@ Result<IvfAdcIndex> IvfAdcIndex::Load(const std::string& path) {
   uint64_t items_seen = 0;
   for (size_t c = 0; c < cells; ++c) {
     idx.cell_ids_[c] = reader.ReadU32Vector();
-    idx.cell_codes_[c] = reader.ReadBytes();
+    std::vector<uint8_t> codes = reader.ReadBytes();
     idx.cell_norms_[c] = reader.ReadF32Vector();
     if (!reader.status().ok()) return reader.status();
     const size_t n = idx.cell_ids_[c].size();
-    if (idx.cell_codes_[c].size() != n * m ||
-        idx.cell_norms_[c].size() != n) {
+    const size_t expected_bytes =
+        version >= 2 ? kernels::NumBlocks(n) * m * kernels::kBlockItems
+                     : n * m;
+    if (codes.size() != expected_bytes || idx.cell_norms_[c].size() != n) {
       return Status::IoError("IvfAdcIndex: cell payload size mismatch");
     }
     for (const uint32_t id : idx.cell_ids_[c]) {
@@ -360,10 +462,17 @@ Result<IvfAdcIndex> IvfAdcIndex::Load(const std::string& path) {
         return Status::IoError("IvfAdcIndex: cell id out of range");
       }
     }
-    for (const uint8_t code : idx.cell_codes_[c]) {
+    // Every stored byte indexes the lookup tables, so validate the whole
+    // payload — in v2 that includes the zeroed tail-lane padding.
+    for (const uint8_t code : codes) {
       if (code >= k) {
         return Status::IoError("IvfAdcIndex: stored code out of range");
       }
+    }
+    if (version >= 2) {
+      idx.cell_codes_[c] = std::move(codes);
+    } else {
+      kernels::BuildBlockedCodes(codes.data(), n, m, &idx.cell_codes_[c]);
     }
     items_seen += n;
   }
@@ -371,6 +480,7 @@ Result<IvfAdcIndex> IvfAdcIndex::Load(const std::string& path) {
     return Status::IoError("IvfAdcIndex: item count mismatch");
   }
   LIGHTLT_RETURN_IF_ERROR(reader.VerifyFooter());
+  idx.SelectKernel();
   return idx;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/index/adc_index.h"
+#include "src/index/kernels/scan_kernels.h"
 #include "src/tensor/matrix.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
@@ -92,11 +93,28 @@ class IvfAdcIndex {
   Matrix centroids_;                 // num_cells x d
   std::vector<float> centroid_norms_;  // ||centroid_c||^2, fixed at Build
   std::vector<Matrix> codebooks_;    // M x (K x d)
-  /// Per cell: original database ids and their codes, flattened.
+  /// Picks the fast-scan kernel for this K (Build/Load epilogue).
+  void SelectKernel();
+
+  /// Exact float score of item `i` of `cell` against per-query LUTs —
+  /// the same codebook-order accumulation as the flat ADC scan, read
+  /// strided out of the blocked cell layout.
+  float ExactCellScore(uint32_t cell, size_t i, const float* lut,
+                       size_t k) const;
+
+  /// Records the probe-breadth histograms for one (possibly cut-short)
+  /// search: cells fully scanned and items scored before the scan ended.
+  void RecordProbeStats(size_t cells_scanned, size_t items_scanned) const;
+
+  /// Per cell: original database ids, their codes in the fast-scan blocked
+  /// layout (kernels::BuildBlockedCodes — NumBlocks(n)*M*32 bytes, tail
+  /// lanes zero), and per-item reconstruction norms.
   std::vector<std::vector<uint32_t>> cell_ids_;
-  std::vector<std::vector<uint8_t>> cell_codes_;  // nM bytes per cell
+  std::vector<std::vector<uint8_t>> cell_codes_;
   std::vector<std::vector<float>> cell_norms_;    // ||o_i||^2 per item
   size_t total_items_ = 0;
+  /// Kernel selected for this K at Build/Load (fn null = exact path only).
+  kernels::ScanKernel scan_kernel_;
   /// Per-cell chunk telemetry plus probe-breadth histograms (DESIGN.md §10).
   ScanInstruments instruments_;
   obs::Histogram* probed_cells_ = nullptr;

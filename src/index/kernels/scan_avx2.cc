@@ -1,0 +1,102 @@
+// AVX2 fast-scan accumulate kernels. Compiled into every build via function
+// target attributes (no global -mavx2), selected at runtime only when the
+// CPU reports AVX2. On non-x86 targets this TU degrades to stubs.
+
+#include "src/index/kernels/scan_isa.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+namespace lightlt::index::kernels::detail {
+namespace {
+
+// K <= 16: one in-lane byte shuffle looks up 32 codes per codebook. The
+// 16-byte table row is broadcast to both 128-bit lanes; vpshufb then reads
+// table[code & 15] per byte (codes are < 16, bit 7 clear).
+__attribute__((target("avx2"))) void Accumulate16Avx2(
+    const uint8_t* blocked, size_t num_blocks, size_t m, size_t k_padded,
+    const uint8_t* table, uint16_t* sums) {
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const uint8_t* block = blocked + b * m * kBlockItems;
+    __m256i acc_lo = _mm256_setzero_si256();  // items 0..15 as u16
+    __m256i acc_hi = _mm256_setzero_si256();  // items 16..31 as u16
+    for (size_t cb = 0; cb < m; ++cb) {
+      const __m256i tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(table + cb * k_padded)));
+      const __m256i codes = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block + cb * kBlockItems));
+      const __m256i vals = _mm256_shuffle_epi8(tbl, codes);
+      acc_lo = _mm256_add_epi16(
+          acc_lo, _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vals)));
+      acc_hi = _mm256_add_epi16(
+          acc_hi, _mm256_cvtepu8_epi16(_mm256_extracti128_si256(vals, 1)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sums + b * kBlockItems),
+                        acc_lo);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(sums + b * kBlockItems + 16), acc_hi);
+  }
+}
+
+// K <= 64: the 64-byte table row is four 16-byte chunks; each chunk is
+// shuffled by the low nibble (vpshufb ignores bits 4..6) and selected by
+// comparing the high nibble against the chunk index — 4 shuffles + 3 blends
+// score 32 items per codebook.
+__attribute__((target("avx2"))) void Accumulate64Avx2(
+    const uint8_t* blocked, size_t num_blocks, size_t m, size_t k_padded,
+    const uint8_t* table, uint16_t* sums) {
+  const __m256i nibble = _mm256_set1_epi8(0x0f);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const uint8_t* block = blocked + b * m * kBlockItems;
+    __m256i acc_lo = _mm256_setzero_si256();
+    __m256i acc_hi = _mm256_setzero_si256();
+    for (size_t cb = 0; cb < m; ++cb) {
+      const uint8_t* row = table + cb * k_padded;
+      const __m256i codes = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block + cb * kBlockItems));
+      const __m256i chunk_sel = _mm256_and_si256(
+          _mm256_srli_epi16(codes, 4), nibble);
+      __m256i vals = _mm256_setzero_si256();
+      for (int j = 0; j < 4; ++j) {
+        const __m256i tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(row + 16 * j)));
+        const __m256i match =
+            _mm256_cmpeq_epi8(chunk_sel, _mm256_set1_epi8(static_cast<char>(j)));
+        vals = _mm256_or_si256(
+            vals, _mm256_and_si256(match, _mm256_shuffle_epi8(tbl, codes)));
+      }
+      acc_lo = _mm256_add_epi16(
+          acc_lo, _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vals)));
+      acc_hi = _mm256_add_epi16(
+          acc_hi, _mm256_cvtepu8_epi16(_mm256_extracti128_si256(vals, 1)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sums + b * kBlockItems),
+                        acc_lo);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(sums + b * kBlockItems + 16), acc_hi);
+  }
+}
+
+}  // namespace
+
+bool Avx2Supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+AccumulateFn Avx2KernelFor(size_t k_padded) {
+  if (!Avx2Supported()) return nullptr;
+  if (k_padded == 16) return &Accumulate16Avx2;
+  if (k_padded == 64) return &Accumulate64Avx2;
+  // K in (64, 256] would need 16 shuffle+blend rounds per codebook on
+  // AVX2 — past the break-even point; the scalar kernel serves it.
+  return nullptr;
+}
+
+}  // namespace lightlt::index::kernels::detail
+
+#else  // non-x86
+
+namespace lightlt::index::kernels::detail {
+bool Avx2Supported() { return false; }
+AccumulateFn Avx2KernelFor(size_t) { return nullptr; }
+}  // namespace lightlt::index::kernels::detail
+
+#endif

@@ -1,0 +1,115 @@
+// AVX-512 fast-scan accumulate kernels (BW + VL + VBMI). vpermb does a full
+// 64-byte table lookup per instruction, so one shuffle covers K <= 64 and
+// four cover K <= 256 — the paper's K = 256 stays on the SIMD path here.
+// Runtime-dispatched; stubs on non-x86.
+
+#include "src/index/kernels/scan_isa.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+// GCC's avx512 intrinsic headers self-initialize undefined vectors with the
+// "__Y = __Y" idiom, which -Wmaybe-uninitialized flags from any inlined use
+// site; the values are fully overwritten before use.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace lightlt::index::kernels {
+namespace detail {
+namespace {
+
+#define LIGHTLT_AVX512_TARGET \
+  __attribute__((target("avx512f,avx512bw,avx512vl,avx512vbmi")))
+
+// Widens the 32 looked-up bytes for one block to u16 and accumulates.
+LIGHTLT_AVX512_TARGET inline __m512i WidenAdd(__m512i acc, __m512i vals) {
+  return _mm512_add_epi16(
+      acc, _mm512_cvtepu8_epi16(_mm512_castsi512_si256(vals)));
+}
+
+// K <= 64: one vpermb per codebook per 32-item block. For K <= 16 the
+// 16-byte row is broadcast four times — indices < 16 only ever read the
+// first copy, so the same routine serves both padded widths.
+LIGHTLT_AVX512_TARGET void Accumulate64Avx512(
+    const uint8_t* blocked, size_t num_blocks, size_t m, size_t k_padded,
+    const uint8_t* table, uint16_t* sums) {
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const uint8_t* block = blocked + b * m * kBlockItems;
+    __m512i acc = _mm512_setzero_si512();  // 32 u16 lanes
+    for (size_t cb = 0; cb < m; ++cb) {
+      const uint8_t* row = table + cb * k_padded;
+      const __m512i tbl =
+          k_padded == 64
+              ? _mm512_loadu_si512(row)
+              : _mm512_broadcast_i32x4(
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(row)));
+      const __m256i codes = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block + cb * kBlockItems));
+      // vpermb reads index bits [5:0]; codes are < 64 so no masking needed.
+      const __m512i vals =
+          _mm512_permutexvar_epi8(_mm512_zextsi256_si512(codes), tbl);
+      acc = WidenAdd(acc, vals);
+    }
+    _mm512_storeu_si512(sums + b * kBlockItems, acc);
+  }
+}
+
+// K <= 256: the 256-byte row is four vpermb tables selected by the top two
+// code bits (vpermb itself consumes the low six).
+LIGHTLT_AVX512_TARGET void Accumulate256Avx512(
+    const uint8_t* blocked, size_t num_blocks, size_t m, size_t k_padded,
+    const uint8_t* table, uint16_t* sums) {
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const uint8_t* block = blocked + b * m * kBlockItems;
+    __m512i acc = _mm512_setzero_si512();
+    for (size_t cb = 0; cb < m; ++cb) {
+      const uint8_t* row = table + cb * k_padded;
+      const __m256i codes = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block + cb * kBlockItems));
+      const __m512i idx = _mm512_zextsi256_si512(codes);
+      const __m256i chunk_sel = _mm256_and_si256(
+          _mm256_srli_epi16(codes, 6), _mm256_set1_epi8(0x03));
+      __m256i vals = _mm256_setzero_si256();
+      for (int j = 0; j < 4; ++j) {
+        const __m512i tbl = _mm512_loadu_si512(row + 64 * j);
+        const __m256i looked = _mm512_castsi512_si256(
+            _mm512_permutexvar_epi8(idx, tbl));
+        const __m256i match = _mm256_cmpeq_epi8(
+            chunk_sel, _mm256_set1_epi8(static_cast<char>(j)));
+        vals = _mm256_or_si256(vals, _mm256_and_si256(match, looked));
+      }
+      acc = WidenAdd(acc, _mm512_zextsi256_si512(vals));
+    }
+    _mm512_storeu_si512(sums + b * kBlockItems, acc);
+  }
+}
+
+#undef LIGHTLT_AVX512_TARGET
+
+}  // namespace
+
+bool Avx512Supported() {
+  return __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 &&
+         __builtin_cpu_supports("avx512vbmi") != 0;
+}
+
+AccumulateFn Avx512KernelFor(size_t k_padded) {
+  if (!Avx512Supported()) return nullptr;
+  if (k_padded == 16 || k_padded == 64) return &Accumulate64Avx512;
+  if (k_padded == 256) return &Accumulate256Avx512;
+  return nullptr;
+}
+
+}  // namespace detail
+}  // namespace lightlt::index::kernels
+
+#else  // non-x86
+
+namespace lightlt::index::kernels::detail {
+bool Avx512Supported() { return false; }
+AccumulateFn Avx512KernelFor(size_t) { return nullptr; }
+}  // namespace lightlt::index::kernels::detail
+
+#endif

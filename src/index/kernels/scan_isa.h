@@ -1,0 +1,23 @@
+// Internal seams between the dispatch table (scan_kernels.cc) and the
+// per-ISA kernel translation units. Each family compiles everywhere: on a
+// foreign architecture its Supported() is false and KernelFor() is null.
+
+#ifndef LIGHTLT_INDEX_KERNELS_SCAN_ISA_H_
+#define LIGHTLT_INDEX_KERNELS_SCAN_ISA_H_
+
+#include "src/index/kernels/scan_kernels.h"
+
+namespace lightlt::index::kernels::detail {
+
+bool Avx2Supported();
+AccumulateFn Avx2KernelFor(size_t k_padded);
+
+bool Avx512Supported();
+AccumulateFn Avx512KernelFor(size_t k_padded);
+
+bool NeonSupported();
+AccumulateFn NeonKernelFor(size_t k_padded);
+
+}  // namespace lightlt::index::kernels::detail
+
+#endif  // LIGHTLT_INDEX_KERNELS_SCAN_ISA_H_

@@ -294,7 +294,8 @@ Result<std::vector<ServedHit>> RetrievalService::SearchEmbedded(
     }
     std::sort(hits.begin(), hits.end(),
               [](const index::SearchHit& a, const index::SearchHit& b) {
-                return a.distance < b.distance;
+                return a.distance < b.distance ||
+                       (a.distance == b.distance && a.id < b.id);
               });
   }
 

@@ -143,15 +143,61 @@ TEST_F(AdcIndexTest, RejectsMalformedInputs) {
   EXPECT_FALSE(AdcIndex::Build({}, codes_).ok());
 }
 
+TEST_F(AdcIndexTest, TiedDistancesBreakByAscendingId) {
+  // Duplicate every item's codes in groups of five: scores tie in groups
+  // that straddle any k cutting mid-group, so the returned ids are only
+  // well-defined because ties break by ascending id.
+  auto codes = codes_;
+  for (size_t i = 0; i < kN; ++i) codes[i] = codes_[i / 5 * 5];
+  auto built = AdcIndex::Build(codebooks_, codes);
+  ASSERT_TRUE(built.ok());
+  const auto hits = built.value().Search(query_.data(), 12);  // cuts a group
+  ASSERT_EQ(hits.size(), 12u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    ASSERT_TRUE(hits[i - 1].distance < hits[i].distance ||
+                (hits[i - 1].distance == hits[i].distance &&
+                 hits[i - 1].id < hits[i].id))
+        << "i=" << i;
+  }
+  // Tied neighbours are consecutive ids from the same duplicate group.
+  for (size_t i = 1; i < hits.size(); ++i) {
+    if (hits[i - 1].distance == hits[i].distance) {
+      EXPECT_EQ(hits[i].id, hits[i - 1].id + 1);
+    }
+  }
+}
+
+TEST(FlatIndexTieTest, TiedDistancesBreakByAscendingId) {
+  // Four copies of each of three distinct rows; k = 6 cuts the second
+  // group in half.
+  Matrix db(12, 3);
+  for (size_t i = 0; i < 12; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      db.at(i, j) = static_cast<float>(i / 4);
+    }
+  }
+  index::FlatIndex idx(db);
+  const float q[3] = {0.1f, 0.1f, 0.1f};
+  const auto hits = idx.Search(q, 6);
+  ASSERT_EQ(hits.size(), 6u);
+  const uint32_t want[6] = {0, 1, 2, 3, 4, 5};
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(hits[i].id, want[i]);
+}
+
 TEST_F(AdcIndexTest, MemoryAccountingMatchesFormula) {
   auto built = AdcIndex::Build(codebooks_, codes_);
   ASSERT_TRUE(built.ok());
   // 4KMd + code storage + 4n (§IV-A). Operationally the index scans a
-  // byte-wide code array (one byte per code, equal to the packed size at
-  // the paper's K=256 setting).
+  // byte-wide code array — one byte per code, equal to the packed size at
+  // the paper's K=256 setting — in blocked fast-scan order (tail block
+  // padded) when a kernel is selected, item-major otherwise (§12).
   const size_t codebook_bytes = 4 * kK * kM * kD;
   const size_t norm_bytes = 4 * kN;
-  const size_t scan_bytes = kN * kM;
+  const bool fast_scan =
+      std::string(built.value().scan_kernel_name()) != "off";
+  const size_t scan_bytes =
+      fast_scan ? kernels::NumBlocks(kN) * kM * kernels::kBlockItems
+                : kN * kM;
   EXPECT_EQ(built.value().MemoryBytes(),
             codebook_bytes + norm_bytes + scan_bytes);
 }

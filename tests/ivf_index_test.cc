@@ -165,6 +165,77 @@ TEST(IvfAdcIndexTest, MemoryAccountedAndPositive) {
   EXPECT_GE(idx.value().MemoryBytes(), 120u * 2 + 120u * 8);
 }
 
+TEST(IvfAdcIndexTest, TiedDistancesBreakByAscendingId) {
+  // Duplicated code groups with full probe: the merged result must order
+  // ties by ascending database id even though items arrive cell by cell
+  // in centroid order, not id order.
+  auto f = MakeFixture(120, 3, 8, 6, 21);
+  for (size_t i = 0; i < 120; ++i) f.codes[i] = f.codes[i / 6 * 6];
+  IvfOptions opts;
+  opts.num_cells = 8;
+  opts.nprobe = 8;
+  auto ivf = IvfAdcIndex::Build(f.embeddings, f.codebooks, f.codes, opts);
+  ASSERT_TRUE(ivf.ok());
+
+  Rng rng(22);
+  Matrix q = Matrix::RandomGaussian(1, 6, rng);
+  const auto hits = ivf.value().Search(q.data(), 15);  // cuts a tie group
+  ASSERT_EQ(hits.size(), 15u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    ASSERT_TRUE(hits[i - 1].distance < hits[i].distance ||
+                (hits[i - 1].distance == hits[i].distance &&
+                 hits[i - 1].id < hits[i].id))
+        << "i=" << i;
+  }
+  // Against exhaustive ADC ground truth with the same tie rule the ids
+  // must agree exactly, not merely the distances.
+  auto adc = AdcIndex::Build(f.codebooks, f.codes);
+  ASSERT_TRUE(adc.ok());
+  const auto want = adc.value().Search(q.data(), 15);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].id, want[i].id) << "i=" << i;
+  }
+}
+
+TEST(IvfAdcIndexTest, ProbeHistogramsRecordPartialScansOnEarlyReturn) {
+  // A scan cut short by cancellation must still land in the probe-breadth
+  // histograms with whatever it actually scanned — otherwise the probed
+  // cells / scanned-fraction distributions are biased toward fast queries.
+  auto f = MakeFixture(200, 2, 8, 6, 23);
+  IvfOptions opts;
+  opts.num_cells = 8;
+  opts.nprobe = 4;
+  auto ivf = IvfAdcIndex::Build(f.embeddings, f.codebooks, f.codes, opts);
+  ASSERT_TRUE(ivf.ok());
+  obs::MetricsRegistry registry;
+  ivf.value().Instrument(&registry, "ivf_");
+
+  CancellationSource cancel;
+  cancel.RequestCancellation();  // fails the check after the first cell
+  ScanControl control;
+  control.cancel = cancel.token();
+  Rng rng(24);
+  Matrix q = Matrix::RandomGaussian(1, 6, rng);
+  auto result = ivf.value().Search(q.data(), 5, control, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  const auto cells = registry.GetHistogram("ivf_probed_cells")->Snapshot();
+  ASSERT_EQ(cells.count, 1u);
+  // Exactly one cell completed before the between-cell check fired.
+  EXPECT_LE(cells.sum, 1.0 + 1e-9);
+  const auto frac =
+      registry.GetHistogram("ivf_scanned_fraction")->Snapshot();
+  ASSERT_EQ(frac.count, 1u);
+  EXPECT_LT(frac.Mean(), 1.0);
+
+  // A completed search records the full probe breadth alongside.
+  ASSERT_TRUE(ivf.value().Search(q.data(), 5, ScanControl{}, 0).ok());
+  const auto after = registry.GetHistogram("ivf_probed_cells")->Snapshot();
+  EXPECT_EQ(after.count, 2u);
+  EXPECT_NEAR(after.sum, 1.0 + static_cast<double>(opts.nprobe), 1e-9);
+}
+
 TEST(IvfAdcIndexTest, SaveLoadRoundTripPreservesSearch) {
   auto f = MakeFixture(150, 3, 8, 6, 9);
   IvfOptions opts;

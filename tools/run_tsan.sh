@@ -26,6 +26,6 @@ cmake --build "${build_dir}" --target lightlt_quality_obs_tests -j "$(nproc)"
 # online-quality suite (shadow verification tasks racing batch serving).
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest)\.'
+  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest|ScanKernelsTest)\.'
 
 echo "TSan concurrency suite passed with zero reported races."
