@@ -29,9 +29,6 @@ bool RowFinite(const Matrix& m, size_t row) {
   return true;
 }
 
-/// Rerank hits checked this often against the request deadline/token.
-constexpr size_t kRerankCheckEvery = 64;
-
 /// Opens `name` under `parent` when tracing is on; an empty Span otherwise.
 obs::Span MaybeSpan(obs::Trace* trace, const char* name,
                     const obs::Span* parent) {
@@ -126,15 +123,25 @@ Result<RetrievalService> RetrievalService::Build(
   std::vector<std::vector<uint32_t>> codes;
   model->dsq().Encode(embedded, &codes);
 
+  // The search engine is one ReplicaSearcher — the same breaker-gated
+  // flat-ADC + optional-IVF + rerank unit a ClusterService replicates per
+  // shard. Instrumented under the service's historical metric names
+  // ("adc_*"/"ivf_*" scan telemetry, serving_flat_fallbacks_total).
+  SearcherOptions searcher_options;
+  searcher_options.rerank_pool = options.rerank_pool;
+  searcher_options.exact_rerank = options.exact_rerank;
+  searcher_options.use_ivf = options.use_ivf;
+  searcher_options.ivf = options.ivf;
+  searcher_options.breaker = options.breaker;
+  auto searcher = ReplicaSearcher::Build(embedded, model->Codebooks(), codes,
+                                         searcher_options);
+  if (!searcher.ok()) return searcher.status();
+  service.searcher_ =
+      std::make_unique<ReplicaSearcher>(std::move(searcher).value());
+  service.searcher_->InstrumentScans(service.metrics_.get(), "");
+  service.searcher_->set_flat_fallback_counter(service.inst_.flat_fallbacks);
   if (options.use_ivf) {
-    auto ivf = index::IvfAdcIndex::Build(embedded, model->Codebooks(), codes,
-                                         options.ivf);
-    if (!ivf.ok()) return ivf.status();
-    service.ivf_ =
-        std::make_unique<index::IvfAdcIndex>(std::move(ivf).value());
-    service.ivf_->Instrument(service.metrics_.get(), "ivf_");
-    service.breaker_ = std::make_shared<CircuitBreaker>(options.breaker);
-    std::shared_ptr<CircuitBreaker> breaker = service.breaker_;
+    std::shared_ptr<CircuitBreaker> breaker = service.searcher_->breaker();
     service.metrics_->RegisterCallbackGauge(
         "serving_breaker_state", [breaker]() {
           // 0 closed, 1 open, 2 half-open.
@@ -145,12 +152,33 @@ Result<RetrievalService> RetrievalService::Build(
           return static_cast<double>(breaker->open_transitions());
         });
   }
-  // The flat ADC index is always kept: it serves re-ranking lookups
-  // (Reconstruct) and is the fallback scan path.
-  auto adc = index::AdcIndex::Build(model->Codebooks(), codes);
-  if (!adc.ok()) return adc.status();
-  service.adc_ = std::make_unique<index::AdcIndex>(std::move(adc).value());
-  service.adc_->Instrument(service.metrics_.get(), "adc_");
+
+  if (options.drift.enabled) {
+    obs::DriftDetector::Options drift_options;
+    drift_options.logger = options.drift.logger;
+    drift_options.registry = service.metrics_.get();
+    drift_options.metric_prefix = options.drift.metric_prefix;
+    service.drift_ = std::make_shared<DriftMonitor>(std::move(drift_options));
+    service.drift_->warmup = std::max<uint64_t>(1, options.drift.warmup_queries);
+    service.drift_->check_every =
+        std::max<uint64_t>(1, options.drift.check_every);
+    // Watch the service's own scan telemetry: per-chunk scan cost always,
+    // the IVF routing distributions when that path exists, and the served
+    // latency distribution. All registered above, so GetHistogram returns
+    // the very instruments the scans record into.
+    std::vector<std::string> names = {"adc_scan_chunk_seconds"};
+    if (options.use_ivf) {
+      names.push_back("ivf_probed_cells");
+      names.push_back("ivf_scanned_fraction");
+    }
+    names.push_back(
+        obs::WithLabel("serving_latency_seconds", "outcome", "served"));
+    for (const std::string& name : names) {
+      service.drift_->detector.AddWatch(
+          name, service.metrics_->GetHistogram(name), options.drift.watch);
+    }
+    service.drift_->watches = std::move(names);
+  }
 
   if (options.slow_query.latency_threshold_seconds > 0.0 ||
       (options.shadow.sample_rate > 0.0 &&
@@ -220,89 +248,21 @@ void RetrievalService::CountOutcome(const Status& status,
   }
 }
 
-Result<std::vector<ServedHit>> RetrievalService::SearchEmbedded(
-    const float* query, size_t top_k, const ScanControl& control,
-    bool degraded, obs::Trace* trace, const obs::Span* parent,
-    bool* used_fallback) const {
-  // Degraded admissions shed the optional work: no over-fetch, no exact
-  // rerank, and the flat scan instead of the IVF path.
-  const bool rerank = options_.exact_rerank && !degraded;
-  const size_t pool =
-      std::max(top_k, rerank ? options_.rerank_pool : top_k);
-
-  std::vector<index::SearchHit> hits;
-  bool have_hits = false;
-  if (ivf_ != nullptr && !degraded) {
-    obs::Span ivf_span = MaybeSpan(trace, "ivf_route", parent);
-    // Graceful degradation: the flat ADC index covers the whole database,
-    // so if the IVF path fails or its probed cells yield fewer candidates
-    // than the flat scan would, fall back rather than fail or silently
-    // shortchange the caller. Repeated failures open the breaker, which
-    // routes straight to the flat scan until a cooldown probe succeeds.
-    const size_t expected = std::min(pool, adc_->num_items());
-    if (breaker_->AllowRequest()) {
-      auto ivf_hits = ivf_->Search(query, pool, control, /*nprobe=*/0);
-      if (ivf_hits.ok()) {
-        if (ivf_hits.value().size() >= expected) {
-          breaker_->RecordSuccess();
-          hits = std::move(ivf_hits).value();
-          have_hits = true;
-        } else {
-          breaker_->RecordFailure();  // shortfall
-        }
-      } else if (ivf_hits.status().code() == StatusCode::kDeadlineExceeded ||
-                 ivf_hits.status().code() == StatusCode::kCancelled) {
-        // The request ran out of budget mid-scan — that says nothing about
-        // IVF health, so the breaker gets no verdict.
-        breaker_->RecordAbandoned();
-        return ivf_hits.status();
-      } else {
-        breaker_->RecordFailure();
-      }
+void RetrievalService::TickDrift() const {
+  const uint64_t n =
+      drift_->served.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (n >= drift_->warmup &&
+      !drift_->frozen.exchange(true, std::memory_order_acq_rel)) {
+    // Exactly one thread freezes: everything served during warmup becomes
+    // the baseline distribution for every watch.
+    for (const std::string& name : drift_->watches) {
+      drift_->detector.FreezeBaseline(name);
     }
-    if (!have_hits) {
-      inst_.flat_fallbacks->Increment();
-      if (used_fallback != nullptr) *used_fallback = true;
-    }
+    return;
   }
-  if (!have_hits) {
-    obs::Span scan_span = MaybeSpan(trace, "adc_scan", parent);
-    auto flat = adc_->Search(query, pool, control);
-    if (!flat.ok()) return flat.status();
-    hits = std::move(flat).value();
+  if (n > drift_->warmup && (n - drift_->warmup) % drift_->check_every == 0) {
+    drift_->detector.CheckAll();
   }
-
-  if (rerank) {
-    obs::Span rerank_span = MaybeSpan(trace, "rerank", parent);
-    // Re-rank the pool by exact distance to the reconstructions: the ADC
-    // score already is that distance up to a query-constant, so re-ranking
-    // only matters when the candidate pool came from a lossier path (IVF
-    // probing) or a future approximate scorer; it is cheap either way.
-    const size_t d = adc_->dim();
-    for (size_t i = 0; i < hits.size(); ++i) {
-      if (i % kRerankCheckEvery == 0 && !control.Trivial()) {
-        LIGHTLT_RETURN_IF_ERROR(control.Check());
-      }
-      auto& hit = hits[i];
-      const Matrix recon = adc_->Reconstruct(hit.id);
-      float dist = 0.0f;
-      for (size_t j = 0; j < d; ++j) {
-        const float diff = query[j] - recon[j];
-        dist += diff * diff;
-      }
-      hit.distance = dist;
-    }
-    std::sort(hits.begin(), hits.end(),
-              [](const index::SearchHit& a, const index::SearchHit& b) {
-                return a.distance < b.distance ||
-                       (a.distance == b.distance && a.id < b.id);
-              });
-  }
-
-  const size_t keep = std::min(top_k, hits.size());
-  std::vector<ServedHit> out(keep);
-  for (size_t i = 0; i < keep; ++i) out[i] = {hits[i].id, hits[i].distance};
-  return out;
 }
 
 Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
@@ -336,15 +296,23 @@ Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
   }
 
   bool used_fallback = false;
-  auto result = [&] {
+  auto result = [&]() -> Result<std::vector<ServedHit>> {
     obs::Span search_span = MaybeSpan(trace, "search", parent);
-    return SearchEmbedded(query, top_k, control, degraded, trace,
-                          trace ? &search_span : nullptr, &used_fallback);
+    auto hits = searcher_->Search(query, top_k, control, degraded, trace,
+                                  trace ? &search_span : nullptr,
+                                  &used_fallback);
+    if (!hits.ok()) return hits.status();
+    std::vector<ServedHit> out(hits.value().size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = {hits.value()[i].id, hits.value()[i].distance};
+    }
+    return out;
   }();
   const double elapsed = timer.ElapsedSeconds();
   if (result.ok()) {
     inst_.served->Increment();
     inst_.latency_served->Record(elapsed);
+    if (drift_ != nullptr) TickDrift();
     // Shadow verification rides after the response is accounted: selection
     // and budget are decided in Acquire(), the exact re-run happens on the
     // pool (or inline when no pool is configured), never on the caller's
@@ -507,17 +475,15 @@ ServiceStats RetrievalService::Stats() const {
   s.flat_fallbacks = inst_.flat_fallbacks->Value();
   s.in_flight = admission_->InFlight();
   s.served_latency = inst_.latency_served->Snapshot();
-  if (breaker_) {
-    s.breaker_open_transitions = breaker_->open_transitions();
-    s.breaker_state = breaker_->state();
+  if (searcher_ && searcher_->breaker()) {
+    s.breaker_open_transitions = searcher_->breaker()->open_transitions();
+    s.breaker_state = searcher_->breaker()->state();
   }
   return s;
 }
 
 size_t RetrievalService::IndexMemoryBytes() const {
-  size_t bytes = adc_ ? adc_->MemoryBytes() : 0;
-  if (ivf_) bytes += ivf_->MemoryBytes();
-  return bytes;
+  return searcher_ ? searcher_->MemoryBytes() : 0;
 }
 
 }  // namespace lightlt::serving

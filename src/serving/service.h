@@ -34,11 +34,31 @@
 #include "src/serving/admission.h"
 #include "src/serving/circuit_breaker.h"
 #include "src/serving/shadow.h"
+#include "src/serving/shard.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
 #include "src/util/threadpool.h"
 
 namespace lightlt::serving {
+
+/// Self-monitoring for scan-distribution drift (DESIGN.md §11): the service
+/// watches its own scan histograms (adc_scan_chunk_seconds, and with IVF
+/// ivf_probed_cells / ivf_scanned_fraction, plus the served-latency
+/// histogram), freezes the traffic of the first `warmup_queries` served
+/// queries as the baseline, then sweeps CheckAll() every `check_every`
+/// served queries.
+struct ServiceDriftOptions {
+  bool enabled = false;
+  /// Served queries accumulated before the baseline freezes.
+  uint64_t warmup_queries = 1000;
+  /// Served queries between CheckAll() sweeps once frozen.
+  uint64_t check_every = 500;
+  /// Thresholds/hysteresis applied to every watch.
+  obs::DriftWatchOptions watch;
+  std::string metric_prefix = "serving_drift_";
+  /// Structured-log sink for fire/clear events (null = silent).
+  obs::Logger* logger = nullptr;
+};
 
 struct ServiceOptions {
   /// Candidate pool size fetched from the compressed index before
@@ -72,6 +92,8 @@ struct ServiceOptions {
   /// — and shadow recall misses, when both features are on — land in a ring
   /// with their span tree and scan "explain" record. Threshold 0 disables.
   obs::SlowQueryLog::Options slow_query;
+  /// Scan-distribution drift self-monitoring; off by default.
+  ServiceDriftOptions drift;
 };
 
 /// Per-request lifecycle knobs. Default: no deadline, not cancellable.
@@ -139,7 +161,7 @@ class RetrievalService {
       const Matrix& features, size_t top_k, ThreadPool* pool = nullptr,
       const RequestOptions& request = {}) const;
 
-  size_t num_items() const { return adc_ ? adc_->num_items() : 0; }
+  size_t num_items() const { return searcher_ ? searcher_->num_items() : 0; }
   size_t IndexMemoryBytes() const;
   const ServiceOptions& options() const { return options_; }
 
@@ -167,6 +189,16 @@ class RetrievalService {
 
   /// The slow-query ring, when ServiceOptions::slow_query enabled one.
   obs::SlowQueryLog* SlowQueries() const { return slow_log_.get(); }
+
+  /// The drift detector, when ServiceOptions::drift enabled one. Watches
+  /// fire only after the warmup baseline froze and a CheckAll sweep ran.
+  obs::DriftDetector* Drift() const {
+    return drift_ ? &drift_->detector : nullptr;
+  }
+  /// True once the warmup window has been frozen as the drift baseline.
+  bool DriftBaselineFrozen() const {
+    return drift_ != nullptr && drift_->frozen.load(std::memory_order_acquire);
+  }
 
  private:
   RetrievalService() = default;
@@ -210,27 +242,37 @@ class RetrievalService {
                                                obs::Trace* trace,
                                                const obs::Span* parent) const;
 
-  /// Candidate retrieval + rerank for an admitted request. When
-  /// `used_fallback` is non-null it reports whether the flat scan served
-  /// the query although IVF was enabled (explain record plumbing).
-  Result<std::vector<ServedHit>> SearchEmbedded(const float* query,
-                                                size_t top_k,
-                                                const ScanControl& control,
-                                                bool degraded,
-                                                obs::Trace* trace,
-                                                const obs::Span* parent,
-                                                bool* used_fallback) const;
+  /// Drift self-monitoring state: the detector plus the served-query
+  /// cadence that freezes the baseline and paces CheckAll sweeps.
+  /// shared_ptr so the (const) serving path can mutate it and the service
+  /// stays movable.
+  struct DriftMonitor {
+    explicit DriftMonitor(obs::DriftDetector::Options options)
+        : detector(std::move(options)) {}
+    obs::DriftDetector detector;
+    std::vector<std::string> watches;
+    std::atomic<uint64_t> served{0};
+    std::atomic<bool> frozen{false};
+    uint64_t warmup = 0;
+    uint64_t check_every = 0;
+  };
+
+  /// Advances the drift cadence after one served query: freezes the
+  /// baseline when the warmup count is reached, then sweeps CheckAll every
+  /// `check_every` served queries.
+  void TickDrift() const;
 
   ServiceOptions options_;
   std::shared_ptr<const core::LightLtModel> model_;
-  std::unique_ptr<index::AdcIndex> adc_;
-  std::unique_ptr<index::IvfAdcIndex> ivf_;
+  /// The breaker-gated search engine (flat ADC + optional IVF + rerank) —
+  /// the same unit a ClusterService replicates per shard.
+  std::unique_ptr<ReplicaSearcher> searcher_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   Instruments inst_;
   std::shared_ptr<AdmissionController> admission_;
-  std::shared_ptr<CircuitBreaker> breaker_;  // null unless IVF is enabled
   std::shared_ptr<ShadowVerifier> shadow_;   // null unless sampling enabled
   std::shared_ptr<obs::SlowQueryLog> slow_log_;  // null unless capture on
+  std::shared_ptr<DriftMonitor> drift_;      // null unless drift enabled
 };
 
 }  // namespace lightlt::serving

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -16,6 +17,13 @@ std::atomic<uint64_t> g_ivf_searches{0};
 std::atomic<uint64_t> g_ivf_failures{0};
 std::atomic<uint64_t> g_scan_chunks{0};
 std::atomic<uint64_t> g_scan_failures{0};
+std::atomic<uint64_t> g_replica_searches{0};
+std::atomic<uint64_t> g_replica_failures{0};
+
+/// Per-ReplicaFault-rule attempt counters (index-matched with
+/// g_plan.replica_faults), allocated at Arm so fail_first_n / flap_period
+/// windows count matching attempts per rule, not globally.
+std::unique_ptr<std::atomic<uint64_t>[]> g_replica_rule_hits;
 
 // The IVF hold gate. A plain mutex/condvar pair: holds are rare (tests
 // only) and the armed check guards the fast path.
@@ -31,6 +39,13 @@ void ArmChaos(const ChaosPlan& plan) {
   g_ivf_failures.store(0);
   g_scan_chunks.store(0);
   g_scan_failures.store(0);
+  g_replica_searches.store(0);
+  g_replica_failures.store(0);
+  g_replica_rule_hits =
+      plan.replica_faults.empty()
+          ? nullptr
+          : std::make_unique<std::atomic<uint64_t>[]>(
+                plan.replica_faults.size());
   g_armed.store(true, std::memory_order_release);
 }
 
@@ -49,6 +64,8 @@ ChaosCounters ChaosCountersSnapshot() {
   c.ivf_failures_injected = g_ivf_failures.load();
   c.scan_chunks = g_scan_chunks.load();
   c.scan_failures_injected = g_scan_failures.load();
+  c.replica_searches = g_replica_searches.load();
+  c.replica_failures_injected = g_replica_failures.load();
   return c;
 }
 
@@ -78,6 +95,39 @@ Status ChaosOnScanChunk() {
       chunk == static_cast<uint64_t>(g_plan.scan_fail_nth)) {
     g_scan_failures.fetch_add(1);
     return Status::Unavailable("chaos: injected scan failure");
+  }
+  return Status::Ok();
+}
+
+Status ChaosOnReplicaSearch(size_t shard, size_t replica) {
+  if (!ChaosArmed()) return Status::Ok();
+  g_replica_searches.fetch_add(1);
+  for (size_t i = 0; i < g_plan.replica_faults.size(); ++i) {
+    const ReplicaFault& rule = g_plan.replica_faults[i];
+    if (rule.shard >= 0 && static_cast<size_t>(rule.shard) != shard) continue;
+    if (rule.replica >= 0 && static_cast<size_t>(rule.replica) != replica) {
+      continue;
+    }
+    // First match wins; `n` is this rule's 0-based matching-attempt index.
+    const uint64_t n = g_replica_rule_hits[i].fetch_add(1);
+    if (rule.latency_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(rule.latency_seconds));
+    }
+    bool fail = rule.kill;
+    if (!fail && rule.fail_first_n > 0 &&
+        n < static_cast<uint64_t>(rule.fail_first_n)) {
+      fail = true;
+    }
+    if (!fail && rule.flap_period > 0 &&
+        (n / static_cast<uint64_t>(rule.flap_period)) % 2 == 1) {
+      fail = true;
+    }
+    if (fail) {
+      g_replica_failures.fetch_add(1);
+      return Status::Unavailable("chaos: injected replica fault");
+    }
+    return Status::Ok();
   }
   return Status::Ok();
 }

@@ -12,6 +12,7 @@
 #include <functional>
 #include <utility>
 
+#include "src/util/deadline.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -49,12 +50,22 @@ const Status& StatusOf(const Result<T>& r) {
 /// times, sleeping the jittered backoff between attempts, and returns the
 /// last outcome. Non-retryable failures short-circuit. `sleep_fn` exists
 /// for tests (count instead of sleep, disarm an injected fault, ...).
+///
+/// Deadline-aware: no attempt starts and no backoff sleep begins once it
+/// would overrun `deadline`. When the budget cannot pay for the next step,
+/// the call returns kDeadlineExceeded immediately instead of burning the
+/// remaining budget asleep on a retry that could never run.
 template <typename Fn>
-auto CallWithRetry(const RetryPolicy& policy, Fn&& fn,
+auto CallWithRetry(const RetryPolicy& policy, Fn&& fn, const Deadline& deadline,
                    const std::function<void(double)>& sleep_fn = {}) {
+  using Outcome = decltype(fn());
   Rng jitter(policy.jitter_seed);
   const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
   for (int attempt = 0;; ++attempt) {
+    if (deadline.Expired()) {
+      return Outcome(Status::DeadlineExceeded(
+          "CallWithRetry: request deadline exceeded"));
+    }
     auto outcome = fn();
     if (internal::StatusOf(outcome).ok() ||
         !IsRetryable(internal::StatusOf(outcome)) ||
@@ -62,12 +73,27 @@ auto CallWithRetry(const RetryPolicy& policy, Fn&& fn,
       return outcome;
     }
     const double backoff = policy.BackoffSeconds(attempt, &jitter);
+    // RemainingSeconds() is +inf for an infinite deadline, so this branch
+    // costs nothing on the no-deadline path.
+    if (backoff >= deadline.RemainingSeconds()) {
+      return Outcome(Status::DeadlineExceeded(
+          "CallWithRetry: backoff would overrun the request deadline"));
+    }
     if (sleep_fn) {
       sleep_fn(backoff);
     } else {
       SleepForSeconds(backoff);
     }
   }
+}
+
+/// Deadline-free flavor (the original signature): retries are bounded by
+/// policy.max_attempts only.
+template <typename Fn>
+auto CallWithRetry(const RetryPolicy& policy, Fn&& fn,
+                   const std::function<void(double)>& sleep_fn = {}) {
+  return CallWithRetry(policy, std::forward<Fn>(fn), Deadline::Infinite(),
+                       sleep_fn);
 }
 
 }  // namespace lightlt

@@ -240,5 +240,49 @@ TEST(RetrievalServiceTest, IvfShortfallDegradesToFlatScan) {
   EXPECT_EQ(service.value().degraded_query_count(), 1u);
 }
 
+TEST(RetrievalServiceTest, DriftSelfMonitoringFreezesAfterWarmup) {
+  auto f = MakeFixture();
+  ServiceOptions opts;
+  opts.drift.enabled = true;
+  opts.drift.warmup_queries = 5;
+  opts.drift.check_every = 2;
+  // Windows this small produce meaningless PSI; the guard must hold sweeps
+  // back until enough post-freeze traffic accumulates, so steady traffic
+  // cannot false-fire right after warmup.
+  opts.drift.watch.min_window_count = 50;
+  auto service =
+      RetrievalService::Build(f.model, f.bench.database.features, opts);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_NE(service.value().Drift(), nullptr);
+
+  // The baseline stays open through the warmup window...
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service.value()
+                    .Query(f.bench.query.features.RowCopy(i % 4), 3)
+                    .ok());
+    EXPECT_FALSE(service.value().DriftBaselineFrozen());
+  }
+  // ...and freezes on the query that completes it.
+  ASSERT_TRUE(service.value().Query(f.bench.query.features.RowCopy(0), 3).ok());
+  EXPECT_TRUE(service.value().DriftBaselineFrozen());
+
+  // Steady traffic past warmup runs periodic sweeps without false alarms.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(service.value()
+                    .Query(f.bench.query.features.RowCopy(i % 4), 3)
+                    .ok());
+  }
+  EXPECT_FALSE(service.value().Drift()->Drifted("adc_scan_chunk_seconds"));
+  EXPECT_EQ(service.value().Drift()->fire_count(), 0u);
+}
+
+TEST(RetrievalServiceTest, DriftDisabledByDefault) {
+  auto f = MakeFixture();
+  auto service = RetrievalService::Build(f.model, f.bench.database.features);
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ(service.value().Drift(), nullptr);
+  EXPECT_FALSE(service.value().DriftBaselineFrozen());
+}
+
 }  // namespace
 }  // namespace lightlt::serving

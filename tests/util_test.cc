@@ -193,6 +193,65 @@ TEST(RetryTest, WorksWithResultReturningCallables) {
   EXPECT_EQ(calls, 2);
 }
 
+TEST(RetryTest, NeverSleepsPastDeadline) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_seconds = 10.0;  // any sleep dwarfs the budget
+  policy.jitter_fraction = 0.0;
+  std::vector<double> sleeps;
+  int calls = 0;
+  Status s = CallWithRetry(
+      policy, [&]() -> Status { return ++calls, Status::Unavailable("busy"); },
+      Deadline::After(0.05), [&](double t) { sleeps.push_back(t); });
+  // The retry budget was there (5 attempts) but the backoff could never
+  // complete inside the deadline: the call must report the deadline, after
+  // exactly one attempt, without sleeping at all.
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, ExpiredDeadlineShortCircuitsBeforeTheFirstAttempt) {
+  RetryPolicy policy;
+  int calls = 0;
+  Status s = CallWithRetry(
+      policy, [&]() -> Status { return ++calls, Status::Ok(); },
+      Deadline::After(0.0), [](double) {});
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RetryTest, DeadlineLeavesRoomForRetriesThatFitTheBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 1e-4;
+  policy.jitter_fraction = 0.0;
+  std::vector<double> sleeps;
+  int calls = 0;
+  Status s = CallWithRetry(
+      policy,
+      [&]() -> Status {
+        return ++calls < 3 ? Status::Unavailable("busy") : Status::Ok();
+      },
+      Deadline::After(30.0), [&](double t) { sleeps.push_back(t); });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.size(), 2u);
+}
+
+TEST(RetryTest, DeadlineAwareWorksWithResultReturningCallables) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 10.0;
+  policy.jitter_fraction = 0.0;
+  int calls = 0;
+  Result<int> r = CallWithRetry(
+      policy, [&]() -> Result<int> { return ++calls, Status::IoError("flaky"); },
+      Deadline::After(0.05), [](double) {});
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(RngTest, DeterministicForSeed) {
   Rng a(7), b(7);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());

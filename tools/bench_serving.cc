@@ -6,8 +6,15 @@
 // scrapes via MetricsRegistry::RenderText — so the bench doubles as an
 // end-to-end check of the metrics wiring.
 //
+// With --shards=N (optionally --replicas=R) the same load additionally runs
+// through a ClusterService over the same model and database — scatter-gather
+// across N shards with R replicas each — and the JSON gains a "cluster_*"
+// block plus one per-shard row (items, scanned items across replicas), so
+// the sharded path's overhead is benchmarked against the single-node one.
+//
 //   ./tool_bench_serving --out=BENCH_serving.json [--seed=7] [--repeat=5]
 //       [--epochs=4] [--cells=32] [--nprobe=8] [--ivf=true]
+//       [--shadow_max_in_flight=16] [--shards=0] [--replicas=2]
 //       [--metrics_jsonl=metrics.jsonl] [--render]
 
 #include <cstdio>
@@ -16,6 +23,7 @@
 
 #include "src/lightlt.h"
 #include "src/obs/metrics.h"
+#include "src/serving/router.h"
 #include "src/util/cli.h"
 #include "src/util/timer.h"
 
@@ -30,6 +38,10 @@ int main(int argc, char** argv) {
   const size_t nprobe = static_cast<size_t>(cli.GetInt("nprobe", 8));
   const bool use_ivf = cli.GetBool("ivf", true);
   const double shadow_rate = cli.GetDouble("shadow_rate", 0.25);
+  const size_t shadow_max_in_flight =
+      static_cast<size_t>(cli.GetInt("shadow_max_in_flight", 16));
+  const size_t shards = static_cast<size_t>(cli.GetInt("shards", 0));
+  const size_t replicas = static_cast<size_t>(cli.GetInt("replicas", 2));
   const std::string out = cli.GetString("out", "BENCH_serving.json");
   const std::string jsonl = cli.GetString("metrics_jsonl", "");
 
@@ -64,7 +76,7 @@ int main(int argc, char** argv) {
     opts.shadow.sample_rate = shadow_rate;
     opts.shadow.seed = seed;
     opts.shadow.recall_k = 10;
-    opts.shadow.max_in_flight = 16;
+    opts.shadow.max_in_flight = shadow_max_in_flight;
     opts.shadow.pool = &GlobalThreadPool();
   }
   auto built =
@@ -128,7 +140,7 @@ int main(int argc, char** argv) {
                " \"scanned_fraction\": %.4f, \"ivf\": %s,\n"
                " \"shadow_recall\": %.4f, \"shadow_samples\": %zu,\n"
                " \"served\": %llu, \"shed\": %llu, \"failed\": %llu, "
-               "\"flat_fallbacks\": %llu}\n",
+               "\"flat_fallbacks\": %llu",
                rows_served, seconds, qps, latency.Mean() * 1e3,
                latency.Quantile(0.50) * 1e3, latency.Quantile(0.95) * 1e3,
                latency.Quantile(0.99) * 1e3, scanned_fraction,
@@ -137,6 +149,90 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.shed),
                static_cast<unsigned long long>(stats.failed),
                static_cast<unsigned long long>(stats.flat_fallbacks));
+
+  // Sharded scenario: the same load through a ClusterService over the same
+  // model and corpus. Appended after the single-node keys so the bench
+  // gate's first-occurrence extraction keeps reading the single-node run.
+  if (shards > 0) {
+    serving::ClusterOptions copts;
+    copts.num_shards = shards;
+    copts.num_replicas = replicas;
+    copts.searcher.exact_rerank = true;
+    copts.searcher.rerank_pool = 50;
+    if (use_ivf) {
+      copts.searcher.use_ivf = true;
+      copts.searcher.ivf.num_cells = cells;
+      copts.searcher.ivf.nprobe = nprobe;
+    }
+    copts.router.pool = &GlobalThreadPool();
+    auto cluster_built = serving::ClusterService::Build(
+        model, bench.database.features, copts);
+    if (!cluster_built.ok()) {
+      std::fprintf(stderr, "cluster build failed: %s\n",
+                   cluster_built.status().ToString().c_str());
+      std::fclose(f);
+      return 1;
+    }
+    const serving::ClusterService& cluster = cluster_built.value();
+    std::printf("cluster: %zu shards x %zu replicas, same load...\n", shards,
+                replicas);
+
+    WallTimer cluster_wall;
+    size_t cluster_served = 0;
+    for (int r = 0; r < repeat; ++r) {
+      for (size_t q = 0; q < bench.query.features.rows(); ++q) {
+        auto res = cluster.Query(bench.query.features.RowCopy(q), 10);
+        if (res.ok()) ++cluster_served;
+      }
+    }
+    const double cluster_seconds = cluster_wall.ElapsedSeconds();
+    const double cluster_qps =
+        cluster_seconds > 0.0
+            ? static_cast<double>(cluster_served) / cluster_seconds
+            : 0.0;
+    const auto cluster_latency =
+        cluster.Metrics()
+            .GetHistogram(obs::WithLabel("cluster_latency_seconds", "outcome",
+                                         "served"))
+            ->Snapshot();
+    const auto cstats = cluster.Stats();
+    const double coverage_mean =
+        cstats.coverage.count > 0 ? cstats.coverage.Mean() : 0.0;
+
+    std::fprintf(f,
+                 ",\n \"cluster_shards\": %zu, \"cluster_replicas\": %zu,\n"
+                 " \"cluster_qps\": %.1f, \"cluster_p95_ms\": %.4f,\n"
+                 " \"cluster_coverage_mean\": %.4f, \"cluster_failovers\": "
+                 "%llu,\n"
+                 " \"cluster_per_shard\": [",
+                 shards, replicas, cluster_qps,
+                 cluster_latency.Quantile(0.95) * 1e3, coverage_mean,
+                 static_cast<unsigned long long>(cstats.failovers));
+    for (size_t s = 0; s < shards; ++s) {
+      uint64_t scan_items = 0;
+      for (size_t r = 0; r < replicas; ++r) {
+        // Flat and IVF replica scans count items under separate instruments.
+        const std::string rp =
+            "cluster_s" + std::to_string(s) + "_r" + std::to_string(r) + "_";
+        scan_items +=
+            cluster.Metrics().GetCounter(rp + "adc_scan_items_total")->Value();
+        scan_items +=
+            cluster.Metrics().GetCounter(rp + "ivf_scan_items_total")->Value();
+      }
+      std::fprintf(f, "%s{\"shard\": %zu, \"items\": %zu, \"scan_items\": %llu}",
+                   s == 0 ? "" : ", ", s, cluster.shards().shard_items(s),
+                   static_cast<unsigned long long>(scan_items));
+      std::printf("  shard %zu: %zu items, %llu scanned across %zu replicas\n",
+                  s, cluster.shards().shard_items(s),
+                  static_cast<unsigned long long>(scan_items), replicas);
+    }
+    std::fprintf(f, "]");
+    std::printf(
+        "cluster: %.0f qps  p95 %.2fms  coverage %.3f  failovers %llu\n",
+        cluster_qps, cluster_latency.Quantile(0.95) * 1e3, coverage_mean,
+        static_cast<unsigned long long>(cstats.failovers));
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
 
   if (!jsonl.empty()) {

@@ -59,13 +59,21 @@ mkdir -p "${out_dir}"
 
 # Longer-trained encoder and full shadow sampling: the recall and shadow
 # metrics in the baseline are then stable enough run-to-run for the gate's
-# thresholds to be meaningful (a 4-epoch encoder's recall jitters).
+# thresholds to be meaningful (a 4-epoch encoder's recall jitters). The
+# raised shadow in-flight budget keeps the verifier from skipping most
+# samples under the batch load — hundreds of realized samples instead of
+# tens, which is what makes the absolute recall threshold trustworthy.
+# The sharded pass (3x2 cluster over the same corpus) rides along so the
+# scatter-gather path's figures land in the same artifact.
 rm -f "${out_dir}/BENCH_metrics.jsonl"
 "${build_dir}/tools/tool_bench_serving" \
   --out="${out_dir}/BENCH_serving.json" \
   --metrics_jsonl="${out_dir}/BENCH_metrics.jsonl" \
   --epochs=12 \
-  --shadow_rate=1.0
+  --shadow_rate=1.0 \
+  --shadow_max_in_flight=256 \
+  --shards=3 \
+  --replicas=2
 
 echo "wrote ${out_dir}/BENCH_micro_index.json"
 echo "wrote ${out_dir}/BENCH_serving.json"

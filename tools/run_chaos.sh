@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Builds and runs the serving chaos harness (ctest label `chaos`) under both
-# sanitizers: AddressSanitizer first, then ThreadSanitizer. The suite drives
-# every request-lifecycle outcome — served / degraded / shed / expired /
-# cancelled — with deterministic fault injection (ChaosPlan), saturates a
-# small pool, and walks the IVF circuit breaker closed → open → half-open →
-# closed. Exits nonzero if either sanitizer reports an error or any
+# Builds and runs the serving chaos harness (ctest label `chaos`) and the
+# cluster harness (label `cluster`) under both sanitizers: AddressSanitizer
+# first, then ThreadSanitizer. The suites drive every request-lifecycle
+# outcome — served / partial / shed / expired / cancelled — with
+# deterministic fault injection (ChaosPlan, including replica kills, flap
+# storms and per-shard latency spikes), saturate a small pool, and walk the
+# IVF circuit breaker and the replica health monitor through their state
+# machines. Exits nonzero if either sanitizer reports an error or any
 # lifecycle invariant fails.
 #
 # Usage: tools/run_chaos.sh [asan-build-dir] [tsan-build-dir]
@@ -20,8 +22,9 @@ run_labelled() {
   cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DLIGHTLT_SANITIZE="${sanitize}"
-  cmake --build "${build_dir}" --target lightlt_chaos_tests -j "$(nproc)"
-  ctest --test-dir "${build_dir}" --output-on-failure -L chaos
+  cmake --build "${build_dir}" --target lightlt_chaos_tests \
+    --target lightlt_cluster_tests -j "$(nproc)"
+  ctest --test-dir "${build_dir}" --output-on-failure -L 'chaos|cluster'
 }
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"

@@ -14,6 +14,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DLIGHTLT_SANITIZE=thread
 cmake --build "${build_dir}" --target lightlt_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_chaos_tests -j "$(nproc)"
+cmake --build "${build_dir}" --target lightlt_cluster_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_obs_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_quality_obs_tests -j "$(nproc)"
 
@@ -23,9 +24,11 @@ cmake --build "${build_dir}" --target lightlt_quality_obs_tests -j "$(nproc)"
 # (request-lifecycle races: admission, breaker, deadline-cut batches), and
 # the observability suite (sharded counters/histograms under ParallelFor —
 # the scan hot path's relaxed-atomics-only claim is checked here), and the
-# online-quality suite (shadow verification tasks racing batch serving).
+# online-quality suite (shadow verification tasks racing batch serving),
+# and the cluster suite (scatter-gather failover racing the health monitor
+# and circuit-breaker half-open probe accounting).
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest|ScanKernelsTest)\.'
+  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|ClusterServingTest|ClusterBreakerTest|ReplicaHealthTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest|ScanKernelsTest)\.'
 
 echo "TSan concurrency suite passed with zero reported races."
