@@ -1,0 +1,100 @@
+#include "src/net/fault.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace lightlt::net {
+namespace {
+
+std::mutex g_mu;
+bool g_armed = false;
+NetFaultPlan g_plan;
+int g_connects_seen = 0;
+
+std::atomic<uint64_t> g_connects_attempted{0};
+std::atomic<uint64_t> g_connects_refused{0};
+std::atomic<uint64_t> g_sends_truncated{0};
+std::atomic<uint64_t> g_bytes_flipped{0};
+std::atomic<uint64_t> g_stalls_injected{0};
+std::atomic<uint64_t> g_resets_injected{0};
+
+}  // namespace
+
+void ArmNetFaults(const NetFaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed = true;
+  g_plan = plan;
+  g_connects_seen = 0;
+  g_connects_attempted.store(0, std::memory_order_relaxed);
+  g_connects_refused.store(0, std::memory_order_relaxed);
+  g_sends_truncated.store(0, std::memory_order_relaxed);
+  g_bytes_flipped.store(0, std::memory_order_relaxed);
+  g_stalls_injected.store(0, std::memory_order_relaxed);
+  g_resets_injected.store(0, std::memory_order_relaxed);
+}
+
+void DisarmNetFaults() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed = false;
+}
+
+bool NetFaultsArmed() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_armed;
+}
+
+NetFaultCounters NetFaultCountersSnapshot() {
+  NetFaultCounters c;
+  c.connects_attempted = g_connects_attempted.load(std::memory_order_relaxed);
+  c.connects_refused = g_connects_refused.load(std::memory_order_relaxed);
+  c.sends_truncated = g_sends_truncated.load(std::memory_order_relaxed);
+  c.bytes_flipped = g_bytes_flipped.load(std::memory_order_relaxed);
+  c.stalls_injected = g_stalls_injected.load(std::memory_order_relaxed);
+  c.resets_injected = g_resets_injected.load(std::memory_order_relaxed);
+  return c;
+}
+
+namespace internal {
+
+bool CaptureNetFaultPlan(NetFaultPlan* plan) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (!g_armed) return false;
+  *plan = g_plan;
+  return true;
+}
+
+bool ConsumeConnectRefusal() {
+  bool refuse = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (!g_armed || g_plan.refuse_first_n_connects == 0) return false;
+    ++g_connects_seen;
+    refuse = g_plan.refuse_first_n_connects < 0 ||
+             g_connects_seen <= g_plan.refuse_first_n_connects;
+  }
+  g_connects_attempted.fetch_add(1, std::memory_order_relaxed);
+  if (refuse) g_connects_refused.fetch_add(1, std::memory_order_relaxed);
+  return refuse;
+}
+
+void CountConnectAttempt() {
+  g_connects_attempted.fetch_add(1, std::memory_order_relaxed);
+}
+void CountConnectRefused() {
+  g_connects_refused.fetch_add(1, std::memory_order_relaxed);
+}
+void CountSendTruncated() {
+  g_sends_truncated.fetch_add(1, std::memory_order_relaxed);
+}
+void CountByteFlipped() {
+  g_bytes_flipped.fetch_add(1, std::memory_order_relaxed);
+}
+void CountStallInjected() {
+  g_stalls_injected.fetch_add(1, std::memory_order_relaxed);
+}
+void CountResetInjected() {
+  g_resets_injected.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+}  // namespace lightlt::net

@@ -1,0 +1,79 @@
+// Deterministic network fault injection, mirroring IoFaultPlan
+// (src/util/io.h) and ChaosPlan (src/util/chaos.h) for the wire layer. A
+// NetFaultPlan is armed globally; every Socket opened while armed captures
+// it at creation and applies it independently with its own byte/frame
+// counters, the same capture-at-open discipline BinaryWriter uses. Disarm()
+// restores normal operation.
+//
+// Arm/disarm only from single-threaded test code; the hooks themselves are
+// thread-safe (sockets live on server handler and client pool threads).
+// Counters are global and reset on Arm, so a test can assert exactly how
+// many injections fired.
+
+#ifndef LIGHTLT_NET_FAULT_H_
+#define LIGHTLT_NET_FAULT_H_
+
+#include <cstdint>
+
+namespace lightlt::net {
+
+/// One process-wide fault recipe for the socket wrapper. All offsets are
+/// per-connection stream positions (bytes sent / received on that socket),
+/// so a plan hits the same place in the conversation no matter how the
+/// bytes are sliced into syscalls.
+struct NetFaultPlan {
+  /// The first N ConnectTcp calls fail with kUnavailable as if the peer
+  /// sent RST to the SYN (-1 = refuse every connect, 0 = off).
+  int refuse_first_n_connects = 0;
+  /// Bytes at or after this per-connection send offset are dropped and the
+  /// socket is hard-closed — a connection cut mid-frame, so the peer sees a
+  /// truncated frame followed by EOF (-1 = off).
+  int64_t send_truncate_at = -1;
+  /// The byte at this per-connection receive offset is XOR'd with
+  /// `flip_mask` as it arrives — in-flight corruption the CRC footer must
+  /// catch (-1 = off).
+  int64_t recv_flip_byte = -1;
+  uint8_t flip_mask = 0x01;
+  /// Injected delay before every send/recv batch on a faulted socket,
+  /// simulating a stalled link; against a short request deadline the stall
+  /// deterministically expires it mid-conversation (0 = off).
+  double stall_seconds = 0.0;
+  /// The connection is reset (both directions shut down) after this many
+  /// frames have been written on it — an established peer dying mid-stream
+  /// (0 = off).
+  int reset_after_frames = 0;
+};
+
+/// Counts of injections since the last ArmNetFaults().
+struct NetFaultCounters {
+  uint64_t connects_attempted = 0;
+  uint64_t connects_refused = 0;
+  uint64_t sends_truncated = 0;
+  uint64_t bytes_flipped = 0;
+  uint64_t stalls_injected = 0;
+  uint64_t resets_injected = 0;
+};
+
+void ArmNetFaults(const NetFaultPlan& plan);
+void DisarmNetFaults();
+bool NetFaultsArmed();
+NetFaultCounters NetFaultCountersSnapshot();
+
+namespace internal {
+/// Snapshot of the armed plan for a socket being created; returns false
+/// when disarmed. Counter bumpers used by the Socket implementation.
+bool CaptureNetFaultPlan(NetFaultPlan* plan);
+/// Consumes one connect attempt against the armed plan's refusal budget;
+/// true when this connect must be refused. Counts the attempt either way.
+bool ConsumeConnectRefusal();
+void CountConnectAttempt();
+void CountConnectRefused();
+void CountSendTruncated();
+void CountByteFlipped();
+void CountStallInjected();
+void CountResetInjected();
+}  // namespace internal
+
+}  // namespace lightlt::net
+
+#endif  // LIGHTLT_NET_FAULT_H_

@@ -1,0 +1,370 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+#include "src/util/io.h"
+
+namespace lightlt::net {
+namespace {
+
+bool KnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kSearchRequest) &&
+         t <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+void PutLe(std::vector<uint8_t>* out, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WireWriter
+// ---------------------------------------------------------------------------
+
+void WireWriter::PutU16(uint16_t v) { PutLe(&bytes_, &v, sizeof(v)); }
+void WireWriter::PutU32(uint32_t v) { PutLe(&bytes_, &v, sizeof(v)); }
+void WireWriter::PutU64(uint64_t v) { PutLe(&bytes_, &v, sizeof(v)); }
+void WireWriter::PutF32(float v) { PutLe(&bytes_, &v, sizeof(v)); }
+void WireWriter::PutF64(double v) { PutLe(&bytes_, &v, sizeof(v)); }
+
+void WireWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutLe(&bytes_, s.data(), s.size());
+}
+
+void WireWriter::PutF32Array(const float* data, size_t count) {
+  PutU32(static_cast<uint32_t>(count));
+  PutLe(&bytes_, data, count * sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// WireReader
+// ---------------------------------------------------------------------------
+
+bool WireReader::Take(void* out, size_t n) {
+  if (!status_.ok()) {
+    std::memset(out, 0, n);
+    return false;
+  }
+  if (n > size_ - offset_) {
+    Fail("net: message truncated");
+    std::memset(out, 0, n);
+    return false;
+  }
+  std::memcpy(out, data_ + offset_, n);
+  offset_ += n;
+  return true;
+}
+
+void WireReader::Fail(const std::string& message) {
+  if (status_.ok()) status_ = Status::IoError(message);
+}
+
+uint8_t WireReader::TakeU8() {
+  uint8_t v;
+  Take(&v, sizeof(v));
+  return v;
+}
+uint16_t WireReader::TakeU16() {
+  uint16_t v;
+  Take(&v, sizeof(v));
+  return v;
+}
+uint32_t WireReader::TakeU32() {
+  uint32_t v;
+  Take(&v, sizeof(v));
+  return v;
+}
+uint64_t WireReader::TakeU64() {
+  uint64_t v;
+  Take(&v, sizeof(v));
+  return v;
+}
+float WireReader::TakeF32() {
+  float v;
+  Take(&v, sizeof(v));
+  return v;
+}
+double WireReader::TakeF64() {
+  double v;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+std::string WireReader::TakeString() {
+  const uint32_t len = TakeU32();
+  if (!status_.ok()) return {};
+  // Bound the count by the bytes actually present before allocating.
+  if (len > size_ - offset_) {
+    Fail("net: string length exceeds message");
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + offset_), len);
+  offset_ += len;
+  return s;
+}
+
+std::vector<float> WireReader::TakeF32Array() {
+  const uint32_t count = TakeU32();
+  if (!status_.ok()) return {};
+  if (count > (size_ - offset_) / sizeof(float)) {
+    Fail("net: array count exceeds message");
+    return {};
+  }
+  std::vector<float> out(count);
+  std::memcpy(out.data(), data_ + offset_, count * sizeof(float));
+  offset_ += count * sizeof(float);
+  return out;
+}
+
+Status WireReader::ExpectConsumed() {
+  LIGHTLT_RETURN_IF_ERROR(status_);
+  if (offset_ != size_) {
+    return Status::IoError("net: trailing bytes in message body");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + body.size() + kFrameFooterBytes);
+  const uint32_t magic = kFrameMagic;
+  PutLe(&out, &magic, sizeof(magic));
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<uint8_t>(type));
+  const uint16_t flags = 0;
+  PutLe(&out, &flags, sizeof(flags));
+  const uint32_t body_len = static_cast<uint32_t>(body.size());
+  PutLe(&out, &body_len, sizeof(body_len));
+  out.insert(out.end(), body.begin(), body.end());
+  const uint32_t crc = Crc32(0, out.data(), out.size());
+  PutLe(&out, &crc, sizeof(crc));
+  return out;
+}
+
+Status DecodeFrameHeader(const uint8_t* header, FrameType* type,
+                         uint32_t* body_len, size_t max_body) {
+  uint32_t magic;
+  std::memcpy(&magic, header, sizeof(magic));
+  if (magic != kFrameMagic) {
+    return Status::IoError("net: bad frame magic");
+  }
+  if (header[4] != kFrameVersion) {
+    return Status::IoError("net: unsupported frame version " +
+                           std::to_string(int{header[4]}));
+  }
+  if (!KnownFrameType(header[5])) {
+    return Status::IoError("net: unknown frame type " +
+                           std::to_string(int{header[5]}));
+  }
+  uint16_t flags;
+  std::memcpy(&flags, header + 6, sizeof(flags));
+  if (flags != 0) {
+    return Status::IoError("net: nonzero reserved frame flags");
+  }
+  uint32_t len;
+  std::memcpy(&len, header + 8, sizeof(len));
+  if (len > max_body) {
+    return Status::IoError("net: frame body length " + std::to_string(len) +
+                           " exceeds limit " + std::to_string(max_body));
+  }
+  *type = static_cast<FrameType>(header[5]);
+  *body_len = len;
+  return Status::Ok();
+}
+
+Status DecodeFrameBytes(const uint8_t* data, size_t size, Frame* out,
+                        size_t max_body) {
+  if (size < kFrameHeaderBytes + kFrameFooterBytes) {
+    return Status::IoError("net: frame shorter than header + footer");
+  }
+  FrameType type;
+  uint32_t body_len;
+  LIGHTLT_RETURN_IF_ERROR(DecodeFrameHeader(data, &type, &body_len, max_body));
+  const size_t expect = kFrameHeaderBytes + body_len + kFrameFooterBytes;
+  if (size != expect) {
+    return Status::IoError("net: frame size mismatch (have " +
+                           std::to_string(size) + ", header says " +
+                           std::to_string(expect) + ")");
+  }
+  uint32_t wire_crc;
+  std::memcpy(&wire_crc, data + kFrameHeaderBytes + body_len,
+              sizeof(wire_crc));
+  const uint32_t crc = Crc32(0, data, kFrameHeaderBytes + body_len);
+  if (crc != wire_crc) {
+    return Status::IoError("net: frame CRC mismatch");
+  }
+  out->type = type;
+  out->body.assign(data + kFrameHeaderBytes,
+                   data + kFrameHeaderBytes + body_len);
+  return Status::Ok();
+}
+
+Status WriteFrame(Socket* sock, FrameType type,
+                  const std::vector<uint8_t>& body,
+                  const ScanControl& control) {
+  const std::vector<uint8_t> bytes = EncodeFrame(type, body);
+  LIGHTLT_RETURN_IF_ERROR(sock->SendAll(bytes.data(), bytes.size(), control));
+  return sock->NotifyFrameWritten();
+}
+
+Status ReadFrame(Socket* sock, Frame* out, const ScanControl& control,
+                 size_t max_body) {
+  uint8_t header[kFrameHeaderBytes];
+  LIGHTLT_RETURN_IF_ERROR(
+      sock->RecvAll(header, kFrameHeaderBytes, control));
+  return ReadFrameGivenHeader(sock, header, out, control, max_body);
+}
+
+Status ReadFrameGivenHeader(Socket* sock,
+                            const uint8_t header[kFrameHeaderBytes],
+                            Frame* out, const ScanControl& control,
+                            size_t max_body) {
+  FrameType type;
+  uint32_t body_len;
+  LIGHTLT_RETURN_IF_ERROR(
+      DecodeFrameHeader(header, &type, &body_len, max_body));
+  std::vector<uint8_t> body(body_len);
+  if (body_len > 0) {
+    LIGHTLT_RETURN_IF_ERROR(sock->RecvAll(body.data(), body_len, control));
+  }
+  uint8_t footer[kFrameFooterBytes];
+  LIGHTLT_RETURN_IF_ERROR(sock->RecvAll(footer, sizeof(footer), control));
+  uint32_t wire_crc;
+  std::memcpy(&wire_crc, footer, sizeof(wire_crc));
+  uint32_t crc = Crc32(0, header, kFrameHeaderBytes);
+  crc = Crc32(crc, body.data(), body.size());
+  if (crc != wire_crc) {
+    return Status::IoError("net: frame CRC mismatch");
+  }
+  out->type = type;
+  out->body = std::move(body);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeSearchRequest(const WireSearchRequest& req) {
+  WireWriter w;
+  w.PutU32(req.shard);
+  w.PutU32(req.replica);
+  w.PutU32(req.top_k);
+  w.PutF64(req.budget_seconds);
+  w.PutF32Array(req.query.data(), req.query.size());
+  return w.Take();
+}
+
+Status DecodeSearchRequest(const std::vector<uint8_t>& body,
+                           WireSearchRequest* out) {
+  WireReader r(body);
+  out->shard = r.TakeU32();
+  out->replica = r.TakeU32();
+  out->top_k = r.TakeU32();
+  out->budget_seconds = r.TakeF64();
+  out->query = r.TakeF32Array();
+  return r.ExpectConsumed();
+}
+
+std::vector<uint8_t> EncodeSearchResponse(const WireSearchResponse& resp) {
+  WireWriter w;
+  w.PutI32(resp.code);
+  w.PutString(resp.message);
+  w.PutF64(resp.server_seconds);
+  w.PutU8(resp.shed ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(resp.hits.size()));
+  for (const index::SearchHit& h : resp.hits) {
+    w.PutU32(h.id);
+    w.PutF32(h.distance);
+  }
+  return w.Take();
+}
+
+Status DecodeSearchResponse(const std::vector<uint8_t>& body,
+                            WireSearchResponse* out) {
+  WireReader r(body);
+  out->code = r.TakeI32();
+  out->message = r.TakeString();
+  out->server_seconds = r.TakeF64();
+  out->shed = r.TakeU8() != 0;
+  const uint32_t num_hits = r.TakeU32();
+  if (!r.status().ok()) return r.status();
+  constexpr size_t kHitWireBytes = sizeof(uint32_t) + sizeof(float);
+  if (num_hits > r.remaining() / kHitWireBytes) {
+    return Status::IoError("net: hit count exceeds message");
+  }
+  out->hits.clear();
+  out->hits.reserve(num_hits);
+  for (uint32_t i = 0; i < num_hits; ++i) {
+    index::SearchHit h;
+    h.id = r.TakeU32();
+    h.distance = r.TakeF32();
+    out->hits.push_back(h);
+  }
+  return r.ExpectConsumed();
+}
+
+std::vector<uint8_t> EncodeInfoRequest(uint32_t shard) {
+  WireWriter w;
+  w.PutU32(shard);
+  return w.Take();
+}
+
+Status DecodeInfoRequest(const std::vector<uint8_t>& body, uint32_t* shard) {
+  WireReader r(body);
+  *shard = r.TakeU32();
+  return r.ExpectConsumed();
+}
+
+std::vector<uint8_t> EncodeInfoResponse(const WireInfoResponse& resp) {
+  WireWriter w;
+  w.PutI32(resp.code);
+  w.PutString(resp.message);
+  w.PutU32(resp.shard);
+  w.PutU64(resp.items);
+  w.PutU64(resp.global_offset);
+  w.PutU64(resp.total_items);
+  w.PutU32(resp.dim);
+  return w.Take();
+}
+
+Status DecodeInfoResponse(const std::vector<uint8_t>& body,
+                          WireInfoResponse* out) {
+  WireReader r(body);
+  out->code = r.TakeI32();
+  out->message = r.TakeString();
+  out->shard = r.TakeU32();
+  out->items = r.TakeU64();
+  out->global_offset = r.TakeU64();
+  out->total_items = r.TakeU64();
+  out->dim = r.TakeU32();
+  return r.ExpectConsumed();
+}
+
+StatusCode StatusCodeFromWire(int32_t code) {
+  switch (code) {
+    case static_cast<int32_t>(StatusCode::kOk):
+    case static_cast<int32_t>(StatusCode::kInvalidArgument):
+    case static_cast<int32_t>(StatusCode::kNotFound):
+    case static_cast<int32_t>(StatusCode::kIoError):
+    case static_cast<int32_t>(StatusCode::kFailedPrecondition):
+    case static_cast<int32_t>(StatusCode::kInternal):
+    case static_cast<int32_t>(StatusCode::kUnimplemented):
+    case static_cast<int32_t>(StatusCode::kDeadlineExceeded):
+    case static_cast<int32_t>(StatusCode::kUnavailable):
+    case static_cast<int32_t>(StatusCode::kCancelled):
+      return static_cast<StatusCode>(code);
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
+}  // namespace lightlt::net

@@ -1,0 +1,220 @@
+// Length-prefixed binary RPC frames for out-of-process shard serving
+// (DESIGN.md §14), reusing the src/util/io checksum discipline on the wire.
+//
+// Frame layout (little-endian):
+//
+//   offset 0   u32  magic      'LTRP' (0x4C545250)
+//          4   u8   version    kFrameVersion
+//          5   u8   type       FrameType
+//          6   u16  flags      reserved, must be zero
+//          8   u32  body_len   <= kMaxFrameBody
+//         12   u8[] body
+//  12+body_len u32  crc32      CRC32 over header + body (same polynomial
+//                              as the artifact files' footer)
+//
+// Hardened decode contract, mirroring the PR 2 loaders: the 12-byte header
+// is validated (magic, version, zero flags, known type, bounded body_len)
+// BEFORE any allocation, so a corrupt or adversarial length can never make
+// the receiver allocate attacker-controlled sizes; the CRC is verified over
+// every byte before the body is interpreted; message decoders read through
+// a bounds-checked WireReader that rejects container counts larger than
+// the bytes remaining. Every failure is a clean Status — never a crash,
+// never a partial parse.
+
+#ifndef LIGHTLT_NET_FRAME_H_
+#define LIGHTLT_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/index/adc_index.h"
+#include "src/net/socket.h"
+#include "src/util/deadline.h"
+#include "src/util/status.h"
+
+namespace lightlt::net {
+
+inline constexpr uint32_t kFrameMagic = 0x4C545250;  // "LTRP"
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr size_t kFrameFooterBytes = 4;
+/// Upper bound on a frame body. Large enough for a 64k-hit response with
+/// room to spare, small enough that a corrupt length cannot balloon memory.
+inline constexpr size_t kMaxFrameBody = 1u << 22;  // 4 MiB
+
+enum class FrameType : uint8_t {
+  kSearchRequest = 1,
+  kSearchResponse = 2,
+  kInfoRequest = 3,
+  kInfoResponse = 4,
+  kPing = 5,
+  kPong = 6,
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::vector<uint8_t> body;
+};
+
+// ---------------------------------------------------------------------------
+// In-memory bounded serialization (the wire twin of Binary{Writer,Reader})
+// ---------------------------------------------------------------------------
+
+/// Appends little-endian scalars and containers to a byte buffer.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutF32(float v);
+  void PutF64(double v);
+  /// u32 length prefix + raw bytes.
+  void PutString(const std::string& s);
+  /// u32 count prefix + packed f32s.
+  void PutF32Array(const float* data, size_t count);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Reads little-endian scalars and containers from a bounded view. Sticky:
+/// after the first failure every read returns zero values; containers are
+/// rejected before allocation when their count cannot fit the remaining
+/// bytes (the FitsRemaining discipline of BinaryReader).
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  uint8_t TakeU8();
+  uint16_t TakeU16();
+  uint32_t TakeU32();
+  uint64_t TakeU64();
+  int32_t TakeI32() { return static_cast<int32_t>(TakeU32()); }
+  float TakeF32();
+  double TakeF64();
+  std::string TakeString();
+  std::vector<float> TakeF32Array();
+
+  /// Fails the reader unless every byte has been consumed — trailing bytes
+  /// in a message body are corruption, exactly like ExpectEof on files.
+  Status ExpectConsumed();
+
+  const Status& status() const { return status_; }
+  size_t remaining() const { return size_ - offset_; }
+
+ private:
+  bool Take(void* out, size_t n);
+  void Fail(const std::string& message);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t offset_ = 0;
+  Status status_;
+};
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// Serializes a full frame (header + body + CRC footer).
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& body);
+
+/// Validates a 12-byte header; on success reports type and body length.
+/// Never allocates.
+Status DecodeFrameHeader(const uint8_t* header, FrameType* type,
+                         uint32_t* body_len, size_t max_body = kMaxFrameBody);
+
+/// Decodes one complete frame from a contiguous buffer (the fuzz surface:
+/// every truncation and byte flip of a valid frame must fail cleanly).
+/// Requires the buffer to contain exactly one frame.
+Status DecodeFrameBytes(const uint8_t* data, size_t size, Frame* out,
+                        size_t max_body = kMaxFrameBody);
+
+/// Writes one frame to the socket and applies the frame-count fault hook.
+Status WriteFrame(Socket* sock, FrameType type,
+                  const std::vector<uint8_t>& body,
+                  const ScanControl& control);
+
+/// Reads one frame: header first (validated before the body allocation),
+/// then body + CRC, verified before `out` is populated.
+Status ReadFrame(Socket* sock, Frame* out, const ScanControl& control,
+                 size_t max_body = kMaxFrameBody);
+
+/// Second half of ReadFrame for callers that receive the 12-byte header
+/// themselves — the server waits for headers under its drain token but
+/// finishes a committed request under a harder stop token.
+Status ReadFrameGivenHeader(Socket* sock,
+                            const uint8_t header[kFrameHeaderBytes],
+                            Frame* out, const ScanControl& control,
+                            size_t max_body = kMaxFrameBody);
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// One search call, shard-addressed (a server may host several shards).
+/// `budget_seconds` propagates the request's *remaining* deadline so the
+/// server can cut scans server-side via ScanControl; negative = infinite.
+struct WireSearchRequest {
+  uint32_t shard = 0;
+  uint32_t replica = 0;
+  uint32_t top_k = 0;
+  double budget_seconds = -1.0;
+  std::vector<float> query;
+};
+
+/// The server's verdict: the replica searcher's Status (code + message)
+/// plus hits in *global* database ids when OK.
+struct WireSearchResponse {
+  int32_t code = 0;  // StatusCode as i32
+  std::string message;
+  std::vector<index::SearchHit> hits;
+  double server_seconds = 0.0;
+  /// The replica shed the request at its admission budget (forwarded so
+  /// the client-side ReplicaAttempt keeps the same shape as a local one).
+  bool shed = false;
+};
+
+/// Corpus layout of one hosted shard, fetched by clients at connect time.
+struct WireInfoResponse {
+  int32_t code = 0;
+  std::string message;
+  uint32_t shard = 0;
+  uint64_t items = 0;
+  uint64_t global_offset = 0;
+  uint64_t total_items = 0;
+  uint32_t dim = 0;
+};
+
+std::vector<uint8_t> EncodeSearchRequest(const WireSearchRequest& req);
+Status DecodeSearchRequest(const std::vector<uint8_t>& body,
+                           WireSearchRequest* out);
+
+std::vector<uint8_t> EncodeSearchResponse(const WireSearchResponse& resp);
+Status DecodeSearchResponse(const std::vector<uint8_t>& body,
+                            WireSearchResponse* out);
+
+/// Info request body: u32 shard id.
+std::vector<uint8_t> EncodeInfoRequest(uint32_t shard);
+Status DecodeInfoRequest(const std::vector<uint8_t>& body, uint32_t* shard);
+
+std::vector<uint8_t> EncodeInfoResponse(const WireInfoResponse& resp);
+Status DecodeInfoResponse(const std::vector<uint8_t>& body,
+                          WireInfoResponse* out);
+
+/// Round-trips a StatusCode through its wire i32, clamping unknown values
+/// to kInternal so a corrupt code cannot masquerade as OK.
+StatusCode StatusCodeFromWire(int32_t code);
+
+}  // namespace lightlt::net
+
+#endif  // LIGHTLT_NET_FRAME_H_

@@ -1,0 +1,172 @@
+// Out-of-process shard host (DESIGN.md §14).
+//
+// A ShardServer exposes ReplicaSearchers from a ShardSet over the frame
+// protocol: an accept loop hands each connection to a handler task on a
+// ThreadPool; each handler serves a sequence of request frames (search,
+// info, ping) on its connection. The wire budget in a search request is
+// re-materialised into a server-side ScanControl deadline, so an expiring
+// client budget cuts the ADC scan on the server exactly the way it would
+// locally.
+//
+// Shutdown is two-phase:
+//  * Drain() — graceful: stop accepting, cancel idle header waits (a
+//    connection between requests closes cleanly), let committed requests
+//    finish and flush their responses up to `drain_deadline_seconds`, then
+//    hard-reset whatever is left (counted in forced_closes).
+//  * ShutdownNow() — the kill switch tests use to simulate a crashed
+//    server: listener and every connection reset immediately.
+// Both are idempotent and leave the server joinable; the destructor calls
+// ShutdownNow().
+
+#ifndef LIGHTLT_NET_SERVER_H_
+#define LIGHTLT_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+#include "src/obs/metrics.h"
+#include "src/serving/shard.h"
+#include "src/util/deadline.h"
+#include "src/util/status.h"
+#include "src/util/threadpool.h"
+
+namespace lightlt::net {
+
+struct ShardServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is reported by port() after Start().
+  uint16_t port = 0;
+  /// Shard ids this server answers for (empty = every shard of the set).
+  /// Requests for an unhosted shard get kNotFound, not a connection drop.
+  std::vector<size_t> hosted_shards;
+  /// Graceful-drain budget: committed requests get this long to finish and
+  /// flush before the remaining connections are reset.
+  double drain_deadline_seconds = 2.0;
+  /// Budget for writing one response frame (a stuck client cannot pin a
+  /// handler forever).
+  double write_budget_seconds = 5.0;
+  /// Items between deadline/cancel checks inside replica scans.
+  size_t scan_check_every = 1024;
+  /// Largest request frame body accepted.
+  size_t max_frame_body = kMaxFrameBody;
+  /// Pool the handlers run on (null = the server owns a small pool).
+  ThreadPool* pool = nullptr;
+  size_t own_pool_threads = 8;
+  /// Optional registry for `{metric_prefix}...` gauges/counters; must
+  /// outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metric_prefix = "net_server_";
+};
+
+/// Exact counters for one server lifetime (reset only by construction).
+struct ShardServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t requests_ok = 0;
+  uint64_t requests_error = 0;
+  /// Corrupt/oversize/unparseable frames (each also closes its connection).
+  uint64_t wire_errors = 0;
+  /// Connections reset because the drain deadline ran out (or ShutdownNow).
+  uint64_t forced_closes = 0;
+  /// Seconds the last completed Drain() took.
+  double last_drain_seconds = 0.0;
+};
+
+class ShardServer {
+ public:
+  ShardServer(std::shared_ptr<const serving::ShardSet> shards,
+              const ShardServerOptions& options);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds and starts accepting. Fails (kUnavailable) if the port is taken.
+  Status Start();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Graceful shutdown; returns after every connection is gone and the
+  /// accept thread is joined. Safe to call twice.
+  void Drain();
+
+  /// Hard kill: reset the listener and every live connection now. This is
+  /// what a crashed server looks like to its clients.
+  void ShutdownNow();
+
+  bool serving() const { return serving_.load(std::memory_order_acquire); }
+  ShardServerStats stats() const;
+
+ private:
+  struct Conn {
+    std::shared_ptr<Socket> sock;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(uint64_t id, std::shared_ptr<Socket> sock);
+  /// Serves one decoded request frame; returns false when the connection
+  /// must close (wire error or send failure).
+  bool ServeFrame(Socket* sock, const Frame& frame);
+  bool HostsShard(uint32_t shard) const;
+  void StopInternal(double drain_seconds);
+  void RegisterMetrics();
+
+  std::shared_ptr<const serving::ShardSet> shards_;
+  ShardServerOptions options_;
+  uint16_t port_ = 0;
+
+  Listener listener_;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> own_pool_;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<TaskGroup> handlers_;
+
+  /// Raised at drain start: wakes handlers idling between requests.
+  CancellationSource drain_;
+  /// Raised when the drain deadline runs out (and by ShutdownNow): aborts
+  /// in-flight request work.
+  CancellationSource hard_stop_;
+  std::atomic<bool> serving_{false};
+  std::atomic<bool> stopped_{false};
+  /// Serialises Drain()/ShutdownNow() (both are idempotent).
+  std::mutex stop_mu_;
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<uint64_t, Conn> conns_;
+  uint64_t next_conn_id_ = 0;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> requests_ok_{0};
+  std::atomic<uint64_t> requests_error_{0};
+  std::atomic<uint64_t> wire_errors_{0};
+  std::atomic<uint64_t> forced_closes_{0};
+  std::atomic<double> last_drain_seconds_{0.0};
+
+  obs::Gauge* active_connections_gauge_ = nullptr;
+  obs::Counter* frames_received_counter_ = nullptr;
+  obs::Counter* frames_sent_counter_ = nullptr;
+  obs::Counter* requests_ok_counter_ = nullptr;
+  obs::Counter* requests_error_counter_ = nullptr;
+  obs::Counter* wire_errors_counter_ = nullptr;
+  obs::Counter* forced_closes_counter_ = nullptr;
+  obs::Histogram* drain_seconds_hist_ = nullptr;
+};
+
+}  // namespace lightlt::net
+
+#endif  // LIGHTLT_NET_SERVER_H_

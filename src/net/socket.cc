@@ -1,0 +1,350 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace lightlt::net {
+namespace {
+
+/// Longest single poll() before re-checking the ScanControl. Deadline and
+/// cancellation are observed within one tick; a shutdown from another
+/// thread wakes poll immediately regardless.
+constexpr double kPollTickSeconds = 0.025;
+
+std::string ErrnoMessage(const char* op, int err) {
+  return std::string("net: ") + op + " failed: " + std::strerror(err);
+}
+
+/// Socket-level errno → Status. Connection-shaped failures are
+/// kUnavailable (retryable: the replica may come back); everything else is
+/// an IoError wire fault.
+Status MapSocketErrno(const char* op, int err) {
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ECONNABORTED:
+    case EPIPE:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+    case ETIMEDOUT:
+      return Status::Unavailable(ErrnoMessage(op, err));
+    default:
+      return Status::IoError(ErrnoMessage(op, err));
+  }
+}
+
+/// Polls `fd` for `events` for at most one tick, bounded by the control's
+/// remaining deadline. OK = ready (or poll woken); the caller retries its
+/// syscall and re-enters with the control re-checked.
+Status PollOnce(int fd, short events, const ScanControl& control) {
+  LIGHTLT_RETURN_IF_ERROR(control.Check());
+  double wait = kPollTickSeconds;
+  if (!control.deadline.IsInfinite()) {
+    wait = std::min(wait, std::max(0.0, control.deadline.RemainingSeconds()));
+  }
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  const int millis = static_cast<int>(wait * 1e3) + 1;
+  const int rc = ::poll(&pfd, 1, millis);
+  if (rc < 0 && errno != EINTR) return MapSocketErrno("poll", errno);
+  return Status::Ok();
+}
+
+Status SetNonBlocking(int fd) {
+  // All Socket I/O is poll-driven, so the descriptor stays non-blocking
+  // for its whole life.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return MapSocketErrno("fcntl", errno);
+  }
+  return Status::Ok();
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("net: not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::Socket(int fd) : fd_(fd) {
+  fault_armed_ = internal::CaptureNetFaultPlan(&fault_);
+}
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept { *this = std::move(other); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1));
+    bytes_sent_ = other.bytes_sent_;
+    bytes_received_ = other.bytes_received_;
+    frames_written_ = other.frames_written_;
+    fault_armed_ = other.fault_armed_;
+    truncated_ = other.truncated_;
+    fault_ = other.fault_;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+void Socket::ShutdownNow() {
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port,
+                                  const Deadline& deadline) {
+  if (internal::ConsumeConnectRefusal()) {
+    return Status::Unavailable("net: connect refused (injected)");
+  }
+  auto addr = ResolveV4(host.empty() ? "127.0.0.1" : host, port);
+  if (!addr.ok()) return addr.status();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return MapSocketErrno("socket", errno);
+  Socket sock(fd);
+  LIGHTLT_RETURN_IF_ERROR(SetNonBlocking(fd));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+                     sizeof(sockaddr_in));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return MapSocketErrno("connect", errno);
+  }
+  const ScanControl control{deadline, CancellationToken{}};
+  while (rc != 0) {
+    // Non-blocking connect: poll for writability, then read SO_ERROR for
+    // the real verdict.
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("net: connect deadline exceeded");
+    }
+    LIGHTLT_RETURN_IF_ERROR(PollOnce(fd, POLLOUT, control));
+    struct pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, 0) > 0 && (pfd.revents & (POLLOUT | POLLERR | POLLHUP))) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        return MapSocketErrno("getsockopt", errno);
+      }
+      if (err != 0) return MapSocketErrno("connect", err);
+      break;
+    }
+  }
+  return sock;
+}
+
+Status Socket::ApplyStall(const ScanControl& control) {
+  if (!fault_armed_ || fault_.stall_seconds <= 0.0) return Status::Ok();
+  internal::CountStallInjected();
+  // Sleep in control-aware slices so a stalled socket still honours
+  // cancellation, then charge the stall against the deadline.
+  double left = fault_.stall_seconds;
+  while (left > 0.0) {
+    LIGHTLT_RETURN_IF_ERROR(control.Check());
+    const double slice = std::min(left, kPollTickSeconds);
+    std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+    left -= slice;
+  }
+  return control.Check();
+}
+
+Status Socket::SendAll(const void* data, size_t size,
+                       const ScanControl& control) {
+  if (fd_ < 0 || truncated_) {
+    return Status::Unavailable("net: send on a closed connection");
+  }
+  LIGHTLT_RETURN_IF_ERROR(ApplyStall(control));
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    LIGHTLT_RETURN_IF_ERROR(control.Check());
+    size_t want = size - sent;
+    // Injected mid-frame truncation: send only up to the cut offset, then
+    // hard-close so the peer observes a short frame followed by EOF.
+    if (fault_armed_ && fault_.send_truncate_at >= 0) {
+      const uint64_t cut = static_cast<uint64_t>(fault_.send_truncate_at);
+      if (bytes_sent_ >= cut) {
+        internal::CountSendTruncated();
+        truncated_ = true;
+        ShutdownNow();
+        return Status::Unavailable("net: connection cut mid-send (injected)");
+      }
+      want = std::min<size_t>(want, cut - bytes_sent_);
+    }
+    const ssize_t n = ::send(fd_, p + sent, want, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      bytes_sent_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      LIGHTLT_RETURN_IF_ERROR(PollOnce(fd_, POLLOUT, control));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return MapSocketErrno("send", errno);
+  }
+  return Status::Ok();
+}
+
+Status Socket::RecvAll(void* data, size_t size, const ScanControl& control) {
+  if (fd_ < 0) {
+    return Status::Unavailable("net: recv on a closed connection");
+  }
+  LIGHTLT_RETURN_IF_ERROR(ApplyStall(control));
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < size) {
+    LIGHTLT_RETURN_IF_ERROR(control.Check());
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n > 0) {
+      // Injected in-flight corruption: flip the byte at the configured
+      // per-connection receive offset as it lands in the buffer.
+      if (fault_armed_ && fault_.recv_flip_byte >= 0) {
+        const uint64_t flip = static_cast<uint64_t>(fault_.recv_flip_byte);
+        if (flip >= bytes_received_ &&
+            flip < bytes_received_ + static_cast<uint64_t>(n)) {
+          p[got + (flip - bytes_received_)] ^= fault_.flip_mask;
+          internal::CountByteFlipped();
+        }
+      }
+      got += static_cast<size_t>(n);
+      bytes_received_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return got == 0 ? Status::Unavailable("net: connection closed by peer")
+                      : Status::Unavailable(
+                            "net: connection closed mid-frame (truncated)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      LIGHTLT_RETURN_IF_ERROR(PollOnce(fd_, POLLIN, control));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return MapSocketErrno("recv", errno);
+  }
+  return Status::Ok();
+}
+
+Status Socket::NotifyFrameWritten() {
+  ++frames_written_;
+  if (fault_armed_ && fault_.reset_after_frames > 0 &&
+      frames_written_ >= static_cast<uint64_t>(fault_.reset_after_frames)) {
+    internal::CountResetInjected();
+    ShutdownNow();
+    return Status::Unavailable("net: connection reset (injected)");
+  }
+  return Status::Ok();
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept { *this = std::move(other); }
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1));
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // A concurrent Accept() holds its own snapshot of the fd; shutdown
+    // wakes a poll blocked on it before the descriptor goes away.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+Result<Listener> Listener::Bind(const std::string& host, uint16_t port,
+                                int backlog) {
+  auto addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return MapSocketErrno("socket", errno);
+  Listener listener;
+  listener.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  LIGHTLT_RETURN_IF_ERROR(SetNonBlocking(fd));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+             sizeof(sockaddr_in)) != 0) {
+    return MapSocketErrno("bind", errno);
+  }
+  if (::listen(fd, backlog) != 0) return MapSocketErrno("listen", errno);
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return MapSocketErrno("getsockname", errno);
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept(double timeout_seconds) {
+  // One snapshot for the whole call: a concurrent Close() exchanges the
+  // member to -1 and the next poll tick observes it.
+  const int listen_fd = fd_.load();
+  if (listen_fd < 0) return Status::Unavailable("net: listener closed");
+  struct pollfd pfd{listen_fd, POLLIN, 0};
+  const int millis = static_cast<int>(std::max(0.0, timeout_seconds) * 1e3);
+  const int rc = ::poll(&pfd, 1, millis);
+  if (rc < 0) {
+    if (errno == EINTR) {
+      return Status::DeadlineExceeded("net: accept interrupted");
+    }
+    return MapSocketErrno("poll", errno);
+  }
+  if (fd_.load() < 0) return Status::Unavailable("net: listener closed");
+  if (rc == 0) return Status::DeadlineExceeded("net: accept timed out");
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("net: accept raced another thread");
+    }
+    return MapSocketErrno("accept", errno);
+  }
+  Socket sock(fd);
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) return nb;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace lightlt::net

@@ -1,0 +1,131 @@
+// Deadline-aware TCP sockets for the shard RPC transport (DESIGN.md §14).
+//
+// Socket wraps one non-blocking TCP connection: every operation polls in
+// short ticks against a ScanControl, so a blocked send/recv observes the
+// request's deadline and cancellation token within one tick instead of
+// hanging in a syscall. Listener wraps a bound accept socket the same way.
+//
+// Error mapping contract (the health monitor depends on it):
+//  * connect refused / unreachable / peer reset / EOF mid-buffer
+//      → kUnavailable  (retryable: the replica may come back)
+//  * deadline expired while connecting, sending or receiving
+//      → kDeadlineExceeded  (never retryable: the budget is spent)
+//  * cancellation token raised
+//      → kCancelled
+//
+// NetFaultPlan (src/net/fault.h) injects at this layer: connect refusal,
+// send truncation + hard close, received-byte flips, stalls, and resets
+// after N frames — each socket captures the armed plan at creation and
+// applies it with per-connection counters.
+
+#ifndef LIGHTLT_NET_SOCKET_H_
+#define LIGHTLT_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/net/fault.h"
+#include "src/util/deadline.h"
+#include "src/util/status.h"
+
+namespace lightlt::net {
+
+/// One TCP connection. Move-only; the destructor closes the descriptor.
+/// Not thread-safe except ShutdownNow(), which may interrupt a blocked
+/// peer thread (the server's drain path does exactly that).
+class Socket {
+ public:
+  Socket() = default;
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Dials host:port, bounded by `deadline`. Applies the armed
+  /// NetFaultPlan's connect refusal first.
+  static Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                                   const Deadline& deadline);
+
+  /// Sends exactly `size` bytes, polling `control` between partial writes.
+  Status SendAll(const void* data, size_t size, const ScanControl& control);
+
+  /// Receives exactly `size` bytes, polling `control` between partial
+  /// reads. A peer close before the buffer fills is kUnavailable ("closed
+  /// by peer" at offset 0 of the call, "truncated" mid-buffer).
+  Status RecvAll(void* data, size_t size, const ScanControl& control);
+
+  /// Frame-boundary hook for the codec: applies reset_after_frames and
+  /// counts one written frame. Returns non-OK when the injected reset
+  /// fired (the socket is shut down in both directions).
+  Status NotifyFrameWritten();
+
+  /// Shuts the connection down in both directions, waking any thread
+  /// blocked in SendAll/RecvAll on it with kUnavailable. Thread-safe,
+  /// idempotent; does not release the descriptor (the owner still closes).
+  void ShutdownNow();
+
+  void Close();
+  bool valid() const { return fd_.load() >= 0; }
+  int fd() const { return fd_.load(); }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class Listener;
+  explicit Socket(int fd);
+
+  /// Sleeps the injected stall (if any), charging it against `control`.
+  Status ApplyStall(const ScanControl& control);
+
+  /// Atomic because ShutdownNow() is called from a stopping thread while
+  /// the owning handler thread reads/writes/closes the socket.
+  std::atomic<int> fd_{-1};
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t frames_written_ = 0;
+  bool fault_armed_ = false;
+  bool truncated_ = false;  // send_truncate_at fired; socket is dead
+  NetFaultPlan fault_;
+};
+
+/// A bound, listening TCP socket. Move-only.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds host:port (port 0 = ephemeral; see port()) and listens.
+  static Result<Listener> Bind(const std::string& host, uint16_t port,
+                               int backlog = 64);
+
+  /// Accepts one connection, waiting at most `timeout_seconds`. Returns
+  /// kDeadlineExceeded on timeout (the caller's poll tick, not an error)
+  /// and kUnavailable once the listener is closed.
+  Result<Socket> Accept(double timeout_seconds);
+
+  /// The locally bound port (resolves port 0 after Bind).
+  uint16_t port() const { return port_; }
+
+  /// Closes the accept socket, waking a blocked Accept. Thread-safe.
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  /// Atomic because Close() races the accept thread's poll tick: the
+  /// stopping thread exchanges the fd out while Accept() snapshots it.
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+}  // namespace lightlt::net
+
+#endif  // LIGHTLT_NET_SOCKET_H_

@@ -30,18 +30,27 @@ obs::Span MaybeSpan(obs::Trace* trace, const std::string& name,
 
 }  // namespace
 
+Router::Router(std::shared_ptr<const SearchTransport> transport,
+               std::shared_ptr<ReplicaHealthMonitor> health,
+               const RouterOptions& options)
+    : transport_(std::move(transport)),
+      health_(std::move(health)),
+      options_(options) {
+  LIGHTLT_CHECK(transport_ != nullptr);
+  LIGHTLT_CHECK(health_ != nullptr);
+  LIGHTLT_CHECK(health_->num_shards() == transport_->num_shards());
+  LIGHTLT_CHECK(health_->num_replicas() == transport_->num_replicas());
+  if (options_.max_attempts_per_shard < 1) options_.max_attempts_per_shard = 1;
+  if (options_.min_attempt_budget_seconds < 0.0) {
+    options_.min_attempt_budget_seconds = 0.0;
+  }
+}
+
 Router::Router(std::shared_ptr<const ShardSet> shards,
                std::shared_ptr<ReplicaHealthMonitor> health,
                const RouterOptions& options)
-    : shards_(std::move(shards)),
-      health_(std::move(health)),
-      options_(options) {
-  LIGHTLT_CHECK(shards_ != nullptr);
-  LIGHTLT_CHECK(health_ != nullptr);
-  LIGHTLT_CHECK(health_->num_shards() == shards_->num_shards());
-  LIGHTLT_CHECK(health_->num_replicas() == shards_->num_replicas());
-  if (options_.max_attempts_per_shard < 1) options_.max_attempts_per_shard = 1;
-}
+    : Router(std::make_shared<LocalShardTransport>(std::move(shards)), health,
+             options) {}
 
 Router::ShardOutcome Router::SearchShard(size_t shard, const float* query,
                                          size_t top_k,
@@ -74,22 +83,33 @@ Router::ShardOutcome Router::SearchShard(size_t shard, const float* query,
       return outcome;
     }
     const size_t replica = candidates[i];
+
+    // Sub-deadline: an even split of the remaining request budget over the
+    // attempts still allowed, so the first attempt leaves room for a
+    // failover and the last one gets everything that is left. Computed
+    // before the attempt slot is claimed: a zero-or-near-zero slice cannot
+    // finish any scan, so dispatching it would only charge the replica a
+    // bogus timeout verdict (and, over a remote transport, burn a wire
+    // round trip) — fail fast instead.
+    Deadline sub = deadline;
+    if (!deadline.IsInfinite()) {
+      const uint32_t attempts_left = max_attempts - outcome.attempts;
+      const double budget = std::max(0.0, deadline.RemainingSeconds()) /
+                            static_cast<double>(attempts_left);
+      if (budget <= options_.min_attempt_budget_seconds) {
+        outcome.status = Status::DeadlineExceeded(
+            "router: no budget left for a replica attempt");
+        return outcome;
+      }
+      sub = Deadline::After(budget);
+    }
+
     // A denied claim (probe budget exhausted, or the replica raced to DOWN
     // since Candidates ran) consumes no attempt: move to the next candidate.
     if (!health_->BeginAttempt(shard, replica)) continue;
     ++outcome.attempts;
-
-    // Sub-deadline: an even split of the remaining request budget over the
-    // attempts still allowed, so the first attempt leaves room for a
-    // failover and the last one gets everything that is left.
-    Deadline sub = deadline;
-    if (!deadline.IsInfinite()) {
-      const uint32_t attempts_left = max_attempts - (outcome.attempts - 1);
-      sub = Deadline::After(std::max(0.0, deadline.RemainingSeconds()) /
-                            static_cast<double>(attempts_left));
-    }
     const ScanControl control{sub, cancel, options_.scan_check_every};
-    ReplicaAttempt attempt = shards_->SearchReplica(
+    ReplicaAttempt attempt = transport_->SearchReplica(
         shard, replica, query, top_k, control, trace, shard_parent);
 
     if (attempt.status.ok()) {
@@ -137,7 +157,7 @@ RoutedResult Router::Search(const float* query, size_t top_k,
                             const CancellationToken& cancel,
                             obs::Trace* trace,
                             const obs::Span* parent) const {
-  const size_t num_shards = shards_->num_shards();
+  const size_t num_shards = transport_->num_shards();
   RoutedResult result;
   result.shard_status.resize(num_shards);
 
@@ -179,7 +199,7 @@ RoutedResult Router::Search(const float* query, size_t top_k,
     result.timeouts += outcome.timeouts;
     if (outcome.status.ok()) {
       ++result.shards_answered;
-      covered += shards_->shard_items(s);
+      covered += transport_->shard_items(s);
       merged.insert(merged.end(), outcome.hits.begin(), outcome.hits.end());
     } else if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
       saw_expired = true;
@@ -187,7 +207,7 @@ RoutedResult Router::Search(const float* query, size_t top_k,
       saw_cancelled = true;
     }
   }
-  const size_t total = shards_->total_items();
+  const size_t total = transport_->total_items();
   result.coverage =
       total == 0 ? 0.0
                  : static_cast<double>(covered) / static_cast<double>(total);

@@ -40,6 +40,7 @@
 #include "src/serving/health.h"
 #include "src/serving/service.h"
 #include "src/serving/shard.h"
+#include "src/serving/transport.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
 #include "src/util/threadpool.h"
@@ -58,6 +59,12 @@ struct RouterOptions {
   size_t scan_check_every = 1024;
   /// Pool the scatter runs on (null = shards searched inline, in order).
   ThreadPool* pool = nullptr;
+  /// A replica attempt whose carved sub-deadline would be at or below this
+  /// many seconds fails fast with kDeadlineExceeded instead of dispatching:
+  /// an already-expired or near-zero budget cannot finish any scan, and
+  /// dispatching it would charge the replica a bogus timeout verdict (worse
+  /// over a remote transport, where dialing alone would eat the budget).
+  double min_attempt_budget_seconds = 1e-6;
 };
 
 /// Outcome of one routed query. `status` is the single terminal verdict;
@@ -78,11 +85,18 @@ struct RoutedResult {
   std::vector<Status> shard_status;
 };
 
-/// Scatter-gather search over a ShardSet with health-driven failover.
+/// Scatter-gather search over a SearchTransport with health-driven
+/// failover. Transport-agnostic: in-process ShardSet and remote shard
+/// servers merge bit-identically (see src/serving/transport.h).
 /// Thread-safe: holds shared immutable state plus the (internally locked)
 /// health monitor.
 class Router {
  public:
+  Router(std::shared_ptr<const SearchTransport> transport,
+         std::shared_ptr<ReplicaHealthMonitor> health,
+         const RouterOptions& options);
+
+  /// Convenience overload: routes over an in-process ShardSet.
   Router(std::shared_ptr<const ShardSet> shards,
          std::shared_ptr<ReplicaHealthMonitor> health,
          const RouterOptions& options);
@@ -96,7 +110,7 @@ class Router {
                       const CancellationToken& cancel, obs::Trace* trace,
                       const obs::Span* parent) const;
 
-  const ShardSet& shards() const { return *shards_; }
+  const SearchTransport& transport() const { return *transport_; }
   ReplicaHealthMonitor& health() const { return *health_; }
   const RouterOptions& options() const { return options_; }
 
@@ -114,7 +128,7 @@ class Router {
                            const CancellationToken& cancel, obs::Trace* trace,
                            const obs::Span* parent) const;
 
-  std::shared_ptr<const ShardSet> shards_;
+  std::shared_ptr<const SearchTransport> transport_;
   std::shared_ptr<ReplicaHealthMonitor> health_;
   RouterOptions options_;
 };

@@ -1,0 +1,81 @@
+// The Router's transport seam (DESIGN.md §14).
+//
+// SearchTransport is the surface the Router actually needs from a cluster:
+// the shard/replica grid shape, the partition layout (for coverage math),
+// and one attempt primitive — SearchReplica returning a ReplicaAttempt in
+// global database ids. LocalShardTransport adapts an in-process ShardSet;
+// net::RemoteTransport (src/net/client.h) speaks the same contract over
+// the wire. Because hits come back in global ids with deterministic
+// (distance, id) order either way, the Router's k-way merge is
+// bit-identical no matter which transport carried the attempts — the
+// loopback e2e test asserts exactly that.
+//
+// Implementations must be thread-safe: the Router calls SearchReplica from
+// one task per shard, concurrently.
+
+#ifndef LIGHTLT_SERVING_TRANSPORT_H_
+#define LIGHTLT_SERVING_TRANSPORT_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/obs/trace.h"
+#include "src/serving/shard.h"
+#include "src/util/deadline.h"
+
+namespace lightlt::serving {
+
+/// Abstract replica-attempt carrier. Error mapping contract (the health
+/// monitor interprets attempt statuses uniformly across transports):
+///  * kUnavailable       — replica (or its link) failed; retryable.
+///  * kDeadlineExceeded  — the attempt's budget expired; not retryable.
+///  * kCancelled         — the caller abandoned the request; no verdict.
+class SearchTransport {
+ public:
+  virtual ~SearchTransport() = default;
+
+  virtual size_t num_shards() const = 0;
+  virtual size_t num_replicas() const = 0;
+  /// Database rows held by `shard` (coverage accounting).
+  virtual size_t shard_items(size_t shard) const = 0;
+  virtual size_t total_items() const = 0;
+
+  /// One search attempt on (shard, replica). Never throws; every failure
+  /// mode lands in ReplicaAttempt::status, hits are global database ids.
+  virtual ReplicaAttempt SearchReplica(size_t shard, size_t replica,
+                                       const float* query, size_t top_k,
+                                       const ScanControl& control,
+                                       obs::Trace* trace,
+                                       const obs::Span* parent) const = 0;
+};
+
+/// In-process transport: forwards straight to a ShardSet.
+class LocalShardTransport : public SearchTransport {
+ public:
+  explicit LocalShardTransport(std::shared_ptr<const ShardSet> shards)
+      : shards_(std::move(shards)) {}
+
+  size_t num_shards() const override { return shards_->num_shards(); }
+  size_t num_replicas() const override { return shards_->num_replicas(); }
+  size_t shard_items(size_t shard) const override {
+    return shards_->shard_items(shard);
+  }
+  size_t total_items() const override { return shards_->total_items(); }
+
+  ReplicaAttempt SearchReplica(size_t shard, size_t replica,
+                               const float* query, size_t top_k,
+                               const ScanControl& control, obs::Trace* trace,
+                               const obs::Span* parent) const override {
+    return shards_->SearchReplica(shard, replica, query, top_k, control,
+                                  trace, parent);
+  }
+
+  const ShardSet& shards() const { return *shards_; }
+
+ private:
+  std::shared_ptr<const ShardSet> shards_;
+};
+
+}  // namespace lightlt::serving
+
+#endif  // LIGHTLT_SERVING_TRANSPORT_H_

@@ -663,5 +663,141 @@ TEST(ClusterServingTest, ConcurrentFlapStormConservesOutcomes) {
   EXPECT_EQ(stats.coverage.count, stats.served + stats.partial);
 }
 
+TEST(ReplicaHealthTest, TransportSignalsWalkTheStateMachine) {
+  // The exact verdict sequence a remote replica produces when its server
+  // dies: a refused connect and a peer reset arrive as kUnavailable
+  // (RecordFailure), a burned budget as kDeadlineExceeded (RecordTimeout).
+  // The monitor cannot tell transports apart — the walk must match the
+  // in-process one signal for signal.
+  double now = 0.0;
+  HealthOptions opts;
+  opts.failures_to_suspect = 1;
+  opts.failures_to_down = 3;
+  opts.successes_to_recover = 2;
+  opts.down_cooldown_seconds = 5.0;
+  opts.probe_budget = 1;
+  opts.clock = [&now] { return now; };
+  ReplicaHealthMonitor m(1, 2, opts);
+
+  // Refused connect: HEALTHY -> SUSPECT.
+  ASSERT_TRUE(m.BeginAttempt(0, 0));
+  m.RecordFailure(0, 0);
+  EXPECT_EQ(m.state(0, 0), ReplicaHealth::kSuspect);
+
+  // Dial that ate the whole sub-deadline: timeout keeps the streak going.
+  ASSERT_TRUE(m.BeginAttempt(0, 0));
+  m.RecordTimeout(0, 0);
+  EXPECT_EQ(m.state(0, 0), ReplicaHealth::kSuspect);
+  EXPECT_EQ(m.timeout_count(), 1u);
+
+  // Peer reset mid-stream: third failure signal, SUSPECT -> DOWN.
+  ASSERT_TRUE(m.BeginAttempt(0, 0));
+  m.RecordFailure(0, 0);
+  EXPECT_EQ(m.state(0, 0), ReplicaHealth::kDown);
+  EXPECT_FALSE(m.BeginAttempt(0, 0));
+
+  // Server restarted; after the cooldown the replica probes and recovers.
+  now = 5.0;
+  EXPECT_EQ(m.state(0, 0), ReplicaHealth::kProbing);
+  ASSERT_TRUE(m.BeginAttempt(0, 0));
+  m.RecordSuccess(0, 0, 0.01);
+  ASSERT_TRUE(m.BeginAttempt(0, 0));
+  m.RecordSuccess(0, 0, 0.01);
+  EXPECT_EQ(m.state(0, 0), ReplicaHealth::kHealthy);
+
+  // suspect, down, probing, healthy.
+  EXPECT_EQ(m.transition_count(), 4u);
+}
+
+TEST(ReplicaHealthTest, ProbeBudgetHoldsUnderReconnectStorm) {
+  // A reconnect storm: many client threads race BeginAttempt against one
+  // PROBING replica. The probe budget must bound the *concurrent* grants
+  // no matter how the races interleave.
+  double now = 0.0;
+  HealthOptions opts;
+  opts.failures_to_suspect = 1;
+  opts.failures_to_down = 2;
+  opts.down_cooldown_seconds = 1.0;
+  opts.probe_budget = 2;
+  opts.clock = [&now] { return now; };
+  ReplicaHealthMonitor m(1, 1, opts);
+
+  ASSERT_TRUE(m.BeginAttempt(0, 0));
+  m.RecordFailure(0, 0);
+  ASSERT_TRUE(m.BeginAttempt(0, 0));
+  m.RecordFailure(0, 0);
+  ASSERT_EQ(m.state(0, 0), ReplicaHealth::kDown);
+  now = 1.0;
+  ASSERT_EQ(m.state(0, 0), ReplicaHealth::kProbing);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 200;
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::atomic<uint64_t> granted{0};
+  std::atomic<uint64_t> denied{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRoundsPerThread; ++i) {
+        if (!m.BeginAttempt(0, 0)) {
+          denied.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        granted.fetch_add(1, std::memory_order_relaxed);
+        const int now_in_flight =
+            in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
+        int seen = max_in_flight.load(std::memory_order_relaxed);
+        while (now_in_flight > seen &&
+               !max_in_flight.compare_exchange_weak(seen, now_in_flight)) {
+        }
+        std::this_thread::yield();
+        in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        // Abandoned: frees the probe slot without a verdict, so the
+        // replica stays PROBING for the whole storm.
+        m.RecordAbandoned(0, 0);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_LE(max_in_flight.load(), opts.probe_budget);
+  EXPECT_GT(granted.load(), 0u);
+  EXPECT_GT(denied.load(), 0u);  // the storm did contend
+  EXPECT_EQ(m.state(0, 0), ReplicaHealth::kProbing);
+}
+
+TEST(ClusterServingTest, ExpiredBudgetFailsFastWithoutDispatchOrVerdicts) {
+  // A sub-deadline carved from an exhausted budget must fail fast with
+  // kDeadlineExceeded instead of dispatching: no replica attempt, no
+  // bogus timeout verdict against a healthy replica. (Worse over a remote
+  // transport, where dialing alone would eat the remaining budget.)
+  auto f = MakeFixture();
+
+  ClusterOptions opts;
+  opts.num_shards = 2;
+  opts.num_replicas = 1;
+  opts.health.failures_to_suspect = 1;  // one bogus verdict would show up
+  opts.router.min_attempt_budget_seconds = 1.0;
+  auto built = ClusterService::Build(f.model, f.bench.database.features, opts);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ClusterService& cluster = built.value();
+
+  const Matrix embedded = f.model->Embed(f.bench.query.features);
+  const RoutedResult r = cluster.router().Search(
+      embedded.row(0), 5, Deadline::After(0.2), {}, nullptr, nullptr);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.shards_answered, 0u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(cluster.health().transition_count(), 0u);
+  EXPECT_EQ(cluster.health().timeout_count(), 0u);
+
+  // The same cluster still serves with a real budget: nothing was charged.
+  const RoutedResult ok = cluster.router().Search(
+      embedded.row(0), 5, Deadline(), {}, nullptr, nullptr);
+  EXPECT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_DOUBLE_EQ(ok.coverage, 1.0);
+}
+
 }  // namespace
 }  // namespace lightlt::serving

@@ -12,11 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "src/core/checkpoint.h"
+#include "src/net/frame.h"
 #include "src/core/serialize.h"
 #include "src/data/data_io.h"
 #include "src/index/adc_index.h"
@@ -242,6 +244,96 @@ TEST(FaultInjectionTest, ReaderRejectsOversizedContainerBeforeAllocating) {
   reader.ReadF32Vector();
   EXPECT_FALSE(reader.status().ok());
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Wire frames (src/net/frame.h) get the same every-offset fuzz discipline
+// as the persisted formats: a decoder fed a truncated or bit-flipped frame
+// must return a non-OK Status — never crash, never allocate from a
+// corrupted length, never hand back a half-decoded message.
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> ValidSearchResponseFrame() {
+  net::WireSearchResponse resp;
+  resp.code = 0;
+  resp.message = "ok";
+  resp.hits = {{1, 0.5f}, {2, 0.75f}, {3, 1.25f}};
+  resp.server_seconds = 0.001;
+  return net::EncodeFrame(net::FrameType::kSearchResponse,
+                          net::EncodeSearchResponse(resp));
+}
+
+TEST(FaultInjectionTest, WireFrameSurvivesTruncationAtEveryOffset) {
+  const std::vector<uint8_t> frame = ValidSearchResponseFrame();
+  // Sanity: the intact frame decodes.
+  net::Frame intact;
+  ASSERT_TRUE(net::DecodeFrameBytes(frame.data(), frame.size(), &intact).ok());
+
+  for (size_t len = 0; len < frame.size(); ++len) {
+    net::Frame out;
+    const Status s = net::DecodeFrameBytes(frame.data(), len, &out);
+    EXPECT_FALSE(s.ok()) << "truncated frame of " << len
+                         << " bytes decoded as valid";
+  }
+}
+
+TEST(FaultInjectionTest, WireFrameSurvivesBitFlipAtEveryOffset) {
+  const std::vector<uint8_t> frame = ValidSearchResponseFrame();
+  for (size_t off = 0; off < frame.size(); ++off) {
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::vector<uint8_t> corrupt = frame;
+      corrupt[off] ^= mask;
+      net::Frame out;
+      const Status s =
+          net::DecodeFrameBytes(corrupt.data(), corrupt.size(), &out);
+      EXPECT_FALSE(s.ok()) << "bit flip at offset " << off << " (mask 0x"
+                           << std::hex << int(mask) << std::dec
+                           << ") decoded as valid";
+    }
+  }
+}
+
+TEST(FaultInjectionTest, WireFrameRejectsOversizedBodyBeforeAllocating) {
+  // A header claiming a 4 GiB body on an 8-byte buffer: the decoder must
+  // reject it from the header fields alone, before any allocation sized by
+  // attacker-controlled bytes.
+  std::vector<uint8_t> header(net::kFrameHeaderBytes, 0);
+  const uint32_t magic = net::kFrameMagic;
+  std::memcpy(header.data(), &magic, sizeof(magic));
+  header[4] = net::kFrameVersion;
+  header[5] = static_cast<uint8_t>(net::FrameType::kSearchResponse);
+  const uint32_t huge = 0xFFFFFFF0u;
+  std::memcpy(header.data() + 8, &huge, sizeof(huge));
+
+  net::FrameType type;
+  uint32_t body_len = 0;
+  EXPECT_FALSE(
+      net::DecodeFrameHeader(header.data(), &type, &body_len).ok());
+
+  std::vector<uint8_t> buffer = header;
+  buffer.resize(header.size() + 8, 0);
+  net::Frame out;
+  EXPECT_FALSE(
+      net::DecodeFrameBytes(buffer.data(), buffer.size(), &out).ok());
+}
+
+TEST(FaultInjectionTest, WireMessageRejectsCorruptHitCountBeforeAllocating) {
+  // Body-level corruption with a *valid* CRC: a response body whose hit
+  // count claims 2^32-1 entries must be rejected against the remaining
+  // body bytes, not trusted into a reserve().
+  net::WireSearchResponse resp;
+  resp.code = 0;
+  resp.hits = {{1, 0.5f}};
+  std::vector<uint8_t> body = net::EncodeSearchResponse(resp);
+  // The hit count is the u32 right before the single 8-byte hit record.
+  ASSERT_GE(body.size(), 12u);
+  const uint32_t bogus = 0xFFFFFFFFu;
+  std::memcpy(body.data() + body.size() - 12, &bogus, sizeof(bogus));
+
+  net::WireSearchResponse out;
+  const Status s = net::DecodeSearchResponse(body, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(out.hits.empty());
 }
 
 }  // namespace

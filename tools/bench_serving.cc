@@ -17,13 +17,18 @@
 //       [--shadow_max_in_flight=16] [--shards=0] [--replicas=2]
 //       [--metrics_jsonl=metrics.jsonl] [--render]
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/lightlt.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
 #include "src/obs/metrics.h"
 #include "src/serving/router.h"
+#include "src/serving/transport.h"
 #include "src/util/cli.h"
 #include "src/util/timer.h"
 
@@ -231,6 +236,125 @@ int main(int argc, char** argv) {
         "cluster: %.0f qps  p95 %.2fms  coverage %.3f  failovers %llu\n",
         cluster_qps, cluster_latency.Quantile(0.95) * 1e3, coverage_mean,
         static_cast<unsigned long long>(cstats.failovers));
+  }
+
+  // Remote scenario: the same load over real loopback sockets — one
+  // in-process ShardServer per shard, a RemoteTransport client grid, and
+  // the standard Router — so the JSON carries the wire overhead of the
+  // out-of-process path next to the in-process numbers.
+  const size_t remote_shards =
+      static_cast<size_t>(cli.GetInt("remote_shards", 0));
+  if (remote_shards > 0) {
+    const Matrix embedded =
+        core::EmbedInChunks(*model, bench.database.features);
+    std::vector<std::vector<uint32_t>> codes;
+    model->dsq().Encode(embedded, &codes);
+    serving::ShardSetOptions sopts;
+    sopts.num_shards = remote_shards;
+    sopts.num_replicas = 1;
+    auto shard_built = serving::ShardSet::Build(embedded, model->Codebooks(),
+                                                codes, sopts);
+    if (!shard_built.ok()) {
+      std::fprintf(stderr, "remote shard build failed: %s\n",
+                   shard_built.status().ToString().c_str());
+      std::fclose(f);
+      return 1;
+    }
+    auto shard_set = std::make_shared<serving::ShardSet>(
+        std::move(shard_built).value());
+
+    std::vector<std::unique_ptr<net::ShardServer>> servers;
+    std::vector<std::vector<net::Endpoint>> endpoints(remote_shards);
+    for (size_t s = 0; s < remote_shards; ++s) {
+      net::ShardServerOptions so;
+      so.hosted_shards = {s};
+      auto server = std::make_unique<net::ShardServer>(shard_set, so);
+      const Status started = server->Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "remote server start failed: %s\n",
+                     started.ToString().c_str());
+        std::fclose(f);
+        return 1;
+      }
+      endpoints[s] = {{"127.0.0.1", server->port()}};
+      servers.push_back(std::move(server));
+    }
+    auto remote = net::RemoteTransport::Connect(endpoints, {},
+                                                Deadline::After(5.0));
+    if (!remote.ok()) {
+      std::fprintf(stderr, "remote connect failed: %s\n",
+                   remote.status().ToString().c_str());
+      std::fclose(f);
+      return 1;
+    }
+    auto remote_health = std::make_shared<serving::ReplicaHealthMonitor>(
+        remote_shards, 1, serving::HealthOptions{});
+    serving::Router remote_router(remote.value(), remote_health,
+                                  serving::RouterOptions{});
+    std::printf("remote: %zu loopback shard servers, same load...\n",
+                remote_shards);
+
+    const Matrix remote_queries = model->Embed(bench.query.features);
+    std::vector<double> remote_latencies;
+    remote_latencies.reserve(remote_queries.rows() * repeat);
+    WallTimer remote_wall;
+    size_t remote_served = 0;
+    double coverage_sum = 0.0;
+    for (int r = 0; r < repeat; ++r) {
+      for (size_t q = 0; q < remote_queries.rows(); ++q) {
+        WallTimer one;
+        const serving::RoutedResult res = remote_router.Search(
+            remote_queries.row(q), 10, Deadline::After(2.0), {}, nullptr,
+            nullptr);
+        remote_latencies.push_back(one.ElapsedSeconds());
+        if (res.status.ok()) {
+          ++remote_served;
+          coverage_sum += res.coverage;
+        }
+      }
+    }
+    const double remote_seconds = remote_wall.ElapsedSeconds();
+    const double remote_qps =
+        remote_seconds > 0.0
+            ? static_cast<double>(remote_served) / remote_seconds
+            : 0.0;
+    std::sort(remote_latencies.begin(), remote_latencies.end());
+    const double remote_p95 =
+        remote_latencies.empty()
+            ? 0.0
+            : remote_latencies[static_cast<size_t>(
+                  0.95 * (remote_latencies.size() - 1))];
+
+    uint64_t frames_sent = 0, frames_received = 0, wire_errors = 0;
+    uint64_t reconnects = 0;
+    for (const auto& server : servers) {
+      const net::ShardServerStats ss = server->stats();
+      frames_sent += ss.frames_sent;
+      frames_received += ss.frames_received;
+      wire_errors += ss.wire_errors;
+    }
+    for (size_t s = 0; s < remote_shards; ++s) {
+      reconnects += remote.value()->client(s, 0).stats().reconnects;
+    }
+    for (auto& server : servers) server->Drain();
+
+    std::fprintf(f,
+                 ",\n \"remote_shards\": %zu, \"remote_qps\": %.1f,\n"
+                 " \"remote_p95_ms\": %.4f, \"remote_served\": %zu,\n"
+                 " \"remote_coverage_mean\": %.4f,\n"
+                 " \"remote_frames_sent\": %llu, \"remote_frames_received\": "
+                 "%llu,\n"
+                 " \"remote_wire_errors\": %llu, \"remote_reconnects\": %llu",
+                 remote_shards, remote_qps, remote_p95 * 1e3, remote_served,
+                 remote_served > 0 ? coverage_sum / remote_served : 0.0,
+                 static_cast<unsigned long long>(frames_sent),
+                 static_cast<unsigned long long>(frames_received),
+                 static_cast<unsigned long long>(wire_errors),
+                 static_cast<unsigned long long>(reconnects));
+    std::printf("remote: %.0f qps  p95 %.2fms  served %zu  wire errors "
+                "%llu\n",
+                remote_qps, remote_p95 * 1e3, remote_served,
+                static_cast<unsigned long long>(wire_errors));
   }
   std::fprintf(f, "}\n");
   std::fclose(f);

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Builds and runs the serving chaos harness (ctest label `chaos`) and the
-# cluster harness (label `cluster`) under both sanitizers: AddressSanitizer
-# first, then ThreadSanitizer. The suites drive every request-lifecycle
-# outcome — served / partial / shed / expired / cancelled — with
-# deterministic fault injection (ChaosPlan, including replica kills, flap
-# storms and per-shard latency spikes), saturate a small pool, and walk the
-# IVF circuit breaker and the replica health monitor through their state
-# machines. Exits nonzero if either sanitizer reports an error or any
-# lifecycle invariant fails.
+# Builds and runs the serving chaos harness (ctest label `chaos`), the
+# cluster harness (label `cluster`) and the wire-transport harness (label
+# `net`) under both sanitizers: AddressSanitizer first, then
+# ThreadSanitizer. The suites drive every request-lifecycle outcome —
+# served / partial / shed / expired / cancelled — with deterministic fault
+# injection (ChaosPlan replica kills, flap storms, latency spikes;
+# NetFaultPlan refused connects, mid-frame truncation, byte flips, stalls,
+# resets), kill and restart real shard servers under load, saturate a
+# small pool, and walk the IVF circuit breaker and the replica health
+# monitor through their state machines. Exits nonzero if either sanitizer
+# reports an error or any lifecycle invariant fails.
 #
 # Usage: tools/run_chaos.sh [asan-build-dir] [tsan-build-dir]
 #        (defaults: build-asan, build-tsan — shared with the other presets)
@@ -23,8 +25,8 @@ run_labelled() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DLIGHTLT_SANITIZE="${sanitize}"
   cmake --build "${build_dir}" --target lightlt_chaos_tests \
-    --target lightlt_cluster_tests -j "$(nproc)"
-  ctest --test-dir "${build_dir}" --output-on-failure -L 'chaos|cluster'
+    --target lightlt_cluster_tests --target lightlt_net_tests -j "$(nproc)"
+  ctest --test-dir "${build_dir}" --output-on-failure -L 'chaos|cluster|net'
 }
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"

@@ -17,6 +17,7 @@ cmake --build "${build_dir}" --target lightlt_chaos_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_cluster_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_obs_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_quality_obs_tests -j "$(nproc)"
+cmake --build "${build_dir}" --target lightlt_net_tests -j "$(nproc)"
 
 # Concurrency-sensitive suites: the TaskGroup/ParallelFor semantics tests,
 # the shared-pool serving stress, eval determinism, parallel gumbel Forward,
@@ -26,9 +27,11 @@ cmake --build "${build_dir}" --target lightlt_quality_obs_tests -j "$(nproc)"
 # the scan hot path's relaxed-atomics-only claim is checked here), and the
 # online-quality suite (shadow verification tasks racing batch serving),
 # and the cluster suite (scatter-gather failover racing the health monitor
-# and circuit-breaker half-open probe accounting).
+# and circuit-breaker half-open probe accounting), and the net suite (real
+# server threads killed and restarted under a multi-threaded query storm,
+# drain racing in-flight handlers, connection-pool churn).
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|ClusterServingTest|ClusterBreakerTest|ReplicaHealthTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest|ScanKernelsTest)\.'
+  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|ClusterServingTest|ClusterBreakerTest|ReplicaHealthTest|NetServingTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest|ScanKernelsTest)\.'
 
 echo "TSan concurrency suite passed with zero reported races."

@@ -1,0 +1,244 @@
+// Out-of-process shard host + demo client (DESIGN.md §14, README
+// "Running shards out of process").
+//
+// Server mode (default): trains the deterministic synthetic fixture for
+// `--seed`, builds a ShardSet partitioned into `--shards` pieces, and
+// serves `--shard` (or every shard with --shard=-1) on `--port` until
+// SIGINT, which triggers a graceful drain: stop accepting, finish
+// committed requests, then exit with the final counters.
+//
+//   ./tool_shard_server --shards=2 --shard=0 --port=7401
+//   ./tool_shard_server --shards=2 --shard=1 --port=7402
+//
+// Client mode (--client): rebuilds the same fixture from the same seed
+// (so query embeddings and expected ids line up with the servers), wires a
+// RemoteTransport over `--endpoints` (one host:port per shard,
+// comma-separated), and routes `--queries` searches through the standard
+// Router with health-driven failover, printing per-query coverage and the
+// exact transport counters.
+//
+//   ./tool_shard_server --client --shards=2
+//       --endpoints=127.0.0.1:7401,127.0.0.1:7402
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/core/trainer.h"
+#include "src/data/dataset.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/serving/router.h"
+#include "src/serving/transport.h"
+#include "src/util/cli.h"
+
+using namespace lightlt;
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void HandleSigint(int) { g_interrupted = 1; }
+
+struct Fixture {
+  std::shared_ptr<core::LightLtModel> model;
+  std::shared_ptr<const serving::ShardSet> shards;
+  Matrix queries;  // embedded
+};
+
+/// Both terminals run this with the same seed, so the server's shards and
+/// the client's query embeddings come from the same model.
+Fixture BuildFixture(uint64_t seed, size_t num_shards, int epochs) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 8;
+  cfg.feature_dim = 24;
+  cfg.train_spec.num_classes = 8;
+  cfg.train_spec.head_size = 60;
+  cfg.train_spec.imbalance_factor = 10.0;
+  cfg.queries_per_class = 6;
+  cfg.database_per_class = 80;
+  cfg.seed = seed;
+  data::RetrievalBenchmark bench = data::GenerateSynthetic(cfg);
+
+  core::ModelConfig mc;
+  mc.input_dim = 24;
+  mc.hidden_dims = {32};
+  mc.embed_dim = 16;
+  mc.num_classes = 8;
+  mc.dsq.num_codebooks = 4;
+  mc.dsq.num_codewords = 16;
+
+  Fixture f;
+  f.model = std::make_shared<core::LightLtModel>(mc, seed);
+  core::TrainOptions topts;
+  topts.epochs = epochs;
+  std::printf("training fixture (seed %llu, %d epochs)...\n",
+              static_cast<unsigned long long>(seed), epochs);
+  if (!core::TrainLightLt(f.model.get(), bench.train, topts).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    std::exit(1);
+  }
+
+  const Matrix embedded =
+      core::EmbedInChunks(*f.model, bench.database.features);
+  std::vector<std::vector<uint32_t>> codes;
+  f.model->dsq().Encode(embedded, &codes);
+  serving::ShardSetOptions so;
+  so.num_shards = num_shards;
+  so.num_replicas = 1;
+  auto built =
+      serving::ShardSet::Build(embedded, f.model->Codebooks(), codes, so);
+  if (!built.ok()) {
+    std::fprintf(stderr, "shard build failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  f.shards =
+      std::make_shared<serving::ShardSet>(std::move(built).value());
+  f.queries = f.model->Embed(bench.query.features);
+  return f;
+}
+
+std::vector<net::Endpoint> ParseEndpoints(const std::string& spec) {
+  std::vector<net::Endpoint> endpoints;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(start, comma - start);
+    const size_t colon = item.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad endpoint '%s' (want host:port)\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    net::Endpoint ep;
+    ep.host = item.substr(0, colon);
+    ep.port = static_cast<uint16_t>(std::atoi(item.c_str() + colon + 1));
+    endpoints.push_back(ep);
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
+int RunServer(const CommandLine& cli, const Fixture& f) {
+  net::ShardServerOptions so;
+  so.host = cli.GetString("host", "127.0.0.1");
+  so.port = static_cast<uint16_t>(cli.GetInt("port", 7401));
+  so.drain_deadline_seconds = cli.GetDouble("drain_deadline", 2.0);
+  const int64_t shard = cli.GetInt("shard", -1);
+  if (shard >= 0) so.hosted_shards = {static_cast<size_t>(shard)};
+
+  net::ShardServer server(f.shards, so);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (shard >= 0) {
+    std::printf("serving shard %lld (%zu items) on %s:%u — Ctrl-C drains\n",
+                static_cast<long long>(shard),
+                f.shards->shard_items(static_cast<size_t>(shard)),
+                server.host().c_str(), server.port());
+  } else {
+    std::printf("serving all %zu shards on %s:%u — Ctrl-C drains\n",
+                f.shards->num_shards(), server.host().c_str(),
+                server.port());
+  }
+
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  while (g_interrupted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining...\n");
+  server.Drain();
+  const net::ShardServerStats stats = server.stats();
+  std::printf(
+      "drained in %.3fs: %llu conns, %llu ok, %llu error, %llu wire "
+      "errors, %llu forced closes\n",
+      stats.last_drain_seconds,
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.requests_ok),
+      static_cast<unsigned long long>(stats.requests_error),
+      static_cast<unsigned long long>(stats.wire_errors),
+      static_cast<unsigned long long>(stats.forced_closes));
+  return 0;
+}
+
+int RunClient(const CommandLine& cli, const Fixture& f) {
+  const std::vector<net::Endpoint> flat =
+      ParseEndpoints(cli.GetString("endpoints", "127.0.0.1:7401"));
+  if (flat.size() != f.shards->num_shards()) {
+    std::fprintf(stderr, "need one endpoint per shard (%zu shards, %zu "
+                 "endpoints)\n",
+                 f.shards->num_shards(), flat.size());
+    return 2;
+  }
+  std::vector<std::vector<net::Endpoint>> grid;
+  for (const net::Endpoint& ep : flat) grid.push_back({ep});
+
+  auto remote =
+      net::RemoteTransport::Connect(grid, {}, Deadline::After(5.0));
+  if (!remote.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 remote.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected: %zu shards, %zu items total, dim %u\n",
+              remote.value()->num_shards(), remote.value()->total_items(),
+              remote.value()->dim());
+
+  auto health = std::make_shared<serving::ReplicaHealthMonitor>(
+      f.shards->num_shards(), 1, serving::HealthOptions{});
+  serving::Router router(remote.value(), health, serving::RouterOptions{});
+
+  const size_t queries = std::min<size_t>(
+      static_cast<size_t>(cli.GetInt("queries", 10)), f.queries.rows());
+  const size_t top_k = static_cast<size_t>(cli.GetInt("top_k", 5));
+  size_t served = 0;
+  for (size_t q = 0; q < queries; ++q) {
+    const serving::RoutedResult r =
+        router.Search(f.queries.row(q), top_k, Deadline::After(2.0), {},
+                      nullptr, nullptr);
+    if (!r.status.ok()) {
+      std::printf("query %zu: %s\n", q, r.status.ToString().c_str());
+      continue;
+    }
+    ++served;
+    std::printf("query %zu: coverage %.2f, top ids [", q, r.coverage);
+    for (size_t i = 0; i < r.hits.size(); ++i) {
+      std::printf("%s%u", i == 0 ? "" : " ", r.hits[i].id);
+    }
+    std::printf("]\n");
+  }
+
+  for (size_t s = 0; s < f.shards->num_shards(); ++s) {
+    const net::RemoteClientStats cs = remote.value()->client(s, 0).stats();
+    std::printf("shard %zu @ %s:%u: %llu requests, %llu ok, %llu "
+                "transport errors, %llu reconnects\n",
+                s, flat[s].host.c_str(), flat[s].port,
+                static_cast<unsigned long long>(cs.requests_sent),
+                static_cast<unsigned long long>(cs.responses_ok),
+                static_cast<unsigned long long>(cs.transport_errors),
+                static_cast<unsigned long long>(cs.reconnects));
+  }
+  std::printf("served %zu/%zu queries\n", served, queries);
+  return served == queries ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+  const size_t shards = static_cast<size_t>(cli.GetInt("shards", 2));
+  const int epochs = static_cast<int>(cli.GetInt("epochs", 4));
+  const Fixture f = BuildFixture(seed, shards, epochs);
+  return cli.GetBool("client", false) ? RunClient(cli, f)
+                                      : RunServer(cli, f);
+}
