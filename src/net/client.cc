@@ -41,6 +41,21 @@ void RemoteSearcherClient::RegisterMetrics() {
       reg->GetCounter(obs::WithLabel(errors, "kind", "timeout"));
   errors_corrupt_counter_ =
       reg->GetCounter(obs::WithLabel(errors, "kind", "corrupt"));
+  trace_drops_counter_ = reg->GetCounter(
+      obs::WithLabel(p + "trace_drops_total", "endpoint", ep));
+}
+
+void RemoteSearcherClient::LogTransportError(const char* op,
+                                             uint64_t trace_id,
+                                             const Status& status) {
+  if (options_.logger == nullptr) return;
+  options_.logger->Log(
+      obs::LogLevel::kWarn, "net_client", "transport error",
+      {{"op", op},
+       {"endpoint", endpoint_.host + ":" + std::to_string(endpoint_.port)},
+       {"trace_id", obs::TraceIdHex(trace_id)},
+       {"code", std::string(Status::CodeName(status.code()))},
+       {"error", status.message()}});
 }
 
 Result<Socket> RemoteSearcherClient::Acquire(const ScanControl& control) {
@@ -129,7 +144,8 @@ Status RemoteSearcherClient::Exchange(Socket* sock, FrameType request_type,
 
 serving::ReplicaAttempt RemoteSearcherClient::Search(
     uint32_t shard, uint32_t replica, const float* query, size_t dim,
-    size_t top_k, const ScanControl& control) {
+    size_t top_k, const ScanControl& control, obs::Trace* trace,
+    const obs::Span* parent) {
   serving::ReplicaAttempt attempt;
   WallTimer timer;
   auto finish = [&](Status status) {
@@ -141,8 +157,21 @@ serving::ReplicaAttempt RemoteSearcherClient::Search(
   Status entry = control.Check();
   if (!entry.ok()) return finish(std::move(entry));
 
+  // The rpc span covers dial + send + server turnaround + receive; the
+  // stitched server subtree lands under it, so per-hop wire time shows up
+  // as the gap between this span's start and the remote rpc_recv start.
+  obs::Span rpc_span;
+  const uint64_t trace_id = trace != nullptr ? trace->trace_id() : 0;
+  if (trace != nullptr) {
+    rpc_span = parent != nullptr ? trace->StartSpan("rpc", *parent)
+                                 : trace->StartSpan("rpc");
+  }
+
   Result<Socket> acquired = Acquire(control);
-  if (!acquired.ok()) return finish(acquired.status());
+  if (!acquired.ok()) {
+    LogTransportError("search_dial", trace_id, acquired.status());
+    return finish(acquired.status());
+  }
   Socket sock = std::move(acquired).value();
 
   WireSearchRequest req;
@@ -157,6 +186,12 @@ serving::ReplicaAttempt RemoteSearcherClient::Search(
                            : std::max(0.0,
                                       control.deadline.RemainingSeconds());
   req.query.assign(query, query + dim);
+  if (trace != nullptr) {
+    req.trace.trace_id = trace_id;
+    req.trace.parent_span = rpc_span.index();
+    req.trace.sampled = true;
+    req.trace.unix_minus_steady = trace->unix_minus_steady();
+  }
 
   Frame response;
   Status status = Exchange(&sock, FrameType::kSearchRequest,
@@ -169,6 +204,7 @@ serving::ReplicaAttempt RemoteSearcherClient::Search(
   if (!status.ok()) {
     // The stream is poisoned either way — never pool it.
     transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    LogTransportError("search", trace_id, status);
     switch (status.code()) {
       case StatusCode::kIoError:
         // Corrupt or mis-typed frame: the CRC (or framing) caught in-flight
@@ -197,6 +233,18 @@ serving::ReplicaAttempt RemoteSearcherClient::Search(
 
   responses_ok_.fetch_add(1, std::memory_order_relaxed);
   Release(std::move(sock));
+
+  // Stitch the server's subtree (already on our steady timeline) under
+  // the rpc span; a corrupt trailer was discarded by the lenient decoder
+  // and only bumps the drop counter — the hits below are still served.
+  if (resp.trace_corrupt) {
+    trace_drops_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_drops_counter_ != nullptr) trace_drops_counter_->Increment();
+  } else if (trace != nullptr && !resp.spans.empty()) {
+    trace->AttachRemote(rpc_span, std::move(resp.spans),
+                        static_cast<int32_t>(shard));
+  }
+  rpc_span.End();
 
   const StatusCode code = StatusCodeFromWire(resp.code);
   attempt.shed = resp.shed;
@@ -245,6 +293,43 @@ Result<WireInfoResponse> RemoteSearcherClient::GetInfo(
   return resp;
 }
 
+Result<WireMetricsResponse> RemoteSearcherClient::GetMetrics(
+    const Deadline& deadline) {
+  const ScanControl control{deadline, CancellationToken()};
+  Result<Socket> acquired = Acquire(control);
+  if (!acquired.ok()) return acquired.status();
+  Socket sock = std::move(acquired).value();
+
+  Frame response;
+  Status status =
+      Exchange(&sock, FrameType::kMetricsRequest, EncodeMetricsRequest(),
+               FrameType::kMetricsResponse, &response, control);
+  WireMetricsResponse resp;
+  if (status.ok()) {
+    status = DecodeMetricsResponse(response.body, &resp);
+  }
+  if (!status.ok()) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    LogTransportError("get_metrics", 0, status);
+    if (status.code() == StatusCode::kIoError) {
+      wire_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (errors_corrupt_counter_ != nullptr) {
+        errors_corrupt_counter_->Increment();
+      }
+      return Status::Unavailable("net: corrupt response frame: " +
+                                 status.message());
+    }
+    return status;
+  }
+  responses_ok_.fetch_add(1, std::memory_order_relaxed);
+  Release(std::move(sock));
+  const StatusCode code = StatusCodeFromWire(resp.code);
+  if (code != StatusCode::kOk) {
+    return Status(code, "remote: " + resp.message);
+  }
+  return resp;
+}
+
 Status RemoteSearcherClient::Ping(const Deadline& deadline) {
   const ScanControl control{deadline, CancellationToken()};
   Result<Socket> acquired = Acquire(control);
@@ -271,6 +356,7 @@ RemoteClientStats RemoteSearcherClient::stats() const {
   s.responses_ok = responses_ok_.load(std::memory_order_relaxed);
   s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
   s.wire_errors = wire_errors_.load(std::memory_order_relaxed);
+  s.trace_drops = trace_drops_.load(std::memory_order_relaxed);
   {
     auto* self = const_cast<RemoteSearcherClient*>(this);
     std::lock_guard<std::mutex> lock(self->pool_mu_);
@@ -347,11 +433,9 @@ serving::ReplicaAttempt RemoteTransport::SearchReplica(
     size_t shard, size_t replica, const float* query, size_t top_k,
     const ScanControl& control, obs::Trace* trace,
     const obs::Span* parent) const {
-  (void)trace;
-  (void)parent;
   return client(shard, replica)
       .Search(static_cast<uint32_t>(shard), static_cast<uint32_t>(replica),
-              query, dim_, top_k, control);
+              query, dim_, top_k, control, trace, parent);
 }
 
 }  // namespace lightlt::net

@@ -33,7 +33,9 @@
 
 #include "src/net/frame.h"
 #include "src/net/socket.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serving/transport.h"
 #include "src/util/deadline.h"
 #include "src/util/retry.h"
@@ -61,6 +63,9 @@ struct RemoteClientOptions {
   /// every client created with it.
   obs::MetricsRegistry* metrics = nullptr;
   std::string metric_prefix = "net_client_";
+  /// Optional structured logger for transport errors; every line carries
+  /// the request's trace_id so logs and traces correlate by grep.
+  obs::Logger* logger = nullptr;
 };
 
 /// Exact per-client counters (one client = one endpoint).
@@ -72,6 +77,9 @@ struct RemoteClientStats {
   uint64_t responses_ok = 0;     ///< clean exchange, any response code
   uint64_t transport_errors = 0; ///< exchange died on the wire
   uint64_t wire_errors = 0;      ///< corrupt/unexpected response frames
+  /// Telemetry trailers discarded because they were corrupt — the search
+  /// result was kept (degradation contract, DESIGN.md §15).
+  uint64_t trace_drops = 0;
   uint64_t pooled_connections = 0;
 };
 
@@ -86,12 +94,22 @@ class RemoteSearcherClient {
 
   /// One remote replica attempt. Never throws; transport and server
   /// failures all land in ReplicaAttempt::status with the mapping above.
+  /// With a non-null `trace`, opens an `rpc` span under `parent`,
+  /// propagates the trace context on the wire, and stitches the server's
+  /// span subtree back under the rpc span — a corrupt telemetry trailer
+  /// degrades to a dropped subtree (counted), never a failed search.
   serving::ReplicaAttempt Search(uint32_t shard, uint32_t replica,
                                  const float* query, size_t dim,
-                                 size_t top_k, const ScanControl& control);
+                                 size_t top_k, const ScanControl& control,
+                                 obs::Trace* trace = nullptr,
+                                 const obs::Span* parent = nullptr);
 
   /// Fetches the hosted-shard layout (items, global offset, dim).
   Result<WireInfoResponse> GetInfo(uint32_t shard, const Deadline& deadline);
+
+  /// Pulls the server's full MetricsRegistry snapshot over the metrics
+  /// admin frame (the FleetCollector's poll primitive).
+  Result<WireMetricsResponse> GetMetrics(const Deadline& deadline);
 
   /// Round-trips an empty ping (liveness probe).
   Status Ping(const Deadline& deadline);
@@ -129,6 +147,7 @@ class RemoteSearcherClient {
   std::atomic<uint64_t> responses_ok_{0};
   std::atomic<uint64_t> transport_errors_{0};
   std::atomic<uint64_t> wire_errors_{0};
+  std::atomic<uint64_t> trace_drops_{0};
 
   obs::Gauge* pooled_connections_gauge_ = nullptr;
   obs::Counter* connects_counter_ = nullptr;
@@ -139,6 +158,11 @@ class RemoteSearcherClient {
   obs::Counter* errors_reset_counter_ = nullptr;
   obs::Counter* errors_timeout_counter_ = nullptr;
   obs::Counter* errors_corrupt_counter_ = nullptr;
+  obs::Counter* trace_drops_counter_ = nullptr;
+
+  /// Logs one transport-level failure with trace-id correlation.
+  void LogTransportError(const char* op, uint64_t trace_id,
+                         const Status& status);
 };
 
 /// SearchTransport over a shard×replica endpoint grid. Each (shard,

@@ -1,0 +1,228 @@
+#include "src/net/fleet.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/obs/trace.h"
+#include "src/util/deadline.h"
+
+namespace lightlt::net {
+namespace {
+
+constexpr double kPollTickSeconds = 0.002;
+
+double SteadySeconds() {
+  return static_cast<double>(obs::SteadyNowNanos()) * 1e-9;
+}
+
+/// Inserts `suffix` into a possibly-labelled metric name before its label
+/// block: `base` → `base_p95`, `base{a="b"}` → `base_p95{a="b"}` — keeps
+/// derived series (quantiles of a remote histogram) valid exposition text.
+std::string SuffixedName(const std::string& name, const std::string& suffix) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+}  // namespace
+
+FleetCollector::FleetCollector(std::vector<FleetEndpoint> endpoints,
+                               const FleetCollectorOptions& options)
+    : options_(options) {
+  clock_ = options_.clock ? options_.clock
+                          : std::function<double()>(&SteadySeconds);
+  members_.reserve(endpoints.size());
+  for (const FleetEndpoint& ep : endpoints) {
+    auto member = std::make_unique<Member>();
+    member->where = ep;
+    member->view.shard = ep.shard;
+    member->view.replica = ep.replica;
+    member->client =
+        std::make_unique<RemoteSearcherClient>(ep.endpoint, options_.client);
+    members_.push_back(std::move(member));
+  }
+  if (options_.registry != nullptr) {
+    const std::string& p = options_.metric_prefix;
+    polls_ok_counter_ = options_.registry->GetCounter(
+        obs::WithLabel(p + "polls_total", "outcome", "ok"));
+    polls_failed_counter_ = options_.registry->GetCounter(
+        obs::WithLabel(p + "polls_total", "outcome", "failed"));
+    payload_drops_counter_ =
+        options_.registry->GetCounter(p + "payload_drops_total");
+    members_reachable_gauge_ =
+        options_.registry->GetGauge(p + "members_reachable");
+  }
+}
+
+FleetCollector::~FleetCollector() { Stop(); }
+
+Status FleetCollector::PollMember(Member* member) {
+  const uint64_t wire_errors_before = member->client->stats().wire_errors;
+  Result<WireMetricsResponse> resp =
+      member->client->GetMetrics(Deadline::After(options_.poll_timeout_seconds));
+  if (!resp.ok()) {
+    // A wire-error bump means the member answered but the payload was
+    // corrupt (CRC/decode) — that is a payload drop, not an outage.
+    if (member->client->stats().wire_errors > wire_errors_before) {
+      payload_drops_++;
+      if (payload_drops_counter_ != nullptr) payload_drops_counter_->Increment();
+    }
+    member->view.reachable = false;
+    return resp.status();
+  }
+  const WireMetricsResponse& m = resp.value();
+  if (m.code != static_cast<int32_t>(StatusCode::kOk)) {
+    member->view.reachable = false;
+    return Status(static_cast<StatusCode>(m.code), m.message);
+  }
+  // A remote built with different histogram constants would merge buckets
+  // that mean different latencies; refuse the whole payload.
+  if (m.sub_buckets != static_cast<uint32_t>(obs::Histogram::kSubBuckets) ||
+      m.min_exponent != obs::Histogram::kMinExponent ||
+      m.max_exponent != obs::Histogram::kMaxExponent) {
+    payload_drops_++;
+    layout_rejects_++;
+    if (payload_drops_counter_ != nullptr) payload_drops_counter_->Increment();
+    member->view.reachable = false;
+    return Status::InvalidArgument(
+        "fleet: remote histogram bucket layout does not match this build");
+  }
+  member->view.reachable = true;
+  member->view.polls_ok++;
+  member->view.prometheus_text = m.prometheus_text;
+  member->view.snapshot = m.snapshot;
+  ReExport(*member);
+  return Status::Ok();
+}
+
+void FleetCollector::ReExport(const Member& member) {
+  obs::MetricsRegistry* reg = options_.registry;
+  if (reg == nullptr) return;
+  const std::string& p = options_.metric_prefix;
+  const std::string shard = std::to_string(member.where.shard);
+  const std::string replica = std::to_string(member.where.replica);
+  auto labelled = [&](const std::string& name) {
+    return obs::AddLabel(obs::AddLabel(p + name, "shard", shard), "replica",
+                         replica);
+  };
+  // The collector mirrors observed values, so remote counters re-export as
+  // gauges (Set, not Increment — a re-poll must not double-count).
+  for (const auto& c : member.view.snapshot.counters) {
+    reg->GetGauge(labelled(c.name))->Set(static_cast<double>(c.value));
+  }
+  for (const auto& g : member.view.snapshot.gauges) {
+    reg->GetGauge(labelled(g.name))->Set(g.value);
+  }
+  for (const auto& h : member.view.snapshot.histograms) {
+    reg->GetGauge(labelled(SuffixedName(h.name, "_count")))
+        ->Set(static_cast<double>(h.snapshot.count));
+    reg->GetGauge(labelled(SuffixedName(h.name, "_sum")))->Set(h.snapshot.sum);
+    reg->GetGauge(labelled(SuffixedName(h.name, "_p50")))
+        ->Set(h.snapshot.Quantile(0.50));
+    reg->GetGauge(labelled(SuffixedName(h.name, "_p95")))
+        ->Set(h.snapshot.Quantile(0.95));
+    reg->GetGauge(labelled(SuffixedName(h.name, "_p99")))
+        ->Set(h.snapshot.Quantile(0.99));
+  }
+}
+
+void FleetCollector::RebuildMerged() {
+  merged_.clear();
+  size_t reachable = 0;
+  for (const auto& member : members_) {
+    if (!member->view.reachable && member->view.polls_ok == 0) continue;
+    if (member->view.reachable) reachable++;
+    for (const auto& h : member->view.snapshot.histograms) {
+      // Layout already checked against this build at accept time, so a
+      // merge failure here would be a bug, not remote data; drop silently
+      // rather than poison the map.
+      (void)merged_[h.name].MergeFrom(h.snapshot);
+    }
+  }
+  if (members_reachable_gauge_ != nullptr) {
+    members_reachable_gauge_->Set(static_cast<double>(reachable));
+  }
+  if (options_.registry != nullptr) {
+    const std::string& p = options_.metric_prefix;
+    for (const auto& [name, snap] : merged_) {
+      options_.registry->GetGauge(p + SuffixedName(name, "_merged_count"))
+          ->Set(static_cast<double>(snap.count));
+      options_.registry->GetGauge(p + SuffixedName(name, "_merged_p95"))
+          ->Set(snap.Quantile(0.95));
+    }
+  }
+}
+
+Status FleetCollector::PollOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status first_error = Status::Ok();
+  for (auto& member : members_) {
+    polls_attempted_++;
+    Status s = PollMember(member.get());
+    if (s.ok()) {
+      polls_ok_++;
+      if (polls_ok_counter_ != nullptr) polls_ok_counter_->Increment();
+    } else {
+      polls_failed_++;
+      if (polls_failed_counter_ != nullptr) polls_failed_counter_->Increment();
+      if (options_.logger != nullptr) {
+        options_.logger->Log(
+            obs::LogLevel::kWarn, "fleet", "metrics poll skipped",
+            {obs::LogField("shard",
+                           static_cast<uint64_t>(member->where.shard)),
+             obs::LogField("replica",
+                           static_cast<uint64_t>(member->where.replica)),
+             obs::LogField("code", Status::CodeName(s.code())),
+             obs::LogField("error", s.message())});
+      }
+      if (first_error.ok()) first_error = s;
+    }
+  }
+  RebuildMerged();
+  return first_error;
+}
+
+void FleetCollector::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_.load(std::memory_order_acquire)) return;
+  running_.store(true, std::memory_order_release);
+  poll_thread_ = std::thread([this] { PollLoop(); });
+}
+
+void FleetCollector::Stop() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  running_.store(false, std::memory_order_release);
+  if (poll_thread_.joinable()) poll_thread_.join();
+}
+
+void FleetCollector::PollLoop() {
+  // First poll fires immediately; later ones gate on the injectable clock.
+  double last_poll = clock_() - options_.poll_interval_seconds;
+  while (running_.load(std::memory_order_acquire)) {
+    const double now = clock_();
+    if (now - last_poll >= options_.poll_interval_seconds) {
+      (void)PollOnce();
+      last_poll = now;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kPollTickSeconds));
+  }
+}
+
+FleetView FleetCollector::View() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetView view;
+  view.members.reserve(members_.size());
+  for (const auto& member : members_) {
+    view.members.push_back(member->view);
+  }
+  view.merged = merged_;
+  view.polls_attempted = polls_attempted_;
+  view.polls_ok = polls_ok_;
+  view.polls_failed = polls_failed_;
+  view.payload_drops = payload_drops_;
+  view.layout_rejects = layout_rejects_;
+  return view;
+}
+
+}  // namespace lightlt::net

@@ -1,0 +1,151 @@
+// Router-side fleet telemetry collection (DESIGN.md §15).
+//
+// A FleetCollector periodically pulls the full MetricsRegistry snapshot of
+// every shard process over the metrics admin frame and turns the per-shard
+// dumps into one fleet view:
+//  * per-shard series re-exported into a local registry under shard=/
+//    replica= labels (counters and gauges become gauges — the collector
+//    mirrors observed values, it does not own them);
+//  * histograms merged across members into fleet-wide aggregates with the
+//    layout-checked HistogramSnapshot::MergeFrom, so the merged latency
+//    histogram is exactly the bucket-wise sum of the per-shard snapshots.
+//
+// Degradation contract: an unreachable member or a corrupt/mismatched
+// payload skips that poll and bumps an exact counter (polls_failed /
+// payload_drops / layout_rejects); the member's last good snapshot stays
+// in the view. A poll can never throw or take the collector down.
+
+#ifndef LIGHTLT_NET_FLEET_H_
+#define LIGHTLT_NET_FLEET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/util/status.h"
+
+namespace lightlt::net {
+
+/// One fleet member: the admin endpoint of a shard process plus the
+/// shard/replica coordinates its series are labelled with.
+struct FleetEndpoint {
+  Endpoint endpoint;
+  uint32_t shard = 0;
+  uint32_t replica = 0;
+};
+
+struct FleetCollectorOptions {
+  /// Dial/backoff/pool settings for the admin connections.
+  RemoteClientOptions client;
+  /// Background poll cadence (Start()); PollOnce() ignores it.
+  double poll_interval_seconds = 5.0;
+  /// Per-member budget for one metrics pull.
+  double poll_timeout_seconds = 2.0;
+  /// Re-export target for `{metric_prefix}...{shard=,replica=}` series;
+  /// null = the fleet view is only available via View().
+  obs::MetricsRegistry* registry = nullptr;
+  std::string metric_prefix = "fleet_";
+  /// Seconds clock driving the background poll interval; injectable so
+  /// tests can gate polls deterministically. Default: steady clock.
+  std::function<double()> clock;
+  /// Optional structured logger for skipped polls.
+  obs::Logger* logger = nullptr;
+};
+
+/// Latest known state of one member.
+struct FleetMemberView {
+  uint32_t shard = 0;
+  uint32_t replica = 0;
+  /// The last poll reached the member and its payload was accepted.
+  bool reachable = false;
+  uint64_t polls_ok = 0;
+  std::string prometheus_text;
+  obs::RegistrySnapshot snapshot;
+};
+
+/// A consistent copy of the collector's state.
+struct FleetView {
+  std::vector<FleetMemberView> members;
+  /// Fleet-wide aggregates keyed by histogram name, merged bucket-wise
+  /// across every member's latest accepted snapshot.
+  std::map<std::string, obs::HistogramSnapshot> merged;
+  uint64_t polls_attempted = 0;
+  uint64_t polls_ok = 0;
+  uint64_t polls_failed = 0;   ///< member unreachable or error verdict
+  uint64_t payload_drops = 0;  ///< corrupt payload or layout mismatch
+  uint64_t layout_rejects = 0; ///< payload_drops due to bucket layout
+};
+
+class FleetCollector {
+ public:
+  FleetCollector(std::vector<FleetEndpoint> endpoints,
+                 const FleetCollectorOptions& options);
+  ~FleetCollector();
+
+  FleetCollector(const FleetCollector&) = delete;
+  FleetCollector& operator=(const FleetCollector&) = delete;
+
+  /// Polls every member now (synchronously). Returns the first failure
+  /// (kOk when every member answered with an accepted payload); partial
+  /// results are kept either way.
+  Status PollOnce();
+
+  /// Starts the background poll thread (idempotent).
+  void Start();
+  /// Stops and joins the poll thread (idempotent; the destructor calls it).
+  void Stop();
+
+  FleetView View() const;
+
+  size_t num_members() const { return members_.size(); }
+  RemoteSearcherClient& client(size_t member) const {
+    return *members_[member]->client;
+  }
+
+ private:
+  struct Member {
+    FleetEndpoint where;
+    std::unique_ptr<RemoteSearcherClient> client;
+    FleetMemberView view;
+  };
+
+  /// Polls one member; returns non-OK when the poll was skipped.
+  Status PollMember(Member* member);
+  /// Re-exports one member's snapshot under shard=/replica= labels.
+  void ReExport(const Member& member);
+  /// Recomputes merged aggregates + fleet gauges from member views.
+  void RebuildMerged();
+  void PollLoop();
+
+  FleetCollectorOptions options_;
+  std::function<double()> clock_;
+  std::vector<std::unique_ptr<Member>> members_;
+
+  mutable std::mutex mu_;  ///< guards member views, merged map, counters
+  std::map<std::string, obs::HistogramSnapshot> merged_;
+  uint64_t polls_attempted_ = 0;
+  uint64_t polls_ok_ = 0;
+  uint64_t polls_failed_ = 0;
+  uint64_t payload_drops_ = 0;
+  uint64_t layout_rejects_ = 0;
+
+  std::mutex thread_mu_;
+  std::thread poll_thread_;
+  std::atomic<bool> running_{false};
+
+  obs::Counter* polls_ok_counter_ = nullptr;
+  obs::Counter* polls_failed_counter_ = nullptr;
+  obs::Counter* payload_drops_counter_ = nullptr;
+  obs::Gauge* members_reachable_gauge_ = nullptr;
+};
+
+}  // namespace lightlt::net
+
+#endif  // LIGHTLT_NET_FLEET_H_

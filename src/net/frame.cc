@@ -9,7 +9,7 @@ namespace {
 
 bool KnownFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kSearchRequest) &&
-         t <= static_cast<uint8_t>(FrameType::kPong);
+         t <= static_cast<uint8_t>(FrameType::kMetricsResponse);
 }
 
 void PutLe(std::vector<uint8_t>* out, const void* data, size_t n) {
@@ -260,6 +260,10 @@ std::vector<uint8_t> EncodeSearchRequest(const WireSearchRequest& req) {
   w.PutU32(req.top_k);
   w.PutF64(req.budget_seconds);
   w.PutF32Array(req.query.data(), req.query.size());
+  w.PutU64(req.trace.trace_id);
+  w.PutI32(req.trace.parent_span);
+  w.PutU8(req.trace.sampled ? 1 : 0);
+  w.PutU64(static_cast<uint64_t>(req.trace.unix_minus_steady));
   return w.Take();
 }
 
@@ -271,8 +275,46 @@ Status DecodeSearchRequest(const std::vector<uint8_t>& body,
   out->top_k = r.TakeU32();
   out->budget_seconds = r.TakeF64();
   out->query = r.TakeF32Array();
+  out->trace.trace_id = r.TakeU64();
+  out->trace.parent_span = r.TakeI32();
+  out->trace.sampled = r.TakeU8() != 0;
+  out->trace.unix_minus_steady = static_cast<int64_t>(r.TakeU64());
   return r.ExpectConsumed();
 }
+
+namespace {
+
+/// Smallest possible span record on the wire: empty name (u32 len) +
+/// parent i32 + start/end u64 — the pre-allocation bound for the count.
+constexpr size_t kMinSpanWireBytes = 4 + 4 + 8 + 8;
+
+/// Decodes the telemetry trailer (spans_dropped + span records) from
+/// whatever remains in `r`. Returns false on any structural violation —
+/// the caller discards the trailer instead of failing the response.
+bool DecodeSpanTrailer(WireReader* r, std::vector<obs::Trace::SpanRecord>* spans,
+                       uint32_t* spans_dropped) {
+  *spans_dropped = r->TakeU32();
+  const uint32_t num_spans = r->TakeU32();
+  if (!r->status().ok()) return false;
+  if (num_spans > kMaxWireSpans ||
+      num_spans > r->remaining() / kMinSpanWireBytes) {
+    return false;
+  }
+  spans->clear();
+  spans->reserve(num_spans);
+  for (uint32_t i = 0; i < num_spans; ++i) {
+    obs::Trace::SpanRecord rec;
+    rec.name = r->TakeString();
+    rec.parent = r->TakeI32();
+    rec.start_ns = r->TakeU64();
+    rec.end_ns = r->TakeU64();
+    if (!r->status().ok()) return false;
+    spans->push_back(std::move(rec));
+  }
+  return r->ExpectConsumed().ok();
+}
+
+}  // namespace
 
 std::vector<uint8_t> EncodeSearchResponse(const WireSearchResponse& resp) {
   WireWriter w;
@@ -284,6 +326,22 @@ std::vector<uint8_t> EncodeSearchResponse(const WireSearchResponse& resp) {
   for (const index::SearchHit& h : resp.hits) {
     w.PutU32(h.id);
     w.PutF32(h.distance);
+  }
+  // Telemetry trailer — everything after the hits is droppable without
+  // affecting the search result. The cap is enforced at encode time too,
+  // so a span-happy server cannot emit an undecodable reply.
+  const size_t keep =
+      resp.spans.size() > kMaxWireSpans ? kMaxWireSpans : resp.spans.size();
+  const uint32_t dropped =
+      resp.spans_dropped + static_cast<uint32_t>(resp.spans.size() - keep);
+  w.PutU32(dropped);
+  w.PutU32(static_cast<uint32_t>(keep));
+  for (size_t i = 0; i < keep; ++i) {
+    const obs::Trace::SpanRecord& rec = resp.spans[i];
+    w.PutString(rec.name);
+    w.PutI32(rec.parent);
+    w.PutU64(rec.start_ns);
+    w.PutU64(rec.end_ns);
   }
   return w.Take();
 }
@@ -309,7 +367,19 @@ Status DecodeSearchResponse(const std::vector<uint8_t>& body,
     h.distance = r.TakeF32();
     out->hits.push_back(h);
   }
-  return r.ExpectConsumed();
+  if (!r.status().ok()) return r.status();
+  // Lenient telemetry trailer: a truncated or corrupt trailer degrades to
+  // a partial (empty) trace, never to a failed search (DESIGN.md §15).
+  out->spans.clear();
+  out->spans_dropped = 0;
+  out->trace_corrupt = false;
+  if (r.remaining() > 0 &&
+      !DecodeSpanTrailer(&r, &out->spans, &out->spans_dropped)) {
+    out->spans.clear();
+    out->spans_dropped = 0;
+    out->trace_corrupt = true;
+  }
+  return Status::Ok();
 }
 
 std::vector<uint8_t> EncodeInfoRequest(uint32_t shard) {
@@ -346,6 +416,113 @@ Status DecodeInfoResponse(const std::vector<uint8_t>& body,
   out->global_offset = r.TakeU64();
   out->total_items = r.TakeU64();
   out->dim = r.TakeU32();
+  return r.ExpectConsumed();
+}
+
+std::vector<uint8_t> EncodeMetricsRequest() { return {}; }
+
+Status DecodeMetricsRequest(const std::vector<uint8_t>& body) {
+  if (!body.empty()) {
+    return Status::IoError("net: metrics request body must be empty");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeMetricsResponse(const WireMetricsResponse& resp) {
+  WireWriter w;
+  w.PutI32(resp.code);
+  w.PutString(resp.message);
+  w.PutString(resp.prometheus_text);
+  w.PutU32(resp.sub_buckets);
+  w.PutI32(resp.min_exponent);
+  w.PutI32(resp.max_exponent);
+  w.PutU32(static_cast<uint32_t>(resp.snapshot.counters.size()));
+  for (const auto& c : resp.snapshot.counters) {
+    w.PutString(c.name);
+    w.PutU64(c.value);
+  }
+  w.PutU32(static_cast<uint32_t>(resp.snapshot.gauges.size()));
+  for (const auto& g : resp.snapshot.gauges) {
+    w.PutString(g.name);
+    w.PutF64(g.value);
+  }
+  w.PutU32(static_cast<uint32_t>(resp.snapshot.histograms.size()));
+  for (const auto& h : resp.snapshot.histograms) {
+    w.PutString(h.name);
+    w.PutU64(h.snapshot.count);
+    w.PutF64(h.snapshot.sum);
+    w.PutU32(static_cast<uint32_t>(h.snapshot.counts.size()));
+    for (uint64_t bucket : h.snapshot.counts) {
+      w.PutU64(bucket);
+    }
+  }
+  return w.Take();
+}
+
+Status DecodeMetricsResponse(const std::vector<uint8_t>& body,
+                             WireMetricsResponse* out) {
+  WireReader r(body);
+  out->code = r.TakeI32();
+  out->message = r.TakeString();
+  out->prometheus_text = r.TakeString();
+  out->sub_buckets = r.TakeU32();
+  out->min_exponent = r.TakeI32();
+  out->max_exponent = r.TakeI32();
+
+  const uint32_t num_counters = r.TakeU32();
+  if (!r.status().ok()) return r.status();
+  constexpr size_t kMinCounterBytes = 4 + 8;  // empty name + u64
+  if (num_counters > r.remaining() / kMinCounterBytes) {
+    return Status::IoError("net: counter count exceeds message");
+  }
+  out->snapshot.counters.clear();
+  out->snapshot.counters.reserve(num_counters);
+  for (uint32_t i = 0; i < num_counters; ++i) {
+    obs::RegistrySnapshot::CounterSample c;
+    c.name = r.TakeString();
+    c.value = r.TakeU64();
+    out->snapshot.counters.push_back(std::move(c));
+  }
+
+  const uint32_t num_gauges = r.TakeU32();
+  if (!r.status().ok()) return r.status();
+  constexpr size_t kMinGaugeBytes = 4 + 8;  // empty name + f64
+  if (num_gauges > r.remaining() / kMinGaugeBytes) {
+    return Status::IoError("net: gauge count exceeds message");
+  }
+  out->snapshot.gauges.clear();
+  out->snapshot.gauges.reserve(num_gauges);
+  for (uint32_t i = 0; i < num_gauges; ++i) {
+    obs::RegistrySnapshot::GaugeSample g;
+    g.name = r.TakeString();
+    g.value = r.TakeF64();
+    out->snapshot.gauges.push_back(std::move(g));
+  }
+
+  const uint32_t num_hists = r.TakeU32();
+  if (!r.status().ok()) return r.status();
+  constexpr size_t kMinHistBytes = 4 + 8 + 8 + 4;  // name + count + sum + len
+  if (num_hists > r.remaining() / kMinHistBytes) {
+    return Status::IoError("net: histogram count exceeds message");
+  }
+  out->snapshot.histograms.clear();
+  out->snapshot.histograms.reserve(num_hists);
+  for (uint32_t i = 0; i < num_hists; ++i) {
+    obs::RegistrySnapshot::HistogramSample h;
+    h.name = r.TakeString();
+    h.snapshot.count = r.TakeU64();
+    h.snapshot.sum = r.TakeF64();
+    const uint32_t num_buckets = r.TakeU32();
+    if (!r.status().ok()) return r.status();
+    if (num_buckets > r.remaining() / sizeof(uint64_t)) {
+      return Status::IoError("net: bucket count exceeds message");
+    }
+    h.snapshot.counts.reserve(num_buckets);
+    for (uint32_t b = 0; b < num_buckets; ++b) {
+      h.snapshot.counts.push_back(r.TakeU64());
+    }
+    out->snapshot.histograms.push_back(std::move(h));
+  }
   return r.ExpectConsumed();
 }
 

@@ -30,18 +30,25 @@
 
 #include "src/index/adc_index.h"
 #include "src/net/socket.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
 
 namespace lightlt::net {
 
 inline constexpr uint32_t kFrameMagic = 0x4C545250;  // "LTRP"
-inline constexpr uint8_t kFrameVersion = 1;
+/// v2 (PR 9): search requests carry a trace context, search responses a
+/// telemetry trailer of span records, and the metrics admin frames exist.
+inline constexpr uint8_t kFrameVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr size_t kFrameFooterBytes = 4;
 /// Upper bound on a frame body. Large enough for a 64k-hit response with
 /// room to spare, small enough that a corrupt length cannot balloon memory.
 inline constexpr size_t kMaxFrameBody = 1u << 22;  // 4 MiB
+/// Upper bound on span records in a response's telemetry trailer; the
+/// server drops (and counts) the excess rather than ballooning replies.
+inline constexpr size_t kMaxWireSpans = 512;
 
 enum class FrameType : uint8_t {
   kSearchRequest = 1,
@@ -50,6 +57,8 @@ enum class FrameType : uint8_t {
   kInfoResponse = 4,
   kPing = 5,
   kPong = 6,
+  kMetricsRequest = 7,
+  kMetricsResponse = 8,
 };
 
 struct Frame {
@@ -161,6 +170,19 @@ Status ReadFrameGivenHeader(Socket* sock,
 // Messages
 // ---------------------------------------------------------------------------
 
+/// Distributed trace context carried by every v2 search request
+/// (DESIGN.md §15). `unix_minus_steady` is the client trace's
+/// epoch-anchored clock offset: the server uses it to re-base its own
+/// steady-clock spans onto the client's timeline before replying, so the
+/// stitched tree shows per-hop wire time as the gap between client-send
+/// and server-recv spans.
+struct WireTraceContext {
+  uint64_t trace_id = 0;
+  int32_t parent_span = -1;  ///< client-side span the remote subtree joins
+  bool sampled = false;      ///< false = server skips its span tree
+  int64_t unix_minus_steady = 0;
+};
+
 /// One search call, shard-addressed (a server may host several shards).
 /// `budget_seconds` propagates the request's *remaining* deadline so the
 /// server can cut scans server-side via ScanControl; negative = infinite.
@@ -170,6 +192,7 @@ struct WireSearchRequest {
   uint32_t top_k = 0;
   double budget_seconds = -1.0;
   std::vector<float> query;
+  WireTraceContext trace;
 };
 
 /// The server's verdict: the replica searcher's Status (code + message)
@@ -182,6 +205,17 @@ struct WireSearchResponse {
   /// The replica shed the request at its admission budget (forwarded so
   /// the client-side ReplicaAttempt keeps the same shape as a local one).
   bool shed = false;
+  /// Telemetry trailer: the server's span records, already re-based onto
+  /// the requesting trace's steady timeline. Decoded *leniently* — a
+  /// corrupt trailer inside a CRC-valid frame clears `spans`, sets
+  /// `trace_corrupt`, and the search result still decodes OK (the
+  /// degradation contract of DESIGN.md §15).
+  std::vector<obs::Trace::SpanRecord> spans;
+  /// Spans the server dropped at the kMaxWireSpans cap.
+  uint32_t spans_dropped = 0;
+  /// Decode-side only (never encoded): the trailer failed to parse and
+  /// was discarded.
+  bool trace_corrupt = false;
 };
 
 /// Corpus layout of one hosted shard, fetched by clients at connect time.
@@ -195,6 +229,21 @@ struct WireInfoResponse {
   uint32_t dim = 0;
 };
 
+/// A shard process's full MetricsRegistry dump, pulled over the metrics
+/// admin frame: Prometheus text for humans plus the structured snapshot
+/// (full histogram bucket vectors) the FleetCollector merges exactly.
+/// The bucket-layout triple is declared once so a collector can reject a
+/// snapshot built with different histogram constants before merging.
+struct WireMetricsResponse {
+  int32_t code = 0;  // StatusCode as i32
+  std::string message;
+  std::string prometheus_text;
+  uint32_t sub_buckets = 0;
+  int32_t min_exponent = 0;
+  int32_t max_exponent = 0;
+  obs::RegistrySnapshot snapshot;
+};
+
 std::vector<uint8_t> EncodeSearchRequest(const WireSearchRequest& req);
 Status DecodeSearchRequest(const std::vector<uint8_t>& body,
                            WireSearchRequest* out);
@@ -206,6 +255,14 @@ Status DecodeSearchResponse(const std::vector<uint8_t>& body,
 /// Info request body: u32 shard id.
 std::vector<uint8_t> EncodeInfoRequest(uint32_t shard);
 Status DecodeInfoRequest(const std::vector<uint8_t>& body, uint32_t* shard);
+
+/// Metrics request body: empty (the reply dumps the whole registry).
+std::vector<uint8_t> EncodeMetricsRequest();
+Status DecodeMetricsRequest(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeMetricsResponse(const WireMetricsResponse& resp);
+Status DecodeMetricsResponse(const std::vector<uint8_t>& body,
+                             WireMetricsResponse* out);
 
 std::vector<uint8_t> EncodeInfoResponse(const WireInfoResponse& resp);
 Status DecodeInfoResponse(const std::vector<uint8_t>& body,

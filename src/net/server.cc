@@ -16,7 +16,12 @@ constexpr double kDrainPollSeconds = 0.005;
 
 ShardServer::ShardServer(std::shared_ptr<const serving::ShardSet> shards,
                          const ShardServerOptions& options)
-    : shards_(std::move(shards)), options_(options) {}
+    : shards_(std::move(shards)), options_(options) {
+  trace_clock_ = options_.trace_clock ? options_.trace_clock
+                                      : obs::TraceClock(&obs::SteadyNowNanos);
+  wall_clock_ = options_.wall_clock ? options_.wall_clock
+                                    : obs::TraceClock(&obs::UnixNowNanos);
+}
 
 ShardServer::~ShardServer() { ShutdownNow(); }
 
@@ -34,6 +39,7 @@ void ShardServer::RegisterMetrics() {
   wire_errors_counter_ = reg->GetCounter(p + "wire_errors_total");
   forced_closes_counter_ = reg->GetCounter(p + "forced_closes_total");
   drain_seconds_hist_ = reg->GetHistogram(p + "drain_seconds");
+  request_seconds_hist_ = reg->GetHistogram(p + "request_seconds");
 }
 
 Status ShardServer::Start() {
@@ -49,6 +55,16 @@ Status ShardServer::Start() {
   listener_ = std::move(listener).value();
   port_ = listener_.port();
 
+  if (options_.admin_listener) {
+    auto admin = Listener::Bind(options_.host, options_.admin_port);
+    if (!admin.ok()) {
+      listener_.Close();
+      return admin.status();
+    }
+    admin_listener_ = std::move(admin).value();
+    admin_port_ = admin_listener_.port();
+  }
+
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
   } else {
@@ -59,13 +75,16 @@ Status ShardServer::Start() {
   RegisterMetrics();
 
   serving_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(&listener_); });
+  if (admin_listener_.valid()) {
+    admin_accept_thread_ = std::thread([this] { AcceptLoop(&admin_listener_); });
+  }
   return Status::Ok();
 }
 
-void ShardServer::AcceptLoop() {
+void ShardServer::AcceptLoop(Listener* listener) {
   while (serving_.load(std::memory_order_acquire)) {
-    Result<Socket> accepted = listener_.Accept(kAcceptTickSeconds);
+    Result<Socket> accepted = listener->Accept(kAcceptTickSeconds);
     if (!accepted.ok()) {
       if (accepted.status().code() == StatusCode::kDeadlineExceeded) continue;
       break;  // listener closed
@@ -97,6 +116,9 @@ void ShardServer::HandleConnection(uint64_t id, std::shared_ptr<Socket> sock) {
     const ScanControl idle{Deadline(), drain_.token()};
     Status status = sock->RecvAll(header, kFrameHeaderBytes, idle);
     if (!status.ok()) break;
+    // Frame receipt time on the server's trace clock: the start of the
+    // rpc_recv span if this turns out to be a sampled search request.
+    const uint64_t recv_ns = trace_clock_();
 
     Frame frame;
     const ScanControl busy{Deadline::After(options_.write_budget_seconds),
@@ -118,7 +140,7 @@ void ShardServer::HandleConnection(uint64_t id, std::shared_ptr<Socket> sock) {
     if (frames_received_counter_ != nullptr) {
       frames_received_counter_->Increment();
     }
-    if (!ServeFrame(sock.get(), frame)) break;
+    if (!ServeFrame(sock.get(), frame, recv_ns)) break;
   }
 
   sock->Close();
@@ -143,7 +165,8 @@ bool ShardServer::HostsShard(uint32_t shard) const {
   return false;
 }
 
-bool ShardServer::ServeFrame(Socket* sock, const Frame& frame) {
+bool ShardServer::ServeFrame(Socket* sock, const Frame& frame,
+                             uint64_t recv_ns) {
   const ScanControl write_ctl{Deadline::After(options_.write_budget_seconds),
                               hard_stop_.token()};
   auto send = [&](FrameType type, const std::vector<uint8_t>& body) {
@@ -188,6 +211,19 @@ bool ShardServer::ServeFrame(Socket* sock, const Frame& frame) {
         if (wire_errors_counter_ != nullptr) wire_errors_counter_->Increment();
         return false;
       }
+      // Server-side span tree under the propagated context
+      // (rpc_recv → decode / scan / encode_reply): only built when the
+      // client sampled the request, and re-based onto the client's steady
+      // timeline before it goes on the wire (DESIGN.md §15).
+      std::unique_ptr<obs::Trace> trace;
+      obs::Span rpc_span;
+      if (req.trace.sampled) {
+        trace = std::make_unique<obs::Trace>(trace_clock_, wall_clock_);
+        trace->set_trace_id(req.trace.trace_id);
+        rpc_span = trace->StartSpanAt("rpc_recv", obs::Span(), recv_ns);
+        // [frame header seen, request decoded] — body receive + decode.
+        trace->AddCompleteSpan("decode", rpc_span, recv_ns, trace_clock_());
+      }
       WireSearchResponse resp;
       WallTimer timer;
       if (!HostsShard(req.shard)) {
@@ -210,15 +246,39 @@ bool ShardServer::ServeFrame(Socket* sock, const Frame& frame) {
                                       : Deadline::After(req.budget_seconds);
         const ScanControl control{deadline, hard_stop_.token(),
                                   options_.scan_check_every};
+        obs::Span scan_span;
+        if (trace != nullptr) {
+          scan_span = trace->StartSpan("scan", rpc_span);
+        }
         serving::ReplicaAttempt attempt = shards_->SearchReplica(
             req.shard, req.replica, req.query.data(), req.top_k, control,
-            nullptr, nullptr);
+            trace.get(), trace != nullptr ? &scan_span : nullptr);
+        scan_span.End();
         resp.code = static_cast<int32_t>(attempt.status.code());
         resp.message = attempt.status.message();
         resp.hits = std::move(attempt.hits);
         resp.shed = attempt.shed;
       }
       resp.server_seconds = timer.ElapsedSeconds();
+      if (request_seconds_hist_ != nullptr) {
+        request_seconds_hist_->Record(resp.server_seconds);
+      }
+      if (trace != nullptr) {
+        // encode_reply covers reply assembly up to the span snapshot;
+        // serializing the spans themselves happens after the tree is
+        // frozen — the one interval the trace cannot observe (§15).
+        const uint64_t enc_start = trace_clock_();
+        trace->AddCompleteSpan("encode_reply", rpc_span, enc_start,
+                               trace_clock_());
+        rpc_span.End();
+        std::vector<obs::Trace::SpanRecord> records = trace->Records();
+        // Re-base onto the client's steady timeline: +server offset takes
+        // a reading to unix time, −client offset takes it back to the
+        // client's steady clock.
+        obs::ShiftSpanTimes(
+            &records, trace->unix_minus_steady() - req.trace.unix_minus_steady);
+        resp.spans = std::move(records);
+      }
       if (resp.code == static_cast<int32_t>(StatusCode::kOk)) {
         requests_ok_.fetch_add(1, std::memory_order_relaxed);
         if (requests_ok_counter_ != nullptr) requests_ok_counter_->Increment();
@@ -229,6 +289,27 @@ bool ShardServer::ServeFrame(Socket* sock, const Frame& frame) {
         }
       }
       return send(FrameType::kSearchResponse, EncodeSearchResponse(resp));
+    }
+
+    case FrameType::kMetricsRequest: {
+      if (!DecodeMetricsRequest(frame.body).ok()) {
+        wire_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (wire_errors_counter_ != nullptr) wire_errors_counter_->Increment();
+        return false;
+      }
+      WireMetricsResponse resp;
+      if (options_.metrics == nullptr) {
+        resp.code = static_cast<int32_t>(StatusCode::kFailedPrecondition);
+        resp.message = "net: metrics not enabled on this server";
+      } else {
+        resp.code = static_cast<int32_t>(StatusCode::kOk);
+        resp.prometheus_text = options_.metrics->RenderText();
+        resp.sub_buckets = obs::Histogram::kSubBuckets;
+        resp.min_exponent = obs::Histogram::kMinExponent;
+        resp.max_exponent = obs::Histogram::kMaxExponent;
+        resp.snapshot = options_.metrics->Snapshot();
+      }
+      return send(FrameType::kMetricsResponse, EncodeMetricsResponse(resp));
     }
 
     default:
@@ -254,6 +335,7 @@ void ShardServer::StopInternal(double drain_seconds) {
   // tick and close cleanly.
   serving_.store(false, std::memory_order_release);
   listener_.Close();
+  admin_listener_.Close();
   drain_.RequestCancellation();
 
   // Phase 2: let committed requests finish and flush, up to the budget.
@@ -283,6 +365,7 @@ void ShardServer::StopInternal(double drain_seconds) {
   }
 
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (admin_accept_thread_.joinable()) admin_accept_thread_.join();
   if (handlers_ != nullptr) handlers_->Wait();
   stopped_.store(true, std::memory_order_release);
 

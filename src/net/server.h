@@ -33,6 +33,7 @@
 #include "src/net/frame.h"
 #include "src/net/socket.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serving/shard.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
@@ -44,6 +45,12 @@ struct ShardServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; the bound port is reported by port() after Start().
   uint16_t port = 0;
+  /// Binds a second listener for the admin plane (metrics pulls, pings)
+  /// so fleet polling never queues behind search traffic on the data
+  /// port. Frames are served identically on both listeners.
+  bool admin_listener = false;
+  /// 0 = ephemeral; reported by admin_port() after Start().
+  uint16_t admin_port = 0;
   /// Shard ids this server answers for (empty = every shard of the set).
   /// Requests for an unhosted shard get kNotFound, not a connection drop.
   std::vector<size_t> hosted_shards;
@@ -61,9 +68,14 @@ struct ShardServerOptions {
   ThreadPool* pool = nullptr;
   size_t own_pool_threads = 8;
   /// Optional registry for `{metric_prefix}...` gauges/counters; must
-  /// outlive the server.
+  /// outlive the server. Also the registry dumped to metrics admin
+  /// frames — a null registry answers them with kFailedPrecondition.
   obs::MetricsRegistry* metrics = nullptr;
   std::string metric_prefix = "net_server_";
+  /// Clocks for the server-side span tree (DESIGN.md §15); injectable so
+  /// tests assert exact stitched durations. Default: steady/unix clocks.
+  obs::TraceClock trace_clock;
+  obs::TraceClock wall_clock;
 };
 
 /// Exact counters for one server lifetime (reset only by construction).
@@ -96,6 +108,8 @@ class ShardServer {
 
   /// The bound port (valid after a successful Start()).
   uint16_t port() const { return port_; }
+  /// The bound admin-plane port (0 unless options.admin_listener).
+  uint16_t admin_port() const { return admin_port_; }
   const std::string& host() const { return options_.host; }
 
   /// Graceful shutdown; returns after every connection is gone and the
@@ -114,11 +128,13 @@ class ShardServer {
     std::shared_ptr<Socket> sock;
   };
 
-  void AcceptLoop();
+  void AcceptLoop(Listener* listener);
   void HandleConnection(uint64_t id, std::shared_ptr<Socket> sock);
   /// Serves one decoded request frame; returns false when the connection
-  /// must close (wire error or send failure).
-  bool ServeFrame(Socket* sock, const Frame& frame);
+  /// must close (wire error or send failure). `recv_ns` is the server
+  /// trace clock's reading when the frame header arrived — the start of
+  /// the rpc_recv span if the request is sampled.
+  bool ServeFrame(Socket* sock, const Frame& frame, uint64_t recv_ns);
   bool HostsShard(uint32_t shard) const;
   void StopInternal(double drain_seconds);
   void RegisterMetrics();
@@ -126,9 +142,12 @@ class ShardServer {
   std::shared_ptr<const serving::ShardSet> shards_;
   ShardServerOptions options_;
   uint16_t port_ = 0;
+  uint16_t admin_port_ = 0;
 
   Listener listener_;
+  Listener admin_listener_;
   std::thread accept_thread_;
+  std::thread admin_accept_thread_;
   std::unique_ptr<ThreadPool> own_pool_;
   ThreadPool* pool_ = nullptr;
   std::unique_ptr<TaskGroup> handlers_;
@@ -165,6 +184,11 @@ class ShardServer {
   obs::Counter* wire_errors_counter_ = nullptr;
   obs::Counter* forced_closes_counter_ = nullptr;
   obs::Histogram* drain_seconds_hist_ = nullptr;
+  obs::Histogram* request_seconds_hist_ = nullptr;
+
+  /// Resolved trace clocks (options or defaults).
+  obs::TraceClock trace_clock_;
+  obs::TraceClock wall_clock_;
 };
 
 }  // namespace lightlt::net

@@ -45,6 +45,25 @@ HistogramSnapshot HistogramSnapshot::Delta(
   return out;
 }
 
+Status HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (counts.empty()) {
+    *this = other;
+    return Status::Ok();
+  }
+  if (other.counts.empty()) return Status::Ok();
+  if (counts.size() != other.counts.size()) {
+    return Status::InvalidArgument(
+        "HistogramSnapshot: layout mismatch, " + std::to_string(counts.size()) +
+        " vs " + std::to_string(other.counts.size()) + " buckets");
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  return Status::Ok();
+}
+
 double Histogram::BucketRatio() {
   return std::exp2(1.0 / kSubBuckets);
 }
@@ -123,6 +142,19 @@ std::string EscapeLabelValue(const std::string& value) {
 std::string WithLabel(const std::string& base, const std::string& key,
                       const std::string& value) {
   return base + "{" + key + "=\"" + EscapeLabelValue(value) + "\"}";
+}
+
+std::string AddLabel(const std::string& name, const std::string& key,
+                     const std::string& value) {
+  const std::string pair = key + "=\"" + EscapeLabelValue(value) + "\"";
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.empty() || name.back() != '}') {
+    return name + "{" + pair + "}";
+  }
+  // `base{}` (degenerate) gets the pair without a leading comma.
+  const bool empty_block = name.size() == brace + 2;
+  return name.substr(0, name.size() - 1) + (empty_block ? "" : ",") + pair +
+         "}";
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
@@ -253,6 +285,27 @@ std::string MetricsRegistry::RenderText() const {
            "\n";
   }
   return out;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size() + callback_gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, fn] : callback_gauges_) {
+    snap.gauges.push_back({name, fn()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.push_back({name, hist->Snapshot()});
+  }
+  return snap;
 }
 
 std::string MetricsRegistry::RenderJsonl() const {

@@ -108,6 +108,15 @@ struct HistogramSnapshot {
   /// accidentally swapped operands) yield an empty-ish window instead of
   /// wrapped 2^64 counts. `count` is recomputed from the guarded buckets.
   HistogramSnapshot Delta(const HistogramSnapshot& earlier) const;
+
+  /// Layout-checked merge: adds `other`'s buckets, count and sum into this
+  /// snapshot. Merging into an empty (bucketless) snapshot adopts `other`'s
+  /// layout, so a zero-initialised accumulator works; otherwise the bucket
+  /// vectors must have identical length (same kSubBuckets/exponent-range
+  /// build) — a mismatch is kInvalidArgument and leaves this snapshot
+  /// untouched. The fleet collector folds per-shard snapshots with this,
+  /// and conservation is exact: merged counts equal the element-wise sum.
+  Status MergeFrom(const HistogramSnapshot& other);
 };
 
 inline HistogramSnapshot operator-(const HistogramSnapshot& later,
@@ -164,6 +173,35 @@ std::string EscapeLabelValue(const std::string& value);
 std::string WithLabel(const std::string& base, const std::string& key,
                       const std::string& value);
 
+/// Adds one label to a possibly-already-labelled name:
+/// `base` → `base{key="value"}`, `base{a="b"}` → `base{a="b",key="value"}`.
+/// The fleet collector uses this to re-export remote series under
+/// shard=/replica= labels without parsing the original label block.
+std::string AddLabel(const std::string& name, const std::string& key,
+                     const std::string& value);
+
+/// Structured point-in-time dump of a whole registry — the payload of the
+/// metrics admin frame (DESIGN.md §15). Callback gauges are evaluated into
+/// plain gauge samples; histograms keep full bucket vectors so a collector
+/// can merge them exactly (RenderText alone loses the buckets).
+struct RegistrySnapshot {
+  struct CounterSample {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    HistogramSnapshot snapshot;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;          ///< includes callback gauges
+  std::vector<HistogramSample> histograms;
+};
+
 /// Named metric owner. Get* registers on first use and returns a stable
 /// pointer — callers cache it and never pay the registry lock again.
 /// Thread-safe; metrics live as long as the registry.
@@ -186,6 +224,11 @@ class MetricsRegistry {
   /// Prometheus-style text exposition: counters, gauges, and summary-style
   /// histograms (quantile lines + _sum/_count), sorted by name.
   std::string RenderText() const;
+
+  /// Structured dump: every counter/gauge value plus full histogram
+  /// snapshots, each group sorted by name (callback gauges are evaluated
+  /// here and appended after the plain gauges).
+  RegistrySnapshot Snapshot() const;
 
   /// One JSON object per line per metric — machine-readable dump for
   /// diffing runs (tools/bench_smoke.sh).

@@ -245,7 +245,8 @@ std::string SlowQueryLog::RenderJsonl() const {
   for (const SlowQueryRecord& rec : Snapshot()) {
     out += "{\"id\":" + std::to_string(rec.id) + ",\"kind\":\"" +
            QualityJsonEscape(rec.kind) + "\",\"outcome\":\"" +
-           QualityJsonEscape(rec.outcome) +
+           QualityJsonEscape(rec.outcome) + "\",\"trace_id\":\"" +
+           TraceIdHex(rec.trace_id) +
            "\",\"latency_seconds\":" + QualityFormatDouble(rec.latency_seconds) +
            ",\"recall\":" + QualityFormatDouble(rec.recall) +
            ",\"explain\":{\"chunks\":" + std::to_string(rec.explain.chunks) +
@@ -253,14 +254,21 @@ std::string SlowQueryLog::RenderJsonl() const {
            ",\"probed_cells\":" + std::to_string(rec.explain.probed_cells) +
            ",\"degraded\":" + (rec.explain.degraded ? "true" : "false") +
            ",\"flat_fallback\":" +
-           (rec.explain.flat_fallback ? "true" : "false") + "},\"spans\":[";
+           (rec.explain.flat_fallback ? "true" : "false") +
+           ",\"coverage\":" + QualityFormatDouble(rec.explain.coverage) +
+           ",\"shards_answered\":" +
+           std::to_string(rec.explain.shards_answered) +
+           ",\"failovers\":" + std::to_string(rec.explain.failovers) +
+           "},\"spans\":[";
     for (size_t i = 0; i < rec.spans.size(); ++i) {
       const Trace::SpanRecord& span = rec.spans[i];
       if (i > 0) out += ",";
       out += "{\"name\":\"" + QualityJsonEscape(span.name) +
              "\",\"parent\":" + std::to_string(span.parent) +
              ",\"start_ns\":" + std::to_string(span.start_ns) +
-             ",\"end_ns\":" + std::to_string(span.end_ns) + "}";
+             ",\"end_ns\":" + std::to_string(span.end_ns) +
+             ",\"shard\":" + std::to_string(span.shard) +
+             ",\"remote\":" + (span.remote ? "true" : "false") + "}";
     }
     out += "]}\n";
   }

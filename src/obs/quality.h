@@ -168,16 +168,27 @@ struct ExplainRecord {
   uint64_t probed_cells = 0;  ///< IVF cells probed (0 on flat scans)
   bool degraded = false;      ///< admitted in degraded mode
   bool flat_fallback = false; ///< IVF path failed/short; flat scan served
+  /// Cluster attribution (left at defaults on single-node records):
+  /// fraction of database rows behind the answer, shards that answered,
+  /// and replica attempts beyond the first across all shards.
+  double coverage = 1.0;
+  uint32_t shards_answered = 0;
+  uint32_t failovers = 0;
 };
 
 struct SlowQueryRecord {
   uint64_t id = 0;  ///< assigned by the log, monotonically increasing
   std::string kind;     ///< "latency" or "recall_miss"
   std::string outcome;  ///< terminal status: "ok" or a StatusCode name
+  /// Id of the request's trace (0 = untraced) so a slow-query record joins
+  /// against trace dumps and trace-stamped log lines by grep.
+  uint64_t trace_id = 0;
   double latency_seconds = 0.0;
   double recall = -1.0;  ///< shadow recall@k, -1 when not sampled
   ExplainRecord explain;
-  /// Full span tree of the request when tracing was active for it.
+  /// Full span tree of the request when tracing was active for it —
+  /// including stitched remote subtrees, whose records carry shard
+  /// attribution (SpanRecord::shard/remote).
   std::vector<Trace::SpanRecord> spans;
 };
 

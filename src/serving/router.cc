@@ -63,6 +63,23 @@ Router::ShardOutcome Router::SearchShard(size_t shard, const float* query,
       MaybeSpan(trace, "shard_" + std::to_string(shard), parent);
   const obs::Span* shard_parent = trace ? &shard_span : nullptr;
 
+  // Every failover verdict is logged with the request's trace id, so a
+  // stitched trace dump and the router's log lines join by grep
+  // (trace_id=0000... on untraced requests).
+  const uint64_t trace_id = trace != nullptr ? trace->trace_id() : 0;
+  auto log_verdict = [&](const char* verdict, size_t replica,
+                         const Status& s) {
+    if (options_.logger == nullptr) return;
+    options_.logger->Log(
+        obs::LogLevel::kWarn, "router", "replica attempt failed",
+        {obs::LogField("trace_id", obs::TraceIdHex(trace_id)),
+         obs::LogField("shard", static_cast<uint64_t>(shard)),
+         obs::LogField("replica", static_cast<uint64_t>(replica)),
+         obs::LogField("verdict", verdict),
+         obs::LogField("code", Status::CodeName(s.code())),
+         obs::LogField("error", s.message())});
+  };
+
   const std::vector<size_t> candidates = health_->Candidates(shard);
   if (candidates.empty()) {
     outcome.status =
@@ -132,6 +149,7 @@ Router::ShardOutcome Router::SearchShard(size_t shard, const float* query,
           // replica was too slow to answer in its share — a timeout signal,
           // and grounds to fail over.
           health_->RecordTimeout(shard, replica);
+          log_verdict("timeout", replica, attempt.status);
           ++outcome.timeouts;
           last = std::move(attempt.status);
           break;
@@ -144,9 +162,18 @@ Router::ShardOutcome Router::SearchShard(size_t shard, const float* query,
       default:
         // Error or admission shed — both count against the replica.
         health_->RecordFailure(shard, replica);
+        log_verdict("failure", replica, attempt.status);
         last = std::move(attempt.status);
         break;
     }
+  }
+  if (options_.logger != nullptr && !last.ok()) {
+    options_.logger->Log(
+        obs::LogLevel::kWarn, "router", "shard exhausted its replicas",
+        {obs::LogField("trace_id", obs::TraceIdHex(trace_id)),
+         obs::LogField("shard", static_cast<uint64_t>(shard)),
+         obs::LogField("attempts", static_cast<uint64_t>(outcome.attempts)),
+         obs::LogField("code", Status::CodeName(last.code()))});
   }
   outcome.status = std::move(last);
   return outcome;
@@ -243,6 +270,28 @@ RoutedResult Router::Search(const float* query, size_t top_k,
   return result;
 }
 
+void MaybeCaptureSlowQuery(obs::SlowQueryLog* log, const RoutedResult& routed,
+                           double elapsed_seconds, const obs::Trace* trace) {
+  if (log == nullptr || log->options().latency_threshold_seconds <= 0.0 ||
+      elapsed_seconds < log->options().latency_threshold_seconds) {
+    return;
+  }
+  obs::SlowQueryRecord record;
+  record.kind = "latency";
+  record.outcome =
+      routed.status.ok() ? "ok" : Status::CodeName(routed.status.code());
+  record.trace_id = trace != nullptr ? trace->trace_id() : 0;
+  record.latency_seconds = elapsed_seconds;
+  record.explain.coverage = routed.coverage;
+  record.explain.shards_answered = routed.shards_answered;
+  record.explain.failovers = routed.failovers;
+  // The request's root span is typically still open here; closed child
+  // spans — including stitched remote subtrees with shard attribution —
+  // carry the useful timing.
+  if (trace != nullptr) record.spans = trace->Records();
+  log->Add(std::move(record));
+}
+
 void ClusterService::Instruments::Register(obs::MetricsRegistry* registry,
                                            const std::string& prefix) {
   const std::string requests = prefix + "requests_total";
@@ -311,6 +360,9 @@ Result<ClusterService> ClusterService::Build(
                          ? options.metrics
                          : std::make_shared<obs::MetricsRegistry>();
   service.inst_.Register(service.metrics_.get(), options.metric_prefix);
+  if (options.slow_query.latency_threshold_seconds > 0.0) {
+    service.slow_log_ = std::make_shared<obs::SlowQueryLog>(options.slow_query);
+  }
 
   const Matrix embedded = core::EmbedInChunks(*model, db_features);
   std::vector<std::vector<uint32_t>> codes;
@@ -354,7 +406,12 @@ Result<ClusterResponse> ClusterService::Query(
     return Status::InvalidArgument("Query: features contain NaN/Inf");
   }
   WallTimer timer;
+  // Slow-query capture needs the stitched span tree even when the caller
+  // did not opt into tracing, so an internal per-call trace stands in
+  // (same pattern as RetrievalService).
+  obs::Trace internal_trace;
   obs::Trace* trace = request.trace;
+  if (slow_log_ != nullptr && trace == nullptr) trace = &internal_trace;
   obs::Span query_span = MaybeSpan(trace, "cluster_query", nullptr);
   const obs::Span* query_parent = trace ? &query_span : nullptr;
   Matrix embedded;
@@ -366,6 +423,7 @@ Result<ClusterResponse> ClusterService::Query(
       router_->Search(embedded.row(0), top_k, request.deadline, request.cancel,
                       trace, query_parent);
   const double elapsed = timer.ElapsedSeconds();
+  MaybeCaptureSlowQuery(slow_log_.get(), routed, elapsed, trace);
   inst_.failovers->Increment(routed.failovers);
   inst_.timeouts->Increment(routed.timeouts);
   if (routed.status.ok()) {

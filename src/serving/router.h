@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "src/core/lightlt_model.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/quality.h"
 #include "src/serving/health.h"
 #include "src/serving/service.h"
 #include "src/serving/shard.h"
@@ -65,6 +67,11 @@ struct RouterOptions {
   /// dispatching it would charge the replica a bogus timeout verdict (worse
   /// over a remote transport, where dialing alone would eat the budget).
   double min_attempt_budget_seconds = 1e-6;
+  /// Optional structured logger: every failover verdict (timeout/failure
+  /// that moves the walk to the next replica) and terminal shard failure
+  /// is logged with the request's trace id, so log lines and trace dumps
+  /// join by grep (DESIGN.md §15).
+  obs::Logger* logger = nullptr;
 };
 
 /// Outcome of one routed query. `status` is the single terminal verdict;
@@ -84,6 +91,17 @@ struct RoutedResult {
   /// Per-shard terminal status, index = shard id.
   std::vector<Status> shard_status;
 };
+
+/// Captures one routed query into a slow-query explain ring when it
+/// crossed the ring's latency threshold: terminal outcome, coverage /
+/// shards-answered / failover attribution, and the request's full span
+/// tree (stitched remote subtrees carry per-span shard attribution).
+/// Null `log` and untraced requests are fine; sub-threshold queries are
+/// ignored. ClusterService::Query calls this internally; callers driving
+/// Router directly (e.g. over a RemoteTransport) use it to get the same
+/// ring records.
+void MaybeCaptureSlowQuery(obs::SlowQueryLog* log, const RoutedResult& routed,
+                           double elapsed_seconds, const obs::Trace* trace);
 
 /// Scatter-gather search over a SearchTransport with health-driven
 /// failover. Transport-agnostic: in-process ShardSet and remote shard
@@ -149,6 +167,12 @@ struct ClusterOptions {
   /// Prefix of every cluster metric (`{prefix}requests_total{outcome=...}`,
   /// `{prefix}coverage`, per-replica scan instruments, health gauges).
   std::string metric_prefix = "cluster_";
+  /// Slow-query explain ring (latency_threshold_seconds > 0 enables it).
+  /// Captured records carry the full stitched span tree — remote subtrees
+  /// included, with per-span shard attribution — plus coverage/failover
+  /// accounting, so one ring entry explains where a slow fan-out spent its
+  /// time (DESIGN.md §15).
+  obs::SlowQueryLog::Options slow_query;
 };
 
 /// One successful cluster answer: merged hits plus how much of the
@@ -206,6 +230,10 @@ class ClusterService {
   ReplicaHealthMonitor& health() const { return *health_; }
   const ShardSet& shards() const { return *shards_; }
 
+  /// The slow-query explain ring, when ClusterOptions::slow_query enabled
+  /// one (null otherwise).
+  obs::SlowQueryLog* SlowQueries() const { return slow_log_.get(); }
+
   /// Exact counter snapshot (same conservation discipline as
   /// RetrievalService::Stats: one terminal outcome per query).
   ClusterStats Stats() const;
@@ -238,6 +266,7 @@ class ClusterService {
   std::shared_ptr<ReplicaHealthMonitor> health_;
   std::unique_ptr<Router> router_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::shared_ptr<obs::SlowQueryLog> slow_log_;  // null unless capture on
   Instruments inst_;
 };
 

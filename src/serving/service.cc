@@ -333,6 +333,7 @@ Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
     record.kind = "latency";
     record.outcome =
         result.ok() ? "ok" : Status::CodeName(result.status().code());
+    record.trace_id = trace != nullptr ? trace->trace_id() : 0;
     record.latency_seconds = elapsed;
     if (control.stats != nullptr) {
       record.explain.chunks = control.stats->chunks;

@@ -325,15 +325,184 @@ TEST(FaultInjectionTest, WireMessageRejectsCorruptHitCountBeforeAllocating) {
   resp.code = 0;
   resp.hits = {{1, 0.5f}};
   std::vector<uint8_t> body = net::EncodeSearchResponse(resp);
-  // The hit count is the u32 right before the single 8-byte hit record.
-  ASSERT_GE(body.size(), 12u);
+  // The hit count is the u32 right before the single 8-byte hit record,
+  // which is followed by the empty 8-byte span trailer (v2 wire format).
+  ASSERT_GE(body.size(), 20u);
   const uint32_t bogus = 0xFFFFFFFFu;
-  std::memcpy(body.data() + body.size() - 12, &bogus, sizeof(bogus));
+  std::memcpy(body.data() + body.size() - 20, &bogus, sizeof(bogus));
 
   net::WireSearchResponse out;
   const Status s = net::DecodeSearchResponse(body, &out);
   EXPECT_FALSE(s.ok());
   EXPECT_TRUE(out.hits.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry degradation (DESIGN.md §15): the span trailer of a search
+// response is best-effort freight. Structural corruption *inside the
+// trailer* of a CRC-valid body must never fail the search decode — the
+// hits come through bit-identical and the trace degrades to "dropped"
+// (trace_corrupt, counted by the client). Corruption in the hits
+// themselves stays fatal: results are never served from damaged bytes.
+// ---------------------------------------------------------------------------
+
+net::WireSearchResponse TracedSearchResponse() {
+  net::WireSearchResponse resp;
+  resp.code = 0;
+  resp.message = "ok";
+  resp.hits = {{1, 0.5f}, {2, 0.75f}, {3, 1.25f}};
+  resp.server_seconds = 0.001;
+  obs::Trace::SpanRecord root;
+  root.name = "rpc_recv";
+  root.parent = -1;
+  root.start_ns = 1000;
+  root.end_ns = 9000;
+  obs::Trace::SpanRecord child;
+  child.name = "scan";
+  child.parent = 0;
+  child.start_ns = 2000;
+  child.end_ns = 8000;
+  resp.spans = {root, child};
+  return resp;
+}
+
+/// Offset where the span trailer starts inside an encoded search response:
+/// everything before it (code/message/shed/server_seconds/hits) is the
+/// search result proper.
+size_t SpanTrailerOffset(const net::WireSearchResponse& resp) {
+  net::WireSearchResponse bare = resp;
+  bare.spans.clear();
+  bare.spans_dropped = 0;
+  // The bare encoding ends with the empty trailer: dropped u32 + count u32.
+  return net::EncodeSearchResponse(bare).size() - 8;
+}
+
+TEST(FaultInjectionTest, SpanTrailerBitFlipNeverFailsTheSearchDecode) {
+  const net::WireSearchResponse resp = TracedSearchResponse();
+  const std::vector<uint8_t> body = net::EncodeSearchResponse(resp);
+  const size_t trailer = SpanTrailerOffset(resp);
+  ASSERT_LT(trailer, body.size());
+
+  for (size_t off = trailer; off < body.size(); ++off) {
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::vector<uint8_t> corrupt = body;
+      corrupt[off] ^= mask;
+      net::WireSearchResponse out;
+      const Status s = net::DecodeSearchResponse(corrupt, &out);
+      ASSERT_TRUE(s.ok()) << "trailer flip at offset " << off
+                          << " failed the search decode: " << s.ToString();
+      // The search result is untouched by telemetry damage.
+      ASSERT_EQ(out.hits.size(), resp.hits.size());
+      for (size_t i = 0; i < out.hits.size(); ++i) {
+        EXPECT_EQ(out.hits[i].id, resp.hits[i].id);
+        EXPECT_EQ(out.hits[i].distance, resp.hits[i].distance);
+      }
+      // The trace either survived as a structurally valid (if possibly
+      // value-damaged) span list, or degraded to exactly "dropped".
+      if (out.trace_corrupt) {
+        EXPECT_TRUE(out.spans.empty());
+      } else {
+        EXPECT_LE(out.spans.size(), net::kMaxWireSpans);
+      }
+    }
+  }
+}
+
+TEST(FaultInjectionTest, SpanTrailerTruncationDegradesToDroppedTrace) {
+  const net::WireSearchResponse resp = TracedSearchResponse();
+  const std::vector<uint8_t> body = net::EncodeSearchResponse(resp);
+  const size_t trailer = SpanTrailerOffset(resp);
+
+  // Truncation anywhere inside the trailer: search decodes, trace drops.
+  for (size_t len = trailer + 1; len < body.size(); ++len) {
+    const std::vector<uint8_t> cut(body.begin(), body.begin() + len);
+    net::WireSearchResponse out;
+    const Status s = net::DecodeSearchResponse(cut, &out);
+    ASSERT_TRUE(s.ok()) << "trailer truncation at " << len
+                        << " failed the search decode";
+    EXPECT_TRUE(out.trace_corrupt);
+    EXPECT_TRUE(out.spans.empty());
+    ASSERT_EQ(out.hits.size(), resp.hits.size());
+  }
+  // A body cut exactly at the trailer boundary is a valid v1-style
+  // response: no telemetry, no corruption verdict.
+  const std::vector<uint8_t> bare(body.begin(), body.begin() + trailer);
+  net::WireSearchResponse out;
+  ASSERT_TRUE(net::DecodeSearchResponse(bare, &out).ok());
+  EXPECT_FALSE(out.trace_corrupt);
+  EXPECT_TRUE(out.spans.empty());
+  // Truncation *before* the trailer (inside the hits) stays fatal.
+  for (size_t len = trailer - 8; len < trailer; ++len) {
+    const std::vector<uint8_t> cut(body.begin(), body.begin() + len);
+    net::WireSearchResponse damaged;
+    EXPECT_FALSE(net::DecodeSearchResponse(cut, &damaged).ok())
+        << "hit truncation at " << len << " decoded as valid";
+  }
+}
+
+TEST(FaultInjectionTest, MetricsResponseSurvivesTruncationAtEveryOffset) {
+  // The metrics admin payload is decoded strictly (a FleetCollector skips
+  // the poll on any damage): truncation at every offset must fail cleanly,
+  // never crash, never hand back a partial snapshot.
+  net::WireMetricsResponse resp;
+  resp.code = 0;
+  resp.prometheus_text = "# TYPE x counter\nx 1\n";
+  resp.sub_buckets = obs::Histogram::kSubBuckets;
+  resp.min_exponent = obs::Histogram::kMinExponent;
+  resp.max_exponent = obs::Histogram::kMaxExponent;
+  resp.snapshot.counters.push_back({"x_total", 7});
+  resp.snapshot.gauges.push_back({"y", 2.5});
+  obs::RegistrySnapshot::HistogramSample hist;
+  hist.name = "z_seconds";
+  hist.snapshot.count = 3;
+  hist.snapshot.sum = 0.5;
+  hist.snapshot.counts.assign(obs::Histogram::kNumBuckets, 0);
+  hist.snapshot.counts[10] = 3;
+  resp.snapshot.histograms.push_back(hist);
+  const std::vector<uint8_t> body = net::EncodeMetricsResponse(resp);
+
+  net::WireMetricsResponse intact;
+  ASSERT_TRUE(net::DecodeMetricsResponse(body, &intact).ok());
+  ASSERT_EQ(intact.snapshot.histograms.size(), 1u);
+  EXPECT_EQ(intact.snapshot.histograms[0].snapshot.counts,
+            hist.snapshot.counts);
+
+  for (size_t len = 0; len < body.size(); ++len) {
+    const std::vector<uint8_t> cut(body.begin(), body.begin() + len);
+    net::WireMetricsResponse out;
+    EXPECT_FALSE(net::DecodeMetricsResponse(cut, &out).ok())
+        << "truncated metrics body of " << len << " bytes decoded as valid";
+  }
+}
+
+TEST(FaultInjectionTest, SearchRequestTraceContextRoundTripsAndFuzzes) {
+  net::WireSearchRequest req;
+  req.shard = 1;
+  req.replica = 0;
+  req.top_k = 5;
+  req.budget_seconds = 0.25;
+  req.query = {0.1f, 0.2f, 0.3f};
+  req.trace.trace_id = 0xDEADBEEFCAFEF00Dull;
+  req.trace.parent_span = 4;
+  req.trace.sampled = true;
+  req.trace.unix_minus_steady = -123456789;
+  const std::vector<uint8_t> body = net::EncodeSearchRequest(req);
+
+  net::WireSearchRequest back;
+  ASSERT_TRUE(net::DecodeSearchRequest(body, &back).ok());
+  EXPECT_EQ(back.trace.trace_id, req.trace.trace_id);
+  EXPECT_EQ(back.trace.parent_span, req.trace.parent_span);
+  EXPECT_EQ(back.trace.sampled, req.trace.sampled);
+  EXPECT_EQ(back.trace.unix_minus_steady, req.trace.unix_minus_steady);
+
+  // Requests carry the search itself — no lenient section: truncation at
+  // any offset (including inside the trace context) is fatal.
+  for (size_t len = 0; len < body.size(); ++len) {
+    const std::vector<uint8_t> cut(body.begin(), body.begin() + len);
+    net::WireSearchRequest out;
+    EXPECT_FALSE(net::DecodeSearchRequest(cut, &out).ok())
+        << "truncated request of " << len << " bytes decoded as valid";
+  }
 }
 
 }  // namespace

@@ -193,6 +193,253 @@ TEST(ObsTraceTest, MovedSpanEndsOnce) {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram snapshot merge (fleet aggregation, DESIGN.md §15)
+
+TEST(ObsHistogramMergeTest, MergeAddsBucketsCountAndSumExactly) {
+  Histogram a, b;
+  a.Record(0.001);
+  a.Record(0.5);
+  b.Record(0.5);
+  b.Record(7.0);
+  b.Record(7.0);
+  const HistogramSnapshot sa = a.Snapshot();
+  const HistogramSnapshot sb = b.Snapshot();
+
+  HistogramSnapshot merged = sa;
+  ASSERT_TRUE(merged.MergeFrom(sb).ok());
+  EXPECT_EQ(merged.count, sa.count + sb.count);
+  EXPECT_DOUBLE_EQ(merged.sum, sa.sum + sb.sum);
+  ASSERT_EQ(merged.counts.size(), sa.counts.size());
+  for (size_t i = 0; i < merged.counts.size(); ++i) {
+    EXPECT_EQ(merged.counts[i], sa.counts[i] + sb.counts[i]) << "bucket " << i;
+  }
+}
+
+TEST(ObsHistogramMergeTest, EmptyAccumulatorAdoptsLayout) {
+  Histogram h;
+  h.Record(0.25);
+  HistogramSnapshot acc;  // zero-initialised, no buckets
+  ASSERT_TRUE(acc.MergeFrom(h.Snapshot()).ok());
+  EXPECT_EQ(acc.count, 1u);
+  EXPECT_EQ(acc.counts.size(), Histogram::kNumBuckets);
+  // Merging an empty (bucketless) other into a shaped accumulator is a
+  // no-op, not an error.
+  ASSERT_TRUE(acc.MergeFrom(HistogramSnapshot{}).ok());
+  EXPECT_EQ(acc.count, 1u);
+}
+
+TEST(ObsHistogramMergeTest, MismatchedLayoutIsRejectedUntouched) {
+  Histogram h;
+  h.Record(1.0);
+  HistogramSnapshot acc = h.Snapshot();
+  const HistogramSnapshot before = acc;
+
+  HistogramSnapshot alien;  // a build with different bucket constants
+  alien.count = 5;
+  alien.sum = 5.0;
+  alien.counts.assign(7, 0);
+  alien.counts[3] = 5;
+
+  const Status s = acc.MergeFrom(alien);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(acc.count, before.count);
+  EXPECT_EQ(acc.counts, before.counts);
+  EXPECT_DOUBLE_EQ(acc.sum, before.sum);
+}
+
+TEST(ObsHistogramMergeTest, FleetAggregateConservesAcrossMembers) {
+  // Merging N per-shard snapshots must equal one histogram that saw every
+  // observation — count, sum, and every bucket, exactly.
+  constexpr size_t kMembers = 4;
+  Histogram shard[kMembers];
+  Histogram all;
+  uint64_t x = 12345;
+  for (size_t m = 0; m < kMembers; ++m) {
+    for (int i = 0; i < 100; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      const double v = 1e-4 * static_cast<double>(1 + (x >> 33) % 100000);
+      shard[m].Record(v);
+      all.Record(v);
+    }
+  }
+  HistogramSnapshot merged;
+  for (size_t m = 0; m < kMembers; ++m) {
+    ASSERT_TRUE(merged.MergeFrom(shard[m].Snapshot()).ok());
+  }
+  const HistogramSnapshot expected = all.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.counts, expected.counts);
+  EXPECT_NEAR(merged.sum, expected.sum, 1e-9 * expected.sum);
+  EXPECT_DOUBLE_EQ(merged.Quantile(0.95), expected.Quantile(0.95));
+}
+
+TEST(ObsRegistryTest, AddLabelComposesWithExistingLabels) {
+  EXPECT_EQ(AddLabel("x_total", "shard", "3"), "x_total{shard=\"3\"}");
+  EXPECT_EQ(AddLabel("x_total{outcome=\"ok\"}", "shard", "3"),
+            "x_total{outcome=\"ok\",shard=\"3\"}");
+  EXPECT_EQ(AddLabel(AddLabel("x", "shard", "1"), "replica", "2"),
+            "x{shard=\"1\",replica=\"2\"}");
+  // Values are escaped the same way WithLabel escapes them.
+  EXPECT_EQ(AddLabel("x", "k", "a\"b"), "x{k=\"a\\\"b\"}");
+}
+
+TEST(ObsRegistryTest, SnapshotDumpsEveryKindWithBuckets) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total")->Increment(2);
+  registry.GetCounter("a_total")->Increment(1);
+  registry.GetGauge("g")->Set(1.5);
+  registry.RegisterCallbackGauge("cb", []() { return 9.0; });
+  registry.GetHistogram("h_seconds")->Record(0.125);
+
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a_total");  // sorted by name
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "b_total");
+  EXPECT_EQ(snap.counters[1].value, 2u);
+  ASSERT_EQ(snap.gauges.size(), 2u);  // plain gauges, then callback gauges
+  EXPECT_EQ(snap.gauges[0].name, "g");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.5);
+  EXPECT_EQ(snap.gauges[1].name, "cb");
+  EXPECT_DOUBLE_EQ(snap.gauges[1].value, 9.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "h_seconds");
+  EXPECT_EQ(snap.histograms[0].snapshot.count, 1u);
+  EXPECT_EQ(snap.histograms[0].snapshot.counts.size(),
+            Histogram::kNumBuckets);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing primitives (DESIGN.md §15)
+
+TEST(ObsTraceTest, EpochAnchorAlignsSteadyReadingsToUnixTime) {
+  uint64_t steady = 1000;
+  uint64_t unix_ns = 5000000;
+  Trace trace([&steady]() { return steady; }, [&unix_ns]() { return unix_ns; });
+  EXPECT_EQ(trace.epoch_steady_nanos(), 1000u);
+  EXPECT_EQ(trace.epoch_unix_nanos(), 5000000u);
+  EXPECT_EQ(trace.unix_minus_steady(), 5000000 - 1000);
+  EXPECT_EQ(trace.AbsoluteUnixNanos(1500), 5000500u);
+}
+
+TEST(ObsTraceTest, TraceIdsAreNonZeroUniqueAndOverridable) {
+  Trace a, b;
+  EXPECT_NE(a.trace_id(), 0u);
+  EXPECT_NE(b.trace_id(), 0u);
+  EXPECT_NE(a.trace_id(), b.trace_id());
+  a.set_trace_id(42);
+  EXPECT_EQ(a.trace_id(), 42u);
+  EXPECT_EQ(TraceIdHex(42), "000000000000002a");
+  EXPECT_EQ(TraceIdHex(0xDEADBEEFCAFEF00Dull), "deadbeefcafef00d");
+}
+
+TEST(ObsTraceTest, StartSpanAtBackdatesAndAddCompleteSpanCloses) {
+  uint64_t now = 500;
+  Trace trace([&now]() { return now; });
+  Span root = trace.StartSpanAt("rpc_recv", Span(), 100);
+  const int32_t child = trace.AddCompleteSpan("decode", root, 120, 180);
+  now = 900;
+  root.End();
+
+  const auto records = trace.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].start_ns, 100u);
+  EXPECT_EQ(records[0].end_ns, 900u);
+  EXPECT_EQ(child, 1);
+  EXPECT_EQ(records[1].parent, 0);
+  EXPECT_EQ(records[1].start_ns, 120u);
+  EXPECT_EQ(records[1].end_ns, 180u);
+}
+
+TEST(ObsTraceTest, AttachRemoteRebasesParentsAndMarksShard) {
+  uint64_t now = 10;
+  Trace trace([&now]() { return now; });
+  Span local_root = trace.StartSpan("rpc");  // index 0
+
+  std::vector<Trace::SpanRecord> remote(3);
+  remote[0].name = "rpc_recv";
+  remote[0].parent = -1;  // remote root → hangs off the local parent
+  remote[0].start_ns = 20;
+  remote[0].end_ns = 90;
+  remote[1].name = "scan";
+  remote[1].parent = 0;  // remote-local index → re-based by +1
+  remote[1].start_ns = 30;
+  remote[1].end_ns = 80;
+  remote[2].name = "mangled";
+  remote[2].parent = 7;  // out of range (forward ref) → clamped to parent
+  remote[2].start_ns = 40;
+  remote[2].end_ns = 50;
+  trace.AttachRemote(local_root, std::move(remote), /*shard=*/2);
+  local_root.End();
+
+  const auto records = trace.Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_FALSE(records[0].remote);
+  EXPECT_EQ(records[0].shard, -1);
+  EXPECT_EQ(records[1].name, "rpc_recv");
+  EXPECT_EQ(records[1].parent, 0);  // spliced under the local rpc span
+  EXPECT_TRUE(records[1].remote);
+  EXPECT_EQ(records[1].shard, 2);
+  EXPECT_EQ(records[2].name, "scan");
+  EXPECT_EQ(records[2].parent, 1);  // remote index 0 → trace index 1
+  EXPECT_EQ(records[3].name, "mangled");
+  EXPECT_EQ(records[3].parent, 0);  // malformed parent clamped, not trusted
+  EXPECT_TRUE(records[3].remote);
+}
+
+TEST(ObsTraceTest, ShiftSpanTimesClampsAndPreservesOpenMarkers) {
+  std::vector<Trace::SpanRecord> records(3);
+  records[0].start_ns = 100;
+  records[0].end_ns = 200;
+  records[1].start_ns = 50;
+  records[1].end_ns = 0;  // still open
+  records[2].start_ns = 10;
+  records[2].end_ns = 30;
+
+  ShiftSpanTimes(&records, -60);
+  EXPECT_EQ(records[0].start_ns, 40u);
+  EXPECT_EQ(records[0].end_ns, 140u);
+  EXPECT_EQ(records[1].start_ns, 0u);   // clamped at zero
+  EXPECT_EQ(records[1].end_ns, 0u);     // open marker preserved
+  EXPECT_EQ(records[2].start_ns, 0u);
+  EXPECT_GE(records[2].end_ns, 1u);     // closed span stays closed
+
+  ShiftSpanTimes(&records, 1000);
+  EXPECT_EQ(records[0].start_ns, 1040u);
+  EXPECT_EQ(records[1].end_ns, 0u);  // still open after a positive shift
+}
+
+TEST(ObsTraceTest, RenderJsonlEmitsAbsoluteTimesAndShardAttribution) {
+  uint64_t steady = 100;
+  uint64_t unix_ns = 1000000;
+  Trace trace([&steady]() { return steady; }, [&unix_ns]() { return unix_ns; });
+  trace.set_trace_id(0xABC);
+  Span rpc = trace.StartSpan("rpc");
+  std::vector<Trace::SpanRecord> remote(1);
+  remote[0].name = "rpc_recv";
+  remote[0].parent = -1;
+  remote[0].start_ns = 120;
+  remote[0].end_ns = 150;
+  trace.AttachRemote(rpc, std::move(remote), /*shard=*/1);
+  steady = 200;
+  rpc.End();
+
+  const std::string jsonl = trace.RenderJsonl();
+  EXPECT_NE(jsonl.find("\"trace_id\":\"0000000000000abc\""),
+            std::string::npos);
+  // steady 120 + (1000000 − 100) anchor offset.
+  EXPECT_NE(jsonl.find("\"start_unix_ns\":1000020"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"shard\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"remote\":true"), std::string::npos);
+  // One line per span.
+  size_t lines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+// ---------------------------------------------------------------------------
 // Logging
 
 TEST(ObsLoggerTest, RateLimitSuppressesAndCounts) {

@@ -25,6 +25,7 @@
 
 #include "src/lightlt.h"
 #include "src/net/client.h"
+#include "src/net/fleet.h"
 #include "src/net/server.h"
 #include "src/obs/metrics.h"
 #include "src/serving/router.h"
@@ -263,11 +264,18 @@ int main(int argc, char** argv) {
     auto shard_set = std::make_shared<serving::ShardSet>(
         std::move(shard_built).value());
 
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> server_metrics;
     std::vector<std::unique_ptr<net::ShardServer>> servers;
     std::vector<std::vector<net::Endpoint>> endpoints(remote_shards);
+    std::vector<net::FleetEndpoint> fleet_endpoints;
     for (size_t s = 0; s < remote_shards; ++s) {
+      server_metrics.push_back(std::make_unique<obs::MetricsRegistry>());
       net::ShardServerOptions so;
       so.hosted_shards = {s};
+      // Per-server registry + admin listener: the fleet collector below
+      // pulls each shard's latency histogram out of band after the load.
+      so.metrics = server_metrics.back().get();
+      so.admin_listener = true;
       auto server = std::make_unique<net::ShardServer>(shard_set, so);
       const Status started = server->Start();
       if (!started.ok()) {
@@ -277,6 +285,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       endpoints[s] = {{"127.0.0.1", server->port()}};
+      fleet_endpoints.push_back(
+          {{"127.0.0.1", server->admin_port()}, static_cast<uint32_t>(s), 0});
       servers.push_back(std::move(server));
     }
     auto remote = net::RemoteTransport::Connect(endpoints, {},
@@ -336,6 +346,47 @@ int main(int argc, char** argv) {
     for (size_t s = 0; s < remote_shards; ++s) {
       reconnects += remote.value()->client(s, 0).stats().reconnects;
     }
+
+    // Fleet view: one poll over every server's admin plane, then the
+    // per-shard server-side latency breakdown plus the fleet-wide merged
+    // histogram — the numbers an operator would scrape in production.
+    net::FleetCollector fleet(fleet_endpoints, net::FleetCollectorOptions{});
+    const Status polled = fleet.PollOnce();
+    if (!polled.ok()) {
+      std::fprintf(stderr, "fleet poll failed: %s\n",
+                   polled.ToString().c_str());
+    }
+    const net::FleetView fleet_view = fleet.View();
+    std::fprintf(f, ",\n \"remote_per_shard\": [");
+    const char* kServerHist = "net_server_request_seconds";
+    for (size_t s = 0; s < fleet_view.members.size(); ++s) {
+      const net::FleetMemberView& m = fleet_view.members[s];
+      obs::HistogramSnapshot lat;
+      for (const auto& h : m.snapshot.histograms) {
+        if (h.name == kServerHist) lat = h.snapshot;
+      }
+      std::fprintf(f,
+                   "%s{\"shard\": %u, \"requests\": %llu, "
+                   "\"server_p50_ms\": %.4f, \"server_p95_ms\": %.4f}",
+                   s == 0 ? "" : ", ", m.shard,
+                   static_cast<unsigned long long>(lat.count),
+                   lat.Quantile(0.50) * 1e3, lat.Quantile(0.95) * 1e3);
+      std::printf("  shard %u: %llu server requests, p50 %.2fms p95 %.2fms\n",
+                  m.shard, static_cast<unsigned long long>(lat.count),
+                  lat.Quantile(0.50) * 1e3, lat.Quantile(0.95) * 1e3);
+    }
+    obs::HistogramSnapshot fleet_lat;
+    const auto merged_it = fleet_view.merged.find(kServerHist);
+    if (merged_it != fleet_view.merged.end()) fleet_lat = merged_it->second;
+    std::fprintf(f,
+                 "],\n \"remote_fleet_requests\": %llu, "
+                 "\"remote_fleet_server_p95_ms\": %.4f",
+                 static_cast<unsigned long long>(fleet_lat.count),
+                 fleet_lat.Quantile(0.95) * 1e3);
+    std::printf("  fleet: %llu server requests merged, p95 %.2fms\n",
+                static_cast<unsigned long long>(fleet_lat.count),
+                fleet_lat.Quantile(0.95) * 1e3);
+
     for (auto& server : servers) server->Drain();
 
     std::fprintf(f,

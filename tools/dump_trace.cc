@@ -1,0 +1,123 @@
+// Stitched-trace dump helper (DESIGN.md §15): stands up a tiny loopback
+// fleet (one ShardServer per shard over real sockets), routes traced
+// queries through the standard Router + RemoteTransport, and prints each
+// request's stitched span tree — router-side spans and the shard servers'
+// rpc_recv → decode / scan / encode_reply subtrees in one tree — as JSONL
+// (one span per line, absolute unix timestamps included), the format the
+// bench harness diffs.
+//
+//   ./tool_dump_trace [--shards=2] [--queries=3] [--seed=7] [--epochs=2]
+//       [--tree]   # also print the human-readable indented tree
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/core/trainer.h"
+#include "src/data/dataset.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/obs/trace.h"
+#include "src/serving/health.h"
+#include "src/serving/router.h"
+#include "src/serving/transport.h"
+#include "src/util/cli.h"
+
+using namespace lightlt;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+  const size_t shards = static_cast<size_t>(cli.GetInt("shards", 2));
+  const size_t queries = static_cast<size_t>(cli.GetInt("queries", 3));
+  const int epochs = static_cast<int>(cli.GetInt("epochs", 2));
+  const bool tree = cli.GetBool("tree", false);
+
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 5;
+  cfg.feature_dim = 16;
+  cfg.train_spec.num_classes = 5;
+  cfg.train_spec.head_size = 40;
+  cfg.train_spec.imbalance_factor = 10.0;
+  cfg.queries_per_class = 4;
+  cfg.database_per_class = 40;
+  cfg.seed = seed;
+  const data::RetrievalBenchmark bench = data::GenerateSynthetic(cfg);
+
+  core::ModelConfig mc;
+  mc.input_dim = 16;
+  mc.hidden_dims = {24};
+  mc.embed_dim = 12;
+  mc.num_classes = 5;
+  mc.dsq.num_codebooks = 4;
+  mc.dsq.num_codewords = 16;
+  auto model = std::make_shared<core::LightLtModel>(mc, seed);
+  core::TrainOptions topts;
+  topts.epochs = epochs;
+  if (!core::TrainLightLt(model.get(), bench.train, topts).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  const Matrix embedded = core::EmbedInChunks(*model, bench.database.features);
+  std::vector<std::vector<uint32_t>> codes;
+  model->dsq().Encode(embedded, &codes);
+  serving::ShardSetOptions so;
+  so.num_shards = shards;
+  so.num_replicas = 1;
+  auto built = serving::ShardSet::Build(embedded, model->Codebooks(), codes, so);
+  if (!built.ok()) {
+    std::fprintf(stderr, "shard build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  auto shard_set =
+      std::make_shared<serving::ShardSet>(std::move(built).value());
+
+  std::vector<std::unique_ptr<net::ShardServer>> servers;
+  std::vector<std::vector<net::Endpoint>> endpoints(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    net::ShardServerOptions sopts;
+    sopts.hosted_shards = {s};
+    auto server = std::make_unique<net::ShardServer>(shard_set, sopts);
+    const Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    endpoints[s] = {{"127.0.0.1", server->port()}};
+    servers.push_back(std::move(server));
+  }
+
+  auto remote = net::RemoteTransport::Connect(endpoints, {},
+                                              Deadline::After(5.0));
+  if (!remote.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 remote.status().ToString().c_str());
+    return 1;
+  }
+  auto health = std::make_shared<serving::ReplicaHealthMonitor>(
+      shards, 1, serving::HealthOptions{});
+  serving::Router router(remote.value(), health, serving::RouterOptions{});
+
+  const Matrix q = model->Embed(bench.query.features);
+  const size_t n = std::min<size_t>(queries, q.rows());
+  for (size_t i = 0; i < n; ++i) {
+    obs::Trace trace;
+    const serving::RoutedResult r = router.Search(
+        q.row(i), 5, Deadline::After(2.0), {}, &trace, nullptr);
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "query %zu failed: %s\n", i,
+                   r.status.ToString().c_str());
+      continue;
+    }
+    std::fputs(trace.RenderJsonl().c_str(), stdout);
+    if (tree) std::fputs(trace.Render().c_str(), stderr);
+  }
+
+  for (auto& server : servers) server->Drain();
+  return 0;
+}

@@ -25,7 +25,8 @@ run_labelled() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DLIGHTLT_SANITIZE="${sanitize}"
   cmake --build "${build_dir}" --target lightlt_chaos_tests \
-    --target lightlt_cluster_tests --target lightlt_net_tests -j "$(nproc)"
+    --target lightlt_cluster_tests --target lightlt_net_tests \
+    --target lightlt_fleet_obs_tests -j "$(nproc)"
   ctest --test-dir "${build_dir}" --output-on-failure -L 'chaos|cluster|net'
 }
 

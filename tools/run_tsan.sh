@@ -18,6 +18,7 @@ cmake --build "${build_dir}" --target lightlt_cluster_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_obs_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_quality_obs_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_net_tests -j "$(nproc)"
+cmake --build "${build_dir}" --target lightlt_fleet_obs_tests -j "$(nproc)"
 
 # Concurrency-sensitive suites: the TaskGroup/ParallelFor semantics tests,
 # the shared-pool serving stress, eval determinism, parallel gumbel Forward,
@@ -29,9 +30,12 @@ cmake --build "${build_dir}" --target lightlt_net_tests -j "$(nproc)"
 # and the cluster suite (scatter-gather failover racing the health monitor
 # and circuit-breaker half-open probe accounting), and the net suite (real
 # server threads killed and restarted under a multi-threaded query storm,
-# drain racing in-flight handlers, connection-pool churn).
+# drain racing in-flight handlers, connection-pool churn), and the fleet
+# observability suite (a background metrics poller racing server handler
+# threads and concurrent View() readers, stitched traces crossing the
+# client/server thread boundary).
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|ClusterServingTest|ClusterBreakerTest|ReplicaHealthTest|NetServingTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest|ScanKernelsTest)\.'
+  -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|ClusterServingTest|ClusterBreakerTest|ReplicaHealthTest|NetServingTest|FleetObsTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest|ScanKernelsTest)\.'
 
 echo "TSan concurrency suite passed with zero reported races."

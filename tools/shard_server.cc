@@ -10,6 +10,13 @@
 //   ./tool_shard_server --shards=2 --shard=0 --port=7401
 //   ./tool_shard_server --shards=2 --shard=1 --port=7402
 //
+// With --metrics (optionally --metrics_port=P) the server also binds an
+// admin-plane listener and enables its MetricsRegistry, so a fleet
+// collector can pull the full instrument snapshot out of band:
+//
+//   ./tool_shard_server --shards=2 --shard=0 --port=7401
+//       --metrics --metrics_port=7501
+//
 // Client mode (--client): rebuilds the same fixture from the same seed
 // (so query embeddings and expected ids line up with the servers), wires a
 // RemoteTransport over `--endpoints` (one host:port per shard,
@@ -33,6 +40,7 @@
 #include "src/data/dataset.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/obs/metrics.h"
 #include "src/serving/router.h"
 #include "src/serving/transport.h"
 #include "src/util/cli.h"
@@ -133,11 +141,26 @@ int RunServer(const CommandLine& cli, const Fixture& f) {
   const int64_t shard = cli.GetInt("shard", -1);
   if (shard >= 0) so.hosted_shards = {static_cast<size_t>(shard)};
 
+  // --metrics binds a second, admin-plane listener (--metrics_port, default
+  // ephemeral) and enables the registry it dumps: a FleetCollector (or a
+  // plain GetMetrics client) pulls the full scan/serve instrument state
+  // without queueing behind search traffic (README "Observing a fleet").
+  obs::MetricsRegistry metrics;
+  if (cli.GetBool("metrics", false)) {
+    so.metrics = &metrics;
+    so.admin_listener = true;
+    so.admin_port = static_cast<uint16_t>(cli.GetInt("metrics_port", 0));
+  }
+
   net::ShardServer server(f.shards, so);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
     return 1;
+  }
+  if (so.admin_listener) {
+    std::printf("metrics admin plane on %s:%u\n", server.host().c_str(),
+                server.admin_port());
   }
   if (shard >= 0) {
     std::printf("serving shard %lld (%zu items) on %s:%u — Ctrl-C drains\n",
