@@ -8,6 +8,7 @@
 
 #include "src/eval/metrics.h"
 #include "src/nn/scheduler.h"
+#include "src/obs/profile.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
@@ -180,6 +181,7 @@ Result<TrainStats> TrainLightLt(LightLtModel* model,
 
   int completed_this_run = 0;
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    obs::ProfilePhase epoch_phase("train_epoch");
     WallTimer epoch_timer;
     shuffle_rng.Shuffle(order);
     double epoch_loss = 0.0;

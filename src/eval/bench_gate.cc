@@ -142,6 +142,23 @@ GateReport CompareServingBench(const std::string& baseline_json,
     report.notes.push_back(
         "shadow_recall missing from a run; recall check skipped");
   }
+
+  // Candidate-only check: profiling overhead is an absolute budget, not a
+  // baseline comparison, so older baselines without the key still gate.
+  if (ExtractJsonNumber(candidate_json, "profiler_overhead_pct", &cand)) {
+    if (cand > thresholds.max_profiler_overhead_pct) {
+      double off_p95 = 0.0;
+      (void)ExtractJsonNumber(candidate_json, "profiler_off_p95_ms", &off_p95);
+      report.regressions.push_back(
+          {"profiler_overhead_pct", off_p95, cand,
+           "limit " + FormatNumber(thresholds.max_profiler_overhead_pct) +
+               "% of p95"});
+    }
+  } else {
+    report.notes.push_back(
+        "profiler_overhead_pct missing from candidate; overhead check "
+        "skipped");
+  }
   return report;
 }
 

@@ -38,6 +38,11 @@ struct GateThresholds {
   /// Per-benchmark real_time in the micro suite may grow at most this
   /// percent over baseline.
   double max_micro_regress_pct = 30.0;
+  /// Continuous profiling at the default cadence may cost at most this
+  /// percent of serving p95 (candidate's profiler_overhead_pct key —
+  /// candidate-only, no baseline needed). Skipped (with a note) when the
+  /// candidate predates the key.
+  double max_profiler_overhead_pct = 5.0;
 };
 
 struct GateFinding {

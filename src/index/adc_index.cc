@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
+#include "src/obs/profile.h"
 #include "src/util/chaos.h"
 #include "src/util/check.h"
 #include "src/util/io.h"
@@ -161,6 +163,7 @@ void AdcIndex::ComputeScores(const float* query,
   // Legacy uncontrolled scan (eval, RankAll): one uninterrupted pass, no
   // lifecycle checks and no chaos instrumentation.
   const std::vector<float> lut = BuildLookupTables(query);
+  obs::ProfilePhase scan_phase("adc_scan");
   scores->resize(codes_.num_items());
   ScoreRange(lut.data(), 0, codes_.num_items(), scores->data());
 }
@@ -168,7 +171,13 @@ void AdcIndex::ComputeScores(const float* query,
 Status AdcIndex::ComputeScores(const float* query, std::vector<float>* scores,
                                const ScanControl& control) const {
   const size_t n = codes_.num_items();
-  const std::vector<float> lut = BuildLookupTables(query);
+  std::vector<float> lut;
+  {
+    obs::ProfilePhase lut_phase("lut_build");
+    lut = BuildLookupTables(query);
+  }
+  if (control.stats != nullptr) control.stats->lut_builds += 1;
+  obs::ProfilePhase scan_phase("adc_scan");
   scores->resize(n);
   if (control.Trivial() && !ChaosArmed()) {
     // Telemetry stays chunk-granular even here: the whole scan is one
@@ -242,10 +251,22 @@ Result<std::vector<SearchHit>> AdcIndex::SearchFastScan(
   const size_t keep = std::min(top_k, n);
   if (keep == 0) return std::vector<SearchHit>{};
 
-  const std::vector<float> lut = BuildLookupTables(query);
-  const kernels::QuantizedLut qlut = kernels::QuantizeLut(lut.data(), m, k);
+  std::vector<float> lut;
+  kernels::QuantizedLut qlut;
+  {
+    // Both tables count: the float LUT plus its quantized companion are
+    // separate per-query constructions in the resource vector.
+    obs::ProfilePhase lut_phase("lut_build");
+    lut = BuildLookupTables(query);
+    qlut = kernels::QuantizeLut(lut.data(), m, k);
+  }
+  if (control != nullptr && control->stats != nullptr) {
+    control->stats->lut_builds += 2;
+  }
   const size_t blocks = kernels::NumBlocks(n);
   std::vector<uint16_t> sums(blocks * kernels::kBlockItems);
+  std::optional<obs::ProfilePhase> scan_phase;
+  scan_phase.emplace("adc_scan");
 
   // Quantized pass. Chunking stays item-granular — ceil(n / check_every)
   // logical chunks, each polling deadline/cancellation and running the
@@ -316,6 +337,12 @@ Result<std::vector<SearchHit>> AdcIndex::SearchFastScan(
   // codebook order as ScoreRange so the scores are bit-identical to the
   // exact scalar scan. Usually |shortlist| ~ top_k; a degenerate LUT
   // (scale 0) can shortlist broadly, so keep polling the control.
+  scan_phase.reset();
+  obs::ProfilePhase rerank_phase("rerank");
+  if (control != nullptr && control->stats != nullptr) {
+    control->stats->shortlist += shortlist.size();
+    control->stats->codes_decoded += shortlist.size() * m;
+  }
   std::vector<float> exact(shortlist.size());
   for (size_t s = 0; s < shortlist.size(); ++s) {
     if (control != nullptr && s > 0 && s % check_every == 0) {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "src/clustering/kmeans.h"
+#include "src/obs/profile.h"
 #include "src/util/chaos.h"
 #include "src/util/check.h"
 #include "src/util/io.h"
@@ -169,36 +170,45 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
 
   // Rank cells by centroid distance (rank-equivalent form).
   std::vector<float> cell_scores(centroids_.rows());
-  for (size_t c = 0; c < centroids_.rows(); ++c) {
-    const float* centroid = centroids_.row(c);
-    float dot = 0.0f;
-    for (size_t j = 0; j < d; ++j) dot += query[j] * centroid[j];
-    cell_scores[c] = centroid_norms_[c] - 2.0f * dot;
-  }
   std::vector<uint32_t> cell_order(centroids_.rows());
-  std::iota(cell_order.begin(), cell_order.end(), 0u);
-  std::partial_sort(cell_order.begin(), cell_order.begin() + nprobe,
-                    cell_order.end(), [&](uint32_t a, uint32_t b) {
-                      return cell_scores[a] < cell_scores[b] ||
-                             (cell_scores[a] == cell_scores[b] && a < b);
-                    });
+  {
+    obs::ProfilePhase route_phase("ivf_route");
+    for (size_t c = 0; c < centroids_.rows(); ++c) {
+      const float* centroid = centroids_.row(c);
+      float dot = 0.0f;
+      for (size_t j = 0; j < d; ++j) dot += query[j] * centroid[j];
+      cell_scores[c] = centroid_norms_[c] - 2.0f * dot;
+    }
+    std::iota(cell_order.begin(), cell_order.end(), 0u);
+    std::partial_sort(cell_order.begin(), cell_order.begin() + nprobe,
+                      cell_order.end(), [&](uint32_t a, uint32_t b) {
+                        return cell_scores[a] < cell_scores[b] ||
+                               (cell_scores[a] == cell_scores[b] && a < b);
+                      });
+  }
 
   // Shared lookup tables, as in the flat ADC scan (§IV-B), plus their
   // quantized form when a fast-scan kernel is selected.
   std::vector<float> lut(m * k);
-  for (size_t cb = 0; cb < m; ++cb) {
-    const Matrix& book = codebooks_[cb];
-    float* row = lut.data() + cb * k;
-    for (size_t j = 0; j < k; ++j) {
-      const float* word = book.row(j);
-      float acc = 0.0f;
-      for (size_t t = 0; t < d; ++t) acc += query[t] * word[t];
-      row[j] = acc;
+  {
+    obs::ProfilePhase lut_phase("lut_build");
+    for (size_t cb = 0; cb < m; ++cb) {
+      const Matrix& book = codebooks_[cb];
+      float* row = lut.data() + cb * k;
+      for (size_t j = 0; j < k; ++j) {
+        const float* word = book.row(j);
+        float acc = 0.0f;
+        for (size_t t = 0; t < d; ++t) acc += query[t] * word[t];
+        row[j] = acc;
+      }
     }
   }
   kernels::QuantizedLut qlut;
+  if (control.stats != nullptr) control.stats->lut_builds += 1;
   if (scan_kernel_.fn != nullptr) {
+    obs::ProfilePhase lut_phase("lut_build");
     qlut = kernels::QuantizeLut(lut.data(), m, k);
+    if (control.stats != nullptr) control.stats->lut_builds += 1;
   }
   const float bound = qlut.ScoreErrorBound();
 
@@ -214,6 +224,7 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
   heap.reserve(top_k);
   std::vector<uint16_t> sums;
   size_t items_scanned = 0;
+  obs::ProfilePhase scan_phase("ivf_scan");
   for (size_t p = 0; p < nprobe; ++p) {
     if (p > 0) {
       const Status check = control.Check();
@@ -246,6 +257,7 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
         std::push_heap(heap.begin(), heap.end(), BetterHit);
       }
     };
+    size_t decoded = 0;
     if (scan_kernel_.fn != nullptr && top_k > 0) {
       // Quantized cell scan: integer sums first, then an exact float
       // re-score of only the items whose approximate score could still
@@ -262,9 +274,11 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
         if (heap.size() == top_k && approx - bound > heap.front().distance) {
           continue;
         }
+        ++decoded;
         offer(i, ExactCellScore(cell, i, lut.data(), k));
       }
     } else {
+      decoded = ids.size();
       for (size_t i = 0; i < ids.size(); ++i) {
         offer(i, ExactCellScore(cell, i, lut.data(), k));
       }
@@ -278,6 +292,9 @@ Result<std::vector<SearchHit>> IvfAdcIndex::Search(
       control.stats->chunks += 1;
       control.stats->items += ids.size();
       control.stats->probed_cells += 1;
+      // Exact re-scores expand m codes per offered item — the part of the
+      // quantized path the integer kernel could not prune.
+      control.stats->codes_decoded += decoded * m;
     }
   }
   RecordProbeStats(nprobe, items_scanned);

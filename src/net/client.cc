@@ -330,6 +330,43 @@ Result<WireMetricsResponse> RemoteSearcherClient::GetMetrics(
   return resp;
 }
 
+Result<WireProfileResponse> RemoteSearcherClient::GetProfile(
+    const Deadline& deadline) {
+  const ScanControl control{deadline, CancellationToken()};
+  Result<Socket> acquired = Acquire(control);
+  if (!acquired.ok()) return acquired.status();
+  Socket sock = std::move(acquired).value();
+
+  Frame response;
+  Status status =
+      Exchange(&sock, FrameType::kProfileRequest, EncodeProfileRequest(),
+               FrameType::kProfileResponse, &response, control);
+  WireProfileResponse resp;
+  if (status.ok()) {
+    status = DecodeProfileResponse(response.body, &resp);
+  }
+  if (!status.ok()) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    LogTransportError("get_profile", 0, status);
+    if (status.code() == StatusCode::kIoError) {
+      wire_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (errors_corrupt_counter_ != nullptr) {
+        errors_corrupt_counter_->Increment();
+      }
+      return Status::Unavailable("net: corrupt response frame: " +
+                                 status.message());
+    }
+    return status;
+  }
+  responses_ok_.fetch_add(1, std::memory_order_relaxed);
+  Release(std::move(sock));
+  const StatusCode code = StatusCodeFromWire(resp.code);
+  if (code != StatusCode::kOk) {
+    return Status(code, "remote: " + resp.message);
+  }
+  return resp;
+}
+
 Status RemoteSearcherClient::Ping(const Deadline& deadline) {
   const ScanControl control{deadline, CancellationToken()};
   Result<Socket> acquired = Acquire(control);

@@ -111,6 +111,10 @@ class RemoteSearcherClient {
   /// admin frame (the FleetCollector's poll primitive).
   Result<WireMetricsResponse> GetMetrics(const Deadline& deadline);
 
+  /// Pulls the server's cumulative profile snapshot over the profile
+  /// admin frame (kFailedPrecondition when the server has no profiler).
+  Result<WireProfileResponse> GetProfile(const Deadline& deadline);
+
   /// Round-trips an empty ping (liveness probe).
   Status Ping(const Deadline& deadline);
 

@@ -95,6 +95,42 @@ Status FleetCollector::PollMember(Member* member) {
   return Status::Ok();
 }
 
+void FleetCollector::PollMemberProfile(Member* member) {
+  const uint64_t wire_errors_before = member->client->stats().wire_errors;
+  Result<WireProfileResponse> resp =
+      member->client->GetProfile(Deadline::After(options_.poll_timeout_seconds));
+  Status s = Status::Ok();
+  if (!resp.ok()) {
+    s = resp.status();
+    // Same classification as metrics polls: a wire-error bump means the
+    // member answered but the payload was corrupt, not that it is down.
+    if (member->client->stats().wire_errors > wire_errors_before) {
+      profile_payload_drops_++;
+      if (payload_drops_counter_ != nullptr) payload_drops_counter_->Increment();
+    }
+  } else if (resp.value().code != static_cast<int32_t>(StatusCode::kOk)) {
+    s = Status(StatusCodeFromWire(resp.value().code), resp.value().message);
+  }
+  if (!s.ok()) {
+    // Keep the member's last good profile — a skipped profile poll only
+    // means the fleet merge is as stale as that member's previous pull.
+    profile_polls_failed_++;
+    if (options_.logger != nullptr) {
+      options_.logger->Log(
+          obs::LogLevel::kWarn, "fleet", "profile poll skipped",
+          {obs::LogField("shard", static_cast<uint64_t>(member->where.shard)),
+           obs::LogField("replica",
+                         static_cast<uint64_t>(member->where.replica)),
+           obs::LogField("code", Status::CodeName(s.code())),
+           obs::LogField("error", s.message())});
+    }
+    return;
+  }
+  member->view.profile = std::move(resp.value().profile);
+  member->view.profile_polls_ok++;
+  profile_polls_ok_++;
+}
+
 void FleetCollector::ReExport(const Member& member) {
   obs::MetricsRegistry* reg = options_.registry;
   if (reg == nullptr) return;
@@ -128,8 +164,14 @@ void FleetCollector::ReExport(const Member& member) {
 
 void FleetCollector::RebuildMerged() {
   merged_.clear();
+  merged_profile_ = obs::ProfileSnapshot{};
   size_t reachable = 0;
   for (const auto& member : members_) {
+    // Stacks travel verbatim, so the fleet profile is the exact sum of the
+    // members' latest accepted snapshots regardless of poll timing.
+    if (member->view.profile_polls_ok > 0) {
+      merged_profile_.MergeFrom(member->view.profile);
+    }
     if (!member->view.reachable && member->view.polls_ok == 0) continue;
     if (member->view.reachable) reachable++;
     for (const auto& h : member->view.snapshot.histograms) {
@@ -158,6 +200,7 @@ Status FleetCollector::PollOnce() {
   Status first_error = Status::Ok();
   for (auto& member : members_) {
     polls_attempted_++;
+    if (options_.collect_profiles) PollMemberProfile(member.get());
     Status s = PollMember(member.get());
     if (s.ok()) {
       polls_ok_++;
@@ -217,11 +260,15 @@ FleetView FleetCollector::View() const {
     view.members.push_back(member->view);
   }
   view.merged = merged_;
+  view.merged_profile = merged_profile_;
   view.polls_attempted = polls_attempted_;
   view.polls_ok = polls_ok_;
   view.polls_failed = polls_failed_;
   view.payload_drops = payload_drops_;
   view.layout_rejects = layout_rejects_;
+  view.profile_polls_ok = profile_polls_ok_;
+  view.profile_polls_failed = profile_polls_failed_;
+  view.profile_payload_drops = profile_payload_drops_;
   return view;
 }
 

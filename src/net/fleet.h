@@ -29,6 +29,7 @@
 #include "src/net/client.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/util/status.h"
 
 namespace lightlt::net {
@@ -57,6 +58,11 @@ struct FleetCollectorOptions {
   std::function<double()> clock;
   /// Optional structured logger for skipped polls.
   obs::Logger* logger = nullptr;
+  /// Also pull each member's profile snapshot (profile admin frame) and
+  /// merge the collapsed stacks exactly into FleetView::merged_profile.
+  /// A member without a profiler answers kFailedPrecondition; that counts
+  /// as a failed profile poll, never a failed metrics poll.
+  bool collect_profiles = false;
 };
 
 /// Latest known state of one member.
@@ -68,6 +74,9 @@ struct FleetMemberView {
   uint64_t polls_ok = 0;
   std::string prometheus_text;
   obs::RegistrySnapshot snapshot;
+  /// Last accepted cumulative profile (empty until a profile poll lands).
+  obs::ProfileSnapshot profile;
+  uint64_t profile_polls_ok = 0;
 };
 
 /// A consistent copy of the collector's state.
@@ -81,6 +90,13 @@ struct FleetView {
   uint64_t polls_failed = 0;   ///< member unreachable or error verdict
   uint64_t payload_drops = 0;  ///< corrupt payload or layout mismatch
   uint64_t layout_rejects = 0; ///< payload_drops due to bucket layout
+  /// Fleet-wide profile: the exact stack-wise sum (MergeFrom) of every
+  /// member's latest accepted profile snapshot. Empty unless
+  /// collect_profiles is set.
+  obs::ProfileSnapshot merged_profile;
+  uint64_t profile_polls_ok = 0;
+  uint64_t profile_polls_failed = 0;  ///< unreachable, error, or corrupt
+  uint64_t profile_payload_drops = 0; ///< corrupt profile payloads only
 };
 
 class FleetCollector {
@@ -118,6 +134,9 @@ class FleetCollector {
 
   /// Polls one member; returns non-OK when the poll was skipped.
   Status PollMember(Member* member);
+  /// Pulls one member's profile snapshot (collect_profiles only); keeps
+  /// the last good profile on failure.
+  void PollMemberProfile(Member* member);
   /// Re-exports one member's snapshot under shard=/replica= labels.
   void ReExport(const Member& member);
   /// Recomputes merged aggregates + fleet gauges from member views.
@@ -130,11 +149,15 @@ class FleetCollector {
 
   mutable std::mutex mu_;  ///< guards member views, merged map, counters
   std::map<std::string, obs::HistogramSnapshot> merged_;
+  obs::ProfileSnapshot merged_profile_;
   uint64_t polls_attempted_ = 0;
   uint64_t polls_ok_ = 0;
   uint64_t polls_failed_ = 0;
   uint64_t payload_drops_ = 0;
   uint64_t layout_rejects_ = 0;
+  uint64_t profile_polls_ok_ = 0;
+  uint64_t profile_polls_failed_ = 0;
+  uint64_t profile_payload_drops_ = 0;
 
   std::mutex thread_mu_;
   std::thread poll_thread_;

@@ -9,7 +9,7 @@ namespace {
 
 bool KnownFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kSearchRequest) &&
-         t <= static_cast<uint8_t>(FrameType::kMetricsResponse);
+         t <= static_cast<uint8_t>(FrameType::kProfileResponse);
 }
 
 void PutLe(std::vector<uint8_t>* out, const void* data, size_t n) {
@@ -522,6 +522,57 @@ Status DecodeMetricsResponse(const std::vector<uint8_t>& body,
       h.snapshot.counts.push_back(r.TakeU64());
     }
     out->snapshot.histograms.push_back(std::move(h));
+  }
+  return r.ExpectConsumed();
+}
+
+std::vector<uint8_t> EncodeProfileRequest() { return {}; }
+
+Status DecodeProfileRequest(const std::vector<uint8_t>& body) {
+  if (!body.empty()) {
+    return Status::IoError("net: profile request body must be empty");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeProfileResponse(const WireProfileResponse& resp) {
+  WireWriter w;
+  w.PutI32(resp.code);
+  w.PutString(resp.message);
+  w.PutU64(resp.profile.samples_total);
+  w.PutU64(resp.profile.truncated_pushes);
+  w.PutU32(static_cast<uint32_t>(resp.profile.entries.size()));
+  for (const obs::ProfileEntry& e : resp.profile.entries) {
+    w.PutString(e.stack);
+    w.PutU64(e.samples);
+    w.PutU64(e.wall_ns);
+    w.PutU64(e.cpu_ns);
+  }
+  return w.Take();
+}
+
+Status DecodeProfileResponse(const std::vector<uint8_t>& body,
+                             WireProfileResponse* out) {
+  WireReader r(body);
+  out->code = r.TakeI32();
+  out->message = r.TakeString();
+  out->profile.samples_total = r.TakeU64();
+  out->profile.truncated_pushes = r.TakeU64();
+  const uint32_t num_entries = r.TakeU32();
+  if (!r.status().ok()) return r.status();
+  constexpr size_t kMinEntryBytes = 4 + 8 + 8 + 8;  // empty stack + 3 u64s
+  if (num_entries > r.remaining() / kMinEntryBytes) {
+    return Status::IoError("net: profile entry count exceeds message");
+  }
+  out->profile.entries.clear();
+  out->profile.entries.reserve(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    obs::ProfileEntry e;
+    e.stack = r.TakeString();
+    e.samples = r.TakeU64();
+    e.wall_ns = r.TakeU64();
+    e.cpu_ns = r.TakeU64();
+    out->profile.entries.push_back(std::move(e));
   }
   return r.ExpectConsumed();
 }

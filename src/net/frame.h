@@ -31,6 +31,7 @@
 #include "src/index/adc_index.h"
 #include "src/net/socket.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/trace.h"
 #include "src/util/deadline.h"
 #include "src/util/status.h"
@@ -59,6 +60,10 @@ enum class FrameType : uint8_t {
   kPong = 6,
   kMetricsRequest = 7,
   kMetricsResponse = 8,
+  // Profile admin frames (additive — no version bump): a shard process's
+  // collapsed-stack profile snapshot, pulled like the metrics frames.
+  kProfileRequest = 9,
+  kProfileResponse = 10,
 };
 
 struct Frame {
@@ -263,6 +268,23 @@ Status DecodeMetricsRequest(const std::vector<uint8_t>& body);
 std::vector<uint8_t> EncodeMetricsResponse(const WireMetricsResponse& resp);
 Status DecodeMetricsResponse(const std::vector<uint8_t>& body,
                              WireMetricsResponse* out);
+
+/// A shard process's cumulative profile snapshot, pulled over the profile
+/// admin frame. Stacks travel verbatim, so per-shard snapshots merge
+/// exactly (ProfileSnapshot::MergeFrom) into a fleet view.
+struct WireProfileResponse {
+  int32_t code = 0;  // StatusCode as i32
+  std::string message;
+  obs::ProfileSnapshot profile;
+};
+
+/// Profile request body: empty (the reply dumps the cumulative snapshot).
+std::vector<uint8_t> EncodeProfileRequest();
+Status DecodeProfileRequest(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodeProfileResponse(const WireProfileResponse& resp);
+Status DecodeProfileResponse(const std::vector<uint8_t>& body,
+                             WireProfileResponse* out);
 
 std::vector<uint8_t> EncodeInfoResponse(const WireInfoResponse& resp);
 Status DecodeInfoResponse(const std::vector<uint8_t>& body,

@@ -205,6 +205,7 @@ bool ShardServer::ServeFrame(Socket* sock, const Frame& frame,
     }
 
     case FrameType::kSearchRequest: {
+      obs::ProfilePhase serve_phase("rpc_serve");
       WireSearchRequest req;
       if (!DecodeSearchRequest(frame.body, &req).ok()) {
         wire_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -310,6 +311,23 @@ bool ShardServer::ServeFrame(Socket* sock, const Frame& frame,
         resp.snapshot = options_.metrics->Snapshot();
       }
       return send(FrameType::kMetricsResponse, EncodeMetricsResponse(resp));
+    }
+
+    case FrameType::kProfileRequest: {
+      if (!DecodeProfileRequest(frame.body).ok()) {
+        wire_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (wire_errors_counter_ != nullptr) wire_errors_counter_->Increment();
+        return false;
+      }
+      WireProfileResponse resp;
+      if (options_.profiler == nullptr) {
+        resp.code = static_cast<int32_t>(StatusCode::kFailedPrecondition);
+        resp.message = "net: profiler not enabled on this server";
+      } else {
+        resp.code = static_cast<int32_t>(StatusCode::kOk);
+        resp.profile = options_.profiler->Snapshot();
+      }
+      return send(FrameType::kProfileResponse, EncodeProfileResponse(resp));
     }
 
     default:

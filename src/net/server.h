@@ -72,6 +72,9 @@ struct ShardServerOptions {
   /// frames — a null registry answers them with kFailedPrecondition.
   obs::MetricsRegistry* metrics = nullptr;
   std::string metric_prefix = "net_server_";
+  /// Profiler dumped to profile admin frames; must outlive the server. A
+  /// null profiler answers them with kFailedPrecondition (mirrors metrics).
+  obs::Profiler* profiler = nullptr;
   /// Clocks for the server-side span tree (DESIGN.md §15); injectable so
   /// tests assert exact stitched durations. Default: steady/unix clocks.
   obs::TraceClock trace_clock;

@@ -44,20 +44,9 @@ std::string EscapeQuotes(std::string_view s) {
   return out;
 }
 
-}  // namespace
-
-Logger::Logger(const Options& options)
-    : options_(options),
-      min_level_(static_cast<int>(options.min_level)),
-      tokens_(options.burst) {
-  if (!options_.clock) options_.clock = &SteadyNowSeconds;
-  last_refill_ = options_.clock();
-}
-
-void Logger::Log(LogLevel level, std::string_view component,
-                 std::string_view message, std::vector<LogField> fields) {
-  if (!Enabled(level)) return;
-
+std::string FormatTextLine(LogLevel level, std::string_view component,
+                           std::string_view message,
+                           const std::vector<LogField>& fields) {
   // Text form: level=info component=trainer msg="epoch done" epoch=3 ...
   std::string line;
   line.reserve(64 + message.size());
@@ -78,8 +67,49 @@ void Logger::Log(LogLevel level, std::string_view component,
       line += f.value;
     }
   }
+  return line;
+}
+
+std::string FormatJsonLine(LogLevel level, std::string_view component,
+                           std::string_view message,
+                           const std::vector<LogField>& fields) {
+  std::string json = "{\"level\":\"";
+  json += LogLevelName(level);
+  json += "\",\"component\":\"";
+  json += EscapeQuotes(component);
+  json += "\",\"msg\":\"";
+  json += EscapeQuotes(message);
+  json += "\"";
+  for (const LogField& f : fields) {
+    json += ",\"" + EscapeQuotes(f.key) + "\":";
+    if (f.quoted) {
+      json += "\"" + EscapeQuotes(f.value) + "\"";
+    } else {
+      json += f.value;
+    }
+  }
+  json += "}";
+  return json;
+}
+
+}  // namespace
+
+Logger::Logger(const Options& options)
+    : options_(options),
+      min_level_(static_cast<int>(options.min_level)),
+      tokens_(options.burst) {
+  if (!options_.clock) options_.clock = &SteadyNowSeconds;
+  last_refill_ = options_.clock();
+}
+
+void Logger::Log(LogLevel level, std::string_view component,
+                 std::string_view message, std::vector<LogField> fields) {
+  if (!Enabled(level)) return;
+
+  const std::string line = FormatTextLine(level, component, message, fields);
 
   std::lock_guard<std::mutex> lock(mu_);
+  uint64_t resumed = 0;
   if (options_.rate_per_second > 0.0) {
     const double now = options_.clock();
     tokens_ = std::min(options_.burst,
@@ -88,33 +118,39 @@ void Logger::Log(LogLevel level, std::string_view component,
     last_refill_ = now;
     if (tokens_ < 1.0) {
       suppressed_.fetch_add(1, std::memory_order_relaxed);
+      ++pending_suppressed_;
       return;
     }
     tokens_ -= 1.0;
+    // The bucket refilled after a suppression run: surface how much was
+    // dropped before this line, so operators know the log has a gap.
+    resumed = pending_suppressed_;
+    pending_suppressed_ = 0;
   }
   emitted_.fetch_add(1, std::memory_order_relaxed);
 
+  const bool want_json = !options_.jsonl_path.empty();
+  if (resumed > 0) {
+    const std::vector<LogField> summary_fields = {
+        {"suppressed", resumed}};
+    EmitLocked(FormatTextLine(LogLevel::kWarn, "logger",
+                              "rate limit lifted", summary_fields),
+               want_json ? FormatJsonLine(LogLevel::kWarn, "logger",
+                                          "rate limit lifted",
+                                          summary_fields)
+                         : std::string());
+  }
+  EmitLocked(line, want_json
+                       ? FormatJsonLine(level, component, message, fields)
+                       : std::string());
+}
+
+void Logger::EmitLocked(const std::string& line, const std::string& json) {
   if (options_.stream != nullptr) {
     std::fprintf(options_.stream, "%s\n", line.c_str());
     std::fflush(options_.stream);
   }
   if (!options_.jsonl_path.empty()) {
-    std::string json = "{\"level\":\"";
-    json += LogLevelName(level);
-    json += "\",\"component\":\"";
-    json += EscapeQuotes(component);
-    json += "\",\"msg\":\"";
-    json += EscapeQuotes(message);
-    json += "\"";
-    for (const LogField& f : fields) {
-      json += ",\"" + EscapeQuotes(f.key) + "\":";
-      if (f.quoted) {
-        json += "\"" + EscapeQuotes(f.value) + "\"";
-      } else {
-        json += f.value;
-      }
-    }
-    json += "}";
     if (std::FILE* f = std::fopen(options_.jsonl_path.c_str(), "a")) {
       std::fprintf(f, "%s\n", json.c_str());
       std::fclose(f);

@@ -6,7 +6,9 @@
 // defaults to kWarn so library progress chatter (trainer epochs, dataset
 // loads) stays silent under ctest; operators lower the level to kInfo or
 // kDebug. An optional token-bucket rate limit (injectable clock) caps
-// emission; suppressed events are counted, never dropped silently.
+// emission; suppressed events are counted, never dropped silently, and
+// the first line after a suppression run is preceded by a one-line
+// `suppressed=N` summary so the gap is visible in the log itself.
 
 #ifndef LIGHTLT_OBS_LOG_H_
 #define LIGHTLT_OBS_LOG_H_
@@ -93,6 +95,9 @@ class Logger {
   static Logger& Global();
 
  private:
+  /// Writes one already-formatted event to every sink. Requires mu_.
+  void EmitLocked(const std::string& line, const std::string& json);
+
   Options options_;
   std::atomic<int> min_level_;
   std::atomic<uint64_t> emitted_{0};
@@ -100,6 +105,10 @@ class Logger {
   std::mutex mu_;     ///< serializes sink writes and the token bucket
   double tokens_ = 0.0;
   double last_refill_ = 0.0;
+  /// Lines dropped since the last emission; reported in a one-line
+  /// `suppressed=N` summary when the bucket next grants a token, so a
+  /// suppression run is visible in the log itself, not only the counter.
+  uint64_t pending_suppressed_ = 0;
 };
 
 }  // namespace lightlt::obs

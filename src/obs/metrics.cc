@@ -205,13 +205,31 @@ void SplitLabels(const std::string& name, std::string* base,
   *labels = name.substr(brace + 1, name.size() - brace - 2);
 }
 
-void AppendTypeLine(std::string* out, std::string* last_base,
-                    const std::string& name, const char* type) {
-  const std::string base = BaseName(name);
-  if (base != *last_base) {
-    out->append("# TYPE " + base + " " + type + "\n");
-    *last_base = base;
-  }
+/// True when `base` already carries the Prometheus counter suffix.
+bool HasTotalSuffix(const std::string& base) {
+  constexpr const char kSuffix[] = "_total";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  return base.size() >= kSuffixLen &&
+         base.compare(base.size() - kSuffixLen, kSuffixLen, kSuffix) == 0;
+}
+
+/// Rebuilds a labelled name around a new base: `x{a="b"}` -> `x_total{a="b"}`.
+std::string WithBase(const std::string& new_base, const std::string& labels) {
+  return labels.empty() ? new_base : new_base + "{" + labels + "}";
+}
+
+/// Emits `# HELP` + `# TYPE` once per family (exposition conformance).
+void AppendFamilyHeader(std::string* out, std::string* last_base,
+                        const std::string& base, const char* type,
+                        const std::map<std::string, std::string>& help) {
+  if (base == *last_base) return;
+  const auto it = help.find(base);
+  out->append("# HELP " + base + " " +
+              (it != help.end() ? it->second
+                                : std::string("lightlt ") + type) +
+              "\n");
+  out->append("# TYPE " + base + " " + type + "\n");
+  *last_base = base;
 }
 
 std::string FormatDouble(double v) {
@@ -254,28 +272,38 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+void MetricsRegistry::SetHelp(const std::string& base_name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[base_name] = help;
+}
+
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   std::string last_base;
   for (const auto& [name, counter] : counters_) {
-    AppendTypeLine(&out, &last_base, name, "counter");
-    out += name + " " + std::to_string(counter->Value()) + "\n";
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (!HasTotalSuffix(base)) base += "_total";
+    AppendFamilyHeader(&out, &last_base, base, "counter", help_);
+    out += WithBase(base, labels) + " " + std::to_string(counter->Value()) +
+           "\n";
   }
   last_base.clear();
   for (const auto& [name, gauge] : gauges_) {
-    AppendTypeLine(&out, &last_base, name, "gauge");
+    AppendFamilyHeader(&out, &last_base, BaseName(name), "gauge", help_);
     out += name + " " + FormatDouble(gauge->Value()) + "\n";
   }
   last_base.clear();
   for (const auto& [name, fn] : callback_gauges_) {
-    AppendTypeLine(&out, &last_base, name, "gauge");
+    AppendFamilyHeader(&out, &last_base, BaseName(name), "gauge", help_);
     out += name + " " + FormatDouble(fn()) + "\n";
   }
   last_base.clear();
   for (const auto& [name, hist] : histograms_) {
     const HistogramSnapshot snap = hist->Snapshot();
-    AppendTypeLine(&out, &last_base, name, "summary");
+    AppendFamilyHeader(&out, &last_base, BaseName(name), "summary", help_);
     for (double q : {0.5, 0.95, 0.99}) {
       out += Relabel(name, "", "quantile=\"" + FormatDouble(q) + "\"") + " " +
              FormatDouble(snap.Quantile(q)) + "\n";

@@ -215,14 +215,24 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  /// Sets the `# HELP` text RenderText emits for a base (unlabelled) name.
+  /// Metrics without explicit help get a generic line — the exposition
+  /// format wants every family documented, even tersely.
+  void SetHelp(const std::string& base_name, const std::string& help);
+
   /// A gauge whose value is computed at render/snapshot time (e.g. breaker
   /// state). The callback must be safe to invoke from any thread for the
   /// registry's lifetime; re-registering a name replaces the callback.
   void RegisterCallbackGauge(const std::string& name,
                              std::function<double()> fn);
 
-  /// Prometheus-style text exposition: counters, gauges, and summary-style
-  /// histograms (quantile lines + _sum/_count), sorted by name.
+  /// Prometheus text exposition: counters, gauges, and summary-style
+  /// histograms (quantile lines + _sum/_count), sorted by name. Conformant
+  /// with the exposition format: every family gets `# HELP` and `# TYPE`
+  /// lines, and counter sample names carry the `_total` suffix (appended
+  /// here, before the label block, when the registered name lacks it —
+  /// snapshots and JSONL keep the registered name, so the wire payload and
+  /// fleet merges are unaffected).
   std::string RenderText() const;
 
   /// Structured dump: every counter/gauge value plus full histogram
@@ -243,6 +253,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::function<double()>> callback_gauges_;
+  std::map<std::string, std::string> help_;  ///< base name -> HELP text
 };
 
 }  // namespace lightlt::obs

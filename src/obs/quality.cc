@@ -252,6 +252,10 @@ std::string SlowQueryLog::RenderJsonl() const {
            ",\"explain\":{\"chunks\":" + std::to_string(rec.explain.chunks) +
            ",\"items\":" + std::to_string(rec.explain.items) +
            ",\"probed_cells\":" + std::to_string(rec.explain.probed_cells) +
+           ",\"cpu_ns\":" + std::to_string(rec.explain.cpu_ns) +
+           ",\"codes_decoded\":" + std::to_string(rec.explain.codes_decoded) +
+           ",\"lut_builds\":" + std::to_string(rec.explain.lut_builds) +
+           ",\"shortlist\":" + std::to_string(rec.explain.shortlist) +
            ",\"degraded\":" + (rec.explain.degraded ? "true" : "false") +
            ",\"flat_fallback\":" +
            (rec.explain.flat_fallback ? "true" : "false") +

@@ -166,6 +166,13 @@ struct ExplainRecord {
   uint64_t chunks = 0;        ///< scan chunks / probed cells executed
   uint64_t items = 0;         ///< vectors scored
   uint64_t probed_cells = 0;  ///< IVF cells probed (0 on flat scans)
+  // Resource vector (DESIGN.md §16): per-phase compute from ScanStats plus
+  // the request's thread-CPU time, so a slow-query record explains *what
+  // the request cost*, not only how long it took.
+  uint64_t cpu_ns = 0;         ///< serving-thread CPU time for the request
+  uint64_t codes_decoded = 0;  ///< quantized codes expanded for exact scores
+  uint64_t lut_builds = 0;     ///< per-query ADC lookup-table constructions
+  uint64_t shortlist = 0;      ///< fast-scan candidates sent to re-rank
   bool degraded = false;      ///< admitted in degraded mode
   bool flat_fallback = false; ///< IVF path failed/short; flat scan served
   /// Cluster attribution (left at defaults on single-node records):

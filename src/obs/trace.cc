@@ -97,6 +97,10 @@ Span Trace::StartSpan(const std::string& name, const Span& parent) {
 Span Trace::StartSpanAt(const std::string& name, const Span& parent,
                         uint64_t start_ns) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= max_spans_) {
+    ++dropped_spans_;
+    return Span();
+  }
   SpanRecord record;
   record.name = name;
   record.parent = parent.index_;
@@ -108,6 +112,10 @@ Span Trace::StartSpanAt(const std::string& name, const Span& parent,
 int32_t Trace::AddCompleteSpan(const std::string& name, const Span& parent,
                                uint64_t start_ns, uint64_t end_ns) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= max_spans_) {
+    ++dropped_spans_;
+    return -1;
+  }
   SpanRecord record;
   record.name = name;
   record.parent = parent.index_;
@@ -124,6 +132,12 @@ void Trace::AttachRemote(const Span& parent,
   const int32_t base = static_cast<int32_t>(records_.size());
   const int32_t remote_count = static_cast<int32_t>(remote.size());
   for (int32_t i = 0; i < remote_count; ++i) {
+    if (records_.size() >= max_spans_) {
+      // Everything not yet attached is dropped; parents of the records
+      // already attached stay valid (they only point backwards).
+      dropped_spans_ += static_cast<uint64_t>(remote_count - i);
+      return;
+    }
     SpanRecord rec = std::move(remote[static_cast<size_t>(i)]);
     // A subtree root hangs off the local parent. A malformed parent index
     // (self/forward/out-of-range — remote payloads are not trusted) is
@@ -138,6 +152,21 @@ void Trace::AttachRemote(const Span& parent,
     rec.shard = shard;
     records_.push_back(std::move(rec));
   }
+}
+
+void Trace::set_max_spans(size_t max_spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_spans_ = max_spans == 0 ? 1 : max_spans;
+}
+
+size_t Trace::max_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_spans_;
+}
+
+uint64_t Trace::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_spans_;
 }
 
 void Trace::EndSpan(int32_t index) {

@@ -79,6 +79,11 @@ class Trace {
     bool remote = false;       ///< recorded in another process
   };
 
+  /// Hard cap on records per trace: a pathological request path (retry
+  /// storms, huge fan-out, remote subtrees) cannot grow an unbounded span
+  /// tree. Spans past the cap are dropped and counted exactly.
+  static constexpr size_t kDefaultMaxSpans = 4096;
+
   /// `clock` defaults to the steady clock, `wall_clock` to the unix
   /// wall clock. Both anchors are captured here, back to back, so
   /// unix_minus_steady() is fixed for the life of the trace.
@@ -131,6 +136,12 @@ class Trace {
   /// Snapshot of all records (open spans have end_ns == 0).
   std::vector<SpanRecord> Records() const;
 
+  /// Adjusts the span cap (takes effect for subsequent spans only).
+  void set_max_spans(size_t max_spans);
+  size_t max_spans() const;
+  /// Spans dropped at the cap (StartSpan/AddCompleteSpan/AttachRemote).
+  uint64_t dropped_spans() const;
+
   /// Human-readable indented tree with per-span durations:
   ///   query 812us
   ///     embed 120us
@@ -152,6 +163,8 @@ class Trace {
   uint64_t epoch_steady_ns_ = 0;
   mutable std::mutex mu_;
   std::vector<SpanRecord> records_;
+  size_t max_spans_ = kDefaultMaxSpans;
+  uint64_t dropped_spans_ = 0;
 };
 
 /// Shifts every record's timestamps by `offset_ns`, clamping at zero and

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/core/pipeline.h"
+#include "src/obs/profile.h"
 #include "src/util/check.h"
 #include "src/util/timer.h"
 
@@ -59,6 +60,7 @@ Router::ShardOutcome Router::SearchShard(size_t shard, const float* query,
                                          obs::Trace* trace,
                                          const obs::Span* parent) const {
   ShardOutcome outcome;
+  obs::ProfilePhase shard_phase("shard_search");
   obs::Span shard_span =
       MaybeSpan(trace, "shard_" + std::to_string(shard), parent);
   const obs::Span* shard_parent = trace ? &shard_span : nullptr;
@@ -196,6 +198,7 @@ RoutedResult Router::Search(const float* query, size_t top_k,
   // returns promptly after expiry — at most one chunk of scan work late.
   std::vector<ShardOutcome> outcomes(num_shards);
   {
+    obs::ProfilePhase scatter_phase("router_scatter");
     TaskGroup group(options_.pool);
     for (size_t s = 0; s < num_shards; ++s) {
       group.Submit([&, s] {
@@ -215,6 +218,7 @@ RoutedResult Router::Search(const float* query, size_t top_k,
 
   // Gather: successful shards contribute hits and coverage; failed shards
   // contribute their status to the terminal verdict.
+  obs::ProfilePhase merge_phase("router_merge");
   std::vector<index::SearchHit> merged;
   size_t covered = 0;
   bool saw_expired = false;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/core/pipeline.h"
+#include "src/obs/profile.h"
 #include "src/util/check.h"
 #include "src/util/timer.h"
 
@@ -64,6 +65,19 @@ void RetrievalService::Instruments::Register(obs::MetricsRegistry* registry) {
   latency_failed =
       registry->GetHistogram(obs::WithLabel(latency, "outcome", "failed"));
   queue_depth = registry->GetGauge("serving_queue_depth");
+  for (size_t s = 0; s < obs::kNumRecallSegments; ++s) {
+    const char* segment = obs::RecallSegmentName(s);
+    cost_cpu_ns[s] = registry->GetCounter(
+        obs::WithLabel("serving_cost_cpu_ns_total", "segment", segment));
+    cost_items[s] = registry->GetCounter(
+        obs::WithLabel("serving_cost_items_total", "segment", segment));
+    cost_codes_decoded[s] = registry->GetCounter(obs::WithLabel(
+        "serving_cost_codes_decoded_total", "segment", segment));
+    cost_lut_builds[s] = registry->GetCounter(
+        obs::WithLabel("serving_cost_lut_builds_total", "segment", segment));
+    cost_shortlist[s] = registry->GetCounter(
+        obs::WithLabel("serving_cost_shortlist_total", "segment", segment));
+  }
 }
 
 Result<RetrievalService> RetrievalService::Build(
@@ -267,14 +281,45 @@ void RetrievalService::TickDrift() const {
 
 Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
     const float* query, size_t top_k, const ScanControl& control,
-    size_t observed_depth, obs::Trace* trace,
-    const obs::Span* parent) const {
+    size_t observed_depth, obs::Trace* trace, const obs::Span* parent,
+    int class_bucket, RequestCost* cost) const {
   WallTimer timer;
+  obs::ProfilePhase request_phase("request");
+  // The whole post-embedding lifecycle runs on this thread (per-query scan
+  // work is single-threaded; parallelism is across queries), so the
+  // thread-CPU delta is exactly the request's compute.
+  const uint64_t cpu_start = obs::ThreadCpuNowNanos();
+  // Rolls the request's resource vector into the segmented cost counters
+  // (overall always; head/mid/tail when the caller told us the bucket) and
+  // hands it to the caller's RequestCost. Runs on every terminal path so
+  // conservation holds: the sum of per-request vectors equals the counter
+  // deltas exactly.
+  const auto account_cost = [&]() {
+    const uint64_t cpu_end = obs::ThreadCpuNowNanos();
+    const uint64_t cpu_ns = cpu_end > cpu_start ? cpu_end - cpu_start : 0;
+    const ScanStats scan =
+        control.stats != nullptr ? *control.stats : ScanStats{};
+    for (size_t s = 0; s < obs::kNumRecallSegments; ++s) {
+      if (s != 0 && static_cast<int>(s) != class_bucket + 1) continue;
+      inst_.cost_cpu_ns[s]->Increment(cpu_ns);
+      inst_.cost_items[s]->Increment(scan.items);
+      inst_.cost_codes_decoded[s]->Increment(scan.codes_decoded);
+      inst_.cost_lut_builds[s]->Increment(scan.lut_builds);
+      inst_.cost_shortlist[s]->Increment(scan.shortlist);
+    }
+    if (cost != nullptr) {
+      cost->cpu_ns = cpu_ns;
+      cost->scan = scan;
+    }
+    return cpu_ns;
+  };
+
   // A request that arrives already expired or cancelled consumes no
   // admission slot and no rate-limiter token.
   Status pre = control.Check();
   if (!pre.ok()) {
     CountOutcome(pre, timer.ElapsedSeconds());
+    account_cost();
     return pre;
   }
 
@@ -286,6 +331,7 @@ Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
   if (outcome == AdmissionOutcome::kShed) {
     inst_.shed->Increment();
     inst_.latency_shed->Record(timer.ElapsedSeconds());
+    account_cost();
     return Status::Unavailable("RetrievalService: overloaded, request shed");
   }
   AdmissionTicket ticket(admission_.get());
@@ -326,6 +372,7 @@ Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
   } else {
     CountOutcome(result.status(), elapsed);
   }
+  const uint64_t cpu_ns = account_cost();
   if (slow_log_ != nullptr &&
       slow_log_->options().latency_threshold_seconds > 0.0 &&
       elapsed >= slow_log_->options().latency_threshold_seconds) {
@@ -335,10 +382,14 @@ Result<std::vector<ServedHit>> RetrievalService::ServeEmbedded(
         result.ok() ? "ok" : Status::CodeName(result.status().code());
     record.trace_id = trace != nullptr ? trace->trace_id() : 0;
     record.latency_seconds = elapsed;
+    record.explain.cpu_ns = cpu_ns;
     if (control.stats != nullptr) {
       record.explain.chunks = control.stats->chunks;
       record.explain.items = control.stats->items;
       record.explain.probed_cells = control.stats->probed_cells;
+      record.explain.codes_decoded = control.stats->codes_decoded;
+      record.explain.lut_builds = control.stats->lut_builds;
+      record.explain.shortlist = control.stats->shortlist;
     }
     record.explain.degraded = degraded;
     record.explain.flat_fallback = used_fallback;
@@ -365,17 +416,21 @@ Result<std::vector<ServedHit>> RetrievalService::Query(
   if (!AllFinite(features)) {
     return Status::InvalidArgument("Query: features contain NaN/Inf");
   }
+  obs::ProfilePhase serve_phase("serve");
   ScanStats scan_stats;
   ScanControl control{request.deadline, request.cancel,
                       options_.scan_check_every};
-  // Slow-query capture needs the span tree and the scan accounting even
-  // when the caller did not opt into tracing, so an internal per-call trace
-  // stands in; QueryBatch rows keep both off (shared ScanControl).
+  // Slow-query capture and the caller's resource vector both need scan
+  // accounting even when the caller did not opt into tracing, so an
+  // internal per-call trace / stats block stands in; QueryBatch rows keep
+  // both off (shared ScanControl).
   obs::Trace internal_trace;
   obs::Trace* trace = request.trace;
-  if (slow_log_ != nullptr) {
+  if (slow_log_ != nullptr || request.cost != nullptr) {
     control.stats = &scan_stats;
-    if (trace == nullptr) trace = &internal_trace;
+  }
+  if (slow_log_ != nullptr && trace == nullptr) {
+    trace = &internal_trace;
   }
   obs::Span query_span = MaybeSpan(trace, "query", nullptr);
   Matrix embedded;
@@ -386,7 +441,8 @@ Result<std::vector<ServedHit>> RetrievalService::Query(
   }
   return ServeEmbedded(embedded.row(0), top_k, control,
                        /*observed_depth=*/0, trace,
-                       trace ? &query_span : nullptr);
+                       trace ? &query_span : nullptr, request.class_bucket,
+                       request.cost);
 }
 
 Result<std::vector<Result<std::vector<ServedHit>>>>
@@ -434,7 +490,8 @@ RetrievalService::QueryBatch(const Matrix& features, size_t top_k,
           const size_t depth = pool ? pool->ApproxQueueDepth() : 0;
           inst_.queue_depth->Set(static_cast<double>(depth));
           rows[q] = ServeEmbedded(embedded.row(q), top_k, control, depth,
-                                  /*trace=*/nullptr, /*parent=*/nullptr);
+                                  /*trace=*/nullptr, /*parent=*/nullptr,
+                                  request.class_bucket, /*cost=*/nullptr);
         } catch (const std::exception& e) {
           rows[q] = Status::Internal(
               std::string("QueryBatch: worker failed: ") + e.what());

@@ -96,6 +96,15 @@ struct ServiceOptions {
   ServiceDriftOptions drift;
 };
 
+/// Per-request resource vector (DESIGN.md §16): what one request actually
+/// cost, not just how long it took. cpu_ns is the serving thread's CPU time
+/// across the post-embedding lifecycle (CLOCK_THREAD_CPUTIME_ID delta), the
+/// scan stats are the index layer's exact per-request accounting.
+struct RequestCost {
+  uint64_t cpu_ns = 0;
+  ScanStats scan;
+};
+
 /// Per-request lifecycle knobs. Default: no deadline, not cancellable.
 struct RequestOptions {
   Deadline deadline;
@@ -105,6 +114,14 @@ struct RequestOptions {
   /// tree into this trace. Null (default) costs one branch per span site.
   /// QueryBatch rows are not traced (metrics cover the aggregate path).
   obs::Trace* trace = nullptr;
+  /// When set, Query() fills it with the request's resource vector. Must
+  /// outlive the call and belong to this request alone, so QueryBatch
+  /// (one shared RequestOptions across rows) leaves it null.
+  RequestCost* cost = nullptr;
+  /// Head/mid/tail class-frequency bucket of the query (0/1/2), -1 when
+  /// unknown. Routes the serving_cost_* counters' segment label so per-
+  /// segment cost accounting mirrors the recall estimator's segmentation.
+  int class_bucket = -1;
 };
 
 /// One retrieval result with its database payload.
@@ -224,6 +241,15 @@ class RetrievalService {
     obs::Histogram* latency_failed = nullptr;
     /// Pool backlog observed by QueryBatch rows (ApproxQueueDepth).
     obs::Gauge* queue_depth = nullptr;
+    /// Cost accounting (DESIGN.md §16): the per-request resource vector
+    /// rolled up into exact counters per segment — index 0 "overall",
+    /// then the head/mid/tail class-frequency buckets. Every request lands
+    /// in overall; segmented rows need RequestOptions::class_bucket.
+    obs::Counter* cost_cpu_ns[obs::kNumRecallSegments] = {};
+    obs::Counter* cost_items[obs::kNumRecallSegments] = {};
+    obs::Counter* cost_codes_decoded[obs::kNumRecallSegments] = {};
+    obs::Counter* cost_lut_builds[obs::kNumRecallSegments] = {};
+    obs::Counter* cost_shortlist[obs::kNumRecallSegments] = {};
 
     void Register(obs::MetricsRegistry* registry);
   };
@@ -233,14 +259,18 @@ class RetrievalService {
   void CountOutcome(const Status& status, double elapsed_seconds) const;
 
   /// Full post-embedding lifecycle for one query: deadline/cancel check,
-  /// admission, breaker-gated search, outcome accounting. `trace` (may be
-  /// null) hangs lifecycle spans under `parent`.
+  /// admission, breaker-gated search, outcome and cost accounting. `trace`
+  /// (may be null) hangs lifecycle spans under `parent`; `class_bucket`
+  /// segments the cost counters; `cost` (may be null) receives the
+  /// request's resource vector.
   Result<std::vector<ServedHit>> ServeEmbedded(const float* query,
                                                size_t top_k,
                                                const ScanControl& control,
                                                size_t observed_depth,
                                                obs::Trace* trace,
-                                               const obs::Span* parent) const;
+                                               const obs::Span* parent,
+                                               int class_bucket,
+                                               RequestCost* cost) const;
 
   /// Drift self-monitoring state: the detector plus the served-query
   /// cadence that freezes the baseline and paces CheckAll sweeps.

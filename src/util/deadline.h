@@ -107,6 +107,12 @@ struct ScanStats {
   uint64_t chunks = 0;        ///< scan chunks / probed cells executed
   uint64_t items = 0;         ///< vectors scored
   uint64_t probed_cells = 0;  ///< IVF cells probed (0 on flat scans)
+  // Per-phase compute accounting (the request's resource vector,
+  // DESIGN.md §16): what the quantized paths actually did, not just how
+  // many vectors they touched.
+  uint64_t codes_decoded = 0;  ///< quantized codes expanded for exact scores
+  uint64_t lut_builds = 0;     ///< per-query ADC lookup-table constructions
+  uint64_t shortlist = 0;      ///< fast-scan candidates sent to re-rank
 };
 
 /// Cooperative controls a scan loop polls between chunks. Trivial controls

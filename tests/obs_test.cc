@@ -465,7 +465,13 @@ TEST(ObsLoggerTest, RateLimitSuppressesAndCounts) {
 
   now = 1.5;  // refills 1.5 tokens
   logger.Log(LogLevel::kInfo, "test", "d");
-  EXPECT_EQ(lines.size(), 3u);
+  // The first grant after a suppression run is preceded by a summary line
+  // naming what was lost; the summary is not itself a counted event.
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[2].find("rate limit lifted"), std::string::npos);
+  EXPECT_NE(lines[2].find("suppressed=1"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"d\""), std::string::npos);
+  EXPECT_EQ(logger.emitted_count(), 3u);
   EXPECT_EQ(logger.suppressed_count(), 1u);
 }
 
@@ -576,13 +582,14 @@ TEST(ObsRegistryTest, RenderTextEscapesPathologicalLabelValues) {
   EXPECT_NE(text.find("evil_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
             std::string::npos)
       << text;
-  // Exactly the TYPE line plus one sample line: the raw newline inside the
-  // label value must not have produced a third physical line.
+  // Exactly the HELP and TYPE headers plus one sample line: the raw
+  // newline inside the label value must not have produced a fourth
+  // physical line.
   size_t lines = 0;
   for (char c : text) {
     if (c == '\n') ++lines;
   }
-  EXPECT_EQ(lines, 2u) << text;
+  EXPECT_EQ(lines, 3u) << text;
   // No raw (unescaped) quote-newline sequence from the label value.
   EXPECT_EQ(text.find("c\nd"), std::string::npos);
 }

@@ -64,7 +64,9 @@ mkdir -p "${out_dir}"
 # samples under the batch load — hundreds of realized samples instead of
 # tens, which is what makes the absolute recall threshold trustworthy.
 # The sharded pass (3x2 cluster over the same corpus) rides along so the
-# scatter-gather path's figures land in the same artifact.
+# scatter-gather path's figures land in the same artifact, as does the
+# profiler-overhead pass (p95 with the sampler off vs on) that the gate
+# holds under its max_profiler_overhead_pct budget.
 rm -f "${out_dir}/BENCH_metrics.jsonl"
 "${build_dir}/tools/tool_bench_serving" \
   --out="${out_dir}/BENCH_serving.json" \

@@ -1,0 +1,193 @@
+// Fleet profile dump/diff CLI (DESIGN.md §16, README "Profiling a fleet").
+//
+// Dump mode (default): pulls the cumulative profile snapshot of every
+// endpoint over the profile admin frame, merges the collapsed stacks
+// exactly (ProfileSnapshot::MergeFrom), and prints flamegraph-compatible
+// collapsed text — feed it straight into flamegraph.pl, or keep two dumps
+// around for diffing.
+//
+//   ./tool_profile --endpoints=127.0.0.1:7501,127.0.0.1:7502
+//   ./tool_profile --endpoints=127.0.0.1:7501 --summary
+//   ./tool_profile --endpoints=127.0.0.1:7501 --jsonl --out=prof.jsonl
+//
+// Per-endpoint stacks can be kept apart with --label_shards, which
+// prefixes each endpoint's stacks with `shardN;` before merging, so the
+// flamegraph shows the fleet broken down by member.
+//
+// Diff mode: reads two collapsed-text dumps and prints the stacks whose
+// share of samples grew the most — the same attribution DiffProfiles
+// feeds to the SLO-burn hook, usable by hand between two deploys.
+//
+//   ./tool_profile --diff --baseline=before.collapsed --current=after.collapsed
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/obs/profile.h"
+#include "src/util/cli.h"
+
+using namespace lightlt;
+
+namespace {
+
+std::vector<net::Endpoint> ParseEndpoints(const std::string& spec) {
+  std::vector<net::Endpoint> endpoints;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(start, comma - start);
+    const size_t colon = item.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad endpoint '%s' (want host:port)\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    net::Endpoint ep;
+    ep.host = item.substr(0, colon);
+    ep.port = static_cast<uint16_t>(std::atoi(item.c_str() + colon + 1));
+    endpoints.push_back(ep);
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
+/// Parses collapsed-stack text (`stack count` per line) back into a
+/// snapshot; wall/cpu are not carried by the text format, so a diff of two
+/// dumps compares sample shares only — exactly what DiffProfiles uses.
+bool ParseCollapsed(const std::string& path, obs::ProfileSnapshot* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) {
+      std::fprintf(stderr, "bad collapsed line in '%s': %s\n", path.c_str(),
+                   line.c_str());
+      return false;
+    }
+    obs::ProfileEntry entry;
+    entry.stack = line.substr(0, space);
+    entry.samples =
+        static_cast<uint64_t>(std::strtoull(line.c_str() + space + 1,
+                                            nullptr, 10));
+    out->samples_total += entry.samples;
+    out->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+int RunDiff(const CommandLine& cli) {
+  obs::ProfileSnapshot baseline, current;
+  if (!ParseCollapsed(cli.GetString("baseline", ""), &baseline) ||
+      !ParseCollapsed(cli.GetString("current", ""), &current)) {
+    return 2;
+  }
+  const size_t top_n = static_cast<size_t>(cli.GetInt("top", 10));
+  const std::vector<obs::PhaseDelta> deltas =
+      obs::DiffProfiles(baseline, current, top_n);
+  if (deltas.empty()) {
+    std::printf("no stacks grew their sample share\n");
+    return 0;
+  }
+  std::printf("%-50s %9s %9s %9s\n", "stack", "baseline", "current",
+              "delta");
+  for (const obs::PhaseDelta& d : deltas) {
+    std::printf("%-50s %8.2f%% %8.2f%% %+8.2f%%\n", d.stack.c_str(),
+                d.baseline_fraction * 100.0, d.current_fraction * 100.0,
+                d.delta * 100.0);
+  }
+  return 0;
+}
+
+int RunDump(const CommandLine& cli) {
+  const std::vector<net::Endpoint> endpoints =
+      ParseEndpoints(cli.GetString("endpoints", "127.0.0.1:7501"));
+  const double timeout = cli.GetDouble("timeout", 2.0);
+  const bool label_shards = cli.GetBool("label_shards", false);
+
+  obs::ProfileSnapshot merged;
+  size_t pulled = 0;
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    net::RemoteSearcherClient client(endpoints[i], {});
+    Result<net::WireProfileResponse> resp =
+        client.GetProfile(Deadline::After(timeout));
+    if (!resp.ok()) {
+      std::fprintf(stderr, "endpoint %s:%u skipped: %s\n",
+                   endpoints[i].host.c_str(), endpoints[i].port,
+                   resp.status().ToString().c_str());
+      continue;
+    }
+    obs::ProfileSnapshot snap = std::move(resp.value().profile);
+    if (label_shards) {
+      for (obs::ProfileEntry& e : snap.entries) {
+        e.stack = "shard" + std::to_string(i) + ";" + e.stack;
+      }
+    }
+    std::fprintf(stderr, "endpoint %s:%u: %llu samples, %zu stacks\n",
+                 endpoints[i].host.c_str(), endpoints[i].port,
+                 static_cast<unsigned long long>(snap.samples_total),
+                 snap.entries.size());
+    merged.MergeFrom(snap);
+    ++pulled;
+  }
+  if (pulled == 0) {
+    std::fprintf(stderr, "no endpoint answered\n");
+    return 1;
+  }
+
+  std::string text;
+  if (cli.GetBool("jsonl", false)) {
+    text = merged.RenderJsonl();
+  } else if (cli.GetBool("summary", false)) {
+    std::ostringstream os;
+    os << "phase summary (" << merged.samples_total << " samples, "
+       << pulled << "/" << endpoints.size() << " endpoints)\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-24s %10s %10s %12s %12s\n",
+                  "phase", "self", "total", "self_cpu_ms", "total_cpu_ms");
+    os << line;
+    for (const obs::PhaseSummary& p : obs::SummarizePhases(merged)) {
+      std::snprintf(line, sizeof(line), "%-24s %10llu %10llu %12.1f %12.1f\n",
+                    p.phase.c_str(),
+                    static_cast<unsigned long long>(p.self_samples),
+                    static_cast<unsigned long long>(p.total_samples),
+                    static_cast<double>(p.self_cpu_ns) * 1e-6,
+                    static_cast<double>(p.total_cpu_ns) * 1e-6);
+      os << line;
+    }
+    text = os.str();
+  } else {
+    text = merged.CollapsedText();
+  }
+
+  const std::string out = cli.GetString("out", "");
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream file(out, std::ios::trunc);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "cannot write '%s'\n", out.c_str());
+      return 1;
+    }
+    file << text;
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  return cli.GetBool("diff", false) ? RunDiff(cli) : RunDump(cli);
+}

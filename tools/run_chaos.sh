@@ -26,7 +26,8 @@ run_labelled() {
     -DLIGHTLT_SANITIZE="${sanitize}"
   cmake --build "${build_dir}" --target lightlt_chaos_tests \
     --target lightlt_cluster_tests --target lightlt_net_tests \
-    --target lightlt_fleet_obs_tests -j "$(nproc)"
+    --target lightlt_fleet_obs_tests --target lightlt_profile_tests \
+    -j "$(nproc)"
   ctest --test-dir "${build_dir}" --output-on-failure -L 'chaos|cluster|net'
 }
 

@@ -19,6 +19,7 @@ cmake --build "${build_dir}" --target lightlt_obs_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_quality_obs_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_net_tests -j "$(nproc)"
 cmake --build "${build_dir}" --target lightlt_fleet_obs_tests -j "$(nproc)"
+cmake --build "${build_dir}" --target lightlt_profile_tests -j "$(nproc)"
 
 # Concurrency-sensitive suites: the TaskGroup/ParallelFor semantics tests,
 # the shared-pool serving stress, eval determinism, parallel gumbel Forward,
@@ -33,7 +34,9 @@ cmake --build "${build_dir}" --target lightlt_fleet_obs_tests -j "$(nproc)"
 # drain racing in-flight handlers, connection-pool churn), and the fleet
 # observability suite (a background metrics poller racing server handler
 # threads and concurrent View() readers, stitched traces crossing the
-# client/server thread boundary).
+# client/server thread boundary), and the profiling suite (the sampler
+# thread walking phase stacks that request threads mutate lock-free, plus
+# per-request cost vectors racing the segmented counters under ParallelFor).
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
   -R '^(TaskGroupTest|ParallelForTest|ConcurrencyIntegrationTest|ThreadPoolTest|ChaosServingTest|ChaosHarnessTest|ClusterServingTest|ClusterBreakerTest|ReplicaHealthTest|NetServingTest|FleetObsTest|Obs[A-Za-z]*Test|QualityObsTest|ShadowServingTest|ScanKernelsTest)\.'

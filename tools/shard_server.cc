@@ -41,6 +41,7 @@
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/serving/router.h"
 #include "src/serving/transport.h"
 #include "src/util/cli.h"
@@ -152,6 +153,24 @@ int RunServer(const CommandLine& cli, const Fixture& f) {
     so.admin_port = static_cast<uint16_t>(cli.GetInt("metrics_port", 0));
   }
 
+  // --profile starts the sampling profiler (default 100 Hz; tune with
+  // --profile_interval_ms) and serves its cumulative snapshot on the same
+  // admin plane, so `tool_profile --endpoints=...` (or a FleetCollector
+  // with collect_profiles) can pull collapsed stacks out of band.
+  obs::Profiler::Options popts;
+  popts.sample_interval_seconds =
+      cli.GetDouble("profile_interval_ms", 10.0) * 1e-3;
+  popts.registry = so.metrics;
+  obs::Profiler profiler(popts);
+  if (cli.GetBool("profile", false)) {
+    so.profiler = &profiler;
+    so.admin_listener = true;
+    if (so.admin_port == 0) {
+      so.admin_port = static_cast<uint16_t>(cli.GetInt("metrics_port", 0));
+    }
+    profiler.Start();
+  }
+
   net::ShardServer server(f.shards, so);
   const Status started = server.Start();
   if (!started.ok()) {
@@ -159,8 +178,11 @@ int RunServer(const CommandLine& cli, const Fixture& f) {
     return 1;
   }
   if (so.admin_listener) {
-    std::printf("metrics admin plane on %s:%u\n", server.host().c_str(),
-                server.admin_port());
+    std::printf("%s admin plane on %s:%u\n",
+                so.profiler != nullptr
+                    ? (so.metrics != nullptr ? "metrics+profile" : "profile")
+                    : "metrics",
+                server.host().c_str(), server.admin_port());
   }
   if (shard >= 0) {
     std::printf("serving shard %lld (%zu items) on %s:%u — Ctrl-C drains\n",
